@@ -1,0 +1,26 @@
+//! E10 timing: Mondrian k-anonymization and the encrypted MetaP flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_crypto::SymmetricKey;
+use pds_global::ppdp::{encrypt_records, mondrian, publish_anonymized, synthetic_records};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_ppdp");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let records = synthetic_records(2000, &mut rng);
+    g.bench_function("mondrian_k10_2000", |b| b.iter(|| mondrian(&records, 10)));
+    g.bench_function("mondrian_k50_2000", |b| b.iter(|| mondrian(&records, 50)));
+
+    let key = SymmetricKey::from_seed(b"e10");
+    let encrypted = encrypt_records(&records, &key, &mut rng);
+    g.bench_function("metap_decrypt_anonymize_k10_2000", |b| {
+        b.iter(|| publish_anonymized(&encrypted, &key, 10).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E12 timing: delay-tolerant delivery runs at two densities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::e12_folkis::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_folkis");
+    g.sample_size(10);
+    g.bench_function("dtn_dense_160_on_25x25", |b| {
+        b.iter(|| measure(160, 25, 0, 2000, 31))
+    });
+    g.bench_function("dtn_sparse_40_on_25x25", |b| {
+        b.iter(|| measure(40, 25, 0, 2000, 31))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

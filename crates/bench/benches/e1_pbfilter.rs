@@ -1,0 +1,35 @@
+//! E1 timing: PBFilter lookup vs full table scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::e1_pbfilter::build_customer;
+use pds_db::Value;
+use pds_flash::{Flash, FlashGeometry};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_pbfilter");
+    g.sample_size(20);
+    let flash = Flash::new(FlashGeometry::new(2048, 64, 4096));
+    let (table, index) = build_customer(&flash, 20_000, 500);
+    let probe = "city-0250";
+
+    g.bench_function("full_table_scan_20k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            table
+                .scan(|_, row| {
+                    if row[2] == Value::str(probe) {
+                        n += 1;
+                    }
+                })
+                .unwrap();
+            n
+        })
+    });
+    g.bench_function("pbfilter_lookup_20k", |b| {
+        b.iter(|| index.lookup(probe.as_bytes()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E2 timing: sequential-index lookup, tree lookup, and the
+//! reorganization itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_db::reorg::reorganize;
+use pds_db::PBFilter;
+use pds_flash::{Flash, FlashGeometry};
+use pds_mcu::RamBudget;
+
+fn build(keys: u32) -> (Flash, RamBudget, PBFilter) {
+    let flash = Flash::new(FlashGeometry::new(2048, 64, 8192));
+    let ram = RamBudget::new(64 * 1024);
+    let mut pbf = PBFilter::new(&flash);
+    let domain = keys / 20;
+    for i in 0..keys {
+        pbf.insert(&(i % domain).to_be_bytes(), i).unwrap();
+    }
+    pbf.flush().unwrap();
+    (flash, ram, pbf)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_reorg");
+    g.sample_size(10);
+    let (flash, ram, pbf) = build(50_000);
+    let probe = 1250u32.to_be_bytes();
+
+    g.bench_function("sequential_lookup_50k", |b| {
+        b.iter(|| pbf.lookup(&probe).unwrap())
+    });
+    let tree = reorganize(&flash, &ram, &pbf).unwrap();
+    g.bench_function("tree_lookup_50k", |b| b.iter(|| tree.lookup(&probe).unwrap()));
+    g.bench_function("reorganize_50k", |b| {
+        b.iter(|| {
+            let t = reorganize(&flash, &ram, &pbf).unwrap();
+            t.reclaim();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E3 timing: embedded search queries and indexing throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::e3_search::build;
+use pds_search::DfStrategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_search");
+    g.sample_size(20);
+    let (_f, _ram, engine, _oracle) = build(2000, DfStrategy::TwoPass);
+    g.bench_function("query_1kw_2000docs_twopass", |b| {
+        b.iter(|| engine.search(&["w10"], 10).unwrap())
+    });
+    g.bench_function("query_3kw_2000docs_twopass", |b| {
+        b.iter(|| engine.search(&["w10", "w47", "w84"], 10).unwrap())
+    });
+    let (_f2, _ram2, engine_dict, _o2) = build(2000, DfStrategy::RamDictionary);
+    g.bench_function("query_3kw_2000docs_ramdict", |b| {
+        b.iter(|| engine_dict.search(&["w10", "w47", "w84"], 10).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E4 timing: climbing-index SPJ vs the index-free baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_db::climbing::{execute_spj, execute_spj_naive, TjoinIndex, TselectIndex};
+use pds_db::tpcd::{TpcdConfig, TpcdData};
+use pds_db::Value;
+use pds_flash::{Flash, FlashGeometry};
+use pds_mcu::RamBudget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_spj");
+    g.sample_size(10);
+    let flash = Flash::new(FlashGeometry::new(2048, 64, 16384));
+    let ram = RamBudget::new(128 * 1024);
+    let mut rng = StdRng::seed_from_u64(23);
+    let data = TpcdData::generate(&flash, &TpcdConfig::scale(8), &mut rng).unwrap();
+    let tree = data.schema_tree().unwrap();
+    let tables = data.tables();
+    let tjoin = TjoinIndex::build(&flash, &tree, &tables).unwrap();
+    let seg =
+        TselectIndex::build(&flash, &ram, &tree, &tables, "CUSTOMER", "mktsegment").unwrap();
+    let sup = TselectIndex::build(&flash, &ram, &tree, &tables, "SUPPLIER", "name").unwrap();
+
+    g.bench_function("climbing_spj_sf8", |b| {
+        b.iter(|| {
+            execute_spj(
+                &tree,
+                &tables,
+                &tjoin,
+                &[
+                    (&seg, Value::str("HOUSEHOLD")),
+                    (&sup, Value::str("SUPPLIER-1")),
+                ],
+            )
+            .unwrap()
+        })
+    });
+    let cust = tree.table_index("CUSTOMER").unwrap();
+    let supp = tree.table_index("SUPPLIER").unwrap();
+    g.bench_function("naive_spj_sf8", |b| {
+        b.iter(|| {
+            execute_spj_naive(
+                &tree,
+                &tables,
+                &[
+                    (cust, 3, Value::str("HOUSEHOLD")),
+                    (supp, 1, Value::str("SUPPLIER-1")),
+                ],
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

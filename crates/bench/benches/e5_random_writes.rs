@@ -1,0 +1,40 @@
+//! E5 timing: insertion streams, log-structured vs in-place.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::e5_random_writes::InPlaceIndex;
+use pds_db::PBFilter;
+use pds_flash::{Flash, FlashGeometry};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_random_writes");
+    g.sample_size(10);
+    let n = 2000u32;
+
+    g.bench_function("log_structured_2k_inserts", |b| {
+        b.iter(|| {
+            let f = Flash::new(FlashGeometry::new(2048, 64, 2048));
+            let mut pbf = PBFilter::new(&f);
+            for i in 0..n {
+                let key = (i.wrapping_mul(2654435761)) % n;
+                pbf.insert(&key.to_be_bytes(), i).unwrap();
+            }
+            pbf.flush().unwrap();
+            f.stats().page_programs
+        })
+    });
+    g.bench_function("in_place_2k_inserts", |b| {
+        b.iter(|| {
+            let f = Flash::new(FlashGeometry::new(2048, 64, 2048));
+            let mut idx = InPlaceIndex::new(&f);
+            for i in 0..n {
+                let key = (i.wrapping_mul(2654435761)) % n;
+                idx.insert(key);
+            }
+            f.stats().block_erases
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

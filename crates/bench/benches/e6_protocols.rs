@@ -1,0 +1,41 @@
+//! E6 timing: the three [TNP14\] protocols end to end at N = 100.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_global::histogram::{histogram_based, BucketMap};
+use pds_global::noise::{noise_based, NoiseStrategy};
+use pds_global::secure_agg::{secure_aggregation, OnTamper};
+use pds_global::{GroupByQuery, Population, Ssi};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_protocols");
+    g.sample_size(10);
+    let q = GroupByQuery::bank_by_category();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut pop = Population::synthetic(100, &q.domain, &mut rng).unwrap();
+
+    g.bench_function("secure_agg_n100", |b| {
+        b.iter(|| {
+            let mut ssi = Ssi::honest(1);
+            secure_aggregation(&mut pop, &q, &mut ssi, 32, OnTamper::Abort, &mut rng).unwrap()
+        })
+    });
+    g.bench_function("noise_complementary_n100", |b| {
+        b.iter(|| {
+            let mut ssi = Ssi::honest(2);
+            noise_based(&mut pop, &q, &mut ssi, NoiseStrategy::Complementary, &mut rng).unwrap()
+        })
+    });
+    let map = BucketMap::equi_width(&q.domain, 3);
+    g.bench_function("histogram3_n100", |b| {
+        b.iter(|| {
+            let mut ssi = Ssi::honest(3);
+            histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E7 timing: the [CKV+02] toolkit primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_crypto::CommutativeGroup;
+use pds_global::toolkit::{
+    secure_intersection_size, secure_scalar_product, secure_set_union, secure_sum,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_toolkit");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let values: Vec<u64> = (0..64).collect();
+    g.bench_function("secure_sum_64_parties", |b| {
+        b.iter(|| secure_sum(&values, 1 << 40, &mut rng))
+    });
+
+    let group = CommutativeGroup::test_params();
+    let sets: Vec<Vec<Vec<u8>>> = (0..5)
+        .map(|p| (0..8).map(|i| format!("item-{}", (p + i) % 10).into_bytes()).collect())
+        .collect();
+    g.bench_function("set_union_5x8", |b| {
+        b.iter(|| secure_set_union(&sets, &group, &mut rng))
+    });
+    g.bench_function("intersection_size_5x8", |b| {
+        b.iter(|| secure_intersection_size(&sets, &group, &mut rng))
+    });
+
+    let x: Vec<u64> = (0..32).collect();
+    let y: Vec<u64> = (0..32).rev().collect();
+    g.bench_function("scalar_product_32", |b| {
+        b.iter(|| secure_scalar_product(&x, &y, 256, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

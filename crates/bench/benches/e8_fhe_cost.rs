@@ -1,0 +1,50 @@
+//! E8 timing: homomorphic vs symmetric vs plaintext aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_crypto::{Paillier, SymmetricKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_fhe_cost");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let values: Vec<u64> = (0..32).map(|i| i * 31 + 7).collect();
+
+    g.bench_function("plaintext_sum_32", |b| {
+        b.iter(|| values.iter().copied().map(std::hint::black_box).sum::<u64>())
+    });
+
+    let key = SymmetricKey::from_seed(b"e8");
+    let cts: Vec<_> = values
+        .iter()
+        .map(|v| key.encrypt_prob(&v.to_le_bytes(), &mut rng))
+        .collect();
+    g.bench_function("token_decrypt_sum_32", |b| {
+        b.iter(|| {
+            cts.iter()
+                .map(|ct| {
+                    let p = key.decrypt(ct).unwrap();
+                    u64::from_le_bytes(p[..8].try_into().unwrap())
+                })
+                .sum::<u64>()
+        })
+    });
+
+    for bits in [512usize, 1024] {
+        let (pk, sk) = Paillier::keygen(bits, &mut rng);
+        g.bench_function(format!("paillier{bits}_encrypt_fold_sum_32"), |b| {
+            b.iter(|| {
+                let mut acc = pk.neutral();
+                for &v in &values {
+                    acc = pk.add(&acc, &pk.encrypt_u64(v, &mut rng));
+                }
+                sk.decrypt_u64(&acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

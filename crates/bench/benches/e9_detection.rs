@@ -1,0 +1,25 @@
+//! E9 timing: MAC-authenticated collection and spot checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds_crypto::SymmetricKey;
+use pds_global::detection::CheckedChannel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_detection");
+    g.sample_size(20);
+    let key = SymmetricKey::from_seed(b"e9");
+    g.bench_function("collect_500_authenticated_tuples", |b| {
+        b.iter(|| CheckedChannel::collect(&key, 500))
+    });
+    let ch = CheckedChannel::collect(&key, 500);
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench_function("spot_check_500_at_5pct", |b| {
+        b.iter(|| ch.spot_check(&key, 0.05, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

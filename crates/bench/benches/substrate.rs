@@ -1,0 +1,100 @@
+//! Substrate microbenchmarks: the primitive costs everything else is
+//! built from — flash page I/O, log appends, the hash/PRF, symmetric and
+//! homomorphic crypto, bignum arithmetic, Bloom filters.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pds_crypto::{sha256, BigUint, BloomFilter, Paillier, SymmetricKey};
+use pds_flash::{Flash, FlashGeometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn flash_benches(c: &mut Criterion) {
+    use criterion::BatchSize;
+    let mut g = c.benchmark_group("substrate_flash");
+    g.sample_size(30);
+    let page = vec![0xA5u8; 2048];
+    // Appends exhaust a finite chip, so each measured batch writes 1000
+    // records into a fresh log (the chip is created in setup, untimed).
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("log_append_1000x64B_records", |b| {
+        b.iter_batched(
+            || Flash::new(FlashGeometry::new(2048, 64, 256)),
+            |flash| {
+                let mut log = flash.new_log();
+                for _ in 0..1000 {
+                    log.append(&page[..64]).unwrap();
+                }
+                log.flush().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let flash = Flash::new(FlashGeometry::new(2048, 64, 1024));
+    let mut w = flash.new_log();
+    for _ in 0..100 {
+        w.append(&page[..64]).unwrap();
+    }
+    let sealed = w.seal().unwrap();
+    let mut buf = vec![0u8; 2048];
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read_page_2KB", |b| {
+        b.iter(|| sealed.read_raw_page(0, &mut buf).unwrap())
+    });
+    g.finish();
+}
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_crypto");
+    g.sample_size(30);
+    let data = vec![0x5Au8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4KB", |b| b.iter(|| sha256(&data)));
+    let key = SymmetricKey::from_seed(b"bench");
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench_function("sym_encrypt_prob_4KB", |b| {
+        b.iter(|| key.encrypt_prob(&data, &mut rng))
+    });
+    let ct = key.encrypt_prob(&data, &mut rng);
+    g.bench_function("sym_decrypt_4KB", |b| b.iter(|| key.decrypt(&ct).unwrap()));
+    g.finish();
+
+    let mut g = c.benchmark_group("substrate_paillier");
+    g.sample_size(10);
+    let (pk, sk) = Paillier::keygen(512, &mut rng);
+    g.bench_function("paillier512_encrypt", |b| {
+        b.iter(|| pk.encrypt_u64(12345, &mut rng))
+    });
+    let a = pk.encrypt_u64(1, &mut rng);
+    let bb = pk.encrypt_u64(2, &mut rng);
+    g.bench_function("paillier512_add", |b| b.iter(|| pk.add(&a, &bb)));
+    g.bench_function("paillier512_decrypt", |b| b.iter(|| sk.decrypt_u64(&a)));
+    g.finish();
+}
+
+fn num_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_bignum");
+    g.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = BigUint::rand_bits(1024, &mut rng);
+    let b512 = BigUint::rand_bits(512, &mut rng);
+    let m = BigUint::rand_bits(1024, &mut rng);
+    g.bench_function("mul_1024x512", |b| b.iter(|| a.mul(&b512)));
+    g.bench_function("divrem_1024_by_512", |b| b.iter(|| a.divrem(&b512)));
+    let e = BigUint::from_u64(65537);
+    g.bench_function("modexp_1024_e65537", |b| b.iter(|| a.mod_exp(&e, &m)));
+    g.finish();
+
+    let mut g = c.benchmark_group("substrate_bloom");
+    g.sample_size(30);
+    let mut bf = BloomFilter::per_key_16bits(1000);
+    for i in 0..1000u32 {
+        bf.insert(&i.to_le_bytes());
+    }
+    g.bench_function("bloom_probe", |b| {
+        b.iter(|| bf.maybe_contains(&777u32.to_le_bytes()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, flash_benches, crypto_benches, num_benches);
+criterion_main!(benches);

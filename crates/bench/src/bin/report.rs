@@ -1,0 +1,38 @@
+//! Regenerate every experiment table of EXPERIMENTS.md in one run.
+//!
+//! Usage: `cargo run --release -p pds-bench --bin report [e1 e2 …]`
+//! (no arguments = all experiments).
+
+use pds_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    type Exp = (&'static str, fn() -> Table);
+    let experiments: Vec<Exp> = vec![
+        ("e1", e1_pbfilter::run),
+        ("e2", e2_reorg::run),
+        ("e3", e3_search::run),
+        ("e4", e4_spj::run),
+        ("e5", e5_random_writes::run),
+        ("e6", e6_protocols::run),
+        ("e7", e7_toolkit::run),
+        ("e8", e8_fhe_cost::run),
+        ("e9", e9_detection::run),
+        ("e10", e10_ppdp::run),
+        ("e11", e11_sync::run),
+        ("e12", e12_folkis::run),
+        ("a1", ablations::a1_bloom_budget),
+        ("a2", ablations::a2_partition_size),
+        ("a3", ablations::a3_codesign),
+        ("a4", ablations::a4_extensions),
+    ];
+    for (id, run) in experiments {
+        if want(id) {
+            let start = std::time::Instant::now();
+            let table = run();
+            println!("{table}");
+            println!("  [{id} regenerated in {:.1}s]\n", start.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! E2 — "Scalability ⇒ timely reorganize the index".
+//!
+//! The slide's claim: as the sequential index grows, a background
+//! reorganization into a B-tree-like structure (using only log
+//! structures) pays for itself. We measure lookup I/Os before/after,
+//! the one-time reorganization cost, and the break-even lookup count.
+
+use pds_db::reorg::reorganize;
+use pds_db::PBFilter;
+use pds_flash::{Flash, FlashGeometry};
+use pds_mcu::RamBudget;
+
+use crate::table::Table;
+
+/// One measured configuration.
+pub struct E2Point {
+    /// Indexed keys.
+    pub keys: u32,
+    /// Lookup page reads on the sequential (PBFilter) index.
+    pub pbf_lookup_ios: u64,
+    /// Lookup page reads on the reorganized tree.
+    pub tree_lookup_ios: u64,
+    /// Total page I/Os (reads + programs) of the reorganization itself.
+    pub reorg_ios: u64,
+    /// Lookups after which the reorganization has paid for itself.
+    pub break_even: u64,
+    /// Tree height.
+    pub tree_height: u32,
+}
+
+/// Measure one index size (domain scales with size, fixed 20 rows/key).
+pub fn measure(keys: u32) -> E2Point {
+    let flash = Flash::new(FlashGeometry::new(2048, 64, 8192));
+    let ram = RamBudget::new(64 * 1024);
+    let domain = (keys / 20).max(1);
+    let mut pbf = PBFilter::new(&flash);
+    for i in 0..keys {
+        pbf.insert(&(i % domain).to_be_bytes(), i).unwrap();
+    }
+    pbf.flush().unwrap();
+    let probe = (domain / 2).to_be_bytes();
+
+    flash.reset_stats();
+    let hits = pbf.lookup(&probe).unwrap();
+    let pbf_lookup_ios = flash.stats().page_reads;
+
+    flash.reset_stats();
+    let tree = reorganize(&flash, &ram, &pbf).unwrap();
+    let reorg_stats = flash.stats();
+    let reorg_ios = reorg_stats.page_reads + reorg_stats.page_programs;
+
+    flash.reset_stats();
+    let tree_hits = tree.lookup(&probe).unwrap();
+    let tree_lookup_ios = flash.stats().page_reads;
+    assert_eq!(hits.len(), tree_hits.len());
+
+    let saved = pbf_lookup_ios.saturating_sub(tree_lookup_ios).max(1);
+    E2Point {
+        keys,
+        pbf_lookup_ios,
+        tree_lookup_ios,
+        reorg_ios,
+        break_even: reorg_ios.div_ceil(saved),
+        tree_height: tree.height(),
+    }
+}
+
+/// Regenerate the E2 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E2 — index reorganization: sequential → B-tree-like",
+        &["keys", "seq lookup IOs", "tree lookup IOs", "tree height", "reorg IOs", "break-even lookups"],
+    );
+    for keys in [20_000u32, 100_000, 400_000] {
+        let p = measure(keys);
+        t.row(vec![
+            p.keys.to_string(),
+            p.pbf_lookup_ios.to_string(),
+            p.tree_lookup_ios.to_string(),
+            p.tree_height.to_string(),
+            p.reorg_ios.to_string(),
+            p.break_even.to_string(),
+        ]);
+    }
+    t.note("paper shape: sequential lookup cost grows linearly, tree lookup stays at the height;");
+    t.note("reorganization cost is linear and amortizes over a bounded number of lookups");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_beats_sequential_and_breaks_even() {
+        let p = measure(20_000);
+        assert!(p.tree_lookup_ios < p.pbf_lookup_ios);
+        assert!(p.tree_height <= 4);
+        assert!(p.break_even > 0);
+    }
+
+    #[test]
+    fn sequential_cost_grows_tree_cost_does_not() {
+        let small = measure(10_000);
+        let large = measure(40_000);
+        assert!(large.pbf_lookup_ios > small.pbf_lookup_ios * 2);
+        assert!(large.tree_lookup_ios <= small.tree_lookup_ios + 2);
+    }
+}

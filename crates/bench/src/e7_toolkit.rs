@@ -1,0 +1,156 @@
+//! E7 — the [CKV+02] toolkit primitives: correctness and cost scaling.
+//!
+//! The tutorial presents the toolkit as the cheap-but-specific route:
+//! message and crypto-op counts grow gently with the number of parties,
+//! in stark contrast to generic SMC (see E8).
+
+use pds_crypto::CommutativeGroup;
+use pds_global::toolkit::{
+    secure_intersection_size, secure_scalar_product, secure_set_union, secure_sum,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::Table;
+
+/// One primitive's measured run.
+pub struct E7Point {
+    /// Primitive name.
+    pub primitive: &'static str,
+    /// Parties.
+    pub parties: usize,
+    /// Items (or vector length) per party.
+    pub items: usize,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Crypto operations.
+    pub crypto_ops: u64,
+    /// Output correct vs plaintext computation.
+    pub correct: bool,
+}
+
+/// Measure all four primitives at `parties` parties.
+pub fn measure(parties: usize, seed: u64) -> Vec<E7Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+
+    // Secure sum.
+    let values: Vec<u64> = (0..parties).map(|_| rng.gen_range(0..10_000)).collect();
+    let modulus = 1u64 << 40;
+    let (sum, s) = secure_sum(&values, modulus, &mut rng);
+    out.push(E7Point {
+        primitive: "secure-sum",
+        parties,
+        items: 1,
+        messages: s.messages,
+        crypto_ops: s.crypto_ops,
+        correct: sum == values.iter().sum::<u64>() % modulus,
+    });
+
+    // Set union & intersection size over small per-party sets.
+    let group = CommutativeGroup::test_params();
+    let items = 6usize;
+    let sets: Vec<Vec<Vec<u8>>> = (0..parties)
+        .map(|p| {
+            (0..items)
+                .map(|i| format!("item-{}", (p + i * 3) % (parties + items)).into_bytes())
+                .collect()
+        })
+        .collect();
+    let mut plain_union: Vec<Vec<u8>> = sets.iter().flatten().cloned().collect();
+    plain_union.sort();
+    plain_union.dedup();
+    let (union, s) = secure_set_union(&sets, &group, &mut rng);
+    out.push(E7Point {
+        primitive: "set-union",
+        parties,
+        items,
+        messages: s.messages,
+        crypto_ops: s.crypto_ops,
+        correct: union.len() == plain_union.len(),
+    });
+
+    let plain_inter = sets[0]
+        .iter()
+        .filter(|x| sets[1..].iter().all(|s| s.contains(x)))
+        .count();
+    let (inter, s) = secure_intersection_size(&sets, &group, &mut rng);
+    out.push(E7Point {
+        primitive: "intersection-size",
+        parties,
+        items,
+        messages: s.messages,
+        crypto_ops: s.crypto_ops,
+        correct: inter == plain_inter,
+    });
+
+    // Scalar product (two parties, vector length grows with `parties` to
+    // keep the table uniform).
+    let len = parties * 2;
+    let x: Vec<u64> = (0..len).map(|_| rng.gen_range(0..100)).collect();
+    let y: Vec<u64> = (0..len).map(|_| rng.gen_range(0..100)).collect();
+    let (prod, s) = secure_scalar_product(&x, &y, 256, &mut rng);
+    let expected: u64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+    out.push(E7Point {
+        primitive: "scalar-product",
+        parties: 2,
+        items: len,
+        messages: s.messages,
+        crypto_ops: s.crypto_ops,
+        correct: prod == expected,
+    });
+    out
+}
+
+/// Regenerate the E7 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E7 — [CKV+02] toolkit primitives: cost vs number of parties",
+        &["parties", "primitive", "items/party", "messages", "crypto ops", "correct"],
+    );
+    for parties in [3usize, 10, 30] {
+        for p in measure(parties, parties as u64) {
+            t.row(vec![
+                p.parties.to_string(),
+                p.primitive.to_string(),
+                p.items.to_string(),
+                p.messages.to_string(),
+                p.crypto_ops.to_string(),
+                if p.correct { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t.note("paper shape: secure sum is linear messages & zero crypto; the set primitives");
+    t.note("pay n layers of commutative encryption per item (quadratic total work) —");
+    t.note("cheap for data mining, but each primitive fits only its one application");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_primitives_correct_at_several_sizes() {
+        for parties in [3usize, 8] {
+            for p in measure(parties, 99) {
+                assert!(p.correct, "{} at {} parties", p.primitive, parties);
+            }
+        }
+    }
+
+    #[test]
+    fn set_work_scales_superlinearly_sum_linearly() {
+        let small = measure(3, 1);
+        let large = measure(9, 1);
+        let ops = |pts: &[E7Point], name: &str| {
+            pts.iter().find(|p| p.primitive == name).unwrap().crypto_ops
+        };
+        assert!(ops(&large, "set-union") > ops(&small, "set-union") * 5);
+        let msgs = |pts: &[E7Point]| {
+            pts.iter().find(|p| p.primitive == "secure-sum").unwrap().messages
+        };
+        assert_eq!(msgs(&large), 9);
+        assert_eq!(msgs(&small), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! E8 — "the cost to have good security [with homomorphic encryption] is
+//! (incredibly) high".
+//!
+//! The tutorial's argument for trusted hardware: computing a simple
+//! aggregate with homomorphic encryption costs orders of magnitude more
+//! than letting cheap secure tokens decrypt-and-add. We measure SUM over
+//! N values three ways — plaintext, token-style symmetric crypto, and
+//! Paillier at increasing modulus sizes — and report wall-clock ratios.
+
+use pds_crypto::{Paillier, SymmetricKey};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+use crate::table::Table;
+
+/// One measured approach.
+pub struct E8Point {
+    /// Approach label.
+    pub approach: String,
+    /// Values summed.
+    pub n: usize,
+    /// Wall-clock nanoseconds.
+    pub elapsed_ns: u128,
+    /// Result correct.
+    pub correct: bool,
+}
+
+/// Measure SUM over `n` values for every approach.
+pub fn measure(n: usize, seed: u64) -> Vec<E8Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+    let expected: u64 = values.iter().sum();
+    let mut out = Vec::new();
+
+    // Plaintext (the trusted-server fiction).
+    let t0 = Instant::now();
+    let mut s = 0u64;
+    for &v in &values {
+        s = std::hint::black_box(s + v);
+    }
+    out.push(E8Point {
+        approach: "plaintext".into(),
+        n,
+        elapsed_ns: t0.elapsed().as_nanos().max(1),
+        correct: s == expected,
+    });
+
+    // Token-based: symmetric encrypt at each source, decrypt-and-add in
+    // one token (the secure-aggregation inner loop).
+    let key = SymmetricKey::from_seed(b"e8");
+    let cts: Vec<_> = values
+        .iter()
+        .map(|v| key.encrypt_prob(&v.to_le_bytes(), &mut rng))
+        .collect();
+    let t0 = Instant::now();
+    let mut s = 0u64;
+    for ct in &cts {
+        let plain = key.decrypt(ct).unwrap();
+        s += u64::from_le_bytes(plain[..8].try_into().unwrap());
+    }
+    out.push(E8Point {
+        approach: "secure tokens (symmetric)".into(),
+        n,
+        elapsed_ns: t0.elapsed().as_nanos().max(1),
+        correct: s == expected,
+    });
+
+    // Homomorphic: Paillier at two modulus sizes (encrypt + fold + one
+    // decrypt — the whole pipeline the untrusted server would need).
+    for bits in [512usize, 1024] {
+        let (pk, sk) = Paillier::keygen(bits, &mut rng);
+        let t0 = Instant::now();
+        let mut acc = pk.neutral();
+        for &v in &values {
+            let ct = pk.encrypt_u64(v, &mut rng);
+            acc = pk.add(&acc, &ct);
+        }
+        let s = sk.decrypt_u64(&acc);
+        out.push(E8Point {
+            approach: format!("Paillier-{bits}"),
+            n,
+            elapsed_ns: t0.elapsed().as_nanos().max(1),
+            correct: s == expected,
+        });
+    }
+    out
+}
+
+/// Regenerate the E8 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E8 — homomorphic encryption vs secure tokens: SUM over N values",
+        &["N", "approach", "time (ms)", "vs plaintext", "vs tokens", "correct"],
+    );
+    for n in [200usize] {
+        let points = measure(n, 5);
+        let base = points[0].elapsed_ns as f64;
+        let tokens = points[1].elapsed_ns as f64;
+        for p in &points {
+            t.row(vec![
+                p.n.to_string(),
+                p.approach.clone(),
+                format!("{:.3}", p.elapsed_ns as f64 / 1e6),
+                format!("{:.0}x", p.elapsed_ns as f64 / base),
+                format!("{:.1}x", p.elapsed_ns as f64 / tokens),
+                if p.correct { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t.note("paper shape: homomorphic encryption is orders of magnitude above symmetric");
+    t.note("token crypto, and the gap widens with the security parameter — the tutorial's");
+    t.note("case for putting tangible trust (secure hardware) into the architecture");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paillier_is_much_slower_than_tokens_and_all_correct() {
+        let points = measure(30, 1);
+        assert!(points.iter().all(|p| p.correct));
+        let tokens = points[1].elapsed_ns;
+        let paillier512 = points[2].elapsed_ns;
+        assert!(
+            paillier512 > tokens * 10,
+            "paillier {paillier512} vs tokens {tokens}"
+        );
+    }
+}

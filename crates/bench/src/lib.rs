@@ -1,0 +1,23 @@
+//! # pds-bench — the experiment harness
+//!
+//! One module per experiment of EXPERIMENTS.md (E1–E12). Each module
+//! exposes a `run(…) -> Table` that regenerates the experiment's table;
+//! the `report` binary prints them all, and the Criterion benches time
+//! the hot operation of each experiment.
+
+pub mod ablations;
+pub mod e1_pbfilter;
+pub mod e2_reorg;
+pub mod e3_search;
+pub mod e4_spj;
+pub mod e5_random_writes;
+pub mod e6_protocols;
+pub mod e7_toolkit;
+pub mod e8_fhe_cost;
+pub mod e9_detection;
+pub mod e10_ppdp;
+pub mod e11_sync;
+pub mod e12_folkis;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,280 @@
+//! Distributed secure sharing: credentials and proofs of legitimacy.
+//!
+//! Part I's fourth global requirement: "Distributed secure sharing —
+//! users must get a **proof of legitimacy for the credentials exposed by
+//! the participants of a data exchange**." Two PDSs (or a PDS and a
+//! practitioner token) that have never met must convince each other that
+//! the peer is (a) a genuine, certified secure token and (b) entitled to
+//! the claimed role, before any data flows.
+//!
+//! The trust anchor is the tutorial's manufacturing model: tokens carry
+//! "certified code" and secrets provisioned at issuance. The issuer
+//! (manufacturer / health authority) holds a master secret; every token
+//! receives MAC-signed [`Credential`]s binding its identity to a role
+//! with an expiry. Verification is a MAC check any token can do with the
+//! issuer verification key — plus a freshness challenge so a credential
+//! cannot be replayed by an eavesdropper who never held the token.
+
+use pds_crypto::{hmac_sha256, verify_hmac};
+use pds_mcu::TokenId;
+use rand::RngCore;
+
+/// Roles a credential can attest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A citizen's personal token.
+    Individual,
+    /// A certified medical practitioner.
+    Practitioner,
+    /// An accredited statistics institute (may issue global queries).
+    StatisticsInstitute,
+}
+
+impl Role {
+    fn tag(&self) -> u8 {
+        match self {
+            Role::Individual => 0,
+            Role::Practitioner => 1,
+            Role::StatisticsInstitute => 2,
+        }
+    }
+}
+
+/// A signed attestation: `(token, subject, role, expiry)` under the
+/// issuer's key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// The token this credential is bound to.
+    pub token: TokenId,
+    /// The human subject.
+    pub subject: String,
+    /// The attested role.
+    pub role: Role,
+    /// Expiry day (device epoch).
+    pub expires_day: u64,
+    /// Issuer MAC over the fields above.
+    tag: [u8; 32],
+}
+
+impl Credential {
+    fn message(token: TokenId, subject: &str, role: Role, expires_day: u64) -> Vec<u8> {
+        let mut m = Vec::with_capacity(32 + subject.len());
+        m.extend_from_slice(b"pds-credential-v1|");
+        m.extend_from_slice(&token.0.to_le_bytes());
+        m.push(role.tag());
+        m.extend_from_slice(&expires_day.to_le_bytes());
+        m.extend_from_slice(subject.as_bytes());
+        m
+    }
+}
+
+/// The credential issuer (manufacturer / accrediting authority).
+pub struct Issuer {
+    master: [u8; 32],
+}
+
+impl Issuer {
+    /// An issuer from seed material (held in certified infrastructure).
+    pub fn new(seed: &[u8]) -> Self {
+        Issuer {
+            master: hmac_sha256(b"pds-issuer", seed),
+        }
+    }
+
+    /// The verification key provisioned into every genuine token.
+    ///
+    /// In this symmetric instantiation the verification key equals the
+    /// signing key, protected by the tokens' tamper resistance — the
+    /// standard smart-card deployment the tutorial assumes. An asymmetric
+    /// drop-in only changes this method.
+    pub fn verification_key(&self) -> VerificationKey {
+        VerificationKey { key: self.master }
+    }
+
+    /// Issue a credential.
+    pub fn issue(
+        &self,
+        token: TokenId,
+        subject: &str,
+        role: Role,
+        expires_day: u64,
+    ) -> Credential {
+        let tag = hmac_sha256(
+            &self.master,
+            &Credential::message(token, subject, role, expires_day),
+        );
+        Credential {
+            token,
+            subject: subject.to_string(),
+            role,
+            expires_day,
+            tag,
+        }
+    }
+}
+
+/// The verification key held by every genuine token.
+#[derive(Clone)]
+pub struct VerificationKey {
+    key: [u8; 32],
+}
+
+impl VerificationKey {
+    /// Verify a credential's signature and expiry at day `today`.
+    pub fn verify(&self, cred: &Credential, today: u64) -> bool {
+        cred.expires_day >= today
+            && verify_hmac(
+                &self.key,
+                &Credential::message(cred.token, &cred.subject, cred.role, cred.expires_day),
+                &cred.tag,
+            )
+    }
+
+    /// Challenge–response proof of possession: the verifier sends a
+    /// nonce; the holder answers with `HMAC(vk, nonce ‖ token_id)` —
+    /// something only a genuine token (holding `vk` inside its
+    /// tamper-resistant boundary) can produce. This stops a passive
+    /// eavesdropper from replaying an overheard credential.
+    pub fn respond(&self, nonce: &[u8; 32], token: TokenId) -> [u8; 32] {
+        let mut m = nonce.to_vec();
+        m.extend_from_slice(&token.0.to_le_bytes());
+        hmac_sha256(&self.key, &m)
+    }
+
+    /// Verify a challenge response.
+    pub fn check_response(
+        &self,
+        nonce: &[u8; 32],
+        token: TokenId,
+        response: &[u8; 32],
+    ) -> bool {
+        &self.respond(nonce, token) == response
+    }
+}
+
+/// Outcome of a mutual handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeOutcome {
+    /// Both credentials verified and both proofs of possession passed.
+    Established,
+    /// The peer's credential failed (expired, forged, wrong binding).
+    BadCredential,
+    /// The peer could not prove possession (replayed credential).
+    BadProof,
+}
+
+/// Run the mutual legitimacy handshake between two parties, each holding
+/// a credential and the verification key, at day `today`.
+pub fn handshake(
+    vk: &VerificationKey,
+    a: &Credential,
+    b: &Credential,
+    today: u64,
+    rng: &mut impl RngCore,
+) -> HandshakeOutcome {
+    // 1. Credential exchange and verification.
+    if !vk.verify(a, today) || !vk.verify(b, today) {
+        return HandshakeOutcome::BadCredential;
+    }
+    // 2. Mutual proof of possession.
+    let mut nonce_a = [0u8; 32];
+    let mut nonce_b = [0u8; 32];
+    rng.fill_bytes(&mut nonce_a);
+    rng.fill_bytes(&mut nonce_b);
+    let resp_b = vk.respond(&nonce_a, b.token); // b answers a's challenge
+    let resp_a = vk.respond(&nonce_b, a.token);
+    if !vk.check_response(&nonce_a, b.token, &resp_b)
+        || !vk.check_response(&nonce_b, a.token, &resp_a)
+    {
+        return HandshakeOutcome::BadProof;
+    }
+    HandshakeOutcome::Established
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Issuer, VerificationKey) {
+        let issuer = Issuer::new(b"national-health-authority");
+        let vk = issuer.verification_key();
+        (issuer, vk)
+    }
+
+    #[test]
+    fn issued_credentials_verify_until_expiry() {
+        let (issuer, vk) = setup();
+        let cred = issuer.issue(TokenId(7), "dr.martin", Role::Practitioner, 1000);
+        assert!(vk.verify(&cred, 0));
+        assert!(vk.verify(&cred, 1000));
+        assert!(!vk.verify(&cred, 1001), "expired");
+    }
+
+    #[test]
+    fn any_field_tampering_invalidates() {
+        let (issuer, vk) = setup();
+        let cred = issuer.issue(TokenId(7), "dr.martin", Role::Practitioner, 1000);
+        let mut c = cred.clone();
+        c.subject = "dr.mallory".into();
+        assert!(!vk.verify(&c, 0));
+        let mut c = cred.clone();
+        c.role = Role::StatisticsInstitute;
+        assert!(!vk.verify(&c, 0), "role escalation");
+        let mut c = cred.clone();
+        c.token = TokenId(8);
+        assert!(!vk.verify(&c, 0), "rebinding to another token");
+        let mut c = cred.clone();
+        c.expires_day = u64::MAX;
+        assert!(!vk.verify(&c, 0), "expiry extension");
+    }
+
+    #[test]
+    fn foreign_issuer_credentials_are_rejected() {
+        let (_, vk) = setup();
+        let rogue = Issuer::new(b"rogue-authority");
+        let cred = rogue.issue(TokenId(7), "dr.martin", Role::Practitioner, 1000);
+        assert!(!vk.verify(&cred, 0));
+    }
+
+    #[test]
+    fn handshake_establishes_between_genuine_parties() {
+        let (issuer, vk) = setup();
+        let alice = issuer.issue(TokenId(1), "alice", Role::Individual, 500);
+        let doctor = issuer.issue(TokenId(2), "dr.martin", Role::Practitioner, 500);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            handshake(&vk, &alice, &doctor, 100, &mut rng),
+            HandshakeOutcome::Established
+        );
+    }
+
+    #[test]
+    fn handshake_rejects_expired_peer() {
+        let (issuer, vk) = setup();
+        let alice = issuer.issue(TokenId(1), "alice", Role::Individual, 500);
+        let stale = issuer.issue(TokenId(2), "dr.old", Role::Practitioner, 50);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            handshake(&vk, &alice, &stale, 100, &mut rng),
+            HandshakeOutcome::BadCredential
+        );
+    }
+
+    #[test]
+    fn replay_without_the_key_fails_the_possession_proof() {
+        let (issuer, vk) = setup();
+        let cred = issuer.issue(TokenId(9), "dr.martin", Role::Practitioner, 500);
+        // An eavesdropper replays the (public) credential but cannot
+        // answer a fresh challenge.
+        let mut nonce = [0u8; 32];
+        StdRng::seed_from_u64(3).fill_bytes(&mut nonce);
+        let forged_response = [0u8; 32];
+        assert!(vk.verify(&cred, 100), "the credential itself is valid…");
+        assert!(
+            !vk.check_response(&nonce, cred.token, &forged_response),
+            "…but possession cannot be faked"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The heterogeneous personal-data model and its generators.
+//!
+//! "Personal data is heterogeneous: structured/unstructured data …
+//! records of transactions, clickstream data, bookmarks, bills, profiles"
+//! — the PDS integrates it all. Three record families cover the
+//! tutorial's running scenarios (banking, health care, e-mail), each with
+//! a fixed relational schema plus free text routed to the search engine.
+
+use pds_db::value::{ColumnType, Schema};
+use rand::Rng;
+
+/// Health-record categories (the social-medical folder's vocabulary).
+pub const HEALTH_CATEGORIES: &[&str] = &[
+    "blood-pressure",
+    "weight",
+    "glucose",
+    "prescription",
+    "consultation",
+    "vaccination",
+];
+
+/// Bank-record categories.
+pub const BANK_CATEGORIES: &[&str] = &[
+    "salary",
+    "rent",
+    "groceries",
+    "transport",
+    "health",
+    "leisure",
+];
+
+/// Newtype aid for generated health categories.
+pub type HealthCategory = &'static str;
+/// Newtype aid for generated bank categories.
+pub type BankCategory = &'static str;
+
+/// Table name of the email collection.
+pub const EMAIL_TABLE: &str = "EMAIL";
+/// Table name of the health collection.
+pub const HEALTH_TABLE: &str = "HEALTH";
+/// Table name of the bank collection.
+pub const BANK_TABLE: &str = "BANK";
+
+/// Schema of `EMAIL(day, sender, subject, docid)`.
+pub fn email_schema() -> Schema {
+    Schema::new(&[
+        ("day", ColumnType::U64),
+        ("sender", ColumnType::Str),
+        ("subject", ColumnType::Str),
+        ("docid", ColumnType::U64),
+    ])
+}
+
+/// Schema of `HEALTH(day, category, measure, docid)`.
+pub fn health_schema() -> Schema {
+    Schema::new(&[
+        ("day", ColumnType::U64),
+        ("category", ColumnType::Str),
+        ("measure", ColumnType::U64),
+        ("docid", ColumnType::U64),
+    ])
+}
+
+/// Schema of `BANK(day, category, amount_cents, counterparty)`.
+pub fn bank_schema() -> Schema {
+    Schema::new(&[
+        ("day", ColumnType::U64),
+        ("category", ColumnType::Str),
+        ("amount_cents", ColumnType::U64),
+        ("counterparty", ColumnType::Str),
+    ])
+}
+
+/// A generated synthetic life: what a PDS accumulates. Used by tests,
+/// examples and the global-computation experiments.
+#[derive(Debug, Clone)]
+pub struct SyntheticLife {
+    /// (day, sender, subject, body) emails.
+    pub emails: Vec<(u64, String, String, String)>,
+    /// (day, category, measure, note) health records.
+    pub health: Vec<(u64, &'static str, u64, String)>,
+    /// (day, category, amount_cents, counterparty) bank records.
+    pub bank: Vec<(u64, &'static str, u64, String)>,
+}
+
+/// Generate `days` days of synthetic personal data.
+pub fn synthetic_life(days: u64, rng: &mut impl Rng) -> SyntheticLife {
+    let senders = ["bank", "employer", "dr.martin", "newsletter", "family"];
+    let topics = [
+        "appointment reminder",
+        "monthly statement",
+        "blood test results",
+        "holiday plans",
+        "invoice due",
+    ];
+    let mut life = SyntheticLife {
+        emails: Vec::new(),
+        health: Vec::new(),
+        bank: Vec::new(),
+    };
+    for day in 0..days {
+        // ~2 emails/day.
+        for _ in 0..rng.gen_range(1..=3) {
+            let s = senders[rng.gen_range(0..senders.len())];
+            let t = topics[rng.gen_range(0..topics.len())];
+            life.emails.push((
+                day,
+                s.to_string(),
+                t.to_string(),
+                format!("message from {s} about {t} on day {day}"),
+            ));
+        }
+        // Health measurement most days.
+        if rng.gen_bool(0.7) {
+            let c = HEALTH_CATEGORIES[rng.gen_range(0..HEALTH_CATEGORIES.len())];
+            life.health.push((
+                day,
+                c,
+                rng.gen_range(50..200),
+                format!("{c} measurement recorded"),
+            ));
+        }
+        // A transaction or two.
+        for _ in 0..rng.gen_range(0..=2) {
+            let c = BANK_CATEGORIES[rng.gen_range(0..BANK_CATEGORIES.len())];
+            life.bank.push((
+                day,
+                c,
+                rng.gen_range(500..200_000),
+                format!("shop-{}", rng.gen_range(0..20)),
+            ));
+        }
+    }
+    life
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schemas_have_expected_columns() {
+        assert_eq!(email_schema().arity(), 4);
+        assert_eq!(health_schema().column_index("category"), Some(1));
+        assert_eq!(bank_schema().column_index("amount_cents"), Some(2));
+    }
+
+    #[test]
+    fn synthetic_life_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let life = synthetic_life(30, &mut rng);
+        assert!(life.emails.len() >= 30, "at least one email a day");
+        assert!(!life.health.is_empty());
+        assert!(life.emails.iter().all(|(d, ..)| *d < 30));
+        assert!(life
+            .health
+            .iter()
+            .all(|(_, c, ..)| HEALTH_CATEGORIES.contains(c)));
+    }
+}

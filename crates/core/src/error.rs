@@ -1,0 +1,81 @@
+//! Error type of the Personal Data Server.
+
+use std::fmt;
+
+/// Everything that can fail on a PDS.
+#[derive(Debug)]
+pub enum PdsError {
+    /// The privacy policy denied the access; the denial is audited.
+    Denied {
+        /// Requesting subject.
+        subject: String,
+        /// What was attempted.
+        action: String,
+    },
+    /// Embedded database failure.
+    Db(pds_db::DbError),
+    /// Embedded search failure.
+    Search(pds_search::SearchError),
+    /// Flash failure.
+    Flash(pds_flash::FlashError),
+    /// MCU RAM exhausted.
+    Ram(pds_mcu::RamError),
+    /// Archive integrity or authentication failure.
+    ArchiveCorrupt(&'static str),
+}
+
+impl From<pds_db::DbError> for PdsError {
+    fn from(e: pds_db::DbError) -> Self {
+        PdsError::Db(e)
+    }
+}
+
+impl From<pds_search::SearchError> for PdsError {
+    fn from(e: pds_search::SearchError) -> Self {
+        PdsError::Search(e)
+    }
+}
+
+impl From<pds_flash::FlashError> for PdsError {
+    fn from(e: pds_flash::FlashError) -> Self {
+        PdsError::Flash(e)
+    }
+}
+
+impl From<pds_mcu::RamError> for PdsError {
+    fn from(e: pds_mcu::RamError) -> Self {
+        PdsError::Ram(e)
+    }
+}
+
+impl fmt::Display for PdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdsError::Denied { subject, action } => {
+                write!(f, "access denied: {subject} attempted {action}")
+            }
+            PdsError::Db(e) => write!(f, "database: {e}"),
+            PdsError::Search(e) => write!(f, "search: {e}"),
+            PdsError::Flash(e) => write!(f, "flash: {e}"),
+            PdsError::Ram(e) => write!(f, "ram: {e}"),
+            PdsError::ArchiveCorrupt(what) => write!(f, "archive corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PdsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denied_display_names_the_subject() {
+        let e = PdsError::Denied {
+            subject: "employer".into(),
+            action: "search documents".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("employer") && s.contains("search"));
+    }
+}

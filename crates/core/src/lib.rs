@@ -1,0 +1,44 @@
+//! # pds-core — the Personal Data Server
+//!
+//! The tutorial's central artifact: "a trusted, secure and decentralized
+//! architecture for personal data management". One [`Pds`] is a secure
+//! portable token (MCU + NAND, [`pds_mcu::Token`]) hosting:
+//!
+//! * **Data integration** — "aggregate user's data in a single location:
+//!   better usage, privacy, value. Personal data is heterogeneous":
+//!   emails, bank records, health records, free documents, each ingested
+//!   into the embedded search engine ([`pds_search`]) and the embedded
+//!   relational database ([`pds_db`]).
+//! * **Privacy policies** — "intuitive, simple ways for users to define
+//!   access control rules": subject × collection × action × purpose
+//!   rules with retention limits, evaluated on *every* query. "A user
+//!   does not have all the privileges over the data in her PDS" — rules
+//!   can bind the owner too.
+//! * **Secure usage and accountability** — a tamper-evident audit trail
+//!   (hash-chained, [`pds_crypto::HashChain`]) of every access decision,
+//!   so "users must not lose control over their data through data
+//!   sharing".
+//! * **Durability & availability** — the Trusted Cells pattern: an
+//!   encrypted, integrity-protected archive of the token state pushed to
+//!   an *untrusted* store ("using the cloud as a storage service for
+//!   encrypted data"), restorable only with the owner's key.
+//!
+//! The query gateway computes **authorized results only**: query
+//! functionality is embedded precisely so that raw data never leaves the
+//! tamper-resistant boundary.
+
+pub mod archive;
+pub mod audit;
+pub mod credentials;
+pub mod data;
+pub mod error;
+pub mod pds;
+pub mod policy;
+
+pub use archive::{CloudStore, EncryptedArchive};
+pub use audit::{AuditEntry, AuditLog, Decision};
+pub use credentials::{Credential, HandshakeOutcome, Issuer, Role, VerificationKey};
+pub use data::{BankCategory, HealthCategory};
+pub use error::PdsError;
+pub use pds::{AccessContext, Pds};
+pub use policy::{Action, Collection, Policy, PolicySet, Purpose, Rule};

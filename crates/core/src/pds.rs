@@ -1,0 +1,619 @@
+//! The Personal Data Server node.
+//!
+//! One [`Pds`] = one individual's secure portable token running the full
+//! embedded stack. The public API is the *query gateway*: every entry
+//! point takes an [`AccessContext`] (who is asking, and why), evaluates
+//! the privacy policy, audits the decision, and only then computes the
+//! authorized result with the embedded engines — raw data never crosses
+//! the tamper-resistant boundary unevaluated.
+
+use pds_crypto::SymmetricKey;
+use pds_db::value::Value;
+use pds_db::{Database, Predicate, Row};
+use pds_mcu::{Token, TokenId};
+use pds_search::{DfStrategy, SearchEngine, SearchHit};
+
+use crate::audit::{AuditLog, Decision};
+use crate::data::{
+    bank_schema, email_schema, health_schema, BANK_TABLE, EMAIL_TABLE, HEALTH_TABLE,
+};
+use crate::error::PdsError;
+use crate::policy::{Action, Collection, PolicySet, Purpose, Rule};
+
+/// Who is asking, and why.
+#[derive(Debug, Clone)]
+pub struct AccessContext {
+    /// Subject identifier ("alice", "dr.martin", "query-issuer-7").
+    pub subject: String,
+    /// Declared purpose.
+    pub purpose: Purpose,
+}
+
+impl AccessContext {
+    /// Shorthand constructor.
+    pub fn new(subject: &str, purpose: Purpose) -> Self {
+        AccessContext {
+            subject: subject.to_string(),
+            purpose,
+        }
+    }
+}
+
+/// A Personal Data Server.
+pub struct Pds {
+    token: Token,
+    owner: String,
+    engine: SearchEngine,
+    db: Database,
+    policy: PolicySet,
+    audit: AuditLog,
+    owner_key: SymmetricKey,
+    protocol_key: Option<SymmetricKey>,
+    /// Logical "today" in days, for retention checks.
+    clock_day: u64,
+}
+
+impl Pds {
+    /// Manufacture a PDS for `owner` on a secure-token profile.
+    pub fn new(id: u64, owner: &str) -> Result<Pds, PdsError> {
+        Self::with_token(Token::secure(id), owner)
+    }
+
+    /// A PDS on the small test profile (fast unit tests).
+    pub fn for_tests(id: u64, owner: &str) -> Result<Pds, PdsError> {
+        Self::with_token(Token::for_tests(id), owner)
+    }
+
+    /// A PDS on the minimal population profile (thousands of instances
+    /// in one simulated deployment).
+    pub fn slim(id: u64, owner: &str) -> Result<Pds, PdsError> {
+        Self::with_token(Token::slim(id), owner)
+    }
+
+    fn with_token(token: Token, owner: &str) -> Result<Pds, PdsError> {
+        let flash = token.flash().clone();
+        let ram = token.ram().clone();
+        let engine = SearchEngine::new(&flash, &ram, 64, 256, DfStrategy::TwoPass)?;
+        let mut db = Database::new(&flash, &ram);
+        db.create_table(EMAIL_TABLE, email_schema())?;
+        db.create_table(HEALTH_TABLE, health_schema())?;
+        db.create_table(BANK_TABLE, bank_schema())?;
+        let owner_key = SymmetricKey::from_seed(
+            format!("owner-key:{owner}:{}", token.id().0).as_bytes(),
+        );
+        Ok(Pds {
+            token,
+            owner: owner.to_string(),
+            engine,
+            db,
+            policy: PolicySet::owner_default(owner),
+            audit: AuditLog::new(),
+            owner_key,
+            protocol_key: None,
+            clock_day: 0,
+        })
+    }
+
+    /// Token identity.
+    pub fn id(&self) -> TokenId {
+        self.token.id()
+    }
+
+    /// The owning individual.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+
+    /// The underlying token (flash stats, tamper state …).
+    pub fn token(&self) -> &Token {
+        &self.token
+    }
+
+    /// Mutable token access (adversary simulations compromise tokens).
+    pub fn token_mut(&mut self) -> &mut Token {
+        &mut self.token
+    }
+
+    /// The owner's archive key.
+    pub fn owner_key(&self) -> &SymmetricKey {
+        &self.owner_key
+    }
+
+    /// Enroll into a token population: install the shared protocol key
+    /// (issued by the trusted manufacturer, never seen by the SSI).
+    pub fn enroll(&mut self, protocol_key: SymmetricKey) {
+        self.protocol_key = Some(protocol_key);
+    }
+
+    /// The shared protocol key, if enrolled.
+    pub fn protocol_key(&self) -> Option<&SymmetricKey> {
+        self.protocol_key.as_ref()
+    }
+
+    /// Advance the logical clock (days since epoch).
+    pub fn set_clock(&mut self, day: u64) {
+        self.clock_day = day;
+    }
+
+    /// Add a policy rule (the user editing her privacy settings).
+    pub fn grant(&mut self, rule: Rule) {
+        self.policy.add(rule);
+    }
+
+    /// Revoke every rule naming `subject`.
+    pub fn revoke(&mut self, subject: &str) {
+        self.policy.revoke_subject(subject);
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    // ---- ingestion -----------------------------------------------------
+
+    /// Ingest an email: full text to the search engine, metadata to the
+    /// EMAIL table.
+    pub fn ingest_email(
+        &mut self,
+        day: u64,
+        sender: &str,
+        subject: &str,
+        body: &str,
+    ) -> Result<(), PdsError> {
+        let docid = self
+            .engine
+            .index_document(&format!("{subject} {body}"))?;
+        self.db.insert(
+            EMAIL_TABLE,
+            vec![
+                Value::U64(day),
+                Value::str(sender),
+                Value::str(subject),
+                Value::U64(docid as u64),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Ingest a health record.
+    pub fn ingest_health(
+        &mut self,
+        day: u64,
+        category: &str,
+        measure: u64,
+        note: &str,
+    ) -> Result<(), PdsError> {
+        let docid = self.engine.index_document(note)?;
+        self.db.insert(
+            HEALTH_TABLE,
+            vec![
+                Value::U64(day),
+                Value::str(category),
+                Value::U64(measure),
+                Value::U64(docid as u64),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Ingest a bank record.
+    pub fn ingest_bank(
+        &mut self,
+        day: u64,
+        category: &str,
+        amount_cents: u64,
+        counterparty: &str,
+    ) -> Result<(), PdsError> {
+        self.db.insert(
+            BANK_TABLE,
+            vec![
+                Value::U64(day),
+                Value::str(category),
+                Value::U64(amount_cents),
+                Value::str(counterparty),
+            ],
+        )?;
+        Ok(())
+    }
+
+    // ---- the query gateway ----------------------------------------------
+
+    fn check(
+        &mut self,
+        ctx: &AccessContext,
+        collection: Collection,
+        action: Action,
+        age_days: u32,
+    ) -> Result<(), PdsError> {
+        let target = match &collection {
+            Collection::Documents => "documents".to_string(),
+            Collection::Table(t) => t.clone(),
+            Collection::All => "all".to_string(),
+        };
+        let ok = self
+            .policy
+            .permits(&ctx.subject, &collection, action, ctx.purpose, age_days);
+        self.audit.record(
+            &ctx.subject,
+            action.label(),
+            &target,
+            if ok { Decision::Granted } else { Decision::Denied },
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(PdsError::Denied {
+                subject: ctx.subject.clone(),
+                action: format!("{} on {target}", action.label()),
+            })
+        }
+    }
+
+    /// Policy-gated full-text search.
+    pub fn search(
+        &mut self,
+        ctx: &AccessContext,
+        keywords: &[&str],
+        n: usize,
+    ) -> Result<Vec<SearchHit>, PdsError> {
+        self.check(ctx, Collection::Documents, Action::Search, 0)?;
+        Ok(self.engine.search(keywords, n)?)
+    }
+
+    /// Policy-gated document fetch.
+    pub fn get_document(
+        &mut self,
+        ctx: &AccessContext,
+        docid: u32,
+    ) -> Result<Vec<u8>, PdsError> {
+        self.check(ctx, Collection::Documents, Action::Read, 0)?;
+        Ok(self.engine.get_document(docid)?)
+    }
+
+    /// Policy-gated relational selection. Retention is enforced per row:
+    /// rows older than the requester's grant are silently filtered — the
+    /// requester cannot even learn they exist.
+    pub fn select(
+        &mut self,
+        ctx: &AccessContext,
+        table: &str,
+        pred: &Predicate,
+    ) -> Result<Vec<Row>, PdsError> {
+        self.check(ctx, Collection::Table(table.to_string()), Action::Read, 0)?;
+        let rows = self.db.select(table, pred)?;
+        let clock = self.clock_day;
+        let policy = &self.policy;
+        let coll = Collection::Table(table.to_string());
+        Ok(rows
+            .into_iter()
+            .map(|(_, row)| row)
+            .filter(|row| {
+                let day = row[0].as_u64().unwrap_or(0);
+                let age = clock.saturating_sub(day) as u32;
+                policy.permits(&ctx.subject, &coll, Action::Read, ctx.purpose, age)
+            })
+            .collect())
+    }
+
+    /// Policy-gated local aggregation: `SUM(column)` over rows matching
+    /// `pred` — the only thing a global query (Part III) ever extracts
+    /// from a token.
+    pub fn aggregate_sum(
+        &mut self,
+        ctx: &AccessContext,
+        table: &str,
+        column: &str,
+        pred: Option<&Predicate>,
+    ) -> Result<u64, PdsError> {
+        self.check(
+            ctx,
+            Collection::Table(table.to_string()),
+            Action::Aggregate,
+            0,
+        )?;
+        let t = self.db.table(table)?;
+        let c = t
+            .schema()
+            .column_index(column)
+            .ok_or_else(|| pds_db::DbError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        let mut sum = 0u64;
+        match pred {
+            None => {
+                t.scan(|_, row| {
+                    sum += row[c].as_u64().unwrap_or(0);
+                })?;
+            }
+            Some(p) => {
+                for (_, row) in self.db.select(table, p)? {
+                    sum += row[c].as_u64().unwrap_or(0);
+                }
+            }
+        }
+        Ok(sum)
+    }
+
+    /// Value of one attribute for the global GROUP BY protocols: the
+    /// grouping key and the aggregated measure of this individual.
+    /// Policy-gated as an `Aggregate` action.
+    pub fn group_contribution(
+        &mut self,
+        ctx: &AccessContext,
+        table: &str,
+        group_column: &str,
+        measure_column: &str,
+    ) -> Result<Vec<(String, u64)>, PdsError> {
+        self.check(
+            ctx,
+            Collection::Table(table.to_string()),
+            Action::Aggregate,
+            0,
+        )?;
+        let t = self.db.table(table)?;
+        let g = t
+            .schema()
+            .column_index(group_column)
+            .ok_or_else(|| pds_db::DbError::UnknownColumn {
+                table: table.to_string(),
+                column: group_column.to_string(),
+            })?;
+        let m = t
+            .schema()
+            .column_index(measure_column)
+            .ok_or_else(|| pds_db::DbError::UnknownColumn {
+                table: table.to_string(),
+                column: measure_column.to_string(),
+            })?;
+        let mut groups: std::collections::BTreeMap<String, u64> = Default::default();
+        t.scan(|_, row| {
+            let key = row[g].to_string();
+            *groups.entry(key).or_insert(0) += row[m].as_u64().unwrap_or(0);
+        })?;
+        Ok(groups.into_iter().collect())
+    }
+
+    /// Per-group record counts for global COUNT queries — same gate as
+    /// [`group_contribution`](Self::group_contribution).
+    pub fn group_count(
+        &mut self,
+        ctx: &AccessContext,
+        table: &str,
+        group_column: &str,
+    ) -> Result<Vec<(String, u64)>, PdsError> {
+        self.check(
+            ctx,
+            Collection::Table(table.to_string()),
+            Action::Aggregate,
+            0,
+        )?;
+        let t = self.db.table(table)?;
+        let g = t
+            .schema()
+            .column_index(group_column)
+            .ok_or_else(|| pds_db::DbError::UnknownColumn {
+                table: table.to_string(),
+                column: group_column.to_string(),
+            })?;
+        let mut groups: std::collections::BTreeMap<String, u64> = Default::default();
+        t.scan(|_, row| {
+            *groups.entry(row[g].to_string()).or_insert(0) += 1;
+        })?;
+        Ok(groups.into_iter().collect())
+    }
+
+    /// Snapshot the whole PDS content (documents + tables) as plaintext
+    /// bytes — input of the encrypted archive. Gated as an owner Export.
+    pub fn snapshot(&mut self, ctx: &AccessContext) -> Result<Vec<u8>, PdsError> {
+        self.check(ctx, Collection::All, Action::Export, 0)?;
+        let mut out = Vec::new();
+        // Documents.
+        let n_docs = self.engine.num_docs();
+        out.extend_from_slice(&n_docs.to_le_bytes());
+        for d in 0..n_docs {
+            let doc = self.engine.get_document(d)?;
+            out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+            out.extend_from_slice(&doc);
+        }
+        // Tables.
+        for table in [EMAIL_TABLE, HEALTH_TABLE, BANK_TABLE] {
+            let t = self.db.table(table)?;
+            out.extend_from_slice(&t.num_rows().to_le_bytes());
+            t.scan(|_, row| {
+                let bytes = pds_db::value::encode_row(&row);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(&bytes);
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Rebuild a PDS from a snapshot (disaster recovery onto a fresh
+    /// token).
+    pub fn restore(id: u64, owner: &str, snapshot: &[u8]) -> Result<Pds, PdsError> {
+        let mut pds = Pds::for_tests(id, owner)?;
+        let mut off = 0usize;
+        let read_u32 = |buf: &[u8], off: &mut usize| -> Result<u32, PdsError> {
+            let b: [u8; 4] = buf
+                .get(*off..*off + 4)
+                .ok_or(PdsError::ArchiveCorrupt("truncated length"))?
+                .try_into()
+                .unwrap();
+            *off += 4;
+            Ok(u32::from_le_bytes(b))
+        };
+        let n_docs = read_u32(snapshot, &mut off)?;
+        for _ in 0..n_docs {
+            let len = read_u32(snapshot, &mut off)? as usize;
+            let bytes = snapshot
+                .get(off..off + len)
+                .ok_or(PdsError::ArchiveCorrupt("truncated document"))?;
+            off += len;
+            let text = String::from_utf8_lossy(bytes).into_owned();
+            pds.engine.index_document(&text)?;
+        }
+        for table in [EMAIL_TABLE, HEALTH_TABLE, BANK_TABLE] {
+            let n_rows = read_u32(snapshot, &mut off)?;
+            for _ in 0..n_rows {
+                let len = read_u32(snapshot, &mut off)? as usize;
+                let bytes = snapshot
+                    .get(off..off + len)
+                    .ok_or(PdsError::ArchiveCorrupt("truncated row"))?;
+                off += len;
+                let row = pds_db::value::decode_row(bytes)
+                    .ok_or(PdsError::ArchiveCorrupt("row encoding"))?;
+                pds.db.insert(table, row)?;
+            }
+        }
+        Ok(pds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_pds() -> Pds {
+        let mut pds = Pds::for_tests(1, "alice").unwrap();
+        pds.ingest_email(10, "dr.martin", "blood results", "all markers normal")
+            .unwrap();
+        pds.ingest_email(11, "bank", "statement", "monthly statement attached")
+            .unwrap();
+        pds.ingest_health(12, "blood-pressure", 120, "routine check normal")
+            .unwrap();
+        pds.ingest_bank(12, "salary", 250_000, "employer").unwrap();
+        pds.ingest_bank(13, "groceries", 4_500, "shop-1").unwrap();
+        pds
+    }
+
+    #[test]
+    fn owner_can_search_and_read() {
+        let mut pds = populated_pds();
+        let ctx = AccessContext::new("alice", Purpose::PersonalUse);
+        let hits = pds.search(&ctx, &["blood"], 5).unwrap();
+        assert!(!hits.is_empty());
+        let rows = pds
+            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][2], Value::U64(250_000));
+    }
+
+    #[test]
+    fn stranger_is_denied_and_audited() {
+        let mut pds = populated_pds();
+        let ctx = AccessContext::new("insurer-x", Purpose::Marketing);
+        let err = pds.search(&ctx, &["blood"], 5).unwrap_err();
+        assert!(matches!(err, PdsError::Denied { .. }));
+        assert_eq!(pds.audit().denials(), 1);
+        assert!(pds.audit().verify());
+    }
+
+    #[test]
+    fn granting_a_doctor_care_access_works_until_revoked() {
+        let mut pds = populated_pds();
+        pds.grant(Rule::allow(
+            "dr.martin",
+            Collection::Table(HEALTH_TABLE.into()),
+            Action::Read,
+            Some(Purpose::Care),
+        ));
+        let ctx = AccessContext::new("dr.martin", Purpose::Care);
+        let rows = pds
+            .select(
+                &ctx,
+                HEALTH_TABLE,
+                &Predicate::eq("category", Value::str("blood-pressure")),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        // Purpose matters: the same doctor asking for marketing is denied.
+        let bad_ctx = AccessContext::new("dr.martin", Purpose::Marketing);
+        assert!(pds.select(&bad_ctx, HEALTH_TABLE, &Predicate::eq(
+            "category",
+            Value::str("blood-pressure")
+        )).is_err());
+        pds.revoke("dr.martin");
+        assert!(pds
+            .select(
+                &ctx,
+                HEALTH_TABLE,
+                &Predicate::eq("category", Value::str("blood-pressure"))
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn retention_filters_old_rows_silently() {
+        let mut pds = populated_pds();
+        pds.set_clock(100);
+        pds.grant(crate::policy::Rule {
+            subject: crate::policy::SubjectPattern::Exact("auditor".into()),
+            collection: Collection::Table(BANK_TABLE.into()),
+            action: Action::Read,
+            purpose: Some(Purpose::Care),
+            policy: crate::policy::Policy::Allow,
+            max_age_days: Some(88), // day 12 is 88 days old, day 13 is 87
+        });
+        let ctx = AccessContext::new("auditor", Purpose::Care);
+        let rows = pds
+            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .unwrap();
+        assert!(rows.len() <= 1);
+        let groc = pds
+            .select(
+                &ctx,
+                BANK_TABLE,
+                &Predicate::eq("category", Value::str("groceries")),
+            )
+            .unwrap();
+        assert_eq!(groc.len(), 1, "day-13 row is inside retention");
+    }
+
+    #[test]
+    fn aggregate_for_statistics_allowed_read_denied() {
+        let mut pds = populated_pds();
+        let ctx = AccessContext::new("survey-77", Purpose::Statistics);
+        let sum = pds
+            .aggregate_sum(&ctx, BANK_TABLE, "amount_cents", None)
+            .unwrap();
+        assert_eq!(sum, 254_500);
+        assert!(pds
+            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .is_err());
+    }
+
+    #[test]
+    fn group_contribution_aggregates_by_key() {
+        let mut pds = populated_pds();
+        let ctx = AccessContext::new("survey", Purpose::Statistics);
+        let groups = pds
+            .group_contribution(&ctx, BANK_TABLE, "category", "amount_cents")
+            .unwrap();
+        assert!(groups.contains(&("salary".to_string(), 250_000)));
+        assert!(groups.contains(&("groceries".to_string(), 4_500)));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut pds = populated_pds();
+        let ctx = AccessContext::new("alice", Purpose::PersonalUse);
+        let snap = pds.snapshot(&ctx).unwrap();
+        let mut restored = Pds::restore(2, "alice", &snap).unwrap();
+        let rows = restored
+            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let hits = restored.search(&ctx, &["blood"], 5).unwrap();
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn snapshot_requires_export_permission() {
+        let mut pds = populated_pds();
+        let ctx = AccessContext::new("mallory", Purpose::Marketing);
+        assert!(pds.snapshot(&ctx).is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! Privacy policies: subject × collection × action × purpose rules.
+//!
+//! Part I requires "intuitive, simple ways for users to define access
+//! control rules". The model here follows the purpose-based access
+//! control of the Personal Data Server literature ([Allard et al.,
+//! PVLDB'10]): a rule names *who* (subject), over *what* (collection),
+//! doing *which operation* (action), *why* (purpose), and *for how long*
+//! (retention). Deny rules dominate allow rules; absence of an allow is a
+//! deny (closed world — the safe default for personal data).
+
+/// What a subject wants to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Read tuples / fetch documents.
+    Read,
+    /// Full-text search over the document collection.
+    Search,
+    /// Contribute an aggregate (the only action the global protocols of
+    /// Part III ever need — raw values never leave the token).
+    Aggregate,
+    /// Export data beyond the token boundary (sync, archive, sharing).
+    Export,
+}
+
+impl Action {
+    /// Human-readable label for audit entries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Action::Read => "read",
+            Action::Search => "search",
+            Action::Aggregate => "aggregate",
+            Action::Export => "export",
+        }
+    }
+}
+
+/// Why the subject wants to do it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Purpose {
+    /// The owner's own use.
+    PersonalUse,
+    /// Medical care coordination (the social-medical folder scenario).
+    Care,
+    /// Participation in an anonymized global computation (Part III).
+    Statistics,
+    /// Commercial exploitation — what the tutorial's "new oil producers"
+    /// want and the default policy refuses.
+    Marketing,
+}
+
+/// Which data the rule covers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Collection {
+    /// The free-text document store.
+    Documents,
+    /// One relational table, by name.
+    Table(String),
+    /// Everything on the token.
+    All,
+}
+
+impl Collection {
+    /// Does this collection designation cover `other`?
+    pub fn covers(&self, other: &Collection) -> bool {
+        match (self, other) {
+            (Collection::All, _) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// Who the rule applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SubjectPattern {
+    /// One named subject ("dr.martin", "daughter", "insurer-x").
+    Exact(String),
+    /// Any subject.
+    Any,
+}
+
+impl SubjectPattern {
+    fn matches(&self, subject: &str) -> bool {
+        match self {
+            SubjectPattern::Exact(s) => s == subject,
+            SubjectPattern::Any => true,
+        }
+    }
+}
+
+/// Allow or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Grant the access.
+    Allow,
+    /// Refuse the access (dominates any allow).
+    Deny,
+}
+
+/// One access-control rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Who.
+    pub subject: SubjectPattern,
+    /// Over what.
+    pub collection: Collection,
+    /// Doing what.
+    pub action: Action,
+    /// For which purpose (`None` = any purpose).
+    pub purpose: Option<Purpose>,
+    /// Allow or deny.
+    pub policy: Policy,
+    /// Maximum data age in days this rule grants access to (`None` =
+    /// unlimited). Retention limitation is a core privacy principle the
+    /// PDS enforces mechanically.
+    pub max_age_days: Option<u32>,
+}
+
+impl Rule {
+    /// Convenience allow-rule.
+    pub fn allow(
+        subject: &str,
+        collection: Collection,
+        action: Action,
+        purpose: Option<Purpose>,
+    ) -> Rule {
+        Rule {
+            subject: SubjectPattern::Exact(subject.to_string()),
+            collection,
+            action,
+            purpose,
+            policy: Policy::Allow,
+            max_age_days: None,
+        }
+    }
+
+    /// Convenience deny-rule matching any subject.
+    pub fn deny_all(collection: Collection, action: Action, purpose: Option<Purpose>) -> Rule {
+        Rule {
+            subject: SubjectPattern::Any,
+            collection,
+            action,
+            purpose,
+            policy: Policy::Deny,
+            max_age_days: None,
+        }
+    }
+
+    fn matches(
+        &self,
+        subject: &str,
+        collection: &Collection,
+        action: Action,
+        purpose: Purpose,
+        age_days: u32,
+    ) -> bool {
+        self.subject.matches(subject)
+            && self.collection.covers(collection)
+            && self.action == action
+            && self.purpose.is_none_or(|p| p == purpose)
+            && self.max_age_days.is_none_or(|max| age_days <= max)
+    }
+}
+
+/// An ordered set of rules with deny-overrides-allow semantics.
+#[derive(Debug, Clone, Default)]
+pub struct PolicySet {
+    rules: Vec<Rule>,
+}
+
+impl PolicySet {
+    /// An empty (deny-everything) policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The owner's default policy: the owner may do anything for
+    /// personal use or care; everyone (owner included) may contribute
+    /// anonymized aggregates for statistics; marketing is unreachable
+    /// without an explicit grant.
+    pub fn owner_default(owner: &str) -> Self {
+        let mut p = PolicySet::new();
+        for action in [Action::Read, Action::Search, Action::Export] {
+            p.add(Rule {
+                subject: SubjectPattern::Exact(owner.to_string()),
+                collection: Collection::All,
+                action,
+                purpose: Some(Purpose::PersonalUse),
+                policy: Policy::Allow,
+                max_age_days: None,
+            });
+        }
+        p.add(Rule {
+            subject: SubjectPattern::Any,
+            collection: Collection::All,
+            action: Action::Aggregate,
+            purpose: Some(Purpose::Statistics),
+            policy: Policy::Allow,
+            max_age_days: None,
+        });
+        p
+    }
+
+    /// Append a rule.
+    pub fn add(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Remove every rule naming `subject` exactly (revocation).
+    pub fn revoke_subject(&mut self, subject: &str) {
+        self.rules
+            .retain(|r| r.subject != SubjectPattern::Exact(subject.to_string()));
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rule exists (deny-everything).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluate an access request. `age_days` is the age of the oldest
+    /// data the request would touch.
+    pub fn permits(
+        &self,
+        subject: &str,
+        collection: &Collection,
+        action: Action,
+        purpose: Purpose,
+        age_days: u32,
+    ) -> bool {
+        let mut allowed = false;
+        for r in &self.rules {
+            if r.matches(subject, collection, action, purpose, age_days) {
+                match r.policy {
+                    Policy::Deny => return false,
+                    Policy::Allow => allowed = true,
+                }
+            }
+        }
+        allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_world_denies_by_default() {
+        let p = PolicySet::new();
+        assert!(!p.permits(
+            "anyone",
+            &Collection::Documents,
+            Action::Read,
+            Purpose::PersonalUse,
+            0
+        ));
+    }
+
+    #[test]
+    fn owner_default_grants_owner_but_not_others() {
+        let p = PolicySet::owner_default("alice");
+        assert!(p.permits(
+            "alice",
+            &Collection::Documents,
+            Action::Search,
+            Purpose::PersonalUse,
+            10
+        ));
+        assert!(!p.permits(
+            "bob",
+            &Collection::Documents,
+            Action::Search,
+            Purpose::PersonalUse,
+            10
+        ));
+        // Marketing is never granted by default — even to the owner.
+        assert!(!p.permits(
+            "alice",
+            &Collection::All,
+            Action::Export,
+            Purpose::Marketing,
+            0
+        ));
+    }
+
+    #[test]
+    fn aggregate_for_statistics_is_open_by_default() {
+        let p = PolicySet::owner_default("alice");
+        assert!(p.permits(
+            "query-issuer-77",
+            &Collection::Table("HEALTH".into()),
+            Action::Aggregate,
+            Purpose::Statistics,
+            365
+        ));
+        assert!(!p.permits(
+            "query-issuer-77",
+            &Collection::Table("HEALTH".into()),
+            Action::Read,
+            Purpose::Statistics,
+            365
+        ));
+    }
+
+    #[test]
+    fn deny_overrides_allow() {
+        let mut p = PolicySet::owner_default("alice");
+        p.add(Rule::allow(
+            "dr.martin",
+            Collection::Table("HEALTH".into()),
+            Action::Read,
+            Some(Purpose::Care),
+        ));
+        assert!(p.permits(
+            "dr.martin",
+            &Collection::Table("HEALTH".into()),
+            Action::Read,
+            Purpose::Care,
+            0
+        ));
+        p.add(Rule::deny_all(
+            Collection::Table("HEALTH".into()),
+            Action::Read,
+            None,
+        ));
+        assert!(!p.permits(
+            "dr.martin",
+            &Collection::Table("HEALTH".into()),
+            Action::Read,
+            Purpose::Care,
+            0
+        ));
+    }
+
+    #[test]
+    fn retention_limits_old_data() {
+        let mut p = PolicySet::new();
+        p.add(Rule {
+            subject: SubjectPattern::Exact("insurer".into()),
+            collection: Collection::Table("BANK".into()),
+            action: Action::Read,
+            purpose: Some(Purpose::Care),
+            policy: Policy::Allow,
+            max_age_days: Some(90),
+        });
+        let coll = Collection::Table("BANK".into());
+        assert!(p.permits("insurer", &coll, Action::Read, Purpose::Care, 30));
+        assert!(!p.permits("insurer", &coll, Action::Read, Purpose::Care, 120));
+    }
+
+    #[test]
+    fn revocation_removes_grants() {
+        let mut p = PolicySet::new();
+        p.add(Rule::allow(
+            "ex-doctor",
+            Collection::All,
+            Action::Read,
+            None,
+        ));
+        assert!(p.permits(
+            "ex-doctor",
+            &Collection::Documents,
+            Action::Read,
+            Purpose::Care,
+            0
+        ));
+        p.revoke_subject("ex-doctor");
+        assert!(!p.permits(
+            "ex-doctor",
+            &Collection::Documents,
+            Action::Read,
+            Purpose::Care,
+            0
+        ));
+    }
+
+    #[test]
+    fn prop_policy_algebra() {
+        use proptest::prelude::*;
+        use proptest::test_runner::{Config, TestRunner};
+        let subjects = ["alice", "bob", "carol"];
+        let purposes = [Purpose::PersonalUse, Purpose::Care, Purpose::Statistics];
+        let actions = [Action::Read, Action::Search, Action::Aggregate, Action::Export];
+        let rule_strategy = (
+            0usize..4, // 3 = Any
+            0usize..3, // collection: 0 docs, 1 table, 2 all
+            0usize..4,
+            proptest::option::of(0usize..3),
+            proptest::bool::ANY, // allow / deny
+        );
+        let mut runner = TestRunner::new(Config::with_cases(64));
+        runner
+            .run(
+                &(
+                    proptest::collection::vec(rule_strategy, 0..12),
+                    0usize..3,
+                    0usize..3,
+                    0usize..4,
+                ),
+                |(raw_rules, s, p, a)| {
+                    let mk_rules = |raw: &[(usize, usize, usize, Option<usize>, bool)]| {
+                        raw.iter()
+                            .map(|(subj, coll, act, purp, allow)| Rule {
+                                subject: if *subj == 3 {
+                                    SubjectPattern::Any
+                                } else {
+                                    SubjectPattern::Exact(subjects[*subj].to_string())
+                                },
+                                collection: match coll {
+                                    0 => Collection::Documents,
+                                    1 => Collection::Table("T".into()),
+                                    _ => Collection::All,
+                                },
+                                action: actions[*act],
+                                purpose: purp.map(|i| purposes[i]),
+                                policy: if *allow { Policy::Allow } else { Policy::Deny },
+                                max_age_days: None,
+                            })
+                            .collect::<Vec<_>>()
+                    };
+                    let rules = mk_rules(&raw_rules);
+                    let mut set = PolicySet::new();
+                    for r in &rules {
+                        set.add(r.clone());
+                    }
+                    let q = (
+                        subjects[s],
+                        Collection::Table("T".into()),
+                        actions[a],
+                        purposes[p],
+                    );
+                    let granted = set.permits(q.0, &q.1, q.2, q.3, 0);
+                    // 1. Deny dominance: if any matching deny exists, the
+                    // request is refused no matter what.
+                    let any_deny = rules.iter().any(|r| {
+                        r.policy == Policy::Deny
+                            && r.matches(q.0, &q.1, q.2, q.3, 0)
+                    });
+                    if any_deny {
+                        prop_assert!(!granted);
+                    }
+                    // 2. Closed world: no matching allow ⇒ refused.
+                    let any_allow = rules.iter().any(|r| {
+                        r.policy == Policy::Allow
+                            && r.matches(q.0, &q.1, q.2, q.3, 0)
+                    });
+                    if !any_allow {
+                        prop_assert!(!granted);
+                    }
+                    // 3. Adding a deny rule never grants anything new.
+                    let mut harder = set.clone();
+                    harder.add(Rule::deny_all(Collection::All, q.2, None));
+                    prop_assert!(!harder.permits(q.0, &q.1, q.2, q.3, 0));
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn collection_covering() {
+        assert!(Collection::All.covers(&Collection::Documents));
+        assert!(Collection::All.covers(&Collection::Table("X".into())));
+        assert!(!Collection::Documents.covers(&Collection::All));
+        assert!(Collection::Table("A".into()).covers(&Collection::Table("A".into())));
+        assert!(!Collection::Table("A".into()).covers(&Collection::Table("B".into())));
+    }
+}

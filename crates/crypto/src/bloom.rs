@@ -1,0 +1,200 @@
+//! Bloom filters — the probabilistic summaries of the PBFilter index.
+//!
+//! Part II: "Log2: «Bloom Filters» — 1 BF built for each page in «Keys»;
+//! BF is a probabilistic summary (~2 B/key)". At ~2 bytes (16 bits) per
+//! key the optimal number of hash functions is `k = 16·ln2 ≈ 11`, giving a
+//! false-positive rate of about 0.05 % — which is why the tutorial's
+//! summary scan costs "|Log2| I/O + 1 IO/result" with almost no wasted
+//! page probes.
+//!
+//! Hashes are derived by double hashing (Kirsch–Mitzenmacher) from two
+//! halves of a SHA-256 digest, so a filter is a plain bit array that can
+//! be stored in, and reloaded from, a flash page.
+
+use crate::hash::sha256;
+
+/// A fixed-size Bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    num_bits: usize,
+    num_hashes: u32,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// A filter with `num_bits` bits and `num_hashes` hash functions.
+    pub fn new(num_bits: usize, num_hashes: u32) -> Self {
+        assert!(num_bits > 0 && num_hashes > 0);
+        BloomFilter {
+            bits: vec![0; num_bits.div_ceil(8)],
+            num_bits,
+            num_hashes,
+            items: 0,
+        }
+    }
+
+    /// The tutorial's configuration: ~2 bytes (16 bits) per expected key,
+    /// with the optimal `k = round(16·ln 2) = 11` hash functions.
+    pub fn per_key_16bits(expected_keys: usize) -> Self {
+        let num_bits = (expected_keys.max(1)) * 16;
+        BloomFilter::new(num_bits, 11)
+    }
+
+    fn bit_positions(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let digest = sha256(key);
+        let h1 = u64::from_le_bytes(digest[0..8].try_into().unwrap());
+        let h2 = u64::from_le_bytes(digest[8..16].try_into().unwrap()) | 1;
+        let m = self.num_bits as u64;
+        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let positions: Vec<usize> = self.bit_positions(key).collect();
+        for p in positions {
+            self.bits[p / 8] |= 1 << (p % 8);
+        }
+        self.items += 1;
+    }
+
+    /// Membership test: false ⇒ definitely absent (no false negatives);
+    /// true ⇒ probably present.
+    pub fn maybe_contains(&self, key: &[u8]) -> bool {
+        self.bit_positions(key)
+            .all(|p| self.bits[p / 8] & (1 << (p % 8)) != 0)
+    }
+
+    /// Number of inserted keys.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True if no key was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Size of the bit array in bytes (what a summary page stores).
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Serialize: `num_bits (u32) ‖ num_hashes (u32) ‖ items (u32) ‖ bits`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len());
+        out.extend_from_slice(&(self.num_bits as u32).to_le_bytes());
+        out.extend_from_slice(&self.num_hashes.to_le_bytes());
+        out.extend_from_slice(&(self.items as u32).to_le_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Deserialize a filter previously produced by
+    /// [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        if data.len() < 12 {
+            return None;
+        }
+        let num_bits = u32::from_le_bytes(data[0..4].try_into().ok()?) as usize;
+        let num_hashes = u32::from_le_bytes(data[4..8].try_into().ok()?);
+        let items = u32::from_le_bytes(data[8..12].try_into().ok()?) as usize;
+        let bits = data[12..].to_vec();
+        if bits.len() != num_bits.div_ceil(8) || num_bits == 0 || num_hashes == 0 {
+            return None;
+        }
+        Some(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+            items,
+        })
+    }
+
+    /// Theoretical false-positive rate at the current load:
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn expected_fpr(&self) -> f64 {
+        let k = self.num_hashes as f64;
+        let n = self.items as f64;
+        let m = self.num_bits as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::per_key_16bits(100);
+        for i in 0..100u32 {
+            bf.insert(&i.to_le_bytes());
+        }
+        for i in 0..100u32 {
+            assert!(bf.maybe_contains(&i.to_le_bytes()), "false negative on {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_design_load() {
+        let mut bf = BloomFilter::per_key_16bits(1000);
+        for i in 0..1000u32 {
+            bf.insert(&i.to_le_bytes());
+        }
+        let mut fp = 0;
+        let probes = 20_000u32;
+        for i in 1000..1000 + probes {
+            if bf.maybe_contains(&i.to_le_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(
+            rate < 0.01,
+            "expected ≲0.1% FPR at 16 bits/key, measured {rate}"
+        );
+        assert!(bf.expected_fpr() < 0.001);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut bf = BloomFilter::per_key_16bits(50);
+        for i in 0..50u32 {
+            bf.insert(&i.to_le_bytes());
+        }
+        let bytes = bf.to_bytes();
+        let back = BloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(back, bf);
+        assert!(BloomFilter::from_bytes(&bytes[..5]).is_none());
+        assert!(BloomFilter::from_bytes(&[0; 12]).is_none());
+    }
+
+    #[test]
+    fn footprint_is_two_bytes_per_key() {
+        let bf = BloomFilter::per_key_16bits(1000);
+        assert_eq!(bf.byte_len(), 2000);
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = BloomFilter::per_key_16bits(10);
+        assert!(bf.is_empty());
+        assert!(!bf.maybe_contains(b"anything"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inserted_keys_always_found(keys in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..16), 1..200)) {
+            let mut bf = BloomFilter::per_key_16bits(keys.len());
+            for k in &keys {
+                bf.insert(k);
+            }
+            for k in &keys {
+                prop_assert!(bf.maybe_contains(k));
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! HMAC-SHA256 (RFC 2104).
+//!
+//! The "security primitives" of Part III: when the supporting server
+//! infrastructure is *weakly malicious* (a covert adversary that "does not
+//! want to be detected"), tokens attach MACs to the tuples they emit so
+//! that any forgery, duplication or alteration by the SSI is detectable on
+//! spot-check.
+
+use crate::hash::{sha256, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Compute `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad).update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad).update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time-ish tag comparison (length + accumulated XOR).
+pub fn verify_hmac(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    if tag.len() != 32 {
+        return false;
+    }
+    let expected = hmac_sha256(key, message);
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Test case 6: 131-byte key (forces the key-hash path).
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verification_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"msg");
+        assert!(verify_hmac(b"k", b"msg", &tag));
+        assert!(!verify_hmac(b"k", b"msg2", &tag));
+        assert!(!verify_hmac(b"k2", b"msg", &tag));
+        let mut bad = tag;
+        bad[31] ^= 1;
+        assert!(!verify_hmac(b"k", b"msg", &bad));
+        assert!(!verify_hmac(b"k", b"msg", &tag[..31]));
+    }
+}

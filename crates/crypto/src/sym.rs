@@ -1,0 +1,257 @@
+//! Symmetric encryption — deterministic and probabilistic.
+//!
+//! The [TNP14\] protocol family of Part III hinges on this distinction:
+//!
+//! * **Probabilistic (non-deterministic) encryption** reveals *nothing* to
+//!   the SSI — two encryptions of the same value differ. Used by the
+//!   *secure aggregation* protocol, where the SSI can only move opaque
+//!   blobs between tokens.
+//! * **Deterministic encryption** maps equal plaintexts to equal
+//!   ciphertexts, letting the SSI group/partition tuples by equality
+//!   without learning the values. Used by the *noise-based* protocols
+//!   (with fake tuples to drown the frequency leakage).
+//!
+//! Construction: a SHA-256-based counter-mode stream cipher. The
+//! deterministic mode derives the IV from the plaintext (SIV style), the
+//! probabilistic mode draws it at random. An HMAC tag gives authenticated
+//! encryption — the tokens of Part III must detect ciphertext forgery by a
+//! weakly malicious SSI.
+
+use crate::hash::Sha256;
+use crate::mac::hmac_sha256;
+use rand::RngCore;
+
+/// Length of the IV / tag prefix.
+const IV_LEN: usize = 16;
+const TAG_LEN: usize = 16;
+
+/// Encryption mode marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncMode {
+    /// Equal plaintexts ⇒ equal ciphertexts (SIV).
+    Deterministic,
+    /// Fresh randomness per encryption.
+    Probabilistic,
+}
+
+/// A self-describing ciphertext: `mode ‖ iv ‖ body ‖ tag`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ciphertext(pub Vec<u8>);
+
+impl Ciphertext {
+    /// Serialized length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false — ciphertexts carry at least the header.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Raw bytes (what travels to the SSI).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A symmetric key shared by the token population.
+///
+/// In the tutorial's architecture every PDS is issued the same protocol
+/// key by the trusted manufacturer (tokens are "elements of trust" that
+/// trust each other); the SSI never sees it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SymmetricKey {
+    /// Encryption subkey.
+    enc: [u8; 32],
+    /// MAC subkey (key separation).
+    mac: [u8; 32],
+}
+
+impl SymmetricKey {
+    /// Derive a key pair from seed material.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        SymmetricKey {
+            enc: hmac_sha256(b"pds-enc", seed),
+            mac: hmac_sha256(b"pds-mac", seed),
+        }
+    }
+
+    /// The MAC subkey, for protocols that authenticate plaintext tuples
+    /// directly (spot-checking). Only tokens ever hold a `SymmetricKey`,
+    /// so exposing the subkey does not widen the trust boundary.
+    pub fn mac_key_bytes(&self) -> &[u8; 32] {
+        &self.mac
+    }
+
+    /// A fresh random key.
+    pub fn random(rng: &mut impl RngCore) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(&seed)
+    }
+
+    fn keystream_xor(&self, iv: &[u8; IV_LEN], data: &mut [u8]) {
+        let mut counter: u64 = 0;
+        let mut offset = 0;
+        while offset < data.len() {
+            let mut h = Sha256::new();
+            h.update(&self.enc)
+                .update(iv)
+                .update(&counter.to_le_bytes());
+            let block = h.finalize();
+            let take = (data.len() - offset).min(32);
+            for i in 0..take {
+                data[offset + i] ^= block[i];
+            }
+            offset += take;
+            counter += 1;
+        }
+    }
+
+    fn seal(&self, mode: EncMode, iv: [u8; IV_LEN], plaintext: &[u8]) -> Ciphertext {
+        let mode_byte = match mode {
+            EncMode::Deterministic => 0u8,
+            EncMode::Probabilistic => 1u8,
+        };
+        let mut out = Vec::with_capacity(1 + IV_LEN + plaintext.len() + TAG_LEN);
+        out.push(mode_byte);
+        out.extend_from_slice(&iv);
+        let body_start = out.len();
+        out.extend_from_slice(plaintext);
+        self.keystream_xor(&iv, &mut out[body_start..]);
+        let tag = hmac_sha256(&self.mac, &out);
+        out.extend_from_slice(&tag[..TAG_LEN]);
+        Ciphertext(out)
+    }
+
+    /// Deterministic (SIV) encryption: the IV is a PRF of the plaintext,
+    /// so equal plaintexts produce byte-identical ciphertexts.
+    pub fn encrypt_det(&self, plaintext: &[u8]) -> Ciphertext {
+        let siv_full = hmac_sha256(&self.mac, plaintext);
+        let mut iv = [0u8; IV_LEN];
+        iv.copy_from_slice(&siv_full[..IV_LEN]);
+        self.seal(EncMode::Deterministic, iv, plaintext)
+    }
+
+    /// Probabilistic encryption: fresh random IV per call.
+    pub fn encrypt_prob(&self, plaintext: &[u8], rng: &mut impl RngCore) -> Ciphertext {
+        let mut iv = [0u8; IV_LEN];
+        rng.fill_bytes(&mut iv);
+        self.seal(EncMode::Probabilistic, iv, plaintext)
+    }
+
+    /// Decrypt and authenticate; `None` on any tampering or truncation.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Option<Vec<u8>> {
+        let raw = &ct.0;
+        if raw.len() < 1 + IV_LEN + TAG_LEN {
+            return None;
+        }
+        let (payload, tag) = raw.split_at(raw.len() - TAG_LEN);
+        let expected = hmac_sha256(&self.mac, payload);
+        let mut diff = 0u8;
+        for (a, b) in expected[..TAG_LEN].iter().zip(tag) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return None;
+        }
+        let mode = payload[0];
+        let mut iv = [0u8; IV_LEN];
+        iv.copy_from_slice(&payload[1..1 + IV_LEN]);
+        let mut body = payload[1 + IV_LEN..].to_vec();
+        self.keystream_xor(&iv, &mut body);
+        // SIV re-check: the deterministic IV must match the plaintext.
+        if mode == 0 {
+            let siv = hmac_sha256(&self.mac, &body);
+            if siv[..IV_LEN] != iv {
+                return None;
+            }
+        }
+        Some(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> SymmetricKey {
+        SymmetricKey::from_seed(b"test-seed")
+    }
+
+    #[test]
+    fn det_round_trip_and_equality() {
+        let k = key();
+        let c1 = k.encrypt_det(b"Lyon");
+        let c2 = k.encrypt_det(b"Lyon");
+        let c3 = k.encrypt_det(b"Paris");
+        assert_eq!(c1, c2, "deterministic: equal plaintexts, equal ciphertexts");
+        assert_ne!(c1, c3);
+        assert_eq!(k.decrypt(&c1).unwrap(), b"Lyon");
+    }
+
+    #[test]
+    fn prob_round_trip_and_inequality() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(9);
+        let c1 = k.encrypt_prob(b"Lyon", &mut rng);
+        let c2 = k.encrypt_prob(b"Lyon", &mut rng);
+        assert_ne!(c1, c2, "probabilistic: fresh randomness each time");
+        assert_eq!(k.decrypt(&c1).unwrap(), b"Lyon");
+        assert_eq!(k.decrypt(&c2).unwrap(), b"Lyon");
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut c = k.encrypt_prob(b"secret", &mut rng);
+        let last = c.0.len() - 1;
+        c.0[last] ^= 1; // flip tag bit
+        assert!(k.decrypt(&c).is_none());
+        let mut c2 = k.encrypt_prob(b"secret", &mut rng);
+        c2.0[20] ^= 1; // flip body bit
+        assert!(k.decrypt(&c2).is_none());
+        assert!(k.decrypt(&Ciphertext(vec![0; 5])).is_none(), "truncated");
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let k = key();
+        let other = SymmetricKey::from_seed(b"other");
+        let c = k.encrypt_det(b"data");
+        assert!(other.decrypt(&c).is_none());
+    }
+
+    #[test]
+    fn empty_plaintext_works() {
+        let k = key();
+        let c = k.encrypt_det(b"");
+        assert_eq!(k.decrypt(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trips(data in proptest::collection::vec(any::<u8>(), 0..200), seed in any::<u64>()) {
+            let k = key();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cd = k.encrypt_det(&data);
+            prop_assert_eq!(k.decrypt(&cd).unwrap(), data.clone());
+            let cp = k.encrypt_prob(&data, &mut rng);
+            prop_assert_eq!(k.decrypt(&cp).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_det_is_injective_on_samples(a in proptest::collection::vec(any::<u8>(), 0..50),
+                                            b in proptest::collection::vec(any::<u8>(), 0..50)) {
+            let k = key();
+            if a != b {
+                prop_assert_ne!(k.encrypt_det(&a), k.encrypt_det(&b));
+            }
+        }
+    }
+}

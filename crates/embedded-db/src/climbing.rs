@@ -1,0 +1,618 @@
+//! Tselect / Tjoin — the climbing indexes of the SPJ slide.
+//!
+//! "Join algorithms consume lots of RAM … Q3: how to compute
+//! select-project-join queries in pipeline?" The tutorial's answer, for an
+//! acyclic schema rooted at the query root table:
+//!
+//! * **Tjoin (generalized join index)** — "each rowid of the root table
+//!   contains the rowids of the tuples it refers to in the subtree".
+//!   Fixed-size entries, directly addressable: dereferencing a root tuple
+//!   to its full join context costs one page read.
+//! * **Tselect** — a selection index on *any* table of the tree whose
+//!   entries are **sorted rowids of the root table**: "each key of the
+//!   index contains the rowids of the query root table referring to that
+//!   key".
+//!
+//! Execution is then a pure pipeline: the sorted root-rowid lists produced
+//! by the Tselect indexes are merge-intersected (no RAM-hungry sort — the
+//! lists are "sorted row ids!" by construction), and each surviving root
+//! rowid is dereferenced through Tjoin.
+//!
+//! Foreign keys in this crate hold the *rowid* of the referenced tuple
+//! (the generators emit dense keys equal to rowids); a key-valued FK would
+//! add one index lookup at Tjoin-build time and change nothing else.
+
+use pds_flash::{Flash, Log};
+use pds_mcu::RamBudget;
+
+use crate::error::DbError;
+use crate::sort::external_sort;
+use crate::table::{RowId, Table};
+use crate::tree::TreeIndex;
+use crate::value::{Row, Value};
+
+/// An acyclic schema tree rooted at the query root table.
+pub struct SchemaTree {
+    tables: Vec<String>,
+    root: usize,
+    /// `refs[t]` = (fk column index in `t`, referenced table index).
+    refs: Vec<Vec<(usize, usize)>>,
+    /// Tables in resolution order (root first, parents before the tables
+    /// they are referenced from — i.e. DFS from the root).
+    order: Vec<usize>,
+}
+
+/// Builder for [`SchemaTree`].
+pub struct SchemaTreeBuilder {
+    root: String,
+    references: Vec<(String, String, String)>,
+}
+
+impl SchemaTree {
+    /// Start building a tree rooted at `root` (the query root table).
+    pub fn rooted_at(root: &str) -> SchemaTreeBuilder {
+        SchemaTreeBuilder {
+            root: root.to_string(),
+            references: Vec::new(),
+        }
+    }
+
+    /// Index of a table by name.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t == name)
+    }
+
+    /// The root table index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Ancestor tables (everything except the root), in Tjoin entry order.
+    pub fn ancestors(&self) -> &[usize] {
+        &self.order[1..]
+    }
+
+    /// All tables in resolution order (root first).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Table name by index.
+    pub fn table_name(&self, idx: usize) -> &str {
+        &self.tables[idx]
+    }
+
+    /// Resolve the rowids of every table of the tree for root row `r`,
+    /// reading each ancestor tuple once. Returns rowids aligned with
+    /// [`order`](Self::order).
+    fn resolve(&self, tables: &[&Table], r: RowId) -> Result<Vec<RowId>, DbError> {
+        let mut rowids = vec![u32::MAX; self.tables.len()];
+        rowids[self.root] = r;
+        for &t in &self.order {
+            if self.refs[t].is_empty() {
+                continue;
+            }
+            let row = tables[t].get(rowids[t])?;
+            for &(col, to) in &self.refs[t] {
+                let fk = row[col]
+                    .as_u64()
+                    .ok_or(DbError::Corrupt("non-integer foreign key"))?;
+                rowids[to] = fk as RowId;
+            }
+        }
+        Ok(self.order.iter().map(|&t| rowids[t]).collect())
+    }
+}
+
+impl SchemaTreeBuilder {
+    /// Declare `from.fk_col` references `to`.
+    pub fn reference(mut self, from: &str, fk_col: &str, to: &str) -> Self {
+        self.references
+            .push((from.to_string(), fk_col.to_string(), to.to_string()));
+        self
+    }
+
+    /// Resolve names against the actual tables and produce the tree.
+    pub fn build(self, tables: &[&Table]) -> Result<SchemaTree, DbError> {
+        let names: Vec<String> = tables.iter().map(|t| t.name().to_string()).collect();
+        let find = |n: &str| -> Result<usize, DbError> {
+            names
+                .iter()
+                .position(|x| x == n)
+                .ok_or_else(|| DbError::UnknownTable(n.to_string()))
+        };
+        let root = find(&self.root)?;
+        let mut refs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); names.len()];
+        for (from, col, to) in &self.references {
+            let f = find(from)?;
+            let t = find(to)?;
+            let c = tables[f]
+                .schema()
+                .column_index(col)
+                .ok_or_else(|| DbError::UnknownColumn {
+                    table: from.clone(),
+                    column: col.clone(),
+                })?;
+            refs[f].push((c, t));
+        }
+        // DFS from the root.
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        let mut seen = vec![false; names.len()];
+        while let Some(t) = stack.pop() {
+            if seen[t] {
+                continue;
+            }
+            seen[t] = true;
+            order.push(t);
+            for &(_, to) in refs[t].iter().rev() {
+                stack.push(to);
+            }
+        }
+        Ok(SchemaTree {
+            tables: names,
+            root,
+            refs,
+            order,
+        })
+    }
+}
+
+/// The generalized join index: root rowid → ancestor rowids, one page
+/// read per dereference (fixed-size, directly addressed entries).
+pub struct TjoinIndex {
+    log: Log,
+    /// Ancestor table indexes, the layout of each entry.
+    ancestors: Vec<usize>,
+    entries: u32,
+    per_page: usize,
+}
+
+impl TjoinIndex {
+    /// Build the index by resolving every root tuple's subtree.
+    pub fn build(
+        flash: &Flash,
+        tree: &SchemaTree,
+        tables: &[&Table],
+    ) -> Result<TjoinIndex, DbError> {
+        let ancestors: Vec<usize> = tree.ancestors().to_vec();
+        let entry_size = ancestors.len().max(1) * 4;
+        let page_size = flash.geometry().page_size;
+        let per_page = (page_size - 2) / entry_size;
+        let mut log = flash.new_log();
+        let n = tables[tree.root()].num_rows();
+        let mut page = vec![0xFFu8; page_size];
+        let mut in_page = 0usize;
+        for r in 0..n {
+            let rowids = tree.resolve(tables, r)?;
+            let off = 2 + in_page * entry_size;
+            for (i, &rid) in rowids[1..].iter().enumerate() {
+                page[off + i * 4..off + i * 4 + 4].copy_from_slice(&rid.to_le_bytes());
+            }
+            in_page += 1;
+            if in_page == per_page {
+                page[0..2].copy_from_slice(&(in_page as u16).to_le_bytes());
+                log.append_raw_page(&page)?;
+                page.fill(0xFF);
+                in_page = 0;
+            }
+        }
+        if in_page > 0 {
+            page[0..2].copy_from_slice(&(in_page as u16).to_le_bytes());
+            log.append_raw_page(&page)?;
+        }
+        Ok(TjoinIndex {
+            log: log.seal()?,
+            ancestors,
+            entries: n,
+            per_page,
+        })
+    }
+
+    /// Number of root tuples indexed.
+    pub fn num_entries(&self) -> u32 {
+        self.entries
+    }
+
+    /// Ancestor table layout of each entry.
+    pub fn ancestors(&self) -> &[usize] {
+        &self.ancestors
+    }
+
+    /// Ancestor rowids of root row `r` (one page read).
+    pub fn get(&self, r: RowId) -> Result<Vec<RowId>, DbError> {
+        if r >= self.entries {
+            return Err(DbError::Corrupt("tjoin rowid out of range"));
+        }
+        let page_idx = r as usize / self.per_page;
+        let slot = r as usize % self.per_page;
+        let page_size = self.log.flash().geometry().page_size;
+        let mut buf = vec![0u8; page_size];
+        self.log.read_raw_page(page_idx as u32, &mut buf)?;
+        let entry_size = self.ancestors.len().max(1) * 4;
+        let off = 2 + slot * entry_size;
+        Ok((0..self.ancestors.len())
+            .map(|i| u32::from_le_bytes(buf[off + i * 4..off + i * 4 + 4].try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// A selection index on any table of the tree, keyed by an attribute and
+/// listing *sorted root rowids*.
+pub struct TselectIndex {
+    tree_index: TreeIndex,
+    /// The table the predicate applies to.
+    pub table: usize,
+    /// The predicate column within that table.
+    pub column: usize,
+}
+
+impl TselectIndex {
+    /// Build a Tselect on `table_name.column` over the whole root table.
+    pub fn build(
+        flash: &Flash,
+        ram: &RamBudget,
+        tree: &SchemaTree,
+        tables: &[&Table],
+        table_name: &str,
+        column: &str,
+    ) -> Result<TselectIndex, DbError> {
+        let t = tree
+            .table_index(table_name)
+            .ok_or_else(|| DbError::UnknownTable(table_name.to_string()))?;
+        let c = tables[t]
+            .schema()
+            .column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: table_name.to_string(),
+                column: column.to_string(),
+            })?;
+        let pos_in_order = tree
+            .order()
+            .iter()
+            .position(|&x| x == t)
+            .ok_or_else(|| DbError::NotInSchemaTree(table_name.to_string()))?;
+        // Stage the (key, root_rowid) pairs into a temporary log, then
+        // sort them — construction uses only log structures.
+        let mut staging = flash.new_log();
+        let n = tables[tree.root()].num_rows();
+        for r in 0..n {
+            let rowids = tree.resolve(tables, r)?;
+            let target_row = tables[t].get(rowids[pos_in_order])?;
+            let key = target_row[c].to_key_bytes();
+            let mut rec = Vec::with_capacity(2 + key.len() + 4);
+            rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            rec.extend_from_slice(&key);
+            rec.extend_from_slice(&r.to_le_bytes());
+            staging.append(&rec)?;
+        }
+        let staging = staging.seal()?;
+        let err = std::cell::RefCell::new(None);
+        let entries = staging.reader().map_while(|rec| match rec {
+            Ok(bytes) => crate::sort::decode_entry(&bytes),
+            Err(e) => {
+                *err.borrow_mut() = Some(DbError::Flash(e));
+                None
+            }
+        });
+        let sorted = external_sort(flash, ram, entries, 8 * 1024, 8)?;
+        staging.reclaim();
+        if let Some(e) = err.into_inner() {
+            sorted.reclaim();
+            return Err(e);
+        }
+        let err2 = std::cell::RefCell::new(None);
+        let sorted_entries = sorted.reader().map_while(|rec| match rec {
+            Ok(bytes) => crate::sort::decode_entry(&bytes),
+            Err(e) => {
+                *err2.borrow_mut() = Some(DbError::Flash(e));
+                None
+            }
+        });
+        let tree_index = TreeIndex::build(flash, sorted_entries)?;
+        sorted.reclaim();
+        if let Some(e) = err2.into_inner() {
+            tree_index.reclaim();
+            return Err(e);
+        }
+        Ok(TselectIndex {
+            tree_index,
+            table: t,
+            column: c,
+        })
+    }
+
+    /// Sorted root rowids whose subtree reaches `key` on this attribute.
+    pub fn lookup(&self, key: &Value) -> Result<Vec<RowId>, DbError> {
+        self.tree_index.lookup(&key.to_key_bytes())
+    }
+}
+
+/// One joined result: the root row followed by the ancestor rows in
+/// [`SchemaTree::ancestors`] order.
+pub type JoinedRow = Vec<Row>;
+
+/// Execute a select-project-join in pipeline: merge-intersect the sorted
+/// root-rowid lists of the Tselect predicates, then dereference each
+/// survivor through Tjoin.
+pub fn execute_spj(
+    tree: &SchemaTree,
+    tables: &[&Table],
+    tjoin: &TjoinIndex,
+    selects: &[(&TselectIndex, Value)],
+) -> Result<Vec<JoinedRow>, DbError> {
+    assert!(!selects.is_empty(), "at least one predicate");
+    // Sorted rowid streams from each Tselect.
+    let lists: Vec<Vec<RowId>> = selects
+        .iter()
+        .map(|(idx, v)| idx.lookup(v))
+        .collect::<Result<_, _>>()?;
+    // Multi-way sorted intersection (the tutorial's "sorted row ids!").
+    let survivors = intersect_sorted(&lists);
+    let mut out = Vec::with_capacity(survivors.len());
+    for r in survivors {
+        let ancestor_rowids = tjoin.get(r)?;
+        let mut joined: JoinedRow = Vec::with_capacity(1 + ancestor_rowids.len());
+        joined.push(tables[tree.root()].get(r)?);
+        for (&t, &rid) in tjoin.ancestors().iter().zip(&ancestor_rowids) {
+            joined.push(tables[t].get(rid)?);
+        }
+        out.push(joined);
+    }
+    Ok(out)
+}
+
+/// Intersect ascending rowid lists by synchronized advance.
+fn intersect_sorted(lists: &[Vec<RowId>]) -> Vec<RowId> {
+    if lists.iter().any(|l| l.is_empty()) {
+        return Vec::new();
+    }
+    let mut cursors = vec![0usize; lists.len()];
+    let mut out = Vec::new();
+    'outer: loop {
+        let mut candidate = lists[0][cursors[0]];
+        let mut advanced = true;
+        while advanced {
+            advanced = false;
+            for (i, list) in lists.iter().enumerate() {
+                while list[cursors[i]] < candidate {
+                    cursors[i] += 1;
+                    if cursors[i] >= list.len() {
+                        break 'outer;
+                    }
+                }
+                if list[cursors[i]] > candidate {
+                    candidate = list[cursors[i]];
+                    advanced = true;
+                }
+            }
+        }
+        out.push(candidate);
+        for (i, list) in lists.iter().enumerate() {
+            cursors[i] += 1;
+            if cursors[i] >= list.len() {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+/// Baseline for experiment E4: the same SPJ with no climbing indexes —
+/// full scan of the root table, per-row dereference of every ancestor,
+/// predicate checks on the materialized join.
+pub fn execute_spj_naive(
+    tree: &SchemaTree,
+    tables: &[&Table],
+    selects: &[(usize, usize, Value)],
+) -> Result<Vec<JoinedRow>, DbError> {
+    let root = tree.root();
+    let n = tables[root].num_rows();
+    let mut out = Vec::new();
+    for r in 0..n {
+        let rowids = tree.resolve(tables, r)?;
+        let rows: Vec<Row> = tree
+            .order()
+            .iter()
+            .zip(&rowids)
+            .map(|(&t, &rid)| tables[t].get(rid))
+            .collect::<Result<_, _>>()?;
+        let keep = selects.iter().all(|(t, c, v)| {
+            let pos = tree.order().iter().position(|x| x == t).unwrap();
+            &rows[pos][*c] == v
+        });
+        if keep {
+            out.push(rows);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ColumnType, Schema};
+
+    /// Tiny 3-level schema: LINE → ORDER → CUSTOMER.
+    fn setup() -> (Flash, RamBudget, Vec<Table>) {
+        let f = Flash::small(1024);
+        let ram = RamBudget::new(64 * 1024);
+        let mut customer = Table::new(
+            &f,
+            "CUSTOMER",
+            Schema::new(&[("ckey", ColumnType::U64), ("segment", ColumnType::Str)]),
+        );
+        let mut orders = Table::new(
+            &f,
+            "ORDERS",
+            Schema::new(&[("okey", ColumnType::U64), ("ckey", ColumnType::U64)]),
+        );
+        let mut line = Table::new(
+            &f,
+            "LINEITEM",
+            Schema::new(&[
+                ("okey", ColumnType::U64),
+                ("qty", ColumnType::U64),
+                ("color", ColumnType::Str),
+            ]),
+        );
+        // 4 customers, alternating segments.
+        for c in 0..4u64 {
+            let seg = if c % 2 == 0 { "HOUSEHOLD" } else { "AUTO" };
+            customer
+                .insert(&vec![Value::U64(c), Value::str(seg)])
+                .unwrap();
+        }
+        // 8 orders, round-robin customers.
+        for o in 0..8u64 {
+            orders
+                .insert(&vec![Value::U64(o), Value::U64(o % 4)])
+                .unwrap();
+        }
+        // 24 lineitems, 3 per order, alternating colors.
+        for l in 0..24u64 {
+            let color = if l % 3 == 0 { "red" } else { "blue" };
+            line.insert(&vec![Value::U64(l / 3), Value::U64(l), Value::str(color)])
+                .unwrap();
+        }
+        (f, ram, vec![customer, orders, line])
+    }
+
+    fn tree_of(tables: &[&Table]) -> SchemaTree {
+        SchemaTree::rooted_at("LINEITEM")
+            .reference("LINEITEM", "okey", "ORDERS")
+            .reference("ORDERS", "ckey", "CUSTOMER")
+            .build(tables)
+            .unwrap()
+    }
+
+    #[test]
+    fn schema_tree_resolution_order() {
+        let (_f, _ram, tables) = setup();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let tree = tree_of(&refs);
+        assert_eq!(tree.table_name(tree.root()), "LINEITEM");
+        let names: Vec<&str> = tree.order().iter().map(|&t| tree.table_name(t)).collect();
+        assert_eq!(names, vec!["LINEITEM", "ORDERS", "CUSTOMER"]);
+    }
+
+    #[test]
+    fn tjoin_dereferences_in_one_read() {
+        let (f, _ram, tables) = setup();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let tree = tree_of(&refs);
+        let tjoin = TjoinIndex::build(&f, &tree, &refs).unwrap();
+        assert_eq!(tjoin.num_entries(), 24);
+        // Lineitem 10 → order 3 → customer 3.
+        let before = f.stats();
+        let anc = tjoin.get(10).unwrap();
+        assert_eq!((f.stats() - before).page_reads, 1);
+        assert_eq!(anc, vec![3, 3]);
+        assert!(tjoin.get(24).is_err());
+    }
+
+    #[test]
+    fn tselect_returns_sorted_root_rowids() {
+        let (f, ram, tables) = setup();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let tree = tree_of(&refs);
+        let tsel =
+            TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
+        let rowids = tsel.lookup(&Value::str("HOUSEHOLD")).unwrap();
+        // Customers 0 and 2 → orders 0,2,4,6 → lineitems 0..3×order.
+        let expected: Vec<RowId> = (0..24u32).filter(|l| (l / 3) % 2 == 0).collect();
+        assert_eq!(rowids, expected);
+        assert!(rowids.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn spj_matches_naive_baseline() {
+        let (f, ram, tables) = setup();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let tree = tree_of(&refs);
+        let tjoin = TjoinIndex::build(&f, &tree, &refs).unwrap();
+        let seg_idx =
+            TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
+        let color_idx =
+            TselectIndex::build(&f, &ram, &tree, &refs, "LINEITEM", "color").unwrap();
+        let fast = execute_spj(
+            &tree,
+            &refs,
+            &tjoin,
+            &[
+                (&seg_idx, Value::str("HOUSEHOLD")),
+                (&color_idx, Value::str("red")),
+            ],
+        )
+        .unwrap();
+        let cust = tree.table_index("CUSTOMER").unwrap();
+        let li = tree.table_index("LINEITEM").unwrap();
+        let naive = execute_spj_naive(
+            &tree,
+            &refs,
+            &[
+                (cust, 1, Value::str("HOUSEHOLD")),
+                (li, 2, Value::str("red")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(fast.len(), naive.len());
+        assert!(!fast.is_empty());
+        for (a, b) in fast.iter().zip(&naive) {
+            assert_eq!(a, b);
+        }
+        // Every result satisfies both predicates.
+        for joined in &fast {
+            assert_eq!(joined[0][2], Value::str("red"));
+            assert_eq!(joined[2][1], Value::str("HOUSEHOLD"));
+        }
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let (f, ram, tables) = setup();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let tree = tree_of(&refs);
+        let tjoin = TjoinIndex::build(&f, &tree, &refs).unwrap();
+        let seg_idx =
+            TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
+        let res = execute_spj(
+            &tree,
+            &refs,
+            &tjoin,
+            &[(&seg_idx, Value::str("NO-SUCH-SEGMENT"))],
+        )
+        .unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_cases() {
+        assert_eq!(
+            intersect_sorted(&[vec![1, 3, 5, 7], vec![3, 4, 5], vec![0, 3, 5, 9]]),
+            vec![3, 5]
+        );
+        assert_eq!(intersect_sorted(&[vec![1, 2], vec![]]), Vec::<RowId>::new());
+        assert_eq!(intersect_sorted(&[vec![4, 8]]), vec![4, 8]);
+        assert_eq!(
+            intersect_sorted(&[vec![1, 2, 3], vec![4, 5]]),
+            Vec::<RowId>::new()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_unknown_names() {
+        let (_f, _ram, tables) = setup();
+        let refs: Vec<&Table> = tables.iter().collect();
+        assert!(matches!(
+            SchemaTree::rooted_at("NOPE").build(&refs),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            SchemaTree::rooted_at("LINEITEM")
+                .reference("LINEITEM", "nocol", "ORDERS")
+                .build(&refs),
+            Err(DbError::UnknownColumn { .. })
+        ));
+    }
+}

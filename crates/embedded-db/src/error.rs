@@ -1,0 +1,67 @@
+//! Error type of the embedded database.
+
+use pds_flash::FlashError;
+use pds_mcu::RamError;
+use std::fmt;
+
+/// Everything that can fail inside the embedded database.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying flash failure.
+    Flash(FlashError),
+    /// The operation does not fit the MCU RAM budget.
+    Ram(RamError),
+    /// Reference to an unknown table.
+    UnknownTable(String),
+    /// Reference to an unknown column.
+    UnknownColumn { table: String, column: String },
+    /// A climbing-index query addressed a table outside the schema tree.
+    NotInSchemaTree(String),
+    /// Stored bytes failed to decode.
+    Corrupt(&'static str),
+}
+
+impl From<FlashError> for DbError {
+    fn from(e: FlashError) -> Self {
+        DbError::Flash(e)
+    }
+}
+
+impl From<RamError> for DbError {
+    fn from(e: RamError) -> Self {
+        DbError::Ram(e)
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Flash(e) => write!(f, "flash: {e}"),
+            DbError::Ram(e) => write!(f, "ram: {e}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            DbError::NotInSchemaTree(t) => write!(f, "table {t} not in schema tree"),
+            DbError::Corrupt(what) => write!(f, "corrupt {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DbError::UnknownTable("X".into()).to_string().contains('X'));
+        let e = DbError::UnknownColumn {
+            table: "T".into(),
+            column: "c".into(),
+        };
+        assert!(e.to_string().contains("T.c"));
+        assert!(DbError::Corrupt("tree page").to_string().contains("tree"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # pds-db — embedded relational database for secure tokens
+//!
+//! Part II's second illustration: "evaluate selections, projections,
+//! joins" on the secure MCU, under the same framework as the search
+//! engine — *indexes in log structures, pipeline evaluation, timely
+//! reorganization*. This crate is a faithful reproduction of the
+//! PBFilter / MILo-DB lineage the tutorial presents:
+//!
+//! * [`pbfilter`] — the sequential selection index: a **Keys log**
+//!   (vertical partition of the indexed column, filled at insertion) and a
+//!   **Bloom-filter summary log** (one ~2 B/key filter per Keys page).
+//!   A lookup scans the compact summary log and probes only the Keys
+//!   pages whose filter answers positive: "|Log2| I/O + 1 IO/result" —
+//!   the slide's *Summary Scan, 17 IOs* against a *Table Scan, 640 IOs*.
+//! * [`sort`] — external merge sort built exclusively from log structures
+//!   (sorted runs are logs; the merge output is a log), the engine of
+//!   reorganization.
+//! * [`tree`] — a B-tree-like index **built strictly sequentially** from a
+//!   sorted stream, level logs included, so the whole construction is
+//!   legal NAND; lookups descend root→leaf in `height` page reads.
+//! * [`reorg`] — "Scalability ⇒ timely reorganize the index": transforms a
+//!   sequential PBFilter into a [`tree::TreeIndex`] using only log
+//!   structures, in the background, interruptibly.
+//! * [`climbing`] — the **Tselect/Tjoin** generalized indexes of the SPJ
+//!   slide: Tselect maps a key to *sorted rowids of the query-root table*;
+//!   Tjoin maps each root rowid to the rowids it references in the schema
+//!   subtree. Select-project-join queries then run as a pure pipeline:
+//!   merge-intersect sorted rowid streams, dereference through Tjoin.
+//! * [`query`] — a mini relational layer: catalog, typed rows, predicates,
+//!   a planner that picks scan / PBFilter / tree, and the SPJ executor.
+//! * [`tpcd`] — the TPC-D-like dataset of the tutorial's example
+//!   (CUSTOMER, ORDERS, LINEITEM, PARTSUPP, SUPPLIER) at configurable
+//!   scale.
+//!
+//! The tutorial's closing "remaining challenges" ask for the framework to
+//! be extended "to other data models: … time series, noSQL & key-value
+//! stores"; both are built here with the same recipe:
+//!
+//! * [`timeseries`] — a log-structured time series with pre-aggregated
+//!   page summaries (range aggregates at summary-scan cost).
+//! * [`kv`] — a log-structured key-value store with Bloom page summaries,
+//!   version shadowing, tombstones and block-grain compaction.
+//! * [`spatial`] — a spatio-temporal trace with per-page MBR summaries
+//!   (window queries at summary-scan cost).
+
+pub mod climbing;
+pub mod error;
+pub mod kv;
+pub mod pbfilter;
+pub mod query;
+pub mod reorg;
+pub mod sort;
+pub mod spatial;
+pub mod table;
+pub mod timeseries;
+pub mod tpcd;
+pub mod tree;
+pub mod value;
+
+pub use climbing::{SchemaTree, TjoinIndex, TselectIndex};
+pub use error::DbError;
+pub use kv::KvStore;
+pub use pbfilter::PBFilter;
+pub use timeseries::TimeSeries;
+pub use query::{Database, Predicate, QueryPlan};
+pub use sort::external_sort;
+pub use spatial::SpatialTrace;
+pub use table::{RowId, Table};
+pub use tree::TreeIndex;
+pub use value::{Row, Schema, Value};

@@ -1,0 +1,183 @@
+//! Index reorganization: sequential PBFilter → B-tree-like index.
+//!
+//! "Scalability ⇒ timely reorganize the index … to transform it into a
+//! more efficient index. The reorganization process: only uses log
+//! structures; background / interruptible."
+//!
+//! Two phases, exactly the tutorial's:
+//!
+//! 1. **Sort** the `(key, pointer)` pairs of the Keys log into a «Sorted
+//!    Keys» log ([`crate::sort::external_sort`] — temporary runs are logs,
+//!    reclaimed at block grain).
+//! 2. **Build the key hierarchy** above the sorted leaves
+//!    ([`crate::tree::TreeIndex::build`] — every page appended once).
+//!
+//! The source index stays fully queryable until the caller swaps it for
+//! the returned tree, so an interruption at any point simply discards
+//! partial logs and leaves the system as it was — the interruptibility
+//! the tutorial requires. [`Reorganization`] exposes the phase boundary so
+//! tests (and the E2 bench) can interrupt between them.
+
+use std::cell::RefCell;
+
+use pds_flash::{Flash, Log};
+use pds_mcu::RamBudget;
+
+use crate::error::DbError;
+use crate::pbfilter::PBFilter;
+use crate::sort::{decode_entry, external_sort};
+use crate::tree::TreeIndex;
+
+/// RAM granted to run formation during the sort phase.
+const RUN_BYTES: usize = 8 * 1024;
+/// Merge fan-in (one RAM page per merged run).
+const FAN_IN: usize = 8;
+
+/// One-shot reorganization: PBFilter in, TreeIndex out.
+pub fn reorganize(
+    flash: &Flash,
+    ram: &RamBudget,
+    source: &PBFilter,
+) -> Result<TreeIndex, DbError> {
+    let mut r = Reorganization::start(flash, ram, source)?;
+    r.build_tree()
+}
+
+/// A reorganization paused at the phase boundary.
+pub struct Reorganization {
+    flash: Flash,
+    sorted: Option<Log>,
+}
+
+impl Reorganization {
+    /// Phase 1: sort the source index's entries into a «Sorted Keys» log.
+    pub fn start(
+        flash: &Flash,
+        ram: &RamBudget,
+        source: &PBFilter,
+    ) -> Result<Reorganization, DbError> {
+        // Stream entries out of the PBFilter, capturing any flash error.
+        let first_err: RefCell<Option<DbError>> = RefCell::new(None);
+        let entries = source.entries().map_while(|res| match res {
+            Ok(e) => Some(e),
+            Err(e) => {
+                *first_err.borrow_mut() = Some(e.into());
+                None
+            }
+        });
+        let sorted = external_sort(flash, ram, entries, RUN_BYTES, FAN_IN)?;
+        if let Some(e) = first_err.into_inner() {
+            sorted.reclaim();
+            return Err(e);
+        }
+        Ok(Reorganization {
+            flash: flash.clone(),
+            sorted: Some(sorted),
+        })
+    }
+
+    /// Phase 2: build the tree above the sorted log, reclaiming it.
+    pub fn build_tree(&mut self) -> Result<TreeIndex, DbError> {
+        let sorted = self.sorted.take().expect("build_tree called twice");
+        let first_err: RefCell<Option<DbError>> = RefCell::new(None);
+        let entries = sorted.reader().map_while(|rec| match rec {
+            Ok(bytes) => match decode_entry(&bytes) {
+                Some(e) => Some(e),
+                None => {
+                    *first_err.borrow_mut() = Some(DbError::Corrupt("sorted keys"));
+                    None
+                }
+            },
+            Err(e) => {
+                *first_err.borrow_mut() = Some(e.into());
+                None
+            }
+        });
+        let tree = TreeIndex::build(&self.flash, entries)?;
+        sorted.reclaim();
+        if let Some(e) = first_err.into_inner() {
+            tree.reclaim();
+            return Err(e);
+        }
+        Ok(tree)
+    }
+
+    /// Interrupt: drop the intermediate sorted log, reclaiming its blocks.
+    /// The source index was never touched.
+    pub fn abort(mut self) {
+        if let Some(sorted) = self.sorted.take() {
+            sorted.reclaim();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RowId;
+
+    fn build_pbfilter(f: &Flash, n: u32, domain: u32) -> PBFilter {
+        let mut idx = PBFilter::new(f);
+        for i in 0..n {
+            idx.insert(&(i % domain).to_be_bytes(), i).unwrap();
+        }
+        idx.flush().unwrap();
+        idx
+    }
+
+    #[test]
+    fn tree_answers_match_source() {
+        let f = Flash::small(1024);
+        let ram = RamBudget::new(64 * 1024);
+        let pbf = build_pbfilter(&f, 5000, 100);
+        let tree = reorganize(&f, &ram, &pbf).unwrap();
+        for probe in [0u32, 17, 99] {
+            let key = probe.to_be_bytes();
+            let mut from_pbf = pbf.lookup(&key).unwrap();
+            from_pbf.sort_unstable();
+            assert_eq!(tree.lookup(&key).unwrap(), from_pbf, "key {probe}");
+        }
+        assert_eq!(tree.num_entries(), 5000);
+    }
+
+    #[test]
+    fn tree_lookup_is_cheaper_than_summary_scan() {
+        let f = Flash::small(2048);
+        let ram = RamBudget::new(64 * 1024);
+        let pbf = build_pbfilter(&f, 20_000, 500);
+        let key = 123u32.to_be_bytes();
+        let before = f.stats();
+        pbf.lookup(&key).unwrap();
+        let pbf_ios = (f.stats() - before).page_reads;
+        let tree = reorganize(&f, &ram, &pbf).unwrap();
+        let tree_ios = tree.lookup_cost(&key).unwrap();
+        assert!(
+            tree_ios < pbf_ios,
+            "tree {tree_ios} IOs must beat summary scan {pbf_ios} IOs at this size"
+        );
+    }
+
+    #[test]
+    fn abort_between_phases_leaks_nothing_and_source_survives() {
+        let f = Flash::small(1024);
+        let ram = RamBudget::new(64 * 1024);
+        let pbf = build_pbfilter(&f, 3000, 50);
+        let free_before = f.free_blocks();
+        let r = Reorganization::start(&f, &ram, &pbf).unwrap();
+        // "Interrupt" here: the sorted log exists, the tree does not.
+        r.abort();
+        assert_eq!(f.free_blocks(), free_before, "intermediate logs reclaimed");
+        // Source still answers.
+        let hits: Vec<RowId> = pbf.lookup(&7u32.to_be_bytes()).unwrap();
+        assert_eq!(hits.len(), 60);
+    }
+
+    #[test]
+    fn reorganize_empty_index() {
+        let f = Flash::small(64);
+        let ram = RamBudget::new(32 * 1024);
+        let pbf = PBFilter::new(&f);
+        let tree = reorganize(&f, &ram, &pbf).unwrap();
+        assert_eq!(tree.num_entries(), 0);
+    }
+}

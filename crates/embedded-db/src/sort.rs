@@ -1,0 +1,234 @@
+//! External merge sort built exclusively from log structures.
+//!
+//! Step 1 of a reorganization: "Sort the (key, pointer) pairs → temporary
+//! logs (sorted "runs") → result written sequentially: «Sorted Keys»."
+//! Runs are plain logs; the merge reads one page per run and writes one
+//! sequential output log; temporary runs are reclaimed at block grain the
+//! moment they are merged. RAM use — the run buffer during run formation,
+//! one page per merged run during the merge — is charged to the MCU
+//! budget, and the merge fan-in is derived from it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pds_flash::{Flash, Log};
+use pds_mcu::RamBudget;
+
+use crate::error::DbError;
+use crate::table::RowId;
+
+/// One sortable entry: an order-preserving key and a rowid payload.
+pub type SortEntry = (Vec<u8>, RowId);
+
+fn encode_entry(key: &[u8], rowid: RowId) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(2 + key.len() + 4);
+    rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    rec.extend_from_slice(key);
+    rec.extend_from_slice(&rowid.to_le_bytes());
+    rec
+}
+
+/// Decode an entry record written by a run or output log.
+pub fn decode_entry(rec: &[u8]) -> Option<SortEntry> {
+    let klen = u16::from_le_bytes(rec.get(0..2)?.try_into().ok()?) as usize;
+    let key = rec.get(2..2 + klen)?.to_vec();
+    let rowid = u32::from_le_bytes(rec.get(2 + klen..2 + klen + 4)?.try_into().ok()?);
+    Some((key, rowid))
+}
+
+/// Sort `entries` by `(key, rowid)` into a sealed output log.
+///
+/// `run_bytes` bounds the RAM used for run formation; the merge fan-in is
+/// `merge_pages` (one RAM page per run being merged). Both are reserved
+/// from `ram` and the sort fails with [`DbError::Ram`] if the device
+/// cannot afford them.
+pub fn external_sort(
+    flash: &Flash,
+    ram: &RamBudget,
+    entries: impl Iterator<Item = SortEntry>,
+    run_bytes: usize,
+    merge_pages: usize,
+) -> Result<Log, DbError> {
+    assert!(merge_pages >= 2, "merge needs at least fan-in 2");
+    // Phase 1: sorted run formation.
+    let mut runs: Vec<Log> = Vec::new();
+    {
+        let mut guard = ram.reserve(0)?;
+        let mut buffer: Vec<SortEntry> = Vec::new();
+        let mut buffered = 0usize;
+        for (key, rowid) in entries {
+            let sz = key.len() + 8;
+            guard.grow(sz)?;
+            buffered += sz;
+            buffer.push((key, rowid));
+            if buffered >= run_bytes {
+                runs.push(write_run(flash, &mut buffer)?);
+                guard.shrink(buffered);
+                buffered = 0;
+            }
+        }
+        if !buffer.is_empty() {
+            runs.push(write_run(flash, &mut buffer)?);
+        }
+    }
+    if runs.is_empty() {
+        return Ok(flash.new_log().seal()?);
+    }
+    // Phase 2: iterative fan-in-limited merge.
+    while runs.len() > 1 {
+        let take = runs.len().min(merge_pages);
+        let group: Vec<Log> = runs.drain(..take).collect();
+        let merged = merge_runs(flash, ram, &group)?;
+        for run in group {
+            run.reclaim();
+        }
+        runs.push(merged);
+    }
+    Ok(runs.pop().expect("one run remains"))
+}
+
+fn write_run(flash: &Flash, buffer: &mut Vec<SortEntry>) -> Result<Log, DbError> {
+    buffer.sort();
+    let mut w = flash.new_log();
+    for (key, rowid) in buffer.drain(..) {
+        w.append(&encode_entry(&key, rowid))?;
+    }
+    Ok(w.seal()?)
+}
+
+fn merge_runs(flash: &Flash, ram: &RamBudget, runs: &[Log]) -> Result<Log, DbError> {
+    // One page of RAM per run: the LogReader window.
+    let _guard = ram.reserve(runs.len() * flash.geometry().page_size)?;
+    let mut readers: Vec<_> = runs.iter().map(|r| r.reader()).collect();
+    let mut heap: BinaryHeap<Reverse<(SortEntry, usize)>> = BinaryHeap::new();
+    for (i, r) in readers.iter_mut().enumerate() {
+        if let Some(rec) = r.next() {
+            let entry = decode_entry(&rec?).ok_or(DbError::Corrupt("sort run"))?;
+            heap.push(Reverse((entry, i)));
+        }
+    }
+    let mut out = flash.new_log();
+    while let Some(Reverse(((key, rowid), i))) = heap.pop() {
+        out.append(&encode_entry(&key, rowid))?;
+        if let Some(rec) = readers[i].next() {
+            let entry = decode_entry(&rec?).ok_or(DbError::Corrupt("sort run"))?;
+            heap.push(Reverse((entry, i)));
+        }
+    }
+    Ok(out.seal()?)
+}
+
+/// Read back a sorted log as entries (test/consumer aid; one page of RAM).
+pub fn read_sorted(log: &Log) -> Result<Vec<SortEntry>, DbError> {
+    log.reader()
+        .map(|rec| decode_entry(&rec?).ok_or(DbError::Corrupt("sorted log")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (Flash, RamBudget) {
+        (Flash::small(512), RamBudget::new(64 * 1024))
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let (f, ram) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let entries: Vec<SortEntry> = (0..5000u32)
+            .map(|i| (rng.gen::<u32>().to_be_bytes().to_vec(), i))
+            .collect();
+        let mut expected = entries.clone();
+        expected.sort();
+        let log = external_sort(&f, &ram, entries.into_iter(), 4096, 4).unwrap();
+        assert_eq!(read_sorted(&log).unwrap(), expected);
+    }
+
+    #[test]
+    fn multi_pass_merge_with_tiny_fan_in() {
+        let (f, ram) = setup();
+        let entries: Vec<SortEntry> = (0..2000u32)
+            .rev()
+            .map(|i| (i.to_be_bytes().to_vec(), i))
+            .collect();
+        // Tiny runs (many of them) + fan-in 2 forces several merge passes.
+        let log = external_sort(&f, &ram, entries.into_iter(), 256, 2).unwrap();
+        let sorted = read_sorted(&log).unwrap();
+        assert_eq!(sorted.len(), 2000);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn temporary_runs_are_reclaimed() {
+        let (f, ram) = setup();
+        let before = f.free_blocks();
+        let entries: Vec<SortEntry> =
+            (0..3000u32).map(|i| ((i * 7 % 997).to_be_bytes().to_vec(), i)).collect();
+        let log = external_sort(&f, &ram, entries.into_iter(), 512, 3).unwrap();
+        let output_blocks = log.num_blocks();
+        assert_eq!(
+            f.free_blocks(),
+            before - output_blocks,
+            "only the output log may keep blocks"
+        );
+        log.reclaim();
+        assert_eq!(f.free_blocks(), before);
+    }
+
+    #[test]
+    fn duplicate_keys_order_by_rowid() {
+        let (f, ram) = setup();
+        let entries = vec![
+            (b"k".to_vec(), 5),
+            (b"k".to_vec(), 1),
+            (b"a".to_vec(), 9),
+            (b"k".to_vec(), 3),
+        ];
+        let log = external_sort(&f, &ram, entries.into_iter(), 64, 2).unwrap();
+        assert_eq!(
+            read_sorted(&log).unwrap(),
+            vec![
+                (b"a".to_vec(), 9),
+                (b"k".to_vec(), 1),
+                (b"k".to_vec(), 3),
+                (b"k".to_vec(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_log() {
+        let (f, ram) = setup();
+        let log = external_sort(&f, &ram, std::iter::empty(), 1024, 2).unwrap();
+        assert_eq!(log.num_records(), 0);
+    }
+
+    #[test]
+    fn ram_budget_bounds_run_buffer() {
+        let f = Flash::small(64);
+        let ram = RamBudget::new(1024); // smaller than the requested run
+        let entries = (0..1000u32).map(|i| (i.to_be_bytes().to_vec(), i));
+        let err = external_sort(&f, &ram, entries, 64 * 1024, 2).unwrap_err();
+        assert!(matches!(err, DbError::Ram(_)));
+    }
+
+    #[test]
+    fn merge_ram_is_one_page_per_run() {
+        let (f, ram) = setup();
+        ram.reset_high_water();
+        let entries: Vec<SortEntry> =
+            (0..4000u32).rev().map(|i| (i.to_be_bytes().to_vec(), i)).collect();
+        external_sort(&f, &ram, entries.into_iter(), 2048, 4).unwrap();
+        let page = f.geometry().page_size;
+        // Peak is max(run buffer, fan_in pages) + slack.
+        assert!(
+            ram.high_water() <= 2048 + 4 * page + 512,
+            "peak {} exceeds the declared sort budget",
+            ram.high_water()
+        );
+    }
+}

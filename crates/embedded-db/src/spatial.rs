@@ -1,0 +1,348 @@
+//! Embedded spatial-temporal store — third item of the tutorial's
+//! extension challenge ("XML, time series, **spatial-temporal data**,
+//! noSQL & key-value stores").
+//!
+//! The motivating device class is the tutorial's GPS-enabled personal
+//! tokens (transport passes, vehicle trackers): points `(x, y, ts)`
+//! arrive in time order and append to a sequential **data log**; a
+//! **summary log** keeps, per data page, the *minimum bounding rectangle*
+//! (MBR) and time range of its points — the R-tree idea flattened into
+//! the tutorial's log+summary shape. Spatio-temporal window queries scan
+//! the compact summaries and probe only pages whose MBR intersects the
+//! window.
+//!
+//! Movement traces have strong spatial locality in time (consecutive
+//! points are near each other), so page MBRs are tight and the summary
+//! scan prunes aggressively — the property the tests assert.
+
+use pds_flash::{Flash, FlashError, LogWriter};
+
+/// One spatio-temporal point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// X coordinate (e.g. scaled longitude).
+    pub x: i32,
+    /// Y coordinate (e.g. scaled latitude).
+    pub y: i32,
+    /// Timestamp (monotone).
+    pub ts: u64,
+}
+
+/// An axis-aligned query window with a time range.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// Inclusive x range.
+    pub x: (i32, i32),
+    /// Inclusive y range.
+    pub y: (i32, i32),
+    /// Inclusive time range.
+    pub t: (u64, u64),
+}
+
+impl Window {
+    /// Does the window contain the point?
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x.0
+            && p.x <= self.x.1
+            && p.y >= self.y.0
+            && p.y <= self.y.1
+            && p.ts >= self.t.0
+            && p.ts <= self.t.1
+    }
+}
+
+const POINT_LEN: usize = 16;
+const PAGE_HEADER: usize = 2;
+
+/// Per-page summary: MBR + time range.
+#[derive(Debug, Clone, Copy)]
+struct Mbr {
+    x: (i32, i32),
+    y: (i32, i32),
+    t: (u64, u64),
+}
+
+impl Mbr {
+    fn of(points: &[Point]) -> Mbr {
+        let mut m = Mbr {
+            x: (i32::MAX, i32::MIN),
+            y: (i32::MAX, i32::MIN),
+            t: (u64::MAX, u64::MIN),
+        };
+        for p in points {
+            m.x.0 = m.x.0.min(p.x);
+            m.x.1 = m.x.1.max(p.x);
+            m.y.0 = m.y.0.min(p.y);
+            m.y.1 = m.y.1.max(p.y);
+            m.t.0 = m.t.0.min(p.ts);
+            m.t.1 = m.t.1.max(p.ts);
+        }
+        m
+    }
+
+    fn intersects(&self, w: &Window) -> bool {
+        self.x.0 <= w.x.1
+            && self.x.1 >= w.x.0
+            && self.y.0 <= w.y.1
+            && self.y.1 >= w.y.0
+            && self.t.0 <= w.t.1
+            && self.t.1 >= w.t.0
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        for v in [self.x.0, self.x.1, self.y.0, self.y.1] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.t.0.to_le_bytes());
+        out.extend_from_slice(&self.t.1.to_le_bytes());
+        out
+    }
+
+    fn decode(rec: &[u8]) -> Option<Mbr> {
+        if rec.len() != 32 {
+            return None;
+        }
+        let i = |a: usize| i32::from_le_bytes(rec[a..a + 4].try_into().unwrap());
+        Some(Mbr {
+            x: (i(0), i(4)),
+            y: (i(8), i(12)),
+            t: (
+                u64::from_le_bytes(rec[16..24].try_into().ok()?),
+                u64::from_le_bytes(rec[24..32].try_into().ok()?),
+            ),
+        })
+    }
+}
+
+/// A log-structured spatio-temporal trace with MBR page summaries.
+pub struct SpatialTrace {
+    flash: Flash,
+    data: LogWriter,
+    summaries: LogWriter,
+    pending: Vec<Point>,
+    points_per_page: usize,
+    last_ts: Option<u64>,
+    total: u64,
+}
+
+impl SpatialTrace {
+    /// An empty trace on `flash`.
+    pub fn new(flash: &Flash) -> Self {
+        let points_per_page = (flash.geometry().page_size - PAGE_HEADER) / POINT_LEN;
+        SpatialTrace {
+            flash: flash.clone(),
+            data: flash.new_log(),
+            summaries: flash.new_log(),
+            pending: Vec::new(),
+            points_per_page,
+            last_ts: None,
+            total: 0,
+        }
+    }
+
+    /// Points recorded.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no point was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Data pages programmed.
+    pub fn num_data_pages(&self) -> u32 {
+        self.data.num_pages()
+    }
+
+    /// Record one point (timestamps must be non-decreasing).
+    pub fn record(&mut self, x: i32, y: i32, ts: u64) -> Result<(), FlashError> {
+        if let Some(last) = self.last_ts {
+            assert!(ts >= last, "timestamps must be non-decreasing");
+        }
+        self.last_ts = Some(ts);
+        self.pending.push(Point { x, y, ts });
+        self.total += 1;
+        if self.pending.len() == self.points_per_page {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    fn flush_page(&mut self) -> Result<(), FlashError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let page_size = self.flash.geometry().page_size;
+        let mut page = vec![0xFFu8; page_size];
+        page[0..2].copy_from_slice(&(self.pending.len() as u16).to_le_bytes());
+        for (i, p) in self.pending.iter().enumerate() {
+            let off = PAGE_HEADER + i * POINT_LEN;
+            page[off..off + 4].copy_from_slice(&p.x.to_le_bytes());
+            page[off + 4..off + 8].copy_from_slice(&p.y.to_le_bytes());
+            page[off + 8..off + 16].copy_from_slice(&p.ts.to_le_bytes());
+        }
+        self.data.append_raw_page(&page)?;
+        self.summaries.append(&Mbr::of(&self.pending).encode())?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Force pending points to flash.
+    pub fn flush(&mut self) -> Result<(), FlashError> {
+        self.flush_page()?;
+        self.summaries.flush()
+    }
+
+    fn decode_data_page(buf: &[u8]) -> Vec<Point> {
+        let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+        (0..count)
+            .map(|i| {
+                let off = PAGE_HEADER + i * POINT_LEN;
+                Point {
+                    x: i32::from_le_bytes(buf[off..off + 4].try_into().unwrap()),
+                    y: i32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap()),
+                    ts: u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),
+                }
+            })
+            .collect()
+    }
+
+    /// All points inside the window, in time order. RAM: one page buffer;
+    /// I/O: summary scan + only the intersecting data pages.
+    pub fn window_query(&self, w: &Window) -> Result<Vec<Point>, FlashError> {
+        let mut hits = Vec::new();
+        let page_size = self.flash.geometry().page_size;
+        let mut buf = vec![0u8; page_size];
+        let mut page_idx: u32 = 0;
+        let mut handle = |rec: &[u8], hits: &mut Vec<Point>, idx: u32| -> Result<(), FlashError> {
+            let mbr = Mbr::decode(rec)
+                .ok_or(FlashError::CorruptPage(pds_flash::PageAddr(idx)))?;
+            if !mbr.intersects(w) {
+                return Ok(());
+            }
+            let addr = self.data.page_addr(idx)?;
+            self.flash.read_page(addr, &mut buf)?;
+            hits.extend(Self::decode_data_page(&buf).into_iter().filter(|p| w.contains(p)));
+            Ok(())
+        };
+        for p in 0..self.summaries.num_pages() {
+            for rec in self.summaries.read_page_records(p)? {
+                handle(&rec, &mut hits, page_idx)?;
+                page_idx += 1;
+            }
+        }
+        for rec in self.summaries.buffered_records() {
+            handle(&rec, &mut hits, page_idx)?;
+            page_idx += 1;
+        }
+        hits.extend(self.pending.iter().copied().filter(|p| w.contains(p)));
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A commuter-like trace: loops between home (0,0) and work (1000,800)
+    /// with small jitter — strong spatial locality in time.
+    fn commuter_trace(days: u64) -> (Flash, SpatialTrace, Vec<Point>) {
+        let f = Flash::small(1024);
+        let mut trace = SpatialTrace::new(&f);
+        let mut all = Vec::new();
+        let mut ts = 0u64;
+        for day in 0..days {
+            for step in 0..100i32 {
+                // Morning: home → work; afternoon: work → home.
+                let frac = if step < 50 { step } else { 100 - step };
+                let x = frac * 20 + (day as i32 % 3);
+                let y = frac * 16 + (day as i32 % 5);
+                trace.record(x, y, ts).unwrap();
+                all.push(Point { x, y, ts });
+                ts += 60;
+            }
+        }
+        (f, trace, all)
+    }
+
+    fn oracle(all: &[Point], w: &Window) -> Vec<Point> {
+        all.iter().copied().filter(|p| w.contains(p)).collect()
+    }
+
+    #[test]
+    fn window_queries_match_oracle() {
+        let (_f, trace, all) = commuter_trace(20);
+        let windows = [
+            Window { x: (0, 100), y: (0, 100), t: (0, u64::MAX) },          // near home
+            Window { x: (900, 1100), y: (700, 900), t: (0, u64::MAX) },     // near work
+            Window { x: (0, 2000), y: (0, 2000), t: (6000, 12000) },        // one time slice
+            Window { x: (5000, 6000), y: (0, 10), t: (0, 100) },            // empty
+        ];
+        for w in &windows {
+            assert_eq!(trace.window_query(w).unwrap(), oracle(&all, w), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn summary_scan_prunes_most_data_pages() {
+        let (f, mut trace, _all) = commuter_trace(60);
+        trace.flush().unwrap();
+        f.reset_stats();
+        // A tight window around home: only the pages covering the
+        // morning/evening ends of each day intersect.
+        let w = Window { x: (0, 60), y: (0, 60), t: (0, u64::MAX) };
+        trace.window_query(&w).unwrap();
+        let reads = f.stats().page_reads;
+        assert!(
+            reads < trace.num_data_pages() as u64,
+            "{reads} reads vs {} data pages — MBRs must prune",
+            trace.num_data_pages()
+        );
+    }
+
+    #[test]
+    fn pending_points_visible() {
+        let f = Flash::small(16);
+        let mut t = SpatialTrace::new(&f);
+        t.record(5, 5, 100).unwrap();
+        let w = Window { x: (0, 10), y: (0, 10), t: (0, 200) };
+        assert_eq!(t.window_query(&w).unwrap().len(), 1);
+        assert_eq!(t.num_data_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_order_enforced() {
+        let f = Flash::small(8);
+        let mut t = SpatialTrace::new(&f);
+        t.record(0, 0, 100).unwrap();
+        let _ = t.record(0, 0, 99);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_window_query_equals_oracle(
+            pts in proptest::collection::vec((-100i32..100, -100i32..100), 1..300),
+            wx in (-100i32..100, -100i32..100),
+            wy in (-100i32..100, -100i32..100),
+        ) {
+            let f = Flash::small(512);
+            let mut trace = SpatialTrace::new(&f);
+            let mut all = Vec::new();
+            for (i, (x, y)) in pts.iter().enumerate() {
+                trace.record(*x, *y, i as u64).unwrap();
+                all.push(Point { x: *x, y: *y, ts: i as u64 });
+            }
+            let w = Window {
+                x: (wx.0.min(wx.1), wx.0.max(wx.1)),
+                y: (wy.0.min(wy.1), wy.0.max(wy.1)),
+                t: (0, u64::MAX),
+            };
+            prop_assert_eq!(trace.window_query(&w).unwrap(), oracle(&all, &w));
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Embedded time-series store — the tutorial's first "remaining
+//! challenge".
+//!
+//! Part II closes with: "Extend the principles to other data models:
+//! XML, **time series**, spatial-temporal data, noSQL & key-value
+//! stores." This module applies the exact same framework to time series:
+//!
+//! 1. samples `(timestamp, value)` append to a sequential **data log**
+//!    (timestamps arrive non-decreasing — sensors and life-logging
+//!    produce them in order);
+//! 2. a **summary log** holds one record per data page: its time range
+//!    and pre-aggregates (count / sum / min / max) — the Bloom-filter
+//!    idea transposed to ranges;
+//! 3. range aggregates are answered by a summary scan that reads *data*
+//!    pages only at the two range boundaries — `|summary| I/O + O(1)`
+//!    instead of scanning the series.
+
+use pds_flash::{Flash, FlashError, LogWriter};
+
+/// One sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Seconds (or any monotone unit) since the device epoch.
+    pub ts: u64,
+    /// Measured value.
+    pub value: i64,
+}
+
+const SAMPLE_LEN: usize = 16;
+const PAGE_HEADER: usize = 2;
+
+/// Aggregate of a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aggregate {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: i64,
+    /// Minimum value (i64::MAX when empty).
+    pub min: i64,
+    /// Maximum value (i64::MIN when empty).
+    pub max: i64,
+}
+
+impl Aggregate {
+    /// The empty aggregate (identity of [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        Aggregate {
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+
+    fn add(&mut self, v: i64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Combine two aggregates.
+    pub fn merge(&self, other: &Aggregate) -> Aggregate {
+        Aggregate {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Mean value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// Per-page summary record: `ts_min ‖ ts_max ‖ count ‖ sum ‖ min ‖ max`.
+#[derive(Debug, Clone, Copy)]
+struct PageSummary {
+    ts_min: u64,
+    ts_max: u64,
+    agg: Aggregate,
+}
+
+impl PageSummary {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(&self.ts_min.to_le_bytes());
+        out.extend_from_slice(&self.ts_max.to_le_bytes());
+        out.extend_from_slice(&self.agg.count.to_le_bytes());
+        out.extend_from_slice(&self.agg.sum.to_le_bytes());
+        out.extend_from_slice(&self.agg.min.to_le_bytes());
+        out.extend_from_slice(&self.agg.max.to_le_bytes());
+        out
+    }
+
+    fn decode(rec: &[u8]) -> Option<PageSummary> {
+        if rec.len() != 48 {
+            return None;
+        }
+        Some(PageSummary {
+            ts_min: u64::from_le_bytes(rec[0..8].try_into().ok()?),
+            ts_max: u64::from_le_bytes(rec[8..16].try_into().ok()?),
+            agg: Aggregate {
+                count: u64::from_le_bytes(rec[16..24].try_into().ok()?),
+                sum: i64::from_le_bytes(rec[24..32].try_into().ok()?),
+                min: i64::from_le_bytes(rec[32..40].try_into().ok()?),
+                max: i64::from_le_bytes(rec[40..48].try_into().ok()?),
+            },
+        })
+    }
+}
+
+/// A log-structured time series with pre-aggregated page summaries.
+pub struct TimeSeries {
+    flash: Flash,
+    /// Raw data pages of packed samples.
+    data: LogWriter,
+    /// One summary record per data page.
+    summaries: LogWriter,
+    /// Samples of the page being filled (RAM, one page worth).
+    pending: Vec<Sample>,
+    samples_per_page: usize,
+    last_ts: Option<u64>,
+    total: u64,
+}
+
+impl TimeSeries {
+    /// An empty series on `flash`.
+    pub fn new(flash: &Flash) -> Self {
+        let samples_per_page = (flash.geometry().page_size - PAGE_HEADER) / SAMPLE_LEN;
+        TimeSeries {
+            flash: flash.clone(),
+            data: flash.new_log(),
+            summaries: flash.new_log(),
+            pending: Vec::new(),
+            samples_per_page,
+            last_ts: None,
+            total: 0,
+        }
+    }
+
+    /// Total samples appended.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no sample was appended.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Data pages on flash.
+    pub fn num_data_pages(&self) -> u32 {
+        self.data.num_pages()
+    }
+
+    /// Append one sample. Timestamps must be non-decreasing (out-of-order
+    /// samples are a protocol error on an append-only sensor store).
+    pub fn append(&mut self, ts: u64, value: i64) -> Result<(), FlashError> {
+        if let Some(last) = self.last_ts {
+            assert!(ts >= last, "timestamps must be non-decreasing");
+        }
+        self.last_ts = Some(ts);
+        self.pending.push(Sample { ts, value });
+        self.total += 1;
+        if self.pending.len() == self.samples_per_page {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    fn flush_page(&mut self) -> Result<(), FlashError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let page_size = self.flash.geometry().page_size;
+        let mut page = vec![0xFFu8; page_size];
+        page[0..2].copy_from_slice(&(self.pending.len() as u16).to_le_bytes());
+        let mut agg = Aggregate::empty();
+        for (i, s) in self.pending.iter().enumerate() {
+            let off = PAGE_HEADER + i * SAMPLE_LEN;
+            page[off..off + 8].copy_from_slice(&s.ts.to_le_bytes());
+            page[off + 8..off + 16].copy_from_slice(&s.value.to_le_bytes());
+            agg.add(s.value);
+        }
+        let summary = PageSummary {
+            ts_min: self.pending[0].ts,
+            ts_max: self.pending[self.pending.len() - 1].ts,
+            agg,
+        };
+        self.data.append_raw_page(&page)?;
+        self.summaries.append(&summary.encode())?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Force pending samples to flash.
+    pub fn flush(&mut self) -> Result<(), FlashError> {
+        self.flush_page()?;
+        self.summaries.flush()
+    }
+
+    fn decode_data_page(buf: &[u8]) -> Vec<Sample> {
+        let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+        (0..count)
+            .map(|i| {
+                let off = PAGE_HEADER + i * SAMPLE_LEN;
+                Sample {
+                    ts: u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+                    value: i64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate over `[from, to]` (inclusive): summary scan + boundary
+    /// data-page probes. RAM: one page buffer.
+    pub fn range_aggregate(&self, from: u64, to: u64) -> Result<Aggregate, FlashError> {
+        let mut agg = Aggregate::empty();
+        let page_size = self.flash.geometry().page_size;
+        let mut buf = vec![0u8; page_size];
+        // Walk summaries (flushed pages + buffered tail records).
+        let mut page_idx: u32 = 0;
+        let mut handle = |rec: &[u8], agg: &mut Aggregate, idx: u32| -> Result<(), FlashError> {
+            let s = PageSummary::decode(rec)
+                .ok_or(FlashError::CorruptPage(pds_flash::PageAddr(idx)))?;
+            if s.ts_max < from || s.ts_min > to {
+                return Ok(()); // disjoint: skip without touching data
+            }
+            if s.ts_min >= from && s.ts_max <= to {
+                *agg = agg.merge(&s.agg); // fully covered: use the summary
+                return Ok(());
+            }
+            // Boundary page: probe the data page.
+            let addr = self.data.page_addr(idx)?;
+            self.flash.read_page(addr, &mut buf)?;
+            for sample in Self::decode_data_page(&buf) {
+                if sample.ts >= from && sample.ts <= to {
+                    agg.add(sample.value);
+                }
+            }
+            Ok(())
+        };
+        for p in 0..self.summaries.num_pages() {
+            for rec in self.summaries.read_page_records(p)? {
+                handle(&rec, &mut agg, page_idx)?;
+                page_idx += 1;
+            }
+        }
+        for rec in self.summaries.buffered_records() {
+            handle(&rec, &mut agg, page_idx)?;
+            page_idx += 1;
+        }
+        // The RAM-pending samples.
+        for s in &self.pending {
+            if s.ts >= from && s.ts <= to {
+                agg.add(s.value);
+            }
+        }
+        Ok(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series_with(n: u64) -> (Flash, TimeSeries) {
+        let f = Flash::small(512);
+        let mut ts = TimeSeries::new(&f);
+        for i in 0..n {
+            // value pattern: alternating sign ramp
+            let v = if i % 2 == 0 { i as i64 } else { -(i as i64) };
+            ts.append(i * 10, v).unwrap();
+        }
+        (f, ts)
+    }
+
+    fn oracle(n: u64, from: u64, to: u64) -> Aggregate {
+        let mut agg = Aggregate::empty();
+        for i in 0..n {
+            let t = i * 10;
+            if t >= from && t <= to {
+                let v = if i % 2 == 0 { i as i64 } else { -(i as i64) };
+                agg.add(v);
+            }
+        }
+        agg
+    }
+
+    #[test]
+    fn range_aggregates_match_oracle() {
+        let (_f, ts) = series_with(2000);
+        for (from, to) in [(0, 19990), (5000, 6000), (123, 456), (19990, 19990), (30000, 40000)] {
+            assert_eq!(
+                ts.range_aggregate(from, to).unwrap(),
+                oracle(2000, from, to),
+                "[{from},{to}]"
+            );
+        }
+    }
+
+    #[test]
+    fn covered_pages_are_answered_from_summaries_alone() {
+        let (f, mut ts) = series_with(5000);
+        ts.flush().unwrap();
+        f.reset_stats();
+        ts.range_aggregate(10_000, 40_000).unwrap();
+        let reads = f.stats().page_reads;
+        // Summary pages + at most 2 boundary data pages.
+        let summary_pages = ts.summaries.num_pages() as u64;
+        assert!(
+            reads <= summary_pages + 3,
+            "reads {reads} vs summaries {summary_pages}"
+        );
+        assert!(
+            reads < ts.num_data_pages() as u64 / 4,
+            "must not scan the data log"
+        );
+    }
+
+    #[test]
+    fn pending_ram_samples_are_visible() {
+        let f = Flash::small(64);
+        let mut ts = TimeSeries::new(&f);
+        ts.append(100, 7).unwrap();
+        ts.append(110, 9).unwrap();
+        let agg = ts.range_aggregate(0, 200).unwrap();
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sum, 16);
+        assert_eq!(ts.num_data_pages(), 0, "still buffered");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_timestamps_panic() {
+        let f = Flash::small(16);
+        let mut ts = TimeSeries::new(&f);
+        ts.append(100, 1).unwrap();
+        let _ = ts.append(50, 2);
+    }
+
+    #[test]
+    fn empty_series_and_empty_range() {
+        let (_f, ts) = series_with(100);
+        let empty = ts.range_aggregate(999_999, 1_000_000).unwrap();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean(), None);
+        let fresh = TimeSeries::new(&Flash::small(8));
+        assert_eq!(fresh.range_aggregate(0, u64::MAX).unwrap().count, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_aggregate_equals_oracle(
+            n in 1u64..800,
+            a in 0u64..9000,
+            b in 0u64..9000,
+        ) {
+            let (from, to) = (a.min(b), a.max(b));
+            let (_f, ts) = series_with(n);
+            prop_assert_eq!(ts.range_aggregate(from, to).unwrap(), oracle(n, from, to));
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! A B-tree-like index built strictly sequentially.
+//!
+//! Step 2 of a reorganization: "Build a key hierarchy → no need of
+//! temporary logs → result is written sequentially: «Tree». Result:
+//! efficient B-Tree-like index."
+//!
+//! The build consumes a *sorted* `(key, rowid)` stream (the output of
+//! [`crate::sort::external_sort`]): leaves are packed and appended first,
+//! then each internal level is appended above the previous one, root
+//! last. Every page is written exactly once, in order — the construction
+//! is a pure log write. Lookups descend root → leaf in `height` page
+//! reads; duplicate keys spill across leaves and are collected by a
+//! forward leaf walk (leaves are physically consecutive).
+//!
+//! ## Page layout (raw pages in one log)
+//!
+//! ```text
+//! leaf:     [0u8][count u16] count × ([klen u16][key][rowid u32])
+//! internal: [1u8][count u16] count × ([klen u16][key][child_page u32])
+//! ```
+
+use pds_flash::{Flash, Log};
+
+use crate::error::DbError;
+use crate::sort::SortEntry;
+use crate::table::RowId;
+
+const HEADER: usize = 3;
+
+/// A sealed, read-only tree index.
+pub struct TreeIndex {
+    log: Log,
+    root_page: u32,
+    num_leaves: u32,
+    height: u32,
+    num_entries: u64,
+}
+
+struct PagePacker {
+    page: Vec<u8>,
+    count: u16,
+    off: usize,
+    kind: u8,
+}
+
+impl PagePacker {
+    fn new(page_size: usize, kind: u8) -> Self {
+        let mut page = vec![0xFFu8; page_size];
+        page[0] = kind;
+        PagePacker {
+            page,
+            count: 0,
+            off: HEADER,
+            kind,
+        }
+    }
+
+    fn fits(&self, key: &[u8]) -> bool {
+        self.off + 2 + key.len() + 4 <= self.page.len()
+    }
+
+    fn push(&mut self, key: &[u8], val: u32) {
+        self.page[self.off..self.off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+        self.off += 2;
+        self.page[self.off..self.off + key.len()].copy_from_slice(key);
+        self.off += key.len();
+        self.page[self.off..self.off + 4].copy_from_slice(&val.to_le_bytes());
+        self.off += 4;
+        self.count += 1;
+        self.page[1..3].copy_from_slice(&self.count.to_le_bytes());
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn reset(&mut self) -> Vec<u8> {
+        let page_size = self.page.len();
+        let done = std::mem::replace(&mut self.page, vec![0xFFu8; page_size]);
+        self.page[0] = self.kind;
+        self.count = 0;
+        self.off = HEADER;
+        done
+    }
+}
+
+fn decode_entries(page: &[u8]) -> (u8, Vec<(Vec<u8>, u32)>) {
+    let kind = page[0];
+    let count = u16::from_le_bytes([page[1], page[2]]) as usize;
+    let mut off = HEADER;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let klen = u16::from_le_bytes([page[off], page[off + 1]]) as usize;
+        off += 2;
+        let key = page[off..off + klen].to_vec();
+        off += klen;
+        let val = u32::from_le_bytes(page[off..off + 4].try_into().unwrap());
+        off += 4;
+        entries.push((key, val));
+    }
+    (kind, entries)
+}
+
+impl TreeIndex {
+    /// Build a tree from a sorted `(key, rowid)` stream.
+    ///
+    /// The per-level `(first_key, page)` separators are carried through
+    /// *level logs* — plain flash logs reclaimed as soon as the level
+    /// above is built — so construction RAM stays at two pages no matter
+    /// the index size.
+    pub fn build(
+        flash: &Flash,
+        entries: impl Iterator<Item = SortEntry>,
+    ) -> Result<TreeIndex, DbError> {
+        let page_size = flash.geometry().page_size;
+        let mut log = flash.new_log();
+        let mut num_entries = 0u64;
+
+        // Level 0: leaves. The separators of the level above go to a
+        // level log.
+        let mut level_log = flash.new_log();
+        let mut packer = PagePacker::new(page_size, 0);
+        let mut first_key: Option<Vec<u8>> = None;
+        for (key, rowid) in entries {
+            num_entries += 1;
+            if !packer.fits(&key) {
+                let page_idx = log.append_raw_page(&packer.reset())?;
+                push_separator(&mut level_log, first_key.take().unwrap(), page_idx)?;
+            }
+            if first_key.is_none() {
+                first_key = Some(key.clone());
+            }
+            packer.push(&key, rowid);
+        }
+        if !packer.is_empty() {
+            let page_idx = log.append_raw_page(&packer.reset())?;
+            push_separator(&mut level_log, first_key.take().unwrap(), page_idx)?;
+        }
+        let num_leaves = log.num_pages();
+        if num_leaves == 0 {
+            return Ok(TreeIndex {
+                log: log.seal()?,
+                root_page: u32::MAX,
+                num_leaves: 0,
+                height: 0,
+                num_entries: 0,
+            });
+        }
+
+        // Upper levels: consume the previous level log, emit the next.
+        let mut height = 1u32;
+        let mut level = level_log.seal()?;
+        while level.num_records() > 1 {
+            height += 1;
+            let mut next_level = flash.new_log();
+            let mut packer = PagePacker::new(page_size, 1);
+            let mut first_key: Option<Vec<u8>> = None;
+            for rec in level.reader() {
+                let (key, child) =
+                    crate::sort::decode_entry(&rec?).ok_or(DbError::Corrupt("level log"))?;
+                if !packer.fits(&key) {
+                    let page_idx = log.append_raw_page(&packer.reset())?;
+                    push_separator(&mut next_level, first_key.take().unwrap(), page_idx)?;
+                }
+                if first_key.is_none() {
+                    first_key = Some(key.clone());
+                }
+                packer.push(&key, child);
+            }
+            if !packer.is_empty() {
+                let page_idx = log.append_raw_page(&packer.reset())?;
+                push_separator(&mut next_level, first_key.take().unwrap(), page_idx)?;
+            }
+            level.reclaim();
+            level = next_level.seal()?;
+        }
+        // The single record of the last level points at the root page.
+        let root_page = {
+            let rec = level.reader().next().expect("root separator")?;
+            let (_, page) =
+                crate::sort::decode_entry(&rec).ok_or(DbError::Corrupt("level log"))?;
+            page
+        };
+        level.reclaim();
+        Ok(TreeIndex {
+            log: log.seal()?,
+            root_page,
+            num_leaves,
+            height,
+            num_entries,
+        })
+    }
+
+    /// Number of indexed entries.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Tree height in pages (= page reads per point lookup).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total pages of the index.
+    pub fn num_pages(&self) -> u32 {
+        self.log.num_pages()
+    }
+
+    /// All rowids with key exactly `key`, ascending.
+    pub fn lookup(&self, key: &[u8]) -> Result<Vec<RowId>, DbError> {
+        if self.num_leaves == 0 {
+            return Ok(Vec::new());
+        }
+        let page_size = self.log.flash().geometry().page_size;
+        let mut buf = vec![0u8; page_size];
+        let mut page = self.root_page;
+        // Descend internals, keeping the decoded leaf for the walk below
+        // (so the landing leaf is read exactly once).
+        let mut leaf_entries;
+        loop {
+            self.log.read_raw_page(page, &mut buf)?;
+            let (kind, entries) = decode_entries(&buf);
+            if kind == 0 {
+                leaf_entries = entries;
+                break;
+            }
+            // Descend toward the *first* occurrence of the key: the
+            // rightmost child whose separator is strictly below it.
+            // (With duplicated keys, several consecutive separators can
+            // equal `key`; the first occurrence lives in the child just
+            // before them.)
+            let idx = entries
+                .iter()
+                .rposition(|(k, _)| k.as_slice() < key)
+                .unwrap_or(0);
+            page = entries[idx].1;
+        }
+        // `page` is at or before the first candidate leaf; duplicates may
+        // span several physically consecutive leaves. Walk forward until
+        // a key greater than the probe appears (global sort order bounds
+        // the walk to the duplicate span plus one page).
+        let mut hits = Vec::new();
+        let mut leaf = page;
+        loop {
+            let mut passed_key = false;
+            for (k, rowid) in &leaf_entries {
+                match k.as_slice().cmp(key) {
+                    std::cmp::Ordering::Equal => hits.push(*rowid),
+                    std::cmp::Ordering::Greater => {
+                        passed_key = true;
+                        break;
+                    }
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            leaf += 1;
+            if passed_key || leaf >= self.num_leaves {
+                break;
+            }
+            self.log.read_raw_page(leaf, &mut buf)?;
+            let (kind, entries) = decode_entries(&buf);
+            debug_assert_eq!(kind, 0);
+            leaf_entries = entries;
+        }
+        Ok(hits)
+    }
+
+    /// All `(key, rowid)` entries with `lo ≤ key ≤ hi`, in key order —
+    /// a range scan: one descent to the first candidate leaf, then a
+    /// forward walk over the physically consecutive leaves.
+    pub fn lookup_range(
+        &self,
+        lo: &[u8],
+        hi: &[u8],
+    ) -> Result<Vec<(Vec<u8>, RowId)>, DbError> {
+        if self.num_leaves == 0 || lo > hi {
+            return Ok(Vec::new());
+        }
+        let page_size = self.log.flash().geometry().page_size;
+        let mut buf = vec![0u8; page_size];
+        let mut page = self.root_page;
+        let mut leaf_entries;
+        loop {
+            self.log.read_raw_page(page, &mut buf)?;
+            let (kind, entries) = decode_entries(&buf);
+            if kind == 0 {
+                leaf_entries = entries;
+                break;
+            }
+            let idx = entries
+                .iter()
+                .rposition(|(k, _)| k.as_slice() < lo)
+                .unwrap_or(0);
+            page = entries[idx].1;
+        }
+        let mut out = Vec::new();
+        let mut leaf = page;
+        loop {
+            let mut passed = false;
+            for (k, rowid) in &leaf_entries {
+                if k.as_slice() > hi {
+                    passed = true;
+                    break;
+                }
+                if k.as_slice() >= lo {
+                    out.push((k.clone(), *rowid));
+                }
+            }
+            leaf += 1;
+            if passed || leaf >= self.num_leaves {
+                break;
+            }
+            self.log.read_raw_page(leaf, &mut buf)?;
+            let (kind, entries) = decode_entries(&buf);
+            debug_assert_eq!(kind, 0);
+            leaf_entries = entries;
+        }
+        Ok(out)
+    }
+
+    /// Page reads a point lookup costs (height + duplicate spill).
+    pub fn lookup_cost(&self, key: &[u8]) -> Result<u64, DbError> {
+        let before = self.log.flash().stats();
+        self.lookup(key)?;
+        Ok((self.log.flash().stats() - before).page_reads)
+    }
+
+    /// Reclaim the index blocks.
+    pub fn reclaim(self) {
+        self.log.reclaim();
+    }
+}
+
+fn push_separator(
+    level_log: &mut pds_flash::LogWriter,
+    key: Vec<u8>,
+    page: u32,
+) -> Result<(), DbError> {
+    let mut rec = Vec::with_capacity(2 + key.len() + 4);
+    rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    rec.extend_from_slice(&key);
+    rec.extend_from_slice(&page.to_le_bytes());
+    level_log.append(&rec)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flash() -> Flash {
+        Flash::small(512)
+    }
+
+    fn entries(n: u32, dup_every: u32) -> Vec<SortEntry> {
+        // keys 0..n/dup_every, each repeated dup_every times.
+        let mut v: Vec<SortEntry> = (0..n)
+            .map(|i| ((i / dup_every).to_be_bytes().to_vec(), i))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn point_lookups_find_exact_matches() {
+        let f = flash();
+        let tree = TreeIndex::build(&f, entries(5000, 1).into_iter()).unwrap();
+        assert_eq!(tree.num_entries(), 5000);
+        for probe in [0u32, 1, 777, 4999] {
+            assert_eq!(
+                tree.lookup(&probe.to_be_bytes()).unwrap(),
+                vec![probe],
+                "probe {probe}"
+            );
+        }
+        assert!(tree.lookup(&9999u32.to_be_bytes()).unwrap().is_empty());
+        assert!(tree.lookup(b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicates_collected_across_leaves() {
+        let f = flash();
+        // 100 keys × 100 duplicates: each key spans several leaves.
+        let tree = TreeIndex::build(&f, entries(10_000, 100).into_iter()).unwrap();
+        for probe in [0u32, 37, 99] {
+            let hits = tree.lookup(&probe.to_be_bytes()).unwrap();
+            let expected: Vec<RowId> =
+                (probe * 100..(probe + 1) * 100).collect();
+            assert_eq!(hits, expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn lookup_cost_is_logarithmic() {
+        let f = Flash::new(pds_flash::FlashGeometry::new(512, 16, 4096));
+        let tree = TreeIndex::build(&f, entries(50_000, 1).into_iter()).unwrap();
+        assert!(tree.height() >= 2, "50k keys need internal levels");
+        let cost = tree.lookup_cost(&25_000u32.to_be_bytes()).unwrap();
+        assert!(
+            cost <= tree.height() as u64 + 1,
+            "cost {cost} vs height {}",
+            tree.height()
+        );
+        assert!(cost < 10, "a tree lookup must be a handful of IOs");
+    }
+
+    #[test]
+    fn empty_tree() {
+        let f = flash();
+        let tree = TreeIndex::build(&f, std::iter::empty()).unwrap();
+        assert_eq!(tree.num_entries(), 0);
+        assert!(tree.lookup(b"x").unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let f = flash();
+        let tree = TreeIndex::build(&f, entries(10, 1).into_iter()).unwrap();
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.lookup(&3u32.to_be_bytes()).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn construction_is_sequential_and_reclaims_level_logs() {
+        let f = flash();
+        let before = f.free_blocks();
+        let tree = TreeIndex::build(&f, entries(20_000, 4).into_iter()).unwrap();
+        let tree_blocks = (tree.num_pages() as usize)
+            .div_ceil(f.geometry().pages_per_block);
+        assert_eq!(
+            f.free_blocks(),
+            before - tree_blocks,
+            "level logs must be fully reclaimed"
+        );
+        tree.reclaim();
+        assert_eq!(f.free_blocks(), before);
+    }
+
+    #[test]
+    fn range_scans_match_filtering() {
+        let f = flash();
+        let tree = TreeIndex::build(&f, entries(5000, 5).into_iter()).unwrap();
+        for (lo, hi) in [(0u32, 10u32), (100, 200), (999, 999), (950, 2000)] {
+            let got = tree
+                .lookup_range(&lo.to_be_bytes(), &hi.to_be_bytes())
+                .unwrap();
+            let expected: Vec<(Vec<u8>, RowId)> = entries(5000, 5)
+                .into_iter()
+                .filter(|(k, _)| {
+                    k.as_slice() >= lo.to_be_bytes().as_slice()
+                        && k.as_slice() <= hi.to_be_bytes().as_slice()
+                })
+                .collect();
+            assert_eq!(got, expected, "[{lo},{hi}]");
+        }
+        // Inverted and out-of-domain ranges are empty.
+        assert!(tree
+            .lookup_range(&9u32.to_be_bytes(), &3u32.to_be_bytes())
+            .unwrap()
+            .is_empty());
+        assert!(tree
+            .lookup_range(&90_000u32.to_be_bytes(), &99_000u32.to_be_bytes())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn range_scan_cost_is_height_plus_touched_leaves() {
+        let f = Flash::new(pds_flash::FlashGeometry::new(512, 16, 4096));
+        let tree = TreeIndex::build(&f, entries(50_000, 1).into_iter()).unwrap();
+        f.reset_stats();
+        let got = tree
+            .lookup_range(&10_000u32.to_be_bytes(), &10_200u32.to_be_bytes())
+            .unwrap();
+        assert_eq!(got.len(), 201);
+        let reads = f.stats().page_reads;
+        // height-1 internals + ~201/keys_per_leaf leaves + 1 overshoot.
+        assert!(reads < 15, "range scan cost {reads}");
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let f = flash();
+        let mut input: Vec<SortEntry> = ["lyon", "paris", "lyon", "nice", "lyon"]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_bytes().to_vec(), i as u32))
+            .collect();
+        input.sort();
+        let tree = TreeIndex::build(&f, input.into_iter()).unwrap();
+        assert_eq!(tree.lookup(b"lyon").unwrap(), vec![0, 2, 4]);
+        assert_eq!(tree.lookup(b"paris").unwrap(), vec![1]);
+        assert!(tree.lookup(b"marseille").unwrap().is_empty());
+    }
+}

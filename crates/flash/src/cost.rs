@@ -1,0 +1,66 @@
+//! Latency model of the NAND chip.
+//!
+//! The relative costs are what drive the tutorial's design rules: a block
+//! erase is ~10× a page program, which itself is ~10× a page read. The
+//! default values below are typical SLC NAND datasheet figures (e.g.
+//! Micron MT29F family), the class of chip found in the secure tokens of
+//! the tutorial (smart-card MCU + raw NAND die).
+
+/// Latency (in nanoseconds) of each primitive chip operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Page read to the MCU buffer.
+    pub read_page_ns: u64,
+    /// Page program from the MCU buffer.
+    pub program_page_ns: u64,
+    /// Whole-block erase.
+    pub erase_block_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            read_page_ns: 25_000,      // 25 µs
+            program_page_ns: 200_000,  // 200 µs
+            erase_block_ns: 1_500_000, // 1.5 ms
+        }
+    }
+}
+
+impl CostModel {
+    /// A model where every operation costs one unit — useful when an
+    /// experiment reports raw I/O counts rather than time.
+    pub fn unit() -> Self {
+        CostModel {
+            read_page_ns: 1,
+            program_page_ns: 1,
+            erase_block_ns: 1,
+        }
+    }
+
+    /// Simulated time of a mixed workload.
+    pub fn time_ns(&self, reads: u64, programs: u64, erases: u64) -> u64 {
+        reads * self.read_page_ns + programs * self.program_page_ns + erases * self.erase_block_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ordering_matches_nand_reality() {
+        let c = CostModel::default();
+        assert!(c.read_page_ns < c.program_page_ns);
+        assert!(c.program_page_ns < c.erase_block_ns);
+    }
+
+    #[test]
+    fn time_is_linear() {
+        let c = CostModel::unit();
+        assert_eq!(c.time_ns(3, 4, 5), 12);
+        let d = CostModel::default();
+        assert_eq!(d.time_ns(1, 0, 0), d.read_page_ns);
+        assert_eq!(d.time_ns(0, 1, 1), d.program_page_ns + d.erase_block_ns);
+    }
+}

@@ -1,0 +1,500 @@
+//! The *Log* abstraction — step 2 of the tutorial's framework.
+//!
+//! "Organize [index structures] into sequential structures (Logs). Log
+//! structures satisfy Flash constraints: pages are written sequentially
+//! (and never updated nor moved), random writes are avoided by
+//! construction; allocation & de-allocation are made on large grains."
+//!
+//! A [`LogWriter`] appends records (or raw pages) strictly sequentially,
+//! allocating whole blocks as it grows. Already-programmed pages of an open
+//! log can be read at any time; sealing yields an immutable [`Log`].
+//! Reclaiming a log returns all of its blocks at once — no partial GC.
+//!
+//! ## Page layout of record pages
+//!
+//! ```text
+//! [u16 record_count] ([u16 len] [len bytes])*  ... padding (0xFF)
+//! ```
+//!
+//! Records never span pages, so a single one-page RAM buffer suffices to
+//! decode any record — the property every pipeline operator of Part II
+//! relies on.
+
+use crate::error::{FlashError, Result};
+use crate::geometry::{BlockId, PageAddr};
+use crate::Flash;
+
+/// Log-relative address of a record: page index within the log + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordAddr {
+    /// Index of the page within the log (0-based).
+    pub page: u32,
+    /// Slot of the record within the page (0-based).
+    pub slot: u16,
+}
+
+/// Header bytes consumed by the record count at the start of a page.
+const PAGE_HEADER: usize = 2;
+/// Header bytes per record (length prefix).
+const REC_HEADER: usize = 2;
+
+/// An appendable, strictly sequential log.
+pub struct LogWriter {
+    flash: Flash,
+    blocks: Vec<BlockId>,
+    /// Number of pages already programmed.
+    pages: u32,
+    /// RAM page buffer being filled (record layout).
+    buf: Vec<u8>,
+    /// Records currently in `buf`.
+    buf_records: u16,
+    /// Write offset within `buf`.
+    buf_off: usize,
+    /// Total records appended (programmed + buffered).
+    records: u64,
+}
+
+impl LogWriter {
+    /// Start an empty log; no block is allocated until the first page is
+    /// programmed.
+    pub fn new(flash: Flash) -> Self {
+        let page_size = flash.geometry().page_size;
+        LogWriter {
+            flash,
+            blocks: Vec::new(),
+            pages: 0,
+            buf: vec![0xFF; page_size],
+            buf_records: 0,
+            buf_off: PAGE_HEADER,
+            records: 0,
+        }
+    }
+
+    /// The flash device this log lives on.
+    pub fn flash(&self) -> &Flash {
+        &self.flash
+    }
+
+    /// Largest record payload a page can hold.
+    pub fn max_record_len(&self) -> usize {
+        self.flash.geometry().page_size - PAGE_HEADER - REC_HEADER
+    }
+
+    /// Pages programmed so far (excludes the RAM buffer).
+    pub fn num_pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Total records appended, including those still buffered in RAM.
+    pub fn num_records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records currently buffered in RAM (not yet on flash).
+    pub fn buffered_records(&self) -> Vec<Vec<u8>> {
+        decode_records(&self.buf, self.buf_records).expect("own buffer is well-formed")
+    }
+
+    /// Physical address of the `i`-th page of the log.
+    pub fn page_addr(&self, i: u32) -> Result<PageAddr> {
+        let geo = self.flash.geometry();
+        let per = geo.pages_per_block as u32;
+        let bi = (i / per) as usize;
+        if i >= self.pages || bi >= self.blocks.len() {
+            return Err(FlashError::BadRecordAddr);
+        }
+        Ok(geo.page_in_block(self.blocks[bi], (i % per) as usize))
+    }
+
+    /// Append one record; flushes the RAM buffer to flash when full.
+    /// Returns the record's log-relative address (its page index is the
+    /// page it *will* occupy once flushed).
+    pub fn append(&mut self, rec: &[u8]) -> Result<RecordAddr> {
+        let max = self.max_record_len();
+        if rec.len() > max {
+            return Err(FlashError::RecordTooLarge {
+                len: rec.len(),
+                max,
+            });
+        }
+        let needed = REC_HEADER + rec.len();
+        if self.buf_off + needed > self.buf.len() {
+            self.flush_page()?;
+        }
+        let addr = RecordAddr {
+            page: self.pages,
+            slot: self.buf_records,
+        };
+        let len = rec.len() as u16;
+        self.buf[self.buf_off..self.buf_off + 2].copy_from_slice(&len.to_le_bytes());
+        self.buf[self.buf_off + 2..self.buf_off + 2 + rec.len()].copy_from_slice(rec);
+        self.buf_off += needed;
+        self.buf_records += 1;
+        self.buf[0..2].copy_from_slice(&self.buf_records.to_le_bytes());
+        self.records += 1;
+        Ok(addr)
+    }
+
+    /// Force the current partial page to flash (wasting its free space —
+    /// the price of NAND's no-append-to-programmed-page rule). No-op when
+    /// the buffer is empty.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buf_records > 0 {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    /// Program a raw, caller-laid-out page and return its page index.
+    /// Flushes any partial record page first so ordering is preserved.
+    pub fn append_raw_page(&mut self, page: &[u8]) -> Result<u32> {
+        self.flush()?;
+        let geo = self.flash.geometry();
+        if page.len() != geo.page_size {
+            return Err(FlashError::BadPageSize {
+                given: page.len(),
+                expected: geo.page_size,
+            });
+        }
+        let addr = self.next_page_slot()?;
+        self.flash.program_page(addr, page)?;
+        self.pages += 1;
+        Ok(self.pages - 1)
+    }
+
+    fn next_page_slot(&mut self) -> Result<PageAddr> {
+        let geo = self.flash.geometry();
+        let per = geo.pages_per_block as u32;
+        let bi = (self.pages / per) as usize;
+        if bi == self.blocks.len() {
+            self.blocks.push(self.flash.alloc_block()?);
+        }
+        Ok(geo.page_in_block(self.blocks[bi], (self.pages % per) as usize))
+    }
+
+    fn flush_page(&mut self) -> Result<()> {
+        let addr = self.next_page_slot()?;
+        self.flash.program_page(addr, &self.buf)?;
+        self.pages += 1;
+        self.buf.fill(0xFF);
+        self.buf[0..2].copy_from_slice(&0u16.to_le_bytes());
+        self.buf_records = 0;
+        self.buf_off = PAGE_HEADER;
+        Ok(())
+    }
+
+    /// Read all records of programmed page `i` (one page I/O).
+    pub fn read_page_records(&self, i: u32) -> Result<Vec<Vec<u8>>> {
+        let addr = self.page_addr(i)?;
+        read_records_at(&self.flash, addr, i)
+    }
+
+    /// Fetch one record by address (one page I/O; buffered records are
+    /// served from RAM).
+    pub fn get(&self, at: RecordAddr) -> Result<Vec<u8>> {
+        if at.page == self.pages {
+            return self
+                .buffered_records()
+                .into_iter()
+                .nth(at.slot as usize)
+                .ok_or(FlashError::BadRecordAddr);
+        }
+        let recs = self.read_page_records(at.page)?;
+        recs.into_iter()
+            .nth(at.slot as usize)
+            .ok_or(FlashError::BadRecordAddr)
+    }
+
+    /// Seal the log: flush the tail and freeze it into an immutable [`Log`].
+    pub fn seal(mut self) -> Result<Log> {
+        self.flush()?;
+        Ok(Log {
+            flash: self.flash.clone(),
+            blocks: std::mem::take(&mut self.blocks),
+            pages: self.pages,
+            records: self.records,
+        })
+    }
+
+    /// Abandon the log, returning every block to the pool.
+    pub fn discard(mut self) {
+        for b in std::mem::take(&mut self.blocks) {
+            self.flash.free_block(b);
+        }
+    }
+}
+
+/// An immutable, sealed log.
+pub struct Log {
+    flash: Flash,
+    blocks: Vec<BlockId>,
+    pages: u32,
+    records: u64,
+}
+
+impl std::fmt::Debug for Log {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log")
+            .field("pages", &self.pages)
+            .field("records", &self.records)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+
+impl Log {
+    /// Number of pages in the log.
+    pub fn num_pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Number of records in the log.
+    pub fn num_records(&self) -> u64 {
+        self.records
+    }
+
+    /// Number of erase blocks the log occupies.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The flash device this log lives on.
+    pub fn flash(&self) -> &Flash {
+        &self.flash
+    }
+
+    /// Physical address of the `i`-th page.
+    pub fn page_addr(&self, i: u32) -> Result<PageAddr> {
+        let geo = self.flash.geometry();
+        let per = geo.pages_per_block as u32;
+        let bi = (i / per) as usize;
+        if i >= self.pages || bi >= self.blocks.len() {
+            return Err(FlashError::BadRecordAddr);
+        }
+        Ok(geo.page_in_block(self.blocks[bi], (i % per) as usize))
+    }
+
+    /// Read the raw bytes of page `i` (one page I/O).
+    pub fn read_raw_page(&self, i: u32, buf: &mut [u8]) -> Result<()> {
+        let addr = self.page_addr(i)?;
+        self.flash.read_page(addr, buf)
+    }
+
+    /// Read all records of page `i` (one page I/O).
+    pub fn read_page_records(&self, i: u32) -> Result<Vec<Vec<u8>>> {
+        let addr = self.page_addr(i)?;
+        read_records_at(&self.flash, addr, i)
+    }
+
+    /// Fetch one record by address (one page I/O).
+    pub fn get(&self, at: RecordAddr) -> Result<Vec<u8>> {
+        let recs = self.read_page_records(at.page)?;
+        recs.into_iter()
+            .nth(at.slot as usize)
+            .ok_or(FlashError::BadRecordAddr)
+    }
+
+    /// Sequential reader over the whole log with a single-page RAM window.
+    pub fn reader(&self) -> LogReader<'_> {
+        LogReader {
+            log: self,
+            next_page: 0,
+            current: Vec::new(),
+            current_idx: 0,
+        }
+    }
+
+    /// Reclaim the log: every block returns to the pool at once.
+    pub fn reclaim(self) {
+        for b in &self.blocks {
+            self.flash.free_block(*b);
+        }
+    }
+}
+
+/// Sequential record iterator holding exactly one decoded page in RAM.
+pub struct LogReader<'a> {
+    log: &'a Log,
+    next_page: u32,
+    current: Vec<Vec<u8>>,
+    current_idx: usize,
+}
+
+impl Iterator for LogReader<'_> {
+    type Item = Result<Vec<u8>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.current_idx < self.current.len() {
+                let rec = std::mem::take(&mut self.current[self.current_idx]);
+                self.current_idx += 1;
+                return Some(Ok(rec));
+            }
+            if self.next_page >= self.log.num_pages() {
+                return None;
+            }
+            match self.log.read_page_records(self.next_page) {
+                Ok(recs) => {
+                    self.current = recs;
+                    self.current_idx = 0;
+                    self.next_page += 1;
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+fn read_records_at(flash: &Flash, addr: PageAddr, page_index: u32) -> Result<Vec<Vec<u8>>> {
+    let mut buf = vec![0u8; flash.geometry().page_size];
+    flash.read_page(addr, &mut buf)?;
+    let n = u16::from_le_bytes([buf[0], buf[1]]);
+    decode_records(&buf, n).ok_or(FlashError::CorruptPage(PageAddr(page_index)))
+}
+
+fn decode_records(buf: &[u8], n: u16) -> Option<Vec<Vec<u8>>> {
+    let mut out = Vec::with_capacity(n as usize);
+    let mut off = PAGE_HEADER;
+    for _ in 0..n {
+        if off + REC_HEADER > buf.len() {
+            return None;
+        }
+        let len = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+        off += REC_HEADER;
+        if off + len > buf.len() {
+            return None;
+        }
+        out.push(buf[off..off + len].to_vec());
+        off += len;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flash() -> Flash {
+        Flash::small(16)
+    }
+
+    #[test]
+    fn append_and_read_back_across_pages() {
+        let f = flash();
+        let mut w = f.new_log();
+        let mut addrs = Vec::new();
+        for i in 0..200u32 {
+            let rec = i.to_le_bytes().repeat(4); // 16-byte records
+            addrs.push(w.append(&rec).unwrap());
+        }
+        let log = w.seal().unwrap();
+        assert_eq!(log.num_records(), 200);
+        assert!(log.num_pages() > 1);
+        for (i, a) in addrs.iter().enumerate() {
+            let rec = log.get(*a).unwrap();
+            assert_eq!(rec, (i as u32).to_le_bytes().repeat(4));
+        }
+    }
+
+    #[test]
+    fn sequential_reader_sees_everything_in_order() {
+        let f = flash();
+        let mut w = f.new_log();
+        for i in 0..500u32 {
+            w.append(&i.to_le_bytes()).unwrap();
+        }
+        let log = w.seal().unwrap();
+        let vals: Vec<u32> = log
+            .reader()
+            .map(|r| u32::from_le_bytes(r.unwrap().try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn writes_are_strictly_sequential_on_chip() {
+        let f = flash();
+        let mut w = f.new_log();
+        for i in 0..1000u32 {
+            w.append(&i.to_le_bytes()).unwrap();
+        }
+        w.flush().unwrap();
+        assert_eq!(
+            f.stats().non_sequential_programs,
+            0,
+            "log writes must never be classified as random"
+        );
+    }
+
+    #[test]
+    fn buffered_records_visible_before_flush() {
+        let f = flash();
+        let mut w = f.new_log();
+        let a = w.append(b"pending").unwrap();
+        assert_eq!(w.buffered_records(), vec![b"pending".to_vec()]);
+        assert_eq!(w.get(a).unwrap(), b"pending".to_vec());
+        assert_eq!(w.num_pages(), 0);
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let f = flash();
+        let mut w = f.new_log();
+        let too_big = vec![0u8; f.geometry().page_size];
+        assert!(matches!(
+            w.append(&too_big),
+            Err(FlashError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn reclaim_returns_all_blocks() {
+        let f = flash();
+        let before = f.free_blocks();
+        let mut w = f.new_log();
+        for i in 0..2000u32 {
+            w.append(&i.to_le_bytes().repeat(8)).unwrap();
+        }
+        let log = w.seal().unwrap();
+        assert!(f.free_blocks() < before);
+        log.reclaim();
+        assert_eq!(f.free_blocks(), before);
+    }
+
+    #[test]
+    fn discard_open_log_returns_blocks() {
+        let f = flash();
+        let before = f.free_blocks();
+        let mut w = f.new_log();
+        for i in 0..2000u32 {
+            w.append(&i.to_le_bytes().repeat(8)).unwrap();
+        }
+        w.discard();
+        assert_eq!(f.free_blocks(), before);
+    }
+
+    #[test]
+    fn raw_pages_interleave_with_records() {
+        let f = flash();
+        let mut w = f.new_log();
+        w.append(b"rec0").unwrap();
+        let page = vec![0x42; f.geometry().page_size];
+        let raw_idx = w.append_raw_page(&page).unwrap();
+        assert_eq!(raw_idx, 1, "partial record page flushed first");
+        let log = w.seal().unwrap();
+        let mut buf = vec![0u8; f.geometry().page_size];
+        log.read_raw_page(raw_idx, &mut buf).unwrap();
+        assert_eq!(buf, page);
+        assert_eq!(log.read_page_records(0).unwrap(), vec![b"rec0".to_vec()]);
+    }
+
+    #[test]
+    fn empty_log_seals_cleanly() {
+        let f = flash();
+        let log = f.new_log().seal().unwrap();
+        assert_eq!(log.num_pages(), 0);
+        assert_eq!(log.num_blocks(), 0);
+        assert_eq!(log.reader().count(), 0);
+    }
+}

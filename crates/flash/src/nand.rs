@@ -1,0 +1,273 @@
+//! The NAND chip model.
+//!
+//! A strict simulator: it refuses the two operations real NAND cannot do —
+//! reprogramming a page without erasing its whole block, and programming
+//! pages of a block out of order. Data structures that run on this model
+//! are legal by construction on the tutorial's target hardware.
+
+use crate::cost::CostModel;
+use crate::error::{FlashError, Result};
+use crate::geometry::{BlockId, FlashGeometry, PageAddr};
+use crate::stats::IoStats;
+
+/// Program state of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Erased,
+    Programmed,
+}
+
+/// One simulated NAND chip.
+pub struct NandFlash {
+    geo: FlashGeometry,
+    cost: CostModel,
+    /// Per-block storage, allocated lazily on first program so that large
+    /// chips (and large simulated populations of tokens) cost host memory
+    /// only for the blocks actually written. `None` ⇒ the block is fully
+    /// erased and reads as 0xFF.
+    data: Vec<Option<Vec<u8>>>,
+    state: Vec<PageState>,
+    /// Next programmable page offset within each block (in-order rule).
+    write_cursor: Vec<u32>,
+    /// Erase cycles per block (endurance accounting).
+    erase_counts: Vec<u64>,
+    /// Last globally programmed page, to classify sequential vs random
+    /// writes.
+    last_programmed: Option<PageAddr>,
+    stats: IoStats,
+}
+
+impl NandFlash {
+    /// A chip fully erased at power-on.
+    pub fn new(geo: FlashGeometry, cost: CostModel) -> Self {
+        NandFlash {
+            geo,
+            cost,
+            data: vec![None; geo.num_blocks()],
+            state: vec![PageState::Erased; geo.num_pages()],
+            write_cursor: vec![0; geo.num_blocks()],
+            erase_counts: vec![0; geo.num_blocks()],
+            last_programmed: None,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Chip geometry.
+    pub fn geometry(&self) -> FlashGeometry {
+        self.geo
+    }
+
+    /// The latency model this chip was built with.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Cumulative I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Reset the I/O counters (content is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Simulated elapsed time of all I/O so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.stats.time_ns(&self.cost)
+    }
+
+    /// Erase cycles a block has endured.
+    pub fn erase_count(&self, bid: BlockId) -> u64 {
+        self.erase_counts[bid.0 as usize]
+    }
+
+    /// True if every page of the block is erased.
+    pub fn block_is_erased(&self, bid: BlockId) -> bool {
+        let first = self.geo.first_page_of(bid).0 as usize;
+        (first..first + self.geo.pages_per_block)
+            .all(|p| self.state[p] == PageState::Erased)
+    }
+
+    fn check_addr(&self, addr: PageAddr) -> Result<()> {
+        if self.geo.contains(addr) {
+            Ok(())
+        } else {
+            Err(FlashError::BadAddress(addr))
+        }
+    }
+
+    /// Read one full page into `buf`.
+    pub fn read_page(&mut self, addr: PageAddr, buf: &mut [u8]) -> Result<()> {
+        self.check_addr(addr)?;
+        if buf.len() != self.geo.page_size {
+            return Err(FlashError::BadPageSize {
+                given: buf.len(),
+                expected: self.geo.page_size,
+            });
+        }
+        let bid = self.geo.block_of(addr);
+        match &self.data[bid.0 as usize] {
+            None => buf.fill(0xFF),
+            Some(block) => {
+                let start = self.geo.offset_in_block(addr) * self.geo.page_size;
+                buf.copy_from_slice(&block[start..start + self.geo.page_size]);
+            }
+        }
+        self.stats.page_reads += 1;
+        Ok(())
+    }
+
+    /// Program one full page.
+    ///
+    /// Enforced rules:
+    /// * the page must currently be erased (no in-place update);
+    /// * programming must follow the block's internal order (page `k` of a
+    ///   block can only be programmed after pages `0..k`).
+    pub fn program_page(&mut self, addr: PageAddr, data: &[u8]) -> Result<()> {
+        self.check_addr(addr)?;
+        if data.len() != self.geo.page_size {
+            return Err(FlashError::BadPageSize {
+                given: data.len(),
+                expected: self.geo.page_size,
+            });
+        }
+        let idx = addr.0 as usize;
+        if self.state[idx] == PageState::Programmed {
+            return Err(FlashError::WriteToProgrammed(addr));
+        }
+        let bid = self.geo.block_of(addr);
+        let expected_off = self.write_cursor[bid.0 as usize];
+        let off = self.geo.offset_in_block(addr) as u32;
+        if off != expected_off {
+            return Err(FlashError::OutOfOrderProgram {
+                requested: addr,
+                expected: self.geo.page_in_block(bid, expected_off as usize),
+            });
+        }
+        let block = self.data[bid.0 as usize]
+            .get_or_insert_with(|| vec![0xFF; self.geo.pages_per_block * self.geo.page_size]);
+        let start = self.geo.offset_in_block(addr) * self.geo.page_size;
+        block[start..start + self.geo.page_size].copy_from_slice(data);
+        self.state[idx] = PageState::Programmed;
+        self.write_cursor[bid.0 as usize] = off + 1;
+        // Classify the write: sequential iff it immediately follows the
+        // last program on the whole chip.
+        match self.last_programmed {
+            Some(prev) if prev.0 + 1 == addr.0 => {}
+            None => {}
+            _ => self.stats.non_sequential_programs += 1,
+        }
+        self.last_programmed = Some(addr);
+        self.stats.page_programs += 1;
+        Ok(())
+    }
+
+    /// Erase a whole block, returning every page to the erased state.
+    pub fn erase_block(&mut self, bid: BlockId) -> Result<()> {
+        if bid.0 as usize >= self.geo.num_blocks() {
+            return Err(FlashError::BadBlock(bid));
+        }
+        let first = self.geo.first_page_of(bid).0 as usize;
+        for p in first..first + self.geo.pages_per_block {
+            self.state[p] = PageState::Erased;
+        }
+        self.data[bid.0 as usize] = None; // storage released, reads as 0xFF
+        self.write_cursor[bid.0 as usize] = 0;
+        self.erase_counts[bid.0 as usize] += 1;
+        self.stats.block_erases += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> NandFlash {
+        NandFlash::new(FlashGeometry::new(64, 4, 4), CostModel::unit())
+    }
+
+    #[test]
+    fn read_back_what_was_programmed() {
+        let mut c = chip();
+        let page = vec![0xAB; 64];
+        c.program_page(PageAddr(0), &page).unwrap();
+        let mut buf = vec![0; 64];
+        c.read_page(PageAddr(0), &mut buf).unwrap();
+        assert_eq!(buf, page);
+    }
+
+    #[test]
+    fn erased_pages_read_all_ones() {
+        let mut c = chip();
+        let mut buf = vec![0; 64];
+        c.read_page(PageAddr(7), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn in_place_update_is_rejected() {
+        let mut c = chip();
+        c.program_page(PageAddr(0), &[1; 64]).unwrap();
+        assert_eq!(
+            c.program_page(PageAddr(0), &[2; 64]),
+            Err(FlashError::WriteToProgrammed(PageAddr(0)))
+        );
+    }
+
+    #[test]
+    fn out_of_order_program_is_rejected() {
+        let mut c = chip();
+        let err = c.program_page(PageAddr(2), &[1; 64]).unwrap_err();
+        assert!(matches!(err, FlashError::OutOfOrderProgram { .. }));
+        // But different blocks have independent cursors.
+        c.program_page(PageAddr(4), &[1; 64]).unwrap();
+    }
+
+    #[test]
+    fn erase_resets_block_cursor_and_content() {
+        let mut c = chip();
+        for p in 0..4 {
+            c.program_page(PageAddr(p), &[9; 64]).unwrap();
+        }
+        c.erase_block(BlockId(0)).unwrap();
+        assert_eq!(c.erase_count(BlockId(0)), 1);
+        assert!(c.block_is_erased(BlockId(0)));
+        c.program_page(PageAddr(0), &[1; 64]).unwrap();
+    }
+
+    #[test]
+    fn stats_count_each_primitive() {
+        let mut c = chip();
+        c.program_page(PageAddr(0), &[1; 64]).unwrap();
+        let mut buf = vec![0; 64];
+        c.read_page(PageAddr(0), &mut buf).unwrap();
+        c.read_page(PageAddr(0), &mut buf).unwrap();
+        c.erase_block(BlockId(0)).unwrap();
+        let s = c.stats();
+        assert_eq!((s.page_reads, s.page_programs, s.block_erases), (2, 1, 1));
+        assert_eq!(c.elapsed_ns(), 4);
+    }
+
+    #[test]
+    fn random_writes_are_classified() {
+        let mut c = chip();
+        c.program_page(PageAddr(0), &[1; 64]).unwrap();
+        c.program_page(PageAddr(1), &[1; 64]).unwrap(); // sequential
+        c.program_page(PageAddr(8), &[1; 64]).unwrap(); // jump -> random
+        assert_eq!(c.stats().non_sequential_programs, 1);
+    }
+
+    #[test]
+    fn bad_addresses_are_rejected() {
+        let mut c = chip();
+        let mut buf = vec![0; 64];
+        assert!(c.read_page(PageAddr(16), &mut buf).is_err());
+        assert!(c.erase_block(BlockId(4)).is_err());
+        assert!(matches!(
+            c.read_page(PageAddr(0), &mut [0u8; 3]),
+            Err(FlashError::BadPageSize { .. })
+        ));
+    }
+}

@@ -1,0 +1,117 @@
+//! Query authorization: only accredited issuers may run global queries.
+//!
+//! Part I's "distributed secure sharing" requirement applies to Part III
+//! too: before a token contributes to a global computation it demands a
+//! **proof of legitimacy** from the query issuer — a
+//! [`pds_core::Credential`] binding the issuer to the
+//! `StatisticsInstitute` role, verified inside every token against the
+//! provisioned issuer key. An expired, forged or mis-roled credential
+//! stops the query *before any data leaves any token*.
+
+use pds_core::{Credential, Role, VerificationKey};
+use rand::Rng;
+
+use crate::error::GlobalError;
+use crate::query::{GroupByQuery, Population};
+use crate::secure_agg::{secure_aggregation, OnTamper};
+use crate::ssi::Ssi;
+use crate::stats::ProtocolStats;
+
+/// Per-token verification of the issuer's legitimacy. In deployment each
+/// token runs this check on connection; the simulation runs it once per
+/// token up front, which is observationally identical for a shared
+/// verification key.
+pub fn tokens_accept_issuer(
+    population: &Population,
+    vk: &VerificationKey,
+    issuer: &Credential,
+    today: u64,
+) -> bool {
+    if issuer.role != Role::StatisticsInstitute {
+        return false;
+    }
+    // Every enrolled token performs the same MAC verification.
+    (0..population.len()).all(|_| vk.verify(issuer, today))
+}
+
+/// Run a secure aggregation only if the issuer proves legitimacy to the
+/// token population.
+#[allow(clippy::too_many_arguments)] // protocol + authorization context
+pub fn authorized_secure_aggregation(
+    vk: &VerificationKey,
+    issuer: &Credential,
+    today: u64,
+    population: &mut Population,
+    query: &GroupByQuery,
+    ssi: &mut Ssi,
+    partition_size: usize,
+    rng: &mut impl Rng,
+) -> Result<(Vec<(String, u64)>, ProtocolStats), GlobalError> {
+    if !tokens_accept_issuer(population, vk, issuer, today) {
+        return Err(GlobalError::Unauthorized(
+            "issuer credential rejected by the token population",
+        ));
+    }
+    secure_aggregation(population, query, ssi, partition_size, OnTamper::Abort, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_core::Issuer;
+    use pds_mcu::TokenId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Population, GroupByQuery, StdRng, Issuer, VerificationKey) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = GroupByQuery::bank_by_category();
+        let pop = Population::synthetic(20, &q.domain, &mut rng).unwrap();
+        let authority = Issuer::new(b"statistics-accreditation-board");
+        let vk = authority.verification_key();
+        (pop, q, rng, authority, vk)
+    }
+
+    #[test]
+    fn accredited_institute_runs_the_query() {
+        let (mut pop, q, mut rng, authority, vk) = setup();
+        let cred = authority.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 365);
+        let mut ssi = Ssi::honest(1);
+        let (result, _) = authorized_secure_aggregation(
+            &vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng,
+        )
+        .unwrap();
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn wrong_role_is_refused_before_any_data_moves() {
+        let (mut pop, q, mut rng, authority, vk) = setup();
+        let cred = authority.issue(TokenId(1000), "dr.curious", Role::Practitioner, 365);
+        let mut ssi = Ssi::honest(2);
+        let err = authorized_secure_aggregation(
+            &vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GlobalError::Unauthorized(_)));
+        assert_eq!(ssi.leakage().tuples_seen, 0, "nothing left the tokens");
+    }
+
+    #[test]
+    fn expired_or_forged_credentials_are_refused() {
+        let (mut pop, q, mut rng, authority, vk) = setup();
+        let expired = authority.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 50);
+        let mut ssi = Ssi::honest(3);
+        assert!(authorized_secure_aggregation(
+            &vk, &expired, 100, &mut pop, &q, &mut ssi, 16, &mut rng
+        )
+        .is_err());
+
+        let rogue = Issuer::new(b"rogue");
+        let forged = rogue.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 365);
+        assert!(authorized_secure_aggregation(
+            &vk, &forged, 100, &mut pop, &q, &mut ssi, 16, &mut rng
+        )
+        .is_err());
+    }
+}

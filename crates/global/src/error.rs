@@ -1,0 +1,51 @@
+//! Error type of the global-computation layer.
+
+use pds_core::PdsError;
+use std::fmt;
+
+/// Failures of a global protocol run.
+#[derive(Debug)]
+pub enum GlobalError {
+    /// A participating PDS failed (or its policy refused to contribute).
+    Pds(PdsError),
+    /// A token detected tampering (invalid authentication, forged tuple,
+    /// failed spot check) — the protocol aborts loudly, which is the
+    /// deterrent against the covert adversary.
+    TamperingDetected(&'static str),
+    /// Structural protocol failure.
+    Protocol(&'static str),
+    /// The query issuer failed the legitimacy check — no token
+    /// contributes anything.
+    Unauthorized(&'static str),
+}
+
+impl From<PdsError> for GlobalError {
+    fn from(e: PdsError) -> Self {
+        GlobalError::Pds(e)
+    }
+}
+
+impl fmt::Display for GlobalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalError::Pds(e) => write!(f, "participant: {e}"),
+            GlobalError::TamperingDetected(w) => write!(f, "tampering detected: {w}"),
+            GlobalError::Protocol(w) => write!(f, "protocol failure: {w}"),
+            GlobalError::Unauthorized(w) => write!(f, "unauthorized query: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for GlobalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GlobalError::TamperingDetected("forged tuple")
+            .to_string()
+            .contains("forged"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # pds-global — secure global computation on the asymmetric architecture
+//!
+//! Part III of the EDBT'14 tutorial: "how to perform global computations
+//! using data from many/all PDSs?" The architecture is *asymmetric*: a
+//! large population of low-powered, highly-disconnected trusted tokens on
+//! one side, and an untrusted but available **Supporting Server
+//! Infrastructure (SSI)** on the other. "We have not one, but many
+//! elements of trust … data is located within the elements of trust."
+//!
+//! This crate implements the whole Part III programme:
+//!
+//! * [`query`] — the `SELECT group, SUM(measure) … GROUP BY` query class
+//!   of [TNP14\], a synthetic token [`query::Population`], and the
+//!   plaintext reference executor every protocol is checked against.
+//! * [`ssi`] — the SSI with both threat models of the tutorial's slide:
+//!   *honest-but-curious* (records everything it can observe — the
+//!   leakage the experiments measure) and *weakly malicious* (a covert
+//!   adversary that drops/forges tuples but "does not want to be
+//!   detected").
+//! * [`secure_agg`] — the **secure aggregation** solution (probabilistic
+//!   encryption; the SSI moves opaque blobs between tokens through a
+//!   reduction tree and learns only cardinalities).
+//! * [`noise`] — the **noise-based** solutions (deterministic encryption
+//!   of the grouping key + fake tuples): *random white noise* and *noise
+//!   controlled by the complementary domain*.
+//! * [`histogram`] — the **histogram-based** solution (Hacigumus-style
+//!   domain bucketization revealed in clear, exact groups recovered
+//!   inside tokens).
+//! * [`toolkit`] — the [CKV+02] privacy-preserving data-mining toolkit:
+//!   secure sum, secure set union, secure set-intersection size, secure
+//!   scalar product.
+//! * [`detection`] — the security primitives against a weakly malicious
+//!   SSI: MAC-authenticated tuples and probabilistic spot-checking, with
+//!   the detection-probability model of experiment E9.
+//! * [`ppdp`] — privacy-preserving data publishing (MetaP): k-anonymity
+//!   by Mondrian-style generalization executed by tokens, with
+//!   information-loss metrics and an l-diversity check.
+
+pub mod authz;
+pub mod detection;
+pub mod error;
+pub mod histogram;
+pub mod noise;
+pub mod ppdp;
+pub mod query;
+pub mod secure_agg;
+pub mod ssi;
+pub mod stats;
+pub mod toolkit;
+pub mod tuple;
+
+pub use error::GlobalError;
+pub use query::{plaintext_groupby, GroupByQuery, Population};
+pub use ssi::{Leakage, Ssi, SsiThreat};
+pub use stats::ProtocolStats;

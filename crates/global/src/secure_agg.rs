@@ -1,0 +1,215 @@
+//! The secure aggregation protocol (non-deterministic encryption).
+//!
+//! [TNP14\]'s first solution: contributions are encrypted
+//! **probabilistically**, so the SSI sees only opaque, unlinkable blobs.
+//! Its whole role is to *partition* the ciphertext set and route each
+//! partition to some connected token; the token decrypts, partially
+//! aggregates per group, re-encrypts the partial sums, and hands them
+//! back. Partitions shrink the tuple set geometrically, so the run is a
+//! reduction tree of depth `log_partition_size(N)`; the final token
+//! releases only the authorized aggregate.
+//!
+//! Security: the SSI learns cardinalities and byte counts — nothing else
+//! (verified by the leakage tests and reported in E6). Forged or
+//! tampered ciphertexts fail authenticated decryption inside tokens and
+//! abort the run with [`GlobalError::TamperingDetected`].
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::error::GlobalError;
+use crate::query::{GroupByQuery, Population};
+use crate::ssi::Ssi;
+use crate::stats::ProtocolStats;
+use crate::tuple::{ProtocolTuple, TupleKind};
+
+/// Tolerance policy for unauthentic ciphertexts during aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnTamper {
+    /// Abort the run loudly (the deterrent the tutorial requires).
+    Abort,
+    /// Skip silently (used by experiments that measure the *damage* a
+    /// covert adversary can do when tokens don't check).
+    Skip,
+}
+
+/// Run the secure aggregation protocol.
+///
+/// `partition_size` is the number of tuples a single token can absorb in
+/// one connection (bounded by its RAM/bandwidth).
+pub fn secure_aggregation(
+    population: &mut Population,
+    query: &GroupByQuery,
+    ssi: &mut Ssi,
+    partition_size: usize,
+    on_tamper: OnTamper,
+    rng: &mut impl Rng,
+) -> Result<(Vec<(String, u64)>, ProtocolStats), GlobalError> {
+    assert!(partition_size >= 2);
+    let key = population.protocol_key.clone();
+    let mut stats = ProtocolStats::default();
+
+    // Collection phase: every PDS encrypts its contributions.
+    let mut seq = 0u64;
+    let mut wire: Vec<Vec<u8>> = Vec::new();
+    for (_, g, v) in population.contributions(query)? {
+        let t = ProtocolTuple::real(&g, v, seq);
+        seq += 1;
+        let ct = key.encrypt_prob(&t.encode(), rng);
+        stats.token_crypto_ops += 1;
+        wire.push(ct.0);
+    }
+    let mut tuples = ssi.collect(wire);
+    stats.ssi_bytes += tuples.iter().map(|t| t.len() as u64).sum::<u64>();
+
+    // Reduction tree: tokens aggregate partitions until one remains.
+    //
+    // Convergence guard: a partition of p tuples re-emits up to
+    // min(p, |groups|) partials, so a partition size at or below the
+    // group count can fail to shrink the tuple set. When a round makes
+    // no progress the SSI doubles the partition size — tuples are opaque,
+    // so this adaptation needs no knowledge of the data.
+    let mut partition_size = partition_size;
+    let mut next_token = 0usize;
+    loop {
+        let before_round = tuples.len();
+        let partitions = ssi.partition(std::mem::take(&mut tuples), partition_size);
+        let last_round = partitions.len() <= 1;
+        for part in partitions {
+            // Any enrolled token can serve; round-robin models "whichever
+            // token happens to connect".
+            next_token = (next_token + 1) % population.len().max(1);
+            stats.rounds += 1;
+            let mut groups: BTreeMap<String, u64> = BTreeMap::new();
+            for ct in part {
+                stats.token_tuples += 1;
+                stats.token_crypto_ops += 1;
+                let Some(plain) = key.decrypt(&pds_crypto::Ciphertext(ct)) else {
+                    match on_tamper {
+                        OnTamper::Abort => {
+                            return Err(GlobalError::TamperingDetected(
+                                "unauthentic ciphertext in partition",
+                            ))
+                        }
+                        OnTamper::Skip => continue,
+                    }
+                };
+                let t = ProtocolTuple::decode(&plain)
+                    .ok_or(GlobalError::Protocol("undecodable tuple"))?;
+                if t.kind == TupleKind::Real {
+                    *groups.entry(t.group).or_insert(0) += t.value;
+                }
+            }
+            if last_round {
+                // The final token releases the authorized result.
+                return Ok((groups.into_iter().collect(), stats));
+            }
+            // Re-encrypt partial aggregates back to the SSI.
+            for (g, v) in groups {
+                let t = ProtocolTuple::real(&g, v, seq);
+                seq += 1;
+                let ct = key.encrypt_prob(&t.encode(), rng);
+                stats.token_crypto_ops += 1;
+                stats.ssi_bytes += ct.0.len() as u64;
+                tuples.push(ct.0);
+            }
+        }
+        if tuples.is_empty() {
+            // Population contributed nothing at all.
+            return Ok((Vec::new(), stats));
+        }
+        if tuples.len() >= before_round {
+            partition_size *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::plaintext_groupby;
+    use crate::ssi::SsiThreat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (Population, GroupByQuery, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = GroupByQuery::bank_by_category();
+        let pop = Population::synthetic(n, &q.domain, &mut rng).unwrap();
+        (pop, q, rng)
+    }
+
+    #[test]
+    fn result_matches_plaintext_reference() {
+        let (mut pop, q, mut rng) = setup(40, 1);
+        let expected = plaintext_groupby(&mut pop, &q).unwrap();
+        let mut ssi = Ssi::honest(7);
+        let (result, stats) =
+            secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap();
+        assert_eq!(result, expected);
+        assert!(stats.rounds >= 2, "reduction tree has depth");
+        assert!(stats.token_tuples > 0);
+    }
+
+    #[test]
+    fn ssi_learns_no_equality_classes() {
+        let (mut pop, q, mut rng) = setup(25, 2);
+        let mut ssi = Ssi::honest(8);
+        secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap();
+        assert!(
+            ssi.leakage().equality_class_sizes.is_empty(),
+            "probabilistic encryption leaks no grouping information"
+        );
+        assert!(ssi.leakage().tuples_seen > 0);
+    }
+
+    #[test]
+    fn forged_ciphertexts_abort_loudly() {
+        let (mut pop, q, mut rng) = setup(20, 3);
+        let mut ssi = Ssi::new(
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.0,
+                forge_rate: 0.2,
+            },
+            9,
+        );
+        let err =
+            secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap_err();
+        assert!(matches!(err, GlobalError::TamperingDetected(_)));
+    }
+
+    #[test]
+    fn silent_drops_corrupt_the_result_when_unchecked() {
+        // The motivation for the detection primitives: without checks a
+        // covert adversary biases the statistics undetected.
+        let (mut pop, q, mut rng) = setup(60, 4);
+        let expected = plaintext_groupby(&mut pop, &q).unwrap();
+        let mut ssi = Ssi::new(
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.5,
+                forge_rate: 0.0,
+            },
+            10,
+        );
+        let (result, _) =
+            secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Skip, &mut rng).unwrap();
+        let sum = |r: &[(String, u64)]| r.iter().map(|(_, v)| *v).sum::<u64>();
+        assert!(
+            sum(&result) < sum(&expected),
+            "half the contributions silently vanished"
+        );
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_one_round() {
+        let (mut pop, q, mut rng) = setup(5, 5);
+        let expected = plaintext_groupby(&mut pop, &q).unwrap();
+        let mut ssi = Ssi::honest(11);
+        let (result, stats) =
+            secure_aggregation(&mut pop, &q, &mut ssi, 1000, OnTamper::Abort, &mut rng)
+                .unwrap();
+        assert_eq!(result, expected);
+        assert_eq!(stats.rounds, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! The Supporting Server Infrastructure — untrusted, available, curious.
+//!
+//! Threat models from the tutorial's slide:
+//!
+//! * **Honest-but-Curious (semi-honest)** — follows the protocol but
+//!   "records everything"; the [`Leakage`] ledger captures exactly what
+//!   it could observe, and the E6 experiment reports it per protocol.
+//! * **Weakly Malicious (covert adversary)** — deviates (drops, forges)
+//!   but "does not want to be detected"; [`crate::detection`] quantifies
+//!   the deterrent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SSI behavior model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SsiThreat {
+    /// Follows the protocol; records observations.
+    HonestButCurious,
+    /// Covert deviation: drops each collected tuple with `drop_rate`,
+    /// injects `forge_rate`·N forged ciphertexts.
+    WeaklyMalicious {
+        /// Probability of silently dropping a tuple.
+        drop_rate: f64,
+        /// Forged tuples injected per genuine tuple.
+        forge_rate: f64,
+    },
+}
+
+/// Everything an honest-but-curious SSI managed to observe during a run.
+/// This is the *measured leakage* of experiment E6.
+#[derive(Debug, Clone, Default)]
+pub struct Leakage {
+    /// Total ciphertext tuples it handled.
+    pub tuples_seen: u64,
+    /// Total ciphertext bytes it handled.
+    pub bytes_seen: u64,
+    /// Sizes of the equality classes it could form (deterministic
+    /// encryption or clear bucket tags make these visible; probabilistic
+    /// encryption leaves this empty).
+    pub equality_class_sizes: Vec<u64>,
+}
+
+impl Leakage {
+    /// Coefficient of variation of the observed equality-class sizes —
+    /// a scalar proxy for how much of the true frequency distribution
+    /// leaks: ≈0 when classes look uniform (nothing to learn), high when
+    /// the true skew shows through.
+    pub fn frequency_signal(&self) -> f64 {
+        let n = self.equality_class_sizes.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean =
+            self.equality_class_sizes.iter().sum::<u64>() as f64 / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .equality_class_sizes
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// The untrusted infrastructure.
+pub struct Ssi {
+    threat: SsiThreat,
+    leakage: Leakage,
+    rng: StdRng,
+    /// Tuples dropped by a weakly malicious run (ground truth for tests).
+    pub dropped: u64,
+    /// Forged tuples injected (ground truth for tests).
+    pub forged: u64,
+}
+
+impl Ssi {
+    /// An SSI with the given behavior, seeded deterministically.
+    pub fn new(threat: SsiThreat, seed: u64) -> Self {
+        Ssi {
+            threat,
+            leakage: Leakage::default(),
+            rng: StdRng::seed_from_u64(seed),
+            dropped: 0,
+            forged: 0,
+        }
+    }
+
+    /// An honest SSI.
+    pub fn honest(seed: u64) -> Self {
+        Self::new(SsiThreat::HonestButCurious, seed)
+    }
+
+    /// Current behavior model.
+    pub fn threat(&self) -> SsiThreat {
+        self.threat
+    }
+
+    /// What it observed so far.
+    pub fn leakage(&self) -> &Leakage {
+        &self.leakage
+    }
+
+    /// Collect ciphertext tuples from the population, applying the threat
+    /// behavior. Returns the tuple list as the SSI will present it to the
+    /// aggregating tokens.
+    pub fn collect(&mut self, tuples: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(tuples.len());
+        let genuine = tuples.len();
+        for t in tuples {
+            self.leakage.tuples_seen += 1;
+            self.leakage.bytes_seen += t.len() as u64;
+            match self.threat {
+                SsiThreat::HonestButCurious => out.push(t),
+                SsiThreat::WeaklyMalicious { drop_rate, .. } => {
+                    if self.rng.gen_bool(drop_rate) {
+                        self.dropped += 1;
+                    } else {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        if let SsiThreat::WeaklyMalicious { forge_rate, .. } = self.threat {
+            let forgeries = (genuine as f64 * forge_rate).round() as usize;
+            for _ in 0..forgeries {
+                // Random bytes: without the protocol key the adversary
+                // cannot produce an authentic ciphertext.
+                let len = 64 + self.rng.gen_range(0..32);
+                let mut fake = vec![0u8; len];
+                self.rng.fill(&mut fake[..]);
+                out.push(fake);
+                self.forged += 1;
+            }
+        }
+        out
+    }
+
+    /// Record the equality classes the SSI could form (called by
+    /// protocols whose wire format makes grouping observable).
+    pub fn observe_classes(&mut self, class_sizes: &[u64]) {
+        self.leakage
+            .equality_class_sizes
+            .extend_from_slice(class_sizes);
+    }
+
+    /// Partition `items` into chunks of at most `size` — the SSI's job in
+    /// the secure aggregation protocol ("the SSI constructs the
+    /// partitions"). Content-oblivious by construction.
+    pub fn partition(&self, items: Vec<Vec<u8>>, size: usize) -> Vec<Vec<Vec<u8>>> {
+        assert!(size >= 1);
+        let mut chunks = Vec::new();
+        let mut it = items.into_iter().peekable();
+        while it.peek().is_some() {
+            chunks.push(it.by_ref().take(size).collect());
+        }
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_ssi_passes_everything_and_counts() {
+        let mut ssi = Ssi::honest(1);
+        let tuples = vec![vec![1u8; 10], vec![2u8; 20]];
+        let out = ssi.collect(tuples);
+        assert_eq!(out.len(), 2);
+        assert_eq!(ssi.leakage().tuples_seen, 2);
+        assert_eq!(ssi.leakage().bytes_seen, 30);
+        assert_eq!(ssi.dropped + ssi.forged, 0);
+    }
+
+    #[test]
+    fn weakly_malicious_drops_and_forges() {
+        let mut ssi = Ssi::new(
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.5,
+                forge_rate: 0.1,
+            },
+            2,
+        );
+        let tuples: Vec<Vec<u8>> = (0..1000).map(|i| vec![i as u8; 8]).collect();
+        let out = ssi.collect(tuples);
+        assert!(ssi.dropped > 400 && ssi.dropped < 600, "≈50% dropped");
+        assert_eq!(ssi.forged, 100);
+        assert_eq!(out.len() as u64, 1000 - ssi.dropped + ssi.forged);
+    }
+
+    #[test]
+    fn partitioning_is_exact_and_oblivious() {
+        let ssi = Ssi::honest(3);
+        let items: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        let parts = ssi.partition(items, 4);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[2].len(), 2);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn frequency_signal_reflects_skew() {
+        let uniform = Leakage {
+            equality_class_sizes: vec![10, 10, 10, 10],
+            ..Default::default()
+        };
+        let skewed = Leakage {
+            equality_class_sizes: vec![37, 1, 1, 1],
+            ..Default::default()
+        };
+        assert!(uniform.frequency_signal() < 0.01);
+        assert!(skewed.frequency_signal() > 1.0);
+        assert_eq!(Leakage::default().frequency_signal(), 0.0);
+    }
+}

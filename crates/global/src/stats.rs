@@ -1,0 +1,30 @@
+//! Cost accounting shared by the protocol implementations.
+
+/// Work and traffic of one protocol run — the columns of the E6 table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Tuples decrypted/processed inside tokens (the scarce resource:
+    /// tokens are "low powered, highly disconnected").
+    pub token_tuples: u64,
+    /// Symmetric crypto operations performed by tokens.
+    pub token_crypto_ops: u64,
+    /// Ciphertext bytes that transited through the SSI.
+    pub ssi_bytes: u64,
+    /// Sequential token rounds (the latency driver: each round needs a
+    /// connected token).
+    pub rounds: u32,
+    /// Fake tuples generated (noise protocols).
+    pub fake_tuples: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = ProtocolStats::default();
+        assert_eq!(s.token_tuples + s.token_crypto_ops + s.ssi_bytes, 0);
+        assert_eq!(s.rounds, 0);
+    }
+}

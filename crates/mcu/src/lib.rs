@@ -1,0 +1,38 @@
+//! # pds-mcu — secure microcontroller model
+//!
+//! Part II of the EDBT'14 tutorial targets "secure MCUs" with *severe
+//! hardware constraints*: "Small RAM (<128 KB) ⇒ favor pipeline query
+//! evaluation ⇒ (many) indexes. Security is linked with size." The secure
+//! portable token (SPT) couples such an MCU with a large NAND flash chip
+//! behind a tamper-resistant boundary.
+//!
+//! Real tamper-resistant silicon cannot ship in a software reproduction, so
+//! this crate substitutes the property that actually shapes the tutorial's
+//! algorithms: the **RAM bound is enforced in software**. Every embedded
+//! operator reserves its working set from a [`RamBudget`]; exceeding the
+//! budget is a hard error, exactly as malloc failure would be on the MCU.
+//! Algorithms that pass the test suite therefore run within the declared
+//! RAM on the real device.
+//!
+//! Provided here:
+//!
+//! * [`RamBudget`] / [`Reservation`] — checked RAM accounting with
+//!   high-water-mark measurement (reported by the benches).
+//! * [`BoundedVec`], [`TopN`] — RAM-accounted collections; `TopN` is the
+//!   bounded heap that keeps "the N docids with the highest score … in
+//!   RAM" in the embedded search engine.
+//! * [`HardwareProfile`] — calibrated device classes (smart token, sensor
+//!   node, plug server) pairing a RAM size with a flash geometry.
+//! * [`Token`] — a secure portable token: flash + RAM budget + identity +
+//!   tamper state, the execution context every upper layer runs in.
+
+pub mod bounded;
+pub mod codesign;
+pub mod profile;
+pub mod ram;
+pub mod token;
+
+pub use bounded::{BoundedVec, TopN};
+pub use profile::HardwareProfile;
+pub use ram::{RamBudget, RamError, Reservation};
+pub use token::{TamperState, Token, TokenId};

@@ -1,0 +1,213 @@
+//! Checked RAM accounting.
+//!
+//! On the tutorial's secure MCU "security is linked with size": RAM is a
+//! few dozen KB and cannot grow. `RamBudget` models that wall. Operators
+//! reserve bytes before materializing state; a reservation is an RAII
+//! guard, so the accounting can never leak even on early returns.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Error raised when an operator would exceed the device RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RamError {
+    /// Bytes requested by the failing reservation.
+    pub requested: usize,
+    /// Bytes still available at the time of the request.
+    pub available: usize,
+    /// Total device RAM.
+    pub capacity: usize,
+}
+
+impl fmt::Display for RamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RAM budget exceeded: requested {} B, {} B free of {} B",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RamError {}
+
+struct Inner {
+    capacity: usize,
+    used: usize,
+    high_water: usize,
+}
+
+/// A shared, checked RAM budget for one MCU.
+#[derive(Clone)]
+pub struct RamBudget {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl RamBudget {
+    /// A budget of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        RamBudget {
+            inner: Rc::new(RefCell::new(Inner {
+                capacity,
+                used: 0,
+                high_water: 0,
+            })),
+        }
+    }
+
+    /// Total device RAM.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.inner.borrow().used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        let i = self.inner.borrow();
+        i.capacity - i.used
+    }
+
+    /// Peak reservation observed since creation or the last
+    /// [`reset_high_water`](Self::reset_high_water) — the number the
+    /// benches report as "RAM consumption".
+    pub fn high_water(&self) -> usize {
+        self.inner.borrow().high_water
+    }
+
+    /// Reset the peak marker (between benchmark phases).
+    pub fn reset_high_water(&self) {
+        let mut i = self.inner.borrow_mut();
+        i.high_water = i.used;
+    }
+
+    /// Reserve `bytes`; fails (like malloc on the MCU) when the budget is
+    /// exhausted. The returned guard releases on drop.
+    pub fn reserve(&self, bytes: usize) -> Result<Reservation, RamError> {
+        let mut i = self.inner.borrow_mut();
+        if i.used + bytes > i.capacity {
+            return Err(RamError {
+                requested: bytes,
+                available: i.capacity - i.used,
+                capacity: i.capacity,
+            });
+        }
+        i.used += bytes;
+        i.high_water = i.high_water.max(i.used);
+        drop(i);
+        Ok(Reservation {
+            budget: self.clone(),
+            bytes,
+        })
+    }
+}
+
+/// RAII guard for a RAM reservation.
+pub struct Reservation {
+    budget: RamBudget,
+    bytes: usize,
+}
+
+impl fmt::Debug for Reservation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reservation")
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+
+impl Reservation {
+    /// Size of this reservation.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grow the reservation in place (e.g. a buffer that doubles).
+    pub fn grow(&mut self, extra: usize) -> Result<(), RamError> {
+        let g = self.budget.reserve(extra)?;
+        // Merge the guard into self instead of letting it release.
+        self.bytes += g.bytes;
+        std::mem::forget(g);
+        Ok(())
+    }
+
+    /// Shrink the reservation in place.
+    pub fn shrink(&mut self, less: usize) {
+        let less = less.min(self.bytes);
+        self.bytes -= less;
+        self.budget.inner.borrow_mut().used -= less;
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.budget.inner.borrow_mut().used -= self.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let b = RamBudget::new(100);
+        let r = b.reserve(60).unwrap();
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.available(), 40);
+        drop(r);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.high_water(), 60);
+    }
+
+    #[test]
+    fn over_budget_is_rejected_with_details() {
+        let b = RamBudget::new(100);
+        let _r = b.reserve(80).unwrap();
+        let e = b.reserve(30).unwrap_err();
+        assert_eq!(e.requested, 30);
+        assert_eq!(e.available, 20);
+        assert_eq!(e.capacity, 100);
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn grow_and_shrink_track_exactly() {
+        let b = RamBudget::new(100);
+        let mut r = b.reserve(10).unwrap();
+        r.grow(40).unwrap();
+        assert_eq!(b.used(), 50);
+        assert!(r.grow(60).is_err());
+        assert_eq!(b.used(), 50, "failed grow must not leak");
+        r.shrink(25);
+        assert_eq!(b.used(), 25);
+        drop(r);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.high_water(), 50);
+    }
+
+    #[test]
+    fn high_water_resets_to_current_usage() {
+        let b = RamBudget::new(100);
+        let _keep = b.reserve(10).unwrap();
+        {
+            let _tmp = b.reserve(70).unwrap();
+        }
+        assert_eq!(b.high_water(), 80);
+        b.reset_high_water();
+        assert_eq!(b.high_water(), 10);
+    }
+
+    #[test]
+    fn shared_clones_account_together() {
+        let b = RamBudget::new(100);
+        let b2 = b.clone();
+        let _r = b.reserve(90).unwrap();
+        assert!(b2.reserve(20).is_err());
+    }
+}

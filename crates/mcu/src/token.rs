@@ -1,0 +1,135 @@
+//! The secure portable token: the execution context of a PDS.
+//!
+//! "Why trust personal secure HW solutions? Users store their own data …
+//! self (user) managed platform … tamper-resistance + certified code +
+//! single user ⇒ the ratio cost/benefit of an attack is very high."
+//!
+//! A [`Token`] bundles the two resources every embedded algorithm needs —
+//! a NAND flash chip and a RAM budget — with an identity and a *tamper
+//! state*. Tamper resistance itself cannot be reproduced in software; its
+//! role in the tutorial's protocols is the **threat-model assumption**
+//! (`Unbreakable` vs `Broken`), which Part III's adversary simulations set
+//! explicitly per token.
+
+use crate::profile::HardwareProfile;
+use crate::ram::RamBudget;
+use pds_flash::Flash;
+
+/// Globally unique token identifier (one per individual).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(pub u64);
+
+/// Threat-model state of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperState {
+    /// The tutorial's default assumption: tamper-resistant hardware and
+    /// certified code hold; secrets never leave the chip.
+    Unbreakable,
+    /// The token has been physically compromised; its keys and data are
+    /// known to the adversary. Part III's "weakly malicious" analyses
+    /// require protocols to confine the damage of broken tokens.
+    Broken,
+}
+
+/// A secure portable token: MCU + NAND + identity.
+pub struct Token {
+    id: TokenId,
+    profile: HardwareProfile,
+    flash: Flash,
+    ram: RamBudget,
+    tamper: TamperState,
+}
+
+impl Token {
+    /// Manufacture a token of the given class.
+    pub fn new(id: TokenId, profile: HardwareProfile) -> Self {
+        Token {
+            id,
+            profile,
+            flash: Flash::new(profile.flash),
+            ram: RamBudget::new(profile.ram_bytes),
+            tamper: TamperState::Unbreakable,
+        }
+    }
+
+    /// A token with the standard secure-token profile.
+    pub fn secure(id: u64) -> Self {
+        Token::new(TokenId(id), HardwareProfile::secure_token())
+    }
+
+    /// A small token for fast tests.
+    pub fn for_tests(id: u64) -> Self {
+        Token::new(TokenId(id), HardwareProfile::test_profile())
+    }
+
+    /// A minimal-footprint token for population-scale simulations.
+    pub fn slim(id: u64) -> Self {
+        Token::new(TokenId(id), HardwareProfile::population())
+    }
+
+    /// The token identity.
+    pub fn id(&self) -> TokenId {
+        self.id
+    }
+
+    /// The hardware class.
+    pub fn profile(&self) -> &HardwareProfile {
+        &self.profile
+    }
+
+    /// Handle on the token's flash chip.
+    pub fn flash(&self) -> &Flash {
+        &self.flash
+    }
+
+    /// Handle on the token's RAM budget.
+    pub fn ram(&self) -> &RamBudget {
+        &self.ram
+    }
+
+    /// Current threat-model state.
+    pub fn tamper_state(&self) -> TamperState {
+        self.tamper
+    }
+
+    /// True unless the adversary broke this token.
+    pub fn is_trusted(&self) -> bool {
+        self.tamper == TamperState::Unbreakable
+    }
+
+    /// Adversary action: physically break the token (Part III
+    /// experiments).
+    pub fn compromise(&mut self) {
+        self.tamper = TamperState::Broken;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_exposes_its_resources() {
+        let t = Token::for_tests(7);
+        assert_eq!(t.id(), TokenId(7));
+        assert_eq!(t.ram().capacity(), t.profile().ram_bytes);
+        assert_eq!(t.flash().geometry(), t.profile().flash);
+        assert!(t.is_trusted());
+    }
+
+    #[test]
+    fn compromise_flips_trust() {
+        let mut t = Token::for_tests(1);
+        t.compromise();
+        assert_eq!(t.tamper_state(), TamperState::Broken);
+        assert!(!t.is_trusted());
+    }
+
+    #[test]
+    fn tokens_have_independent_budgets() {
+        let a = Token::for_tests(1);
+        let b = Token::for_tests(2);
+        let _r = a.ram().reserve(a.ram().capacity()).unwrap();
+        assert!(b.ram().reserve(1024).is_ok());
+    }
+}

@@ -1,0 +1,42 @@
+//! # pds — the Personal Data Server ecosystem, in one crate
+//!
+//! Umbrella crate of the reproduction of *Managing Personal Data with
+//! Strong Privacy Guarantees* (EDBT 2014 tutorial). It re-exports every
+//! subsystem under a stable module path and hosts the runnable examples
+//! and cross-crate integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pds::core::{AccessContext, Pds, Purpose};
+//!
+//! let mut my_pds = Pds::for_tests(1, "alice").unwrap();
+//! my_pds
+//!     .ingest_email(0, "dr.martin", "results", "blood test all clear")
+//!     .unwrap();
+//! let me = AccessContext::new("alice", Purpose::PersonalUse);
+//! let hits = my_pds.search(&me, &["blood"], 5).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+//!
+//! ## Layer map
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`flash`] | `pds-flash` | NAND simulator + log-structured storage |
+//! | [`mcu`] | `pds-mcu` | RAM-budgeted secure-MCU model, tokens |
+//! | [`crypto`] | `pds-crypto` | bignum, Paillier, symmetric enc, Merkle, Bloom |
+//! | [`search`] | `pds-search` | embedded full-text engine (Part II) |
+//! | [`db`] | `pds-db` | embedded relational DB (Part II) |
+//! | [`core`] | `pds-core` | the Personal Data Server (Part I) |
+//! | [`global`] | `pds-global` | secure global computation (Part III) |
+//! | [`sync`] | `pds-sync` | folder sync, Folk-IS, trusted cells (Perspectives) |
+
+pub use pds_core as core;
+pub use pds_crypto as crypto;
+pub use pds_db as db;
+pub use pds_flash as flash;
+pub use pds_global as global;
+pub use pds_mcu as mcu;
+pub use pds_search as search;
+pub use pds_sync as sync;

@@ -1,0 +1,863 @@
+//! The embedded search engine.
+//!
+//! Storage side: a RAM hash table of bucket heads over *chained hash
+//! buckets* in flash (see [`crate::triple`] for the page layout), fed by a
+//! small RAM insertion buffer. Query side: one backward chain cursor per
+//! query keyword, merged on descending docid, scoring TF-IDF in pipeline
+//! into a bounded top-N heap. RAM use is enforced end-to-end through
+//! [`pds_mcu::RamBudget`].
+
+use std::collections::HashMap;
+
+use pds_flash::{Flash, FlashError, LogWriter};
+use pds_mcu::{RamBudget, RamError, TopN};
+
+use crate::docs::DocStore;
+use crate::tokenize::{term_hash, tokenize};
+use crate::triple::{
+    decode_page, encode_page, triples_per_page, DocId, Triple, NO_PREV,
+};
+
+/// Errors of the search engine.
+#[derive(Debug)]
+pub enum SearchError {
+    /// Underlying flash failure (exhaustion, corruption …).
+    Flash(FlashError),
+    /// The MCU RAM budget cannot accommodate the operation.
+    Ram(RamError),
+}
+
+impl From<FlashError> for SearchError {
+    fn from(e: FlashError) -> Self {
+        SearchError::Flash(e)
+    }
+}
+
+impl From<RamError> for SearchError {
+    fn from(e: RamError) -> Self {
+        SearchError::Ram(e)
+    }
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::Flash(e) => write!(f, "flash: {e}"),
+            SearchError::Ram(e) => write!(f, "ram: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// How the engine obtains per-term document frequencies for IDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfStrategy {
+    /// Count df with an extra backward walk of each query keyword's chain.
+    /// Zero additional RAM; read I/O per query roughly doubles.
+    TwoPass,
+    /// Keep an exact `term → df` dictionary in RAM. One chain walk per
+    /// query, but RAM grows with the vocabulary — untenable on the
+    /// smallest devices, which is why the tutorial's framework favors the
+    /// streaming alternative. Offered for the E3 ablation.
+    RamDictionary,
+}
+
+/// Match semantics of a multi-keyword query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Rank every document containing *any* keyword (disjunctive TF-IDF,
+    /// the tutorial's default).
+    Any,
+    /// Only documents containing *all* keywords qualify (conjunctive);
+    /// qualifying documents still rank by their TF-IDF sum.
+    All,
+}
+
+/// One query answer: a document and its TF-IDF score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The matching document.
+    pub doc: DocId,
+    /// TF-IDF relevance.
+    pub score: f64,
+}
+
+/// Score/doc pair with a total order for the bounded heap. Ties on score
+/// break toward the larger docid (most recent document), deterministically
+/// mirrored by the test oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    score: f64,
+    doc: DocId,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(self.doc.cmp(&other.doc))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The embedded search engine.
+pub struct SearchEngine {
+    flash: Flash,
+    ram: RamBudget,
+    num_buckets: usize,
+    /// Per-bucket head: index of the most recent chain page in `index`,
+    /// `NO_PREV` when the bucket has no flash page yet.
+    heads: Vec<u32>,
+    /// The index log (raw bucket pages, append-only).
+    index: LogWriter,
+    /// Per-bucket RAM insertion buffers.
+    pending: Vec<Vec<Triple>>,
+    pending_total: usize,
+    /// Maximum triples buffered in RAM before a flush.
+    pending_cap: usize,
+    _pending_reservation: pds_mcu::Reservation,
+    docs: DocStore,
+    df_strategy: DfStrategy,
+    /// Exact df dictionary (only in `RamDictionary` mode).
+    df: HashMap<u64, u32>,
+    _df_reservation: Option<pds_mcu::Reservation>,
+    /// Deleted docids (RAM mirror of the tombstone log; ~4 B each,
+    /// charged to the budget). Deleted documents are filtered from every
+    /// query and physically purged at the next reorganization.
+    deleted: std::collections::HashSet<DocId>,
+    tombstones: pds_flash::LogWriter,
+    deleted_reservation: pds_mcu::Reservation,
+}
+
+/// Bytes budgeted per dictionary entry in `RamDictionary` mode.
+const DICT_ENTRY_BYTES: usize = 16;
+
+impl SearchEngine {
+    /// Create an engine with `num_buckets` hash buckets and a RAM
+    /// insertion buffer of `buffer_triples` triples.
+    pub fn new(
+        flash: &Flash,
+        ram: &RamBudget,
+        num_buckets: usize,
+        buffer_triples: usize,
+        df_strategy: DfStrategy,
+    ) -> Result<Self, SearchError> {
+        assert!(num_buckets > 0 && buffer_triples > 0);
+        // Charge the permanent RAM residents: bucket heads + insertion
+        // buffer. The df dictionary is charged as it grows.
+        let head_bytes = num_buckets * 4;
+        let buf_bytes = buffer_triples * std::mem::size_of::<Triple>();
+        let reservation = ram.reserve(head_bytes + buf_bytes)?;
+        Ok(SearchEngine {
+            flash: flash.clone(),
+            ram: ram.clone(),
+            num_buckets,
+            heads: vec![NO_PREV; num_buckets],
+            index: flash.new_log(),
+            pending: vec![Vec::new(); num_buckets],
+            pending_total: 0,
+            pending_cap: buffer_triples,
+            _pending_reservation: reservation,
+            docs: DocStore::new(flash),
+            df_strategy,
+            df: HashMap::new(),
+            _df_reservation: match df_strategy {
+                DfStrategy::RamDictionary => Some(ram.reserve(0)?),
+                DfStrategy::TwoPass => None,
+            },
+            deleted: std::collections::HashSet::new(),
+            tombstones: flash.new_log(),
+            deleted_reservation: ram.reserve(0)?,
+        })
+    }
+
+    fn bucket_of(&self, term: u64) -> usize {
+        (term % self.num_buckets as u64) as usize
+    }
+
+    /// Number of indexed documents (live + deleted; docids are dense).
+    pub fn num_docs(&self) -> u32 {
+        self.docs.len() as u32
+    }
+
+    /// Number of live (non-deleted) documents — the `|{doc}|` of the
+    /// TF-IDF formula.
+    pub fn num_live_docs(&self) -> u32 {
+        self.num_docs() - self.deleted.len() as u32
+    }
+
+    /// Pages currently in the index log.
+    pub fn num_index_pages(&self) -> u32 {
+        self.index.num_pages()
+    }
+
+    /// Retrieve a document's raw content (deleted documents are gone).
+    pub fn get_document(&self, doc: DocId) -> Result<Vec<u8>, SearchError> {
+        if self.deleted.contains(&doc) {
+            return Err(SearchError::Flash(pds_flash::FlashError::BadRecordAddr));
+        }
+        Ok(self.docs.get(doc)?)
+    }
+
+    /// Delete a document: a tombstone is appended durably, the docid is
+    /// filtered from every subsequent query, and the next
+    /// [`reorganize`](Self::reorganize) purges its index triples
+    /// physically. Idempotent.
+    pub fn delete_document(&mut self, doc: DocId) -> Result<(), SearchError> {
+        if doc >= self.num_docs() || self.deleted.contains(&doc) {
+            return Ok(());
+        }
+        self.deleted_reservation.grow(4)?;
+        self.tombstones.append(&doc.to_le_bytes())?;
+        if self.df_strategy == DfStrategy::RamDictionary {
+            // Keep the exact dictionary exact: decrement df for the
+            // document's distinct terms.
+            let text = String::from_utf8_lossy(&self.docs.get(doc)?).into_owned();
+            let mut distinct: Vec<u64> =
+                tokenize(&text).iter().map(|t| term_hash(t)).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            for term in distinct {
+                if let Some(c) = self.df.get_mut(&term) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+        self.deleted.insert(doc);
+        Ok(())
+    }
+
+    /// Number of deleted (tombstoned, not yet purged) documents.
+    pub fn num_deleted(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Index one document; returns its docid.
+    pub fn index_document(&mut self, text: &str) -> Result<DocId, SearchError> {
+        let doc = self.docs.append(text.as_bytes())?;
+        // Per-document term-frequency aggregation: transient RAM
+        // proportional to the document's distinct terms.
+        let tokens = tokenize(text);
+        let mut tf: HashMap<u64, u16> = HashMap::new();
+        let _tf_guard = self.ram.reserve(tokens.len().min(1024) * DICT_ENTRY_BYTES)?;
+        for tok in &tokens {
+            *tf.entry(term_hash(tok)).or_insert(0) =
+                tf.get(&term_hash(tok)).copied().unwrap_or(0).saturating_add(1);
+        }
+        for (term, count) in tf {
+            if self.df_strategy == DfStrategy::RamDictionary {
+                let is_new = !self.df.contains_key(&term);
+                *self.df.entry(term).or_insert(0) += 1;
+                if is_new {
+                    if let Some(r) = self._df_reservation.as_mut() {
+                        r.grow(DICT_ENTRY_BYTES)?;
+                    }
+                }
+            }
+            let b = self.bucket_of(term);
+            self.pending[b].push(Triple {
+                term,
+                doc,
+                tf: count,
+            });
+            self.pending_total += 1;
+            if self.pending_total >= self.pending_cap {
+                self.flush_largest_bucket()?;
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Flush the bucket with the most pending triples to flash.
+    fn flush_largest_bucket(&mut self) -> Result<(), SearchError> {
+        let (b, _) = self
+            .pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.len())
+            .expect("at least one bucket");
+        self.flush_bucket(b)
+    }
+
+    fn flush_bucket(&mut self, b: usize) -> Result<(), SearchError> {
+        if self.pending[b].is_empty() {
+            return Ok(());
+        }
+        let triples = std::mem::take(&mut self.pending[b]);
+        self.pending_total -= triples.len();
+        let cap = triples_per_page(self.flash.geometry().page_size);
+        for chunk in triples.chunks(cap) {
+            let page = encode_page(self.flash.geometry().page_size, self.heads[b], chunk);
+            let idx = self.index.append_raw_page(&page)?;
+            self.heads[b] = idx;
+        }
+        Ok(())
+    }
+
+    /// Flush every pending triple and document chunk to flash.
+    pub fn flush(&mut self) -> Result<(), SearchError> {
+        for b in 0..self.num_buckets {
+            self.flush_bucket(b)?;
+        }
+        self.docs.flush()?;
+        Ok(())
+    }
+
+    /// Document frequency of one term (two-pass strategy): walk the chain
+    /// with a single reusable page buffer.
+    fn count_df(&self, term: u64) -> Result<u32, SearchError> {
+        let b = self.bucket_of(term);
+        let live = |t: &&Triple| t.term == term && !self.deleted.contains(&t.doc);
+        let mut df = self.pending[b].iter().filter(live).count() as u32;
+        let _page_guard = self.ram.reserve(self.flash.geometry().page_size)?;
+        let mut buf = vec![0u8; self.flash.geometry().page_size];
+        let mut page = self.heads[b];
+        while page != NO_PREV {
+            let addr = self.index.page_addr(page)?;
+            self.flash.read_page(addr, &mut buf)?;
+            let (prev, triples) = decode_page(&buf);
+            df += triples.iter().filter(live).count() as u32;
+            page = prev;
+        }
+        Ok(df)
+    }
+
+    /// TF-IDF top-`n` search with disjunctive (ANY) semantics.
+    ///
+    /// RAM: one flash-page cursor per query keyword + the bounded top-N
+    /// heap, all reserved from the budget up front; the query fails with
+    /// [`SearchError::Ram`] if the device cannot afford it — exactly the
+    /// failure a too-small MCU would hit.
+    pub fn search(&self, keywords: &[&str], n: usize) -> Result<Vec<SearchHit>, SearchError> {
+        self.search_mode(keywords, n, SearchMode::Any)
+    }
+
+    /// TF-IDF top-`n` search with explicit match semantics. The pipeline
+    /// is identical for both modes — conjunctive filtering happens for
+    /// free at the merge point, where all of a document's triples are in
+    /// RAM simultaneously.
+    pub fn search_mode(
+        &self,
+        keywords: &[&str],
+        n: usize,
+        mode: SearchMode,
+    ) -> Result<Vec<SearchHit>, SearchError> {
+        let num_docs = self.num_live_docs();
+        if num_docs == 0 || keywords.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Resolve keyword → (term, idf), dropping terms with df = 0.
+        let mut requested = 0usize;
+        let mut terms: Vec<(u64, f64)> = Vec::new();
+        for kw in keywords {
+            let toks = tokenize(kw);
+            for tok in &toks {
+                requested += 1;
+                let term = term_hash(tok);
+                let df = match self.df_strategy {
+                    DfStrategy::TwoPass => self.count_df(term)?,
+                    DfStrategy::RamDictionary => self.df.get(&term).copied().unwrap_or(0),
+                };
+                if df > 0 {
+                    let idf = (num_docs as f64 / df as f64).ln();
+                    terms.push((term, idf));
+                }
+            }
+        }
+        terms.sort_by_key(|(t, _)| *t);
+        terms.dedup_by_key(|(t, _)| *t);
+        if terms.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Conjunctive semantics: a keyword absent from the corpus makes
+        // the whole conjunction empty. (Duplicated query keywords only
+        // need to match once, hence the dedup above.)
+        let mut seen_req: Vec<u64> = keywords
+            .iter()
+            .flat_map(|kw| tokenize(kw))
+            .map(|t| term_hash(&t))
+            .collect();
+        seen_req.sort_unstable();
+        seen_req.dedup();
+        let _ = requested;
+        if mode == SearchMode::All && terms.len() < seen_req.len() {
+            return Ok(Vec::new());
+        }
+
+        // One chain cursor (one RAM page) per keyword.
+        let page_size = self.flash.geometry().page_size;
+        let _cursor_guard = self.ram.reserve(terms.len() * page_size)?;
+        let mut cursors: Vec<ChainCursor> = terms
+            .iter()
+            .map(|(term, idf)| ChainCursor::new(self, *term, *idf))
+            .collect::<Result<_, _>>()?;
+
+        let mut top: TopN<Scored> = TopN::new(&self.ram, n)?;
+        // Pipeline merge on descending docid: triples with an equal docid
+        // arrive at the same time, so each document's score completes
+        // before the next document starts.
+        while let Some(doc) = cursors.iter().filter_map(|c| c.current_doc()).max() {
+            let mut score = 0.0;
+            let mut matched_terms = 0usize;
+            for c in &mut cursors {
+                let mut cursor_matched = false;
+                while c.current_doc() == Some(doc) {
+                    let (tf, idf) = c.take()?;
+                    score += tf as f64 * idf;
+                    cursor_matched = true;
+                }
+                if cursor_matched {
+                    matched_terms += 1;
+                }
+            }
+            if mode == SearchMode::Any || matched_terms == cursors.len() {
+                top.offer(Scored { score, doc });
+            }
+        }
+        Ok(top
+            .into_sorted_desc()
+            .into_iter()
+            .map(|s| SearchHit {
+                doc: s.doc,
+                score: s.score,
+            })
+            .collect())
+    }
+
+    /// Reorganize the index: rewrite every bucket chain into densely
+    /// packed pages in a fresh log, then reclaim the old log wholesale.
+    ///
+    /// The chain of a bucket is already globally sorted by docid (pages
+    /// are flushed in docid order and docids only grow), so the rewrite is
+    /// a single forward pass with two RAM pages — the "reorganization
+    /// process only uses log structures" rule of the tutorial, and it is
+    /// interruptible: the old index stays valid until the swap.
+    pub fn reorganize(&mut self) -> Result<(), SearchError> {
+        // Stabilize RAM state first.
+        self.flush()?;
+        let page_size = self.flash.geometry().page_size;
+        let cap = triples_per_page(page_size);
+        let mut new_log = self.flash.new_log();
+        let mut new_heads = vec![NO_PREV; self.num_buckets];
+        let _guard = self.ram.reserve(2 * page_size)?;
+        let mut buf = vec![0u8; page_size];
+        for (b, new_head) in new_heads.iter_mut().enumerate() {
+            // Collect the chain page indexes (newest → oldest).
+            let mut chain = Vec::new();
+            let mut page = self.heads[b];
+            while page != NO_PREV {
+                chain.push(page);
+                let addr = self.index.page_addr(page)?;
+                self.flash.read_page(addr, &mut buf)?;
+                let (prev, _) = decode_page(&buf);
+                page = prev;
+            }
+            // Re-read oldest → newest, repacking into full pages.
+            let mut packing: Vec<Triple> = Vec::with_capacity(cap);
+            for &p in chain.iter().rev() {
+                let addr = self.index.page_addr(p)?;
+                self.flash.read_page(addr, &mut buf)?;
+                let (_, triples) = decode_page(&buf);
+                for t in triples {
+                    if self.deleted.contains(&t.doc) {
+                        continue; // physical purge of tombstoned documents
+                    }
+                    packing.push(t);
+                    if packing.len() == cap {
+                        let pg = encode_page(page_size, *new_head, &packing);
+                        *new_head = new_log.append_raw_page(&pg)?;
+                        packing.clear();
+                    }
+                }
+            }
+            if !packing.is_empty() {
+                let pg = encode_page(page_size, *new_head, &packing);
+                *new_head = new_log.append_raw_page(&pg)?;
+            }
+        }
+        // Atomic swap, then block-grain reclamation of the old index.
+        let old = std::mem::replace(&mut self.index, new_log);
+        old.discard();
+        self.heads = new_heads;
+        Ok(())
+    }
+}
+
+/// Backward cursor over one term's bucket chain, holding exactly one
+/// decoded flash page (plus the term's pending RAM triples, visited
+/// first — they are the most recent).
+struct ChainCursor<'a> {
+    engine: &'a SearchEngine,
+    term: u64,
+    idf: f64,
+    /// Triples of the current page (or pending buffer) that match the
+    /// term, ordered ascending; consumed from the back.
+    current: Vec<(DocId, u16)>,
+    /// Next chain page to load, `NO_PREV` when exhausted.
+    next_page: u32,
+}
+
+impl<'a> ChainCursor<'a> {
+    fn new(engine: &'a SearchEngine, term: u64, idf: f64) -> Result<Self, SearchError> {
+        let b = engine.bucket_of(term);
+        let current: Vec<(DocId, u16)> = engine.pending[b]
+            .iter()
+            .filter(|t| t.term == term && !engine.deleted.contains(&t.doc))
+            .map(|t| (t.doc, t.tf))
+            .collect();
+        let mut c = ChainCursor {
+            engine,
+            term,
+            idf,
+            current,
+            next_page: engine.heads[b],
+        };
+        c.refill()?;
+        Ok(c)
+    }
+
+    fn refill(&mut self) -> Result<(), SearchError> {
+        while self.current.is_empty() && self.next_page != NO_PREV {
+            let addr = self.engine.index.page_addr(self.next_page)?;
+            let mut buf = vec![0u8; self.engine.flash.geometry().page_size];
+            self.engine.flash.read_page(addr, &mut buf)?;
+            let (prev, triples) = decode_page(&buf);
+            self.current = triples
+                .into_iter()
+                .filter(|t| t.term == self.term && !self.engine.deleted.contains(&t.doc))
+                .map(|t| (t.doc, t.tf))
+                .collect();
+            self.next_page = prev;
+        }
+        Ok(())
+    }
+
+    /// Docid this cursor currently points at (descending over time).
+    fn current_doc(&self) -> Option<DocId> {
+        self.current.last().map(|(d, _)| *d)
+    }
+
+    /// Consume the current triple, returning `(tf, idf)`.
+    fn take(&mut self) -> Result<(u16, f64), SearchError> {
+        let (_, tf) = self.current.pop().expect("take() on exhausted cursor");
+        self.refill()?;
+        Ok((tf, self.idf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::NaiveSearch;
+    use pds_mcu::HardwareProfile;
+
+    fn setup(df: DfStrategy) -> (Flash, RamBudget, SearchEngine) {
+        let profile = HardwareProfile::test_profile();
+        let flash = Flash::new(profile.flash);
+        let ram = RamBudget::new(profile.ram_bytes);
+        let engine = SearchEngine::new(&flash, &ram, 16, 64, df).unwrap();
+        (flash, ram, engine)
+    }
+
+    const CORPUS: &[&str] = &[
+        "medical record blood pressure normal",
+        "bank statement monthly salary deposit",
+        "email about blood test results pending",
+        "photo album summer holidays",
+        "blood donation appointment tuesday",
+        "insurance claim car accident report",
+        "email salary negotiation meeting",
+        "prescription blood pressure medication dosage",
+    ];
+
+    fn engine_with_corpus(df: DfStrategy) -> (Flash, RamBudget, SearchEngine) {
+        let (f, r, mut e) = setup(df);
+        for doc in CORPUS {
+            e.index_document(doc).unwrap();
+        }
+        (f, r, e)
+    }
+
+    #[test]
+    fn single_keyword_matches_oracle() {
+        for df in [DfStrategy::TwoPass, DfStrategy::RamDictionary] {
+            let (_f, _r, e) = engine_with_corpus(df);
+            let mut oracle = NaiveSearch::new();
+            for doc in CORPUS {
+                oracle.index(doc);
+            }
+            let hits = e.search(&["blood"], 10).unwrap();
+            let expected = oracle.search(&["blood"], 10);
+            assert_eq!(
+                hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                expected.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                "{df:?}"
+            );
+            for (h, o) in hits.iter().zip(&expected) {
+                assert!((h.score - o.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_keyword_scores_accumulate() {
+        let (_f, _r, e) = engine_with_corpus(DfStrategy::TwoPass);
+        let mut oracle = NaiveSearch::new();
+        for doc in CORPUS {
+            oracle.index(doc);
+        }
+        let hits = e.search(&["blood", "pressure"], 3).unwrap();
+        let expected = oracle.search(&["blood", "pressure"], 3);
+        assert_eq!(
+            hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            expected.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+        // Doc 0 and doc 7 contain both terms; they must outrank
+        // single-term matches.
+        assert!(hits[0].doc == 0 || hits[0].doc == 7);
+    }
+
+    #[test]
+    fn unknown_keyword_yields_nothing() {
+        let (_f, _r, e) = engine_with_corpus(DfStrategy::TwoPass);
+        assert!(e.search(&["zzzunknown"], 5).unwrap().is_empty());
+        assert!(e.search(&[], 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_spanning_flash_and_pending() {
+        // Small buffer forces some triples to flash while others remain
+        // pending; results must be identical to the oracle regardless.
+        let profile = HardwareProfile::test_profile();
+        let flash = Flash::new(profile.flash);
+        let ram = RamBudget::new(profile.ram_bytes);
+        let mut e = SearchEngine::new(&flash, &ram, 4, 8, DfStrategy::TwoPass).unwrap();
+        let mut oracle = NaiveSearch::new();
+        for doc in CORPUS {
+            e.index_document(doc).unwrap();
+            oracle.index(doc);
+        }
+        assert!(e.num_index_pages() > 0, "buffer must have spilled");
+        let hits = e.search(&["email", "salary"], 5).unwrap();
+        let expected = oracle.search(&["email", "salary"], 5);
+        assert_eq!(
+            hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            expected.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reorganization_preserves_results_and_packs_pages() {
+        let profile = HardwareProfile::test_profile();
+        let flash = Flash::new(profile.flash);
+        let ram = RamBudget::new(profile.ram_bytes);
+        let mut e = SearchEngine::new(&flash, &ram, 4, 8, DfStrategy::TwoPass).unwrap();
+        for i in 0..50 {
+            e.index_document(&format!(
+                "record number {i} category c{} blood sample",
+                i % 5
+            ))
+            .unwrap();
+        }
+        let before_hits = e.search(&["blood"], 10).unwrap();
+        let before_pages = e.num_index_pages();
+        e.reorganize().unwrap();
+        let after_hits = e.search(&["blood"], 10).unwrap();
+        assert_eq!(
+            before_hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            after_hits.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+        assert!(
+            e.num_index_pages() <= before_pages,
+            "reorganization must not grow the index"
+        );
+    }
+
+    #[test]
+    fn query_ram_is_one_page_per_keyword_plus_topn() {
+        let (_f, ram, e) = engine_with_corpus(DfStrategy::TwoPass);
+        let baseline = ram.used();
+        ram.reset_high_water();
+        e.search(&["blood", "pressure", "salary"], 5).unwrap();
+        let peak = ram.high_water() - baseline;
+        let page = e.flash.geometry().page_size;
+        // 3 cursors + df page + top-N heap + slack.
+        assert!(
+            peak <= 4 * page + 5 * 16 + 256,
+            "query peak RAM {peak} B exceeds the pipeline bound"
+        );
+        assert_eq!(ram.used(), baseline, "query RAM fully released");
+    }
+
+    #[test]
+    fn query_fails_cleanly_when_ram_too_small() {
+        let flash = Flash::small(256);
+        let ram = RamBudget::new(2048); // engine residents eat most of this
+        let mut e = SearchEngine::new(&flash, &ram, 8, 64, DfStrategy::TwoPass).unwrap();
+        e.index_document("alpha beta gamma").unwrap();
+        // 3 cursors need 3 × 512 B; only ~1 KB remains.
+        let err = e.search(&["alpha", "beta", "gamma"], 5).unwrap_err();
+        assert!(matches!(err, SearchError::Ram(_)));
+    }
+
+    #[test]
+    fn deleted_documents_vanish_from_queries_and_fetches() {
+        let (_f, _r, mut e) = engine_with_corpus(DfStrategy::TwoPass);
+        let mut oracle = NaiveSearch::new();
+        for doc in CORPUS {
+            oracle.index(doc);
+        }
+        // Doc 4 ("blood donation appointment tuesday") is deleted.
+        e.delete_document(4).unwrap();
+        oracle.delete(4);
+        let hits = e.search(&["blood"], 10).unwrap();
+        assert!(hits.iter().all(|h| h.doc != 4));
+        let expected = oracle.search(&["blood"], 10);
+        assert_eq!(
+            hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            expected.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            "idf must reflect the live corpus"
+        );
+        assert!(e.get_document(4).is_err());
+        assert_eq!(e.num_deleted(), 1);
+        assert_eq!(e.num_live_docs(), CORPUS.len() as u32 - 1);
+        // Idempotent, and out-of-range is a no-op.
+        e.delete_document(4).unwrap();
+        e.delete_document(999).unwrap();
+        assert_eq!(e.num_deleted(), 1);
+    }
+
+    #[test]
+    fn reorganize_purges_deleted_triples_physically() {
+        let profile = HardwareProfile::test_profile();
+        let flash = Flash::new(profile.flash);
+        let ram = RamBudget::new(profile.ram_bytes);
+        let mut e = SearchEngine::new(&flash, &ram, 4, 16, DfStrategy::TwoPass).unwrap();
+        for i in 0..60 {
+            e.index_document(&format!("record {i} blood marker")).unwrap();
+        }
+        for doc in 0..30 {
+            e.delete_document(doc).unwrap();
+        }
+        let before = {
+            e.flush().unwrap();
+            e.num_index_pages()
+        };
+        e.reorganize().unwrap();
+        assert!(
+            e.num_index_pages() < before,
+            "purging half the corpus must shrink the index: {} -> {}",
+            before,
+            e.num_index_pages()
+        );
+        let hits = e.search(&["blood"], 60).unwrap();
+        assert_eq!(hits.len(), 30);
+        assert!(hits.iter().all(|h| h.doc >= 30));
+    }
+
+    #[test]
+    fn deletion_works_in_ram_dictionary_mode_too() {
+        let (_f, _r, mut e) = engine_with_corpus(DfStrategy::RamDictionary);
+        let mut oracle = NaiveSearch::new();
+        for doc in CORPUS {
+            oracle.index(doc);
+        }
+        e.delete_document(0).unwrap();
+        e.delete_document(7).unwrap();
+        oracle.delete(0);
+        oracle.delete(7);
+        let hits = e.search(&["blood", "pressure"], 10).unwrap();
+        let expected = oracle.search(&["blood", "pressure"], 10);
+        assert_eq!(
+            hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            expected.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn conjunctive_mode_filters_to_all_keywords() {
+        let (_f, _r, e) = engine_with_corpus(DfStrategy::TwoPass);
+        let mut oracle = NaiveSearch::new();
+        for doc in CORPUS {
+            oracle.index(doc);
+        }
+        let all = e
+            .search_mode(&["blood", "pressure"], 10, SearchMode::All)
+            .unwrap();
+        let expected = oracle.search_all(&["blood", "pressure"], 10);
+        assert_eq!(
+            all.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            expected.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+        // Only docs 0 and 7 contain both words.
+        let mut docs: Vec<u32> = all.iter().map(|h| h.doc).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![0, 7]);
+        // ANY mode returns strictly more.
+        let any = e.search(&["blood", "pressure"], 10).unwrap();
+        assert!(any.len() > all.len());
+        // A keyword absent from the corpus empties the conjunction.
+        assert!(e
+            .search_mode(&["blood", "zzznothing"], 10, SearchMode::All)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn conjunctive_matches_oracle_on_larger_corpus() {
+        let profile = HardwareProfile::test_profile();
+        let flash = Flash::new(profile.flash);
+        let ram = RamBudget::new(profile.ram_bytes);
+        let mut e = SearchEngine::new(&flash, &ram, 32, 128, DfStrategy::TwoPass).unwrap();
+        let mut oracle = NaiveSearch::new();
+        for i in 0..200 {
+            let text = format!("item {i} t{} u{} shared", i % 5, i % 8);
+            e.index_document(&text).unwrap();
+            oracle.index(&text);
+        }
+        for query in [vec!["t3", "u5"], vec!["shared", "t1"], vec!["t0", "u0"]] {
+            let got = e.search_mode(&query, 15, SearchMode::All).unwrap();
+            let expected = oracle.search_all(&query, 15);
+            assert_eq!(
+                got.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                expected.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                "query {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_documents_exact_top_n() {
+        let profile = HardwareProfile::test_profile();
+        let flash = Flash::new(profile.flash);
+        let ram = RamBudget::new(profile.ram_bytes);
+        let mut e = SearchEngine::new(&flash, &ram, 32, 128, DfStrategy::TwoPass).unwrap();
+        let mut oracle = NaiveSearch::new();
+        for i in 0..300 {
+            let text = format!(
+                "entry {i} topic t{} keyword k{} shared common",
+                i % 7,
+                i % 13
+            );
+            e.index_document(&text).unwrap();
+            oracle.index(&text);
+        }
+        for query in [vec!["shared"], vec!["t3", "k5"], vec!["common", "t1"]] {
+            let hits = e.search(&query, 10).unwrap();
+            let expected = oracle.search(&query, 10);
+            assert_eq!(
+                hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                expected.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                "query {query:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic corpus generation for tests and benches.
+//!
+//! The tutorial motivates the embedded engine with personal corpora:
+//! "e-mails, medical records, official forms, digital histories of
+//! interactions with e-services". This module produces such corpora with
+//! a Zipf-distributed vocabulary — the term-frequency law real text
+//! follows, which is what stresses posting-list skew.
+
+use rand::Rng;
+
+/// Configuration of a synthetic corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Words per document.
+    pub doc_len: usize,
+    /// Zipf skew (1.0 ≈ natural language).
+    pub zipf_s: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            num_docs: 1000,
+            vocabulary: 2000,
+            doc_len: 20,
+            zipf_s: 1.0,
+        }
+    }
+}
+
+/// A Zipf sampler over ranks `1..=n` via inverse-CDF on the precomputed
+/// harmonic weights.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with skew `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generate a corpus of synthetic "personal documents".
+pub fn generate_corpus(cfg: &CorpusConfig, rng: &mut impl Rng) -> Vec<String> {
+    let zipf = Zipf::new(cfg.vocabulary, cfg.zipf_s);
+    (0..cfg.num_docs)
+        .map(|_| {
+            (0..cfg.doc_len)
+                .map(|_| format!("w{}", zipf.sample(rng)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let cfg = CorpusConfig {
+            num_docs: 50,
+            vocabulary: 100,
+            doc_len: 8,
+            zipf_s: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let corpus = generate_corpus(&cfg, &mut rng);
+        assert_eq!(corpus.len(), 50);
+        assert!(corpus.iter().all(|d| d.split(' ').count() == 8));
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[99] * 5,
+            "rank 0 ({}) should dwarf rank 99 ({})",
+            counts[0],
+            counts[99]
+        );
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "roughly uniform, got {c}");
+        }
+    }
+}

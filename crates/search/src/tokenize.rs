@@ -1,0 +1,78 @@
+//! Tokenization — the minimal text pipeline of an embedded engine.
+//!
+//! Lowercased alphanumeric runs, with a tiny stopword list. The engines
+//! the tutorial cites (Microsearch, Snoogle, MAX) index short metadata
+//! strings on sensor-class hardware; elaborate linguistic processing is
+//! out of scope there and here.
+
+/// Words ignored by the indexer (high-frequency, zero selectivity).
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
+    "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+];
+
+/// Split text into lowercase alphanumeric tokens, dropping stopwords and
+/// single-character tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut tokens, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, current);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, tok: String) {
+    if tok.chars().count() > 1 && !STOPWORDS.contains(&tok.as_str()) {
+        tokens.push(tok);
+    }
+}
+
+/// Stable 64-bit term hash (FNV-1a), the key stored in index triples.
+pub fn term_hash(term: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in term.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_lowercases_and_filters() {
+        assert_eq!(
+            tokenize("The Quick, brown FOX is on a hill!"),
+            vec!["quick", "brown", "fox", "hill"]
+        );
+    }
+
+    #[test]
+    fn numbers_and_unicode() {
+        assert_eq!(tokenize("dose 500mg à Paris"), vec!["dose", "500mg", "paris"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ---").is_empty());
+        assert!(tokenize("a I").is_empty(), "single chars and stopwords drop");
+    }
+
+    #[test]
+    fn term_hash_is_stable_and_spreads() {
+        assert_eq!(term_hash("lyon"), term_hash("lyon"));
+        assert_ne!(term_hash("lyon"), term_hash("paris"));
+        assert_ne!(term_hash("ab"), term_hash("ba"));
+    }
+}

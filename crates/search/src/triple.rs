@@ -1,0 +1,136 @@
+//! Index triples and their page layout.
+//!
+//! "Inverted index: stores triples (keyword, docid, weight)". The keyword
+//! is stored as a 64-bit hash (collisions are negligible and a false merge
+//! would only add a spurious score contribution); the weight is the term
+//! frequency in the document (the `weight_{ti,doc}` factor of the
+//! tutorial's TF-IDF formula).
+//!
+//! ## Bucket page layout (raw log page)
+//!
+//! ```text
+//! [prev_page: u32]  index of the previous page of this bucket chain
+//!                   within the index log, u32::MAX = end of chain
+//! [count: u16]      number of triples
+//! count × [term_hash: u64][docid: u32][tf: u16]
+//! ```
+
+/// Document identifier. "Document ids are generated in increasing order" —
+/// the property the pipeline merge relies on.
+pub type DocId = u32;
+
+/// End-of-chain marker in a bucket page header.
+pub const NO_PREV: u32 = u32::MAX;
+
+/// Size of the bucket-page header.
+pub const PAGE_HEADER: usize = 6;
+
+/// One inverted-index entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triple {
+    /// FNV-1a hash of the term.
+    pub term: u64,
+    /// The document containing the term.
+    pub doc: DocId,
+    /// Term frequency in the document.
+    pub tf: u16,
+}
+
+/// Bytes per serialized triple.
+pub const TRIPLE_LEN: usize = 14;
+
+impl Triple {
+    /// Serialize into `buf` at `off`.
+    pub fn write(&self, buf: &mut [u8], off: usize) {
+        buf[off..off + 8].copy_from_slice(&self.term.to_le_bytes());
+        buf[off + 8..off + 12].copy_from_slice(&self.doc.to_le_bytes());
+        buf[off + 12..off + 14].copy_from_slice(&self.tf.to_le_bytes());
+    }
+
+    /// Deserialize from `buf` at `off`.
+    pub fn read(buf: &[u8], off: usize) -> Triple {
+        Triple {
+            term: u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+            doc: u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()),
+            tf: u16::from_le_bytes(buf[off + 12..off + 14].try_into().unwrap()),
+        }
+    }
+}
+
+/// How many triples fit in one bucket page of `page_size` bytes.
+pub fn triples_per_page(page_size: usize) -> usize {
+    (page_size - PAGE_HEADER) / TRIPLE_LEN
+}
+
+/// Encode one bucket page.
+pub fn encode_page(page_size: usize, prev: u32, triples: &[Triple]) -> Vec<u8> {
+    debug_assert!(triples.len() <= triples_per_page(page_size));
+    let mut buf = vec![0xFFu8; page_size];
+    buf[0..4].copy_from_slice(&prev.to_le_bytes());
+    buf[4..6].copy_from_slice(&(triples.len() as u16).to_le_bytes());
+    for (i, t) in triples.iter().enumerate() {
+        t.write(&mut buf, PAGE_HEADER + i * TRIPLE_LEN);
+    }
+    buf
+}
+
+/// Decode one bucket page into `(prev, triples)`.
+pub fn decode_page(buf: &[u8]) -> (u32, Vec<Triple>) {
+    let prev = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let count = u16::from_le_bytes(buf[4..6].try_into().unwrap()) as usize;
+    let triples = (0..count)
+        .map(|i| Triple::read(buf, PAGE_HEADER + i * TRIPLE_LEN))
+        .collect();
+    (prev, triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_round_trip() {
+        let t = Triple {
+            term: 0xDEADBEEFCAFEF00D,
+            doc: 42,
+            tf: 7,
+        };
+        let mut buf = vec![0u8; TRIPLE_LEN];
+        t.write(&mut buf, 0);
+        assert_eq!(Triple::read(&buf, 0), t);
+    }
+
+    #[test]
+    fn page_round_trip() {
+        let triples: Vec<Triple> = (0..10)
+            .map(|i| Triple {
+                term: i as u64,
+                doc: i * 3,
+                tf: i as u16,
+            })
+            .collect();
+        let page = encode_page(512, 77, &triples);
+        assert_eq!(page.len(), 512);
+        let (prev, back) = decode_page(&page);
+        assert_eq!(prev, 77);
+        assert_eq!(back, triples);
+    }
+
+    #[test]
+    fn capacity_matches_layout() {
+        assert_eq!(triples_per_page(512), (512 - 6) / 14);
+        let n = triples_per_page(512);
+        let triples = vec![
+            Triple {
+                term: 1,
+                doc: 2,
+                tf: 3
+            };
+            n
+        ];
+        let page = encode_page(512, NO_PREV, &triples);
+        let (prev, back) = decode_page(&page);
+        assert_eq!(prev, NO_PREV);
+        assert_eq!(back.len(), n);
+    }
+}

@@ -1,0 +1,249 @@
+//! Trusted Cells: the devices around one individual, synchronized
+//! through an untrusted cloud.
+//!
+//! "Trusted Cells: regulate personal data produced around an individual,
+//! at home, using the cloud as a storage service for encrypted data."
+//! Each cell (home gateway, set-top box, car, phone token …) holds a
+//! versioned slice of the owner's state; cells publish encrypted,
+//! version-stamped snapshots to the cloud and pull each other's updates.
+//! The cloud sees ciphertext and version numbers only; conflict
+//! resolution (last-writer-wins per slice) happens inside the cells.
+
+use std::collections::BTreeMap;
+
+use pds_core::{CloudStore, PdsError};
+use pds_crypto::SymmetricKey;
+use rand::RngCore;
+
+/// One snapshot header: (version, ciphertext chunks).
+type SnapshotBlob = (u64, Vec<u8>);
+
+/// A trusted cell holding named slices of the owner's state.
+pub struct TrustedCell {
+    /// Cell name ("home", "car", "phone").
+    pub name: String,
+    key: SymmetricKey,
+    /// slice name → (version, plaintext state).
+    slices: BTreeMap<String, (u64, Vec<u8>)>,
+}
+
+/// Outcome of one synchronization pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellSyncReport {
+    /// Slices this cell pushed (it was ahead).
+    pub pushed: u32,
+    /// Slices this cell pulled (it was behind).
+    pub pulled: u32,
+    /// Slices already in sync.
+    pub unchanged: u32,
+}
+
+impl TrustedCell {
+    /// A cell of the owner identified by `owner_seed` (all of one
+    /// owner's cells derive the same key — provisioned at pairing).
+    pub fn new(name: &str, owner_seed: &[u8]) -> Self {
+        TrustedCell {
+            name: name.to_string(),
+            key: SymmetricKey::from_seed(owner_seed),
+            slices: BTreeMap::new(),
+        }
+    }
+
+    /// Local write: bump the slice version.
+    pub fn write(&mut self, slice: &str, data: &[u8]) {
+        let v = self.slices.get(slice).map(|(v, _)| *v).unwrap_or(0);
+        self.slices
+            .insert(slice.to_string(), (v + 1, data.to_vec()));
+    }
+
+    /// Read a slice.
+    pub fn read(&self, slice: &str) -> Option<&[u8]> {
+        self.slices.get(slice).map(|(_, d)| d.as_slice())
+    }
+
+    /// Version of a slice.
+    pub fn version(&self, slice: &str) -> u64 {
+        self.slices.get(slice).map(|(v, _)| *v).unwrap_or(0)
+    }
+
+    fn blob_name(owner_slice: &str) -> String {
+        format!("cell-slice:{owner_slice}")
+    }
+
+    /// Synchronize with the cloud: push slices where this cell is ahead,
+    /// pull where it is behind (version numbers are the only plaintext
+    /// the cloud sees).
+    pub fn sync(
+        &mut self,
+        cloud: &mut CloudStore,
+        rng: &mut impl RngCore,
+    ) -> Result<CellSyncReport, PdsError> {
+        let mut report = CellSyncReport::default();
+        // Pull phase: check every slice the cloud knows about that we
+        // also track, plus push our own.
+        let slice_names: Vec<String> = self.slices.keys().cloned().collect();
+        for slice in slice_names {
+            let name = Self::blob_name(&slice);
+            let remote = Self::fetch(cloud, &name, &self.key)?;
+            let local_v = self.version(&slice);
+            match remote {
+                Some((rv, data)) if rv > local_v => {
+                    self.slices.insert(slice.clone(), (rv, data));
+                    report.pulled += 1;
+                }
+                Some((rv, _)) if rv == local_v => report.unchanged += 1,
+                _ => {
+                    // We are ahead (or the cloud has nothing): push.
+                    let (v, data) = &self.slices[&slice];
+                    Self::store(cloud, &name, &self.key, *v, data, rng);
+                    report.pushed += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Discover and pull a slice this cell has never seen.
+    pub fn pull_new(
+        &mut self,
+        cloud: &CloudStore,
+        slice: &str,
+    ) -> Result<bool, PdsError> {
+        let name = Self::blob_name(slice);
+        match Self::fetch(cloud, &name, &self.key)? {
+            Some((v, data)) => {
+                let local_v = self.version(slice);
+                if v > local_v {
+                    self.slices.insert(slice.to_string(), (v, data));
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn store(
+        cloud: &mut CloudStore,
+        name: &str,
+        key: &SymmetricKey,
+        version: u64,
+        data: &[u8],
+        rng: &mut impl RngCore,
+    ) {
+        let ct = key.encrypt_prob(data, rng);
+        let mut blob = version.to_le_bytes().to_vec();
+        blob.extend_from_slice(&ct.0);
+        cloud.put(name, vec![blob]);
+    }
+
+    fn fetch(
+        cloud: &CloudStore,
+        name: &str,
+        key: &SymmetricKey,
+    ) -> Result<Option<SnapshotBlob>, PdsError> {
+        let Some(chunks) = cloud.get(name) else {
+            return Ok(None);
+        };
+        let blob = chunks
+            .first()
+            .ok_or(PdsError::ArchiveCorrupt("empty cell blob"))?;
+        if blob.len() < 8 {
+            return Err(PdsError::ArchiveCorrupt("short cell blob"));
+        }
+        let version = u64::from_le_bytes(blob[0..8].try_into().unwrap());
+        let data = key
+            .decrypt(&pds_crypto::Ciphertext(blob[8..].to_vec()))
+            .ok_or(PdsError::ArchiveCorrupt("cell blob authentication"))?;
+        Ok(Some((version, data)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TrustedCell, TrustedCell, CloudStore, StdRng) {
+        (
+            TrustedCell::new("home", b"owner-alice"),
+            TrustedCell::new("phone", b"owner-alice"),
+            CloudStore::new(),
+            StdRng::seed_from_u64(9),
+        )
+    }
+
+    #[test]
+    fn state_propagates_between_cells() {
+        let (mut home, mut phone, mut cloud, mut rng) = setup();
+        home.write("energy-profile", b"heating schedule v1");
+        home.sync(&mut cloud, &mut rng).unwrap();
+        assert!(phone.pull_new(&cloud, "energy-profile").unwrap());
+        assert_eq!(phone.read("energy-profile").unwrap(), b"heating schedule v1");
+    }
+
+    #[test]
+    fn newer_version_wins() {
+        let (mut home, mut phone, mut cloud, mut rng) = setup();
+        home.write("prefs", b"v1");
+        home.sync(&mut cloud, &mut rng).unwrap();
+        phone.pull_new(&cloud, "prefs").unwrap();
+        // Phone writes twice (v2, v3), home once more (v2): phone wins.
+        phone.write("prefs", b"phone-v2");
+        phone.write("prefs", b"phone-v3");
+        phone.sync(&mut cloud, &mut rng).unwrap();
+        home.write("prefs", b"home-v2");
+        let report = home.sync(&mut cloud, &mut rng).unwrap();
+        assert_eq!(report.pulled, 1, "home was behind (v2 < v3)");
+        assert_eq!(home.read("prefs").unwrap(), b"phone-v3");
+    }
+
+    #[test]
+    fn cloud_never_sees_plaintext() {
+        let (mut home, _, mut cloud, mut rng) = setup();
+        home.write("medical", b"diagnosis: asthma");
+        home.sync(&mut cloud, &mut rng).unwrap();
+        let blob: Vec<u8> = cloud
+            .get("cell-slice:medical")
+            .unwrap()
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        assert!(!blob.windows(6).any(|w| w == b"asthma"));
+    }
+
+    #[test]
+    fn foreign_cell_cannot_read() {
+        let (mut home, _, mut cloud, mut rng) = setup();
+        home.write("medical", b"private");
+        home.sync(&mut cloud, &mut rng).unwrap();
+        let mut intruder = TrustedCell::new("evil", b"owner-mallory");
+        assert!(intruder.pull_new(&cloud, "medical").is_err());
+    }
+
+    #[test]
+    fn tampered_blob_is_rejected() {
+        let (mut home, mut phone, mut cloud, mut rng) = setup();
+        home.write("slice", b"data");
+        home.sync(&mut cloud, &mut rng).unwrap();
+        cloud.tamper("cell-slice:slice", 0, 12);
+        assert!(matches!(
+            phone.pull_new(&cloud, "slice"),
+            Err(PdsError::ArchiveCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn sync_report_counts() {
+        let (mut home, _, mut cloud, mut rng) = setup();
+        home.write("a", b"1");
+        home.write("b", b"2");
+        let r1 = home.sync(&mut cloud, &mut rng).unwrap();
+        assert_eq!(r1.pushed, 2);
+        let r2 = home.sync(&mut cloud, &mut rng).unwrap();
+        assert_eq!(r2.unchanged, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Distributed secure sharing: proof of legitimacy before data flows.
+//!
+//! Part I's requirement in action: a patient's token and a doctor's
+//! token that have never met establish mutual legitimacy (credential
+//! verification + proof of possession), and only then does the patient's
+//! PDS honor the doctor's care-purpose query. A rogue party with a
+//! replayed credential gets nothing — and an accreditation check gates a
+//! national statistics query the same way.
+//!
+//! Run with: `cargo run --release --example secure_sharing`
+
+use pds::core::credentials::handshake;
+use pds::core::{
+    AccessContext, Action, Collection, HandshakeOutcome, Issuer, Pds, Purpose, Role, Rule,
+};
+use pds::db::{Predicate, Value};
+use pds::global::authz::authorized_secure_aggregation;
+use pds::global::{GroupByQuery, Population, Ssi};
+use pds::mcu::TokenId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(9);
+    // The health authority provisions credentials at token issuance.
+    let authority = Issuer::new(b"national-health-authority");
+    let vk = authority.verification_key();
+
+    // Alice's PDS with a health record; her doctor's token.
+    let mut alice = Pds::new(1, "alice")?;
+    alice.ingest_health(10, "blood-pressure", 135, "slightly high")?;
+    let alice_cred = authority.issue(alice.id(), "alice", Role::Individual, 3650);
+    let doctor_cred = authority.issue(TokenId(2), "dr.martin", Role::Practitioner, 3650);
+
+    // 1. Mutual legitimacy handshake.
+    let outcome = handshake(&vk, &alice_cred, &doctor_cred, 100, &mut rng);
+    println!("alice ⇄ dr.martin handshake: {outcome:?}");
+    assert_eq!(outcome, HandshakeOutcome::Established);
+
+    // 2. Only after the handshake does Alice grant (and the grant is
+    //    still purpose- and collection-scoped).
+    alice.grant(Rule::allow(
+        "dr.martin",
+        Collection::Table("HEALTH".into()),
+        Action::Read,
+        Some(Purpose::Care),
+    ));
+    let doctor = AccessContext::new("dr.martin", Purpose::Care);
+    let rows = alice.select(
+        &doctor,
+        "HEALTH",
+        &Predicate::eq("category", Value::str("blood-pressure")),
+    )?;
+    println!("dr.martin reads {} health record(s) after the handshake", rows.len());
+
+    // 3. A rogue with an expired credential fails the handshake — no
+    //    grant is ever considered.
+    let stale = authority.issue(TokenId(3), "dr.gone", Role::Practitioner, 50);
+    let outcome = handshake(&vk, &alice_cred, &stale, 100, &mut rng);
+    println!("alice ⇄ dr.gone (expired): {outcome:?}");
+    assert_eq!(outcome, HandshakeOutcome::BadCredential);
+
+    // 4. The same machinery gates global queries: only an accredited
+    //    statistics institute can make the population contribute.
+    let q = GroupByQuery::bank_by_category();
+    let mut pop = Population::synthetic(50, &q.domain, &mut rng)?;
+    let insee = authority.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 3650);
+    let mut ssi = Ssi::honest(1);
+    let (result, stats) =
+        authorized_secure_aggregation(&vk, &insee, 100, &mut pop, &q, &mut ssi, 16, &mut rng)?;
+    println!(
+        "\naccredited institute ran the national survey: {} groups, {} token rounds",
+        result.len(),
+        stats.rounds
+    );
+    let marketer = authority.issue(TokenId(1001), "adtech", Role::Practitioner, 3650);
+    let mut ssi2 = Ssi::honest(2);
+    let err = authorized_secure_aggregation(
+        &vk, &marketer, 100, &mut pop, &q, &mut ssi2, 16, &mut rng,
+    )
+    .unwrap_err();
+    println!("mis-roled issuer: {err} (SSI saw {} tuples)", ssi2.leakage().tuples_seen);
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! Failure injection: the system under attack and under resource
+//! exhaustion.
+
+use pds::core::{AccessContext, Pds, Purpose};
+use pds::db::{PBFilter, Predicate, Value};
+use pds::flash::{Flash, FlashError, FlashGeometry};
+use pds::global::detection::{analytic_detection, measure_detection, CheckedChannel, CheckOutcome};
+use pds::global::secure_agg::{secure_aggregation, OnTamper};
+use pds::global::{plaintext_groupby, GroupByQuery, Population, Ssi, SsiThreat};
+use pds::crypto::SymmetricKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn flash_exhaustion_is_a_clean_error_not_a_corruption() {
+    // A 4-block chip fills up quickly; the log layer must surface
+    // OutOfBlocks and leave prior data readable.
+    let f = Flash::new(FlashGeometry::new(512, 4, 4));
+    let mut log = f.new_log();
+    let mut written = 0u32;
+    let err = loop {
+        match log.append(&[0xAB; 256]) {
+            Ok(_) => written += 1,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, FlashError::OutOfBlocks);
+    assert!(written > 0);
+    // Everything written before the failure still reads back.
+    for p in 0..log.num_pages() {
+        let recs = log.read_page_records(p).unwrap();
+        assert!(recs.iter().all(|r| r == &vec![0xAB; 256]));
+    }
+}
+
+#[test]
+fn ram_violation_aborts_the_query_not_the_token() {
+    let mut pds = Pds::for_tests(1, "alice").unwrap();
+    for i in 0..50 {
+        pds.ingest_email(i, "s", "subj", &format!("word{i} common")).unwrap();
+    }
+    let me = AccessContext::new("alice", Purpose::PersonalUse);
+    // Burn almost all remaining RAM, then query.
+    let hoard = pds.token().ram().reserve(pds.token().ram().available() - 256).unwrap();
+    let err = pds.search(&me, &["common"], 5).unwrap_err();
+    assert!(matches!(err, pds::core::PdsError::Search(_)));
+    drop(hoard);
+    // The token recovers completely.
+    assert!(!pds.search(&me, &["common"], 5).unwrap().is_empty());
+}
+
+#[test]
+fn broken_token_does_not_poison_the_population_result() {
+    // A physically compromised token leaks its own data (unavoidable)
+    // but the protocol result over the others stays exact: the shared
+    // key still authenticates, and the broken holder can only lie about
+    // its own contribution.
+    let mut rng = StdRng::seed_from_u64(1);
+    let q = GroupByQuery::bank_by_category();
+    let mut pop = Population::synthetic(30, &q.domain, &mut rng).unwrap();
+    pop.tokens[3].token_mut().compromise();
+    assert!(!pop.tokens[3].token().is_trusted());
+    let truth = plaintext_groupby(&mut pop, &q).unwrap();
+    let mut ssi = Ssi::honest(1);
+    let (result, _) =
+        secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap();
+    assert_eq!(result, truth);
+}
+
+#[test]
+fn covert_dropping_detection_tracks_the_analytic_curve() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let key = SymmetricKey::from_seed(b"adv");
+    for (drop_rate, sample_rate) in [(0.05f64, 0.05f64), (0.2, 0.02)] {
+        let measured = measure_detection(400, drop_rate, sample_rate, 80, &key, &mut rng);
+        let analytic = analytic_detection((400.0 * drop_rate) as u64, sample_rate);
+        assert!(
+            (measured - analytic).abs() < 0.25,
+            "f={drop_rate} s={sample_rate}: measured {measured} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn forged_and_replayed_tuples_never_pass_spot_checks() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let key = SymmetricKey::from_seed(b"adv2");
+    let mut ch = CheckedChannel::collect(&key, 300);
+    ch.alter_fraction(0.5, &mut rng);
+    let mut detected = 0;
+    for _ in 0..20 {
+        if ch.spot_check(&key, 0.1, &mut rng) == CheckOutcome::Detected {
+            detected += 1;
+        }
+    }
+    assert!(detected >= 19, "150 altered tuples at 10% sampling: ~certain");
+}
+
+#[test]
+fn malicious_ssi_with_skipping_tokens_shows_why_checking_matters() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let q = GroupByQuery::bank_by_category();
+    let mut pop = Population::synthetic(80, &q.domain, &mut rng).unwrap();
+    let truth = plaintext_groupby(&mut pop, &q).unwrap();
+    let truth_total: u64 = truth.iter().map(|(_, v)| v).sum();
+
+    let mut ssi = Ssi::new(
+        SsiThreat::WeaklyMalicious {
+            drop_rate: 0.3,
+            forge_rate: 0.0,
+        },
+        5,
+    );
+    let (biased, _) =
+        secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Skip, &mut rng).unwrap();
+    let biased_total: u64 = biased.iter().map(|(_, v)| v).sum();
+    assert!(biased_total < truth_total, "silent bias without checks");
+
+    // With checking tokens, the same adversary forging anything at all
+    // is caught immediately.
+    let mut ssi2 = Ssi::new(
+        SsiThreat::WeaklyMalicious {
+            drop_rate: 0.0,
+            forge_rate: 0.05,
+        },
+        6,
+    );
+    assert!(
+        secure_aggregation(&mut pop, &q, &mut ssi2, 16, OnTamper::Abort, &mut rng).is_err()
+    );
+}
+
+#[test]
+fn pbfilter_survives_interleaved_writers_on_a_shared_chip() {
+    // Two indexes and a table share one chip: block-grain allocation must
+    // keep their logs disjoint under heavy interleaving.
+    let f = Flash::small(256);
+    let mut idx_a = PBFilter::new(&f);
+    let mut idx_b = PBFilter::new(&f);
+    for i in 0..3000u32 {
+        idx_a.insert(format!("A{}", i % 31).as_bytes(), i).unwrap();
+        idx_b.insert(format!("B{}", i % 17).as_bytes(), i).unwrap();
+    }
+    idx_a.flush().unwrap();
+    idx_b.flush().unwrap();
+    assert_eq!(idx_a.lookup(b"A5").unwrap().len(), 3000 / 31 + 1);
+    assert_eq!(idx_b.lookup(b"B5").unwrap().len(), 3000 / 17 + iverson(3000 % 17 > 5));
+    assert!(idx_a.lookup(b"B5").unwrap().is_empty(), "no cross-index bleed");
+}
+
+fn iverson(b: bool) -> usize {
+    usize::from(b)
+}
+
+#[test]
+fn per_row_retention_cannot_be_bypassed_by_predicate_choice() {
+    let mut pds = Pds::for_tests(2, "bob").unwrap();
+    for day in 0..100u64 {
+        pds.ingest_bank(day, "groceries", 100 + day, "shop").unwrap();
+    }
+    pds.set_clock(100);
+    pds.grant(pds::core::policy::Rule {
+        subject: pds::core::policy::SubjectPattern::Exact("auditor".into()),
+        collection: pds::core::Collection::Table("BANK".into()),
+        action: pds::core::Action::Read,
+        purpose: None,
+        policy: pds::core::Policy::Allow,
+        max_age_days: Some(30),
+    });
+    let auditor = AccessContext::new("auditor", Purpose::Care);
+    let rows = pds
+        .select(&auditor, "BANK", &Predicate::eq("category", Value::str("groceries")))
+        .unwrap();
+    assert_eq!(rows.len(), 30, "only days 70..=99 are within 30 days");
+    assert!(rows.iter().all(|r| r[0].as_u64().unwrap() >= 70));
+}

@@ -1,0 +1,127 @@
+//! Integration: the extension data models composed with the rest of the
+//! stack — a life-logging token whose series, key-value state and
+//! relational records share one chip and one RAM budget, archived and
+//! restored through the untrusted cloud.
+
+use pds::core::CloudStore;
+use pds::crypto::SymmetricKey;
+use pds::db::value::{ColumnType, Schema};
+use pds::db::{Database, KvStore, Predicate, TimeSeries, Value};
+use pds::flash::{Flash, FlashGeometry};
+use pds::mcu::codesign::{max_search_keywords, search_residents};
+use pds::mcu::{HardwareProfile, RamBudget};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn three_data_models_share_one_chip() {
+    let flash = Flash::new(FlashGeometry::new(2048, 64, 4096));
+    let ram = RamBudget::new(64 * 1024);
+
+    // Relational.
+    let mut db = Database::new(&flash, &ram);
+    db.create_table(
+        "VISITS",
+        Schema::new(&[("day", ColumnType::U64), ("doctor", ColumnType::Str)]),
+    )
+    .unwrap();
+    for d in 0..200u64 {
+        db.insert(
+            "VISITS",
+            vec![Value::U64(d), Value::Str(format!("dr-{}", d % 5))],
+        )
+        .unwrap();
+    }
+    db.create_index("VISITS", "doctor").unwrap();
+
+    // Time series.
+    let mut weight = TimeSeries::new(&flash);
+    for d in 0..365u64 {
+        weight.append(d * 86_400, 70_000 + (d % 30) as i64).unwrap();
+    }
+    weight.flush().unwrap();
+
+    // Key-value.
+    let mut prefs = KvStore::new(&flash);
+    for i in 0..500u32 {
+        prefs.put(format!("k{}", i % 50).as_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    prefs.flush().unwrap();
+
+    // All three answer correctly off the shared chip.
+    let visits = db
+        .select("VISITS", &Predicate::eq("doctor", Value::str("dr-3")))
+        .unwrap();
+    assert_eq!(visits.len(), 40);
+    let agg = weight.range_aggregate(0, 29 * 86_400).unwrap();
+    assert_eq!(agg.count, 30);
+    assert!(prefs.get(b"k10").unwrap().is_some());
+    // And nothing ever erased a block (pure log discipline).
+    assert_eq!(flash.stats().block_erases, 0);
+}
+
+#[test]
+fn kv_state_survives_the_encrypted_archive() {
+    // A token's KV state is exported, archived encrypted, and restored
+    // onto a fresh token — the Trusted Cells durability story applied to
+    // the extension store.
+    let flash = Flash::new(FlashGeometry::new(2048, 64, 1024));
+    let mut kv = KvStore::new(&flash);
+    for i in 0..200u32 {
+        kv.put(format!("key{i}").as_bytes(), format!("val{i}").as_bytes())
+            .unwrap();
+    }
+    kv.flush().unwrap();
+    // Export live pairs (compaction gives exactly the live set).
+    let kv = kv.compact().unwrap();
+    let mut payload = Vec::new();
+    for i in 0..200u32 {
+        let v = kv.get(format!("key{i}").as_bytes()).unwrap().unwrap();
+        payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&v);
+    }
+    let key = SymmetricKey::from_seed(b"kv-archive");
+    let mut cloud = CloudStore::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let archive =
+        pds::core::EncryptedArchive::publish(&mut cloud, "kv", &key, &payload, &mut rng);
+    let restored = archive.restore(&cloud, &key).unwrap();
+    assert_eq!(restored, payload);
+}
+
+#[test]
+fn codesign_predictions_hold_for_the_real_search_engine() {
+    use pds::search::{DfStrategy, SearchEngine};
+    let p = HardwareProfile::small_token();
+    let flash = Flash::new(p.flash);
+    let ram = RamBudget::new(p.ram_bytes);
+    let mut engine = SearchEngine::new(&flash, &ram, 64, 256, DfStrategy::TwoPass).unwrap();
+    for i in 0..100 {
+        engine
+            .index_document(&format!("w{} w{} w{} shared", i % 7, i % 11, i % 13))
+            .unwrap();
+    }
+    let residents = search_residents(64, 256);
+    let k_max = max_search_keywords(&p, residents, 10).unwrap();
+    // A query at the calibrated maximum succeeds…
+    let kws: Vec<String> = (0..k_max).map(|i| format!("w{}", i % 13)).collect();
+    let kw_refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+    assert!(engine.search(&kw_refs, 10).is_ok(), "k={k_max} must fit");
+    // …and well beyond it fails with a RAM error, not a crash.
+    let too_many: Vec<String> = (0..k_max + 4).map(|i| format!("x{i}")).collect();
+    // Distinct unknown terms have df 0 and are dropped before cursor
+    // allocation, so force known terms instead.
+    let mut engine2 = SearchEngine::new(&flash, &ram, 64, 256, DfStrategy::TwoPass);
+    if let Ok(ref mut e2) = engine2 {
+        let doc: String = (0..k_max + 4).map(|i| format!("y{i} ")).collect();
+        e2.index_document(&doc).unwrap();
+        let kws2: Vec<String> = (0..k_max + 4).map(|i| format!("y{i}")).collect();
+        let kw2: Vec<&str> = kws2.iter().map(String::as_str).collect();
+        assert!(
+            e2.search(&kw2, 10).is_err(),
+            "k={} must exceed the device",
+            k_max + 4
+        );
+    }
+    let _ = too_many;
+}

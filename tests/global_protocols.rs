@@ -1,0 +1,132 @@
+//! Integration: the [TNP14] protocol family against the plaintext
+//! ground truth, under both threat models, across population sizes.
+
+use pds::global::histogram::{histogram_based, BucketMap};
+use pds::global::noise::{noise_based, NoiseStrategy};
+use pds::global::secure_agg::{secure_aggregation, OnTamper};
+use pds::global::{plaintext_groupby, GroupByQuery, Population, Ssi, SsiThreat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(n: usize, seed: u64) -> (Population, GroupByQuery, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let q = GroupByQuery::bank_by_category();
+    let pop = Population::synthetic(n, &q.domain, &mut rng).unwrap();
+    (pop, q, rng)
+}
+
+#[test]
+fn all_protocols_agree_with_ground_truth_across_sizes() {
+    for (n, seed) in [(10usize, 1u64), (60, 2), (150, 3)] {
+        let (mut pop, q, mut rng) = setup(n, seed);
+        let truth = plaintext_groupby(&mut pop, &q).unwrap();
+
+        let mut ssi = Ssi::honest(seed);
+        let (r, _) =
+            secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng).unwrap();
+        assert_eq!(r, truth, "secure-agg n={n}");
+
+        for strategy in [
+            NoiseStrategy::Random { fakes_per_token: 0 },
+            NoiseStrategy::Random { fakes_per_token: 5 },
+            NoiseStrategy::Complementary,
+        ] {
+            let mut ssi = Ssi::honest(seed + 10);
+            let (r, _) = noise_based(&mut pop, &q, &mut ssi, strategy, &mut rng).unwrap();
+            assert_eq!(r, truth, "noise {strategy:?} n={n}");
+        }
+
+        for buckets in [1u32, 2, 6] {
+            let map = BucketMap::equi_width(&q.domain, buckets);
+            let mut ssi = Ssi::honest(seed + 20);
+            let (r, _) = histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap();
+            assert_eq!(r, truth, "histogram B={buckets} n={n}");
+        }
+    }
+}
+
+#[test]
+fn leakage_ordering_matches_the_paper() {
+    // secure-agg < histogram < noise-free-det in terms of what the SSI
+    // can reconstruct of the group frequency distribution.
+    let (mut pop, q, mut rng) = setup(200, 5);
+
+    let mut agg_ssi = Ssi::honest(1);
+    secure_aggregation(&mut pop, &q, &mut agg_ssi, 16, OnTamper::Abort, &mut rng).unwrap();
+    let agg_classes = agg_ssi.leakage().equality_class_sizes.len();
+
+    let map = BucketMap::equi_width(&q.domain, 2);
+    let mut hist_ssi = Ssi::honest(2);
+    histogram_based(&mut pop, &q, &mut hist_ssi, &map, &mut rng).unwrap();
+    let hist_classes = hist_ssi.leakage().equality_class_sizes.len();
+
+    let mut det_ssi = Ssi::honest(3);
+    noise_based(
+        &mut pop,
+        &q,
+        &mut det_ssi,
+        NoiseStrategy::Random { fakes_per_token: 0 },
+        &mut rng,
+    )
+    .unwrap();
+    let det_classes = det_ssi.leakage().equality_class_sizes.len();
+
+    assert_eq!(agg_classes, 0, "probabilistic encryption: no classes");
+    assert!(hist_classes > agg_classes);
+    assert!(det_classes >= hist_classes, "full det grouping is finest");
+}
+
+#[test]
+fn weakly_malicious_ssi_is_caught_by_checking_tokens() {
+    let (mut pop, q, mut rng) = setup(50, 6);
+    let mut ssi = Ssi::new(
+        SsiThreat::WeaklyMalicious {
+            drop_rate: 0.0,
+            forge_rate: 0.3,
+        },
+        1,
+    );
+    let err = secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        pds::global::GlobalError::TamperingDetected(_)
+    ));
+}
+
+#[test]
+fn token_work_scales_linearly_with_population() {
+    let mut work = Vec::new();
+    for n in [50usize, 200] {
+        let (mut pop, q, mut rng) = setup(n, 8);
+        let mut ssi = Ssi::honest(1);
+        let (_, stats) =
+            secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng).unwrap();
+        work.push(stats.token_tuples as f64);
+    }
+    let ratio = work[1] / work[0];
+    assert!(
+        ratio > 2.0 && ratio < 8.0,
+        "4× population ⇒ ≈4× token work, ratio {ratio}"
+    );
+}
+
+#[test]
+fn toolkit_and_protocols_compose_on_the_same_population() {
+    // The toolkit's secure sum over per-token totals must equal the
+    // protocols' grand total.
+    let (mut pop, q, mut rng) = setup(40, 9);
+    let truth = plaintext_groupby(&mut pop, &q).unwrap();
+    let grand_total: u64 = truth.iter().map(|(_, v)| v).sum();
+    let per_token: Vec<u64> = {
+        let contribs = pop.contributions(&q).unwrap();
+        let mut sums = vec![0u64; pop.len()];
+        for (i, _, v) in contribs {
+            sums[i] += v;
+        }
+        sums
+    };
+    let modulus = 1u64 << 40;
+    let (secure_total, _) = pds::global::toolkit::secure_sum(&per_token, modulus, &mut rng);
+    assert_eq!(secure_total, grand_total % modulus);
+}
