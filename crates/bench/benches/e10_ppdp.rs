@@ -1,10 +1,10 @@
 //! E10 timing: Mondrian k-anonymization and the encrypted MetaP flow.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_crypto::SymmetricKey;
 use pds_global::ppdp::{encrypt_records, mondrian, publish_anonymized, synthetic_records};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_ppdp");

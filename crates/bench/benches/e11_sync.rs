@@ -1,14 +1,12 @@
 //! E11 timing: one full badge tour over ten patients.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pds_bench::e11_sync::measure;
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_sync");
     g.sample_size(10);
-    g.bench_function("full_tour_10_patients", |b| {
-        b.iter(|| measure(10, 10, 21))
-    });
+    g.bench_function("full_tour_10_patients", |b| b.iter(|| measure(10, 10, 21)));
     g.bench_function("partial_tours_10_patients_3_per_tour", |b| {
         b.iter(|| measure(10, 3, 21))
     });

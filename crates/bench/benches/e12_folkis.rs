@@ -1,7 +1,7 @@
 //! E12 timing: delay-tolerant delivery runs at two densities.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pds_bench::e12_folkis::measure;
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_folkis");

@@ -1,7 +1,7 @@
 //! E1 timing: PBFilter lookup vs full table scan.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pds_bench::e1_pbfilter::build_customer;
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_db::Value;
 use pds_flash::{Flash, FlashGeometry};
 

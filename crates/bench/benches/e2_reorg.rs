@@ -1,7 +1,7 @@
 //! E2 timing: sequential-index lookup, tree lookup, and the
 //! reorganization itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_db::reorg::reorganize;
 use pds_db::PBFilter;
 use pds_flash::{Flash, FlashGeometry};
@@ -29,7 +29,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| pbf.lookup(&probe).unwrap())
     });
     let tree = reorganize(&flash, &ram, &pbf).unwrap();
-    g.bench_function("tree_lookup_50k", |b| b.iter(|| tree.lookup(&probe).unwrap()));
+    g.bench_function("tree_lookup_50k", |b| {
+        b.iter(|| tree.lookup(&probe).unwrap())
+    });
     g.bench_function("reorganize_50k", |b| {
         b.iter(|| {
             let t = reorganize(&flash, &ram, &pbf).unwrap();

@@ -1,7 +1,7 @@
 //! E3 timing: embedded search queries and indexing throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pds_bench::e3_search::build;
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_search::DfStrategy;
 
 fn bench(c: &mut Criterion) {

@@ -1,13 +1,13 @@
 //! E4 timing: climbing-index SPJ vs the index-free baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_db::climbing::{execute_spj, execute_spj_naive, TjoinIndex, TselectIndex};
 use pds_db::tpcd::{TpcdConfig, TpcdData};
 use pds_db::Value;
 use pds_flash::{Flash, FlashGeometry};
 use pds_mcu::RamBudget;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_spj");
@@ -19,8 +19,7 @@ fn bench(c: &mut Criterion) {
     let tree = data.schema_tree().unwrap();
     let tables = data.tables();
     let tjoin = TjoinIndex::build(&flash, &tree, &tables).unwrap();
-    let seg =
-        TselectIndex::build(&flash, &ram, &tree, &tables, "CUSTOMER", "mktsegment").unwrap();
+    let seg = TselectIndex::build(&flash, &ram, &tree, &tables, "CUSTOMER", "mktsegment").unwrap();
     let sup = TselectIndex::build(&flash, &ram, &tree, &tables, "SUPPLIER", "name").unwrap();
 
     g.bench_function("climbing_spj_sf8", |b| {

@@ -1,7 +1,7 @@
 //! E5 timing: insertion streams, log-structured vs in-place.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pds_bench::e5_random_writes::InPlaceIndex;
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_db::PBFilter;
 use pds_flash::{Flash, FlashGeometry};
 

@@ -1,12 +1,12 @@
 //! E6 timing: the three [TNP14\] protocols end to end at N = 100.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_global::histogram::{histogram_based, BucketMap};
 use pds_global::noise::{noise_based, NoiseStrategy};
 use pds_global::secure_agg::{secure_aggregation, OnTamper};
 use pds_global::{GroupByQuery, Population, Ssi};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_protocols");
@@ -24,7 +24,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("noise_complementary_n100", |b| {
         b.iter(|| {
             let mut ssi = Ssi::honest(2);
-            noise_based(&mut pop, &q, &mut ssi, NoiseStrategy::Complementary, &mut rng).unwrap()
+            noise_based(
+                &mut pop,
+                &q,
+                &mut ssi,
+                NoiseStrategy::Complementary,
+                &mut rng,
+            )
+            .unwrap()
         })
     });
     let map = BucketMap::equi_width(&q.domain, 3);

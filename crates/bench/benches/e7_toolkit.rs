@@ -1,12 +1,12 @@
 //! E7 timing: the [CKV+02] toolkit primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_crypto::CommutativeGroup;
 use pds_global::toolkit::{
     secure_intersection_size, secure_scalar_product, secure_set_union, secure_sum,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_toolkit");
@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
 
     let group = CommutativeGroup::test_params();
     let sets: Vec<Vec<Vec<u8>>> = (0..5)
-        .map(|p| (0..8).map(|i| format!("item-{}", (p + i) % 10).into_bytes()).collect())
+        .map(|p| {
+            (0..8)
+                .map(|i| format!("item-{}", (p + i) % 10).into_bytes())
+                .collect()
+        })
         .collect();
     g.bench_function("set_union_5x8", |b| {
         b.iter(|| secure_set_union(&sets, &group, &mut rng))

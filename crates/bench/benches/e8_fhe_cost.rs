@@ -1,9 +1,9 @@
 //! E8 timing: homomorphic vs symmetric vs plaintext aggregation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_crypto::{Paillier, SymmetricKey};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_fhe_cost");
@@ -12,7 +12,13 @@ fn bench(c: &mut Criterion) {
     let values: Vec<u64> = (0..32).map(|i| i * 31 + 7).collect();
 
     g.bench_function("plaintext_sum_32", |b| {
-        b.iter(|| values.iter().copied().map(std::hint::black_box).sum::<u64>())
+        b.iter(|| {
+            values
+                .iter()
+                .copied()
+                .map(std::hint::black_box)
+                .sum::<u64>()
+        })
     });
 
     let key = SymmetricKey::from_seed(b"e8");

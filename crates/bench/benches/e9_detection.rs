@@ -1,10 +1,10 @@
 //! E9 timing: MAC-authenticated collection and spot checks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion};
 use pds_crypto::SymmetricKey;
 use pds_global::detection::CheckedChannel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_detection");

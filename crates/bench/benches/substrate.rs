@@ -2,14 +2,14 @@
 //! built from — flash page I/O, log appends, the hash/PRF, symmetric and
 //! homomorphic crypto, bignum arithmetic, Bloom filters.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pds_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use pds_crypto::{sha256, BigUint, BloomFilter, Paillier, SymmetricKey};
 use pds_flash::{Flash, FlashGeometry};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn flash_benches(c: &mut Criterion) {
-    use criterion::BatchSize;
+    use pds_bench::harness::BatchSize;
     let mut g = c.benchmark_group("substrate_flash");
     g.sample_size(30);
     let page = vec![0xA5u8; 2048];

@@ -16,8 +16,8 @@ use pds_flash::{Flash, FlashGeometry};
 use pds_global::secure_agg::{secure_aggregation, OnTamper};
 use pds_global::{GroupByQuery, Population, Ssi};
 use pds_mcu::codesign::calibrate_ladder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 use crate::table::Table;
 
@@ -25,7 +25,12 @@ use crate::table::Table;
 pub fn a1_bloom_budget() -> Table {
     let mut t = Table::new(
         "A1 — PBFilter Bloom budget: bits/key vs lookup I/O and summary size",
-        &["bits/key", "summary pages", "lookup IOs", "false-positive probes"],
+        &[
+            "bits/key",
+            "summary pages",
+            "lookup IOs",
+            "false-positive probes",
+        ],
     );
     let rows = 30_000u32;
     let domain = 1500u32;
@@ -94,7 +99,12 @@ pub fn a2_partition_size() -> Table {
 pub fn a3_codesign() -> Table {
     let mut t = Table::new(
         "A3 — co-design calibration: what each device class can execute",
-        &["device", "RAM (KB)", "max search keywords (top-10)", "max sort fan-in"],
+        &[
+            "device",
+            "RAM (KB)",
+            "max search keywords (top-10)",
+            "max sort fan-in",
+        ],
     );
     for c in calibrate_ladder() {
         t.row(vec![
@@ -115,7 +125,14 @@ pub fn a3_codesign() -> Table {
 pub fn a4_extensions() -> Table {
     let mut t = Table::new(
         "A4 — log+summary recipe on other data models (tutorial's extension challenge)",
-        &["model", "records", "data pages", "query", "query IOs", "full-scan IOs"],
+        &[
+            "model",
+            "records",
+            "data pages",
+            "query",
+            "query IOs",
+            "full-scan IOs",
+        ],
     );
     // Time series: month aggregate over a year of minutely samples.
     let flash = Flash::new(FlashGeometry::new(2048, 64, 8192));
@@ -126,7 +143,8 @@ pub fn a4_extensions() -> Table {
     }
     ts.flush().unwrap();
     flash.reset_stats();
-    ts.range_aggregate(n * 60 / 3, n * 60 / 3 + 2_592_000).unwrap();
+    ts.range_aggregate(n * 60 / 3, n * 60 / 3 + 2_592_000)
+        .unwrap();
     let ios = flash.stats().page_reads;
     t.row(vec![
         "time series".into(),

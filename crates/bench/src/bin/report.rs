@@ -1,12 +1,17 @@
 //! Regenerate every experiment table of EXPERIMENTS.md in one run.
 //!
-//! Usage: `cargo run --release -p pds-bench --bin report [e1 e2 …]`
-//! (no arguments = all experiments).
+//! Usage: `cargo run --release -p pds-bench --bin report [--metrics] [e1 e2 …]`
+//! (no experiment ids = all experiments). With `--metrics`, the
+//! process-wide `pds-obs` registry is dumped as JSONL after the tables —
+//! every flash IO, RAM high-water mark, policy decision, and protocol
+//! round the experiments generated.
 
 use pds_bench::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    args.retain(|a| a != "--metrics");
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
     type Exp = (&'static str, fn() -> Table);
     let experiments: Vec<Exp> = vec![
@@ -32,7 +37,14 @@ fn main() {
             let start = std::time::Instant::now();
             let table = run();
             println!("{table}");
-            println!("  [{id} regenerated in {:.1}s]\n", start.elapsed().as_secs_f64());
+            println!(
+                "  [{id} regenerated in {:.1}s]\n",
+                start.elapsed().as_secs_f64()
+            );
         }
+    }
+    if metrics {
+        println!("-- pds-obs registry (JSONL) --");
+        print!("{}", pds_obs::metrics::global().export_jsonl());
     }
 }

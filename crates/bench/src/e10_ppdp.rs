@@ -6,9 +6,11 @@
 //! records that only tokens ever see in the clear.
 
 use pds_crypto::SymmetricKey;
-use pds_global::ppdp::{encrypt_records, info_loss, publish_anonymized, synthetic_records, InfoLoss};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_global::ppdp::{
+    encrypt_records, info_loss, publish_anonymized, synthetic_records, InfoLoss,
+};
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 use crate::table::Table;
 
@@ -45,7 +47,14 @@ pub fn measure(n: usize, ks: &[usize], seed: u64) -> Vec<E10Point> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E10 — MetaP-style k-anonymity over 5000 encrypted records",
-        &["k", "classes", "min class", "C_avg", "discernibility", "achieved l"],
+        &[
+            "k",
+            "classes",
+            "min class",
+            "C_avg",
+            "discernibility",
+            "achieved l",
+        ],
     );
     for p in measure(5000, &[2, 5, 10, 25, 50, 100], 4) {
         t.row(vec![

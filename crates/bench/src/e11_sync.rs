@@ -6,9 +6,9 @@
 //! ciphertext payload.
 
 use pds_crypto::SymmetricKey;
+use pds_obs::rng::StdRng;
+use pds_obs::rng::{Rng, SeedableRng};
 use pds_sync::{Badge, CentralServer, MedicalFolder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::table::Table;
 
@@ -81,7 +81,12 @@ pub fn measure(patients: usize, per_tour: usize, seed: u64) -> E11Point {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E11 — social-medical folder: badge tours to convergence (no network)",
-        &["patients", "homes/tour", "tours to converge", "peak badge bytes"],
+        &[
+            "patients",
+            "homes/tour",
+            "tours to converge",
+            "peak badge bytes",
+        ],
     );
     for (patients, per_tour) in [(10usize, 10usize), (10, 5), (10, 2), (30, 10)] {
         let p = measure(patients, per_tour, 21);

@@ -5,9 +5,9 @@
 //! "no infrastructure required, a delay tolerant network is
 //! established".
 
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 use pds_sync::{FolkSim, FolkSimConfig, FolkStats};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::table::Table;
 
@@ -41,7 +41,11 @@ pub fn measure(
         &mut rng,
     );
     for i in 0..20 {
-        sim.send(i % participants, participants - 1 - (i % participants), b"form");
+        sim.send(
+            i % participants,
+            participants - 1 - (i % participants),
+            b"form",
+        );
     }
     let stats = sim.run(max_steps, &mut rng);
     E12Point {
@@ -56,7 +60,14 @@ pub fn measure(
 pub fn run() -> Table {
     let mut t = Table::new(
         "E12 — Folk-IS delay-tolerant delivery vs density and copy budget",
-        &["participants", "grid", "budget", "delivery %", "mean latency (steps)", "transfers"],
+        &[
+            "participants",
+            "grid",
+            "budget",
+            "delivery %",
+            "mean latency (steps)",
+            "transfers",
+        ],
     );
     for (participants, grid) in [(40usize, 25usize), (80, 25), (160, 25), (320, 25)] {
         let p = measure(participants, grid, 0, 4000, 31);

@@ -88,7 +88,14 @@ pub fn measure(rows: u32, cities: u32) -> E1Point {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E1 — PBFilter summary scan vs table scan (slide: 17 vs 640 IOs)",
-        &["rows", "table pages", "full-scan IOs", "PBFilter IOs", "speedup", "matches"],
+        &[
+            "rows",
+            "table pages",
+            "full-scan IOs",
+            "PBFilter IOs",
+            "speedup",
+            "matches",
+        ],
     );
     for (rows, cities) in [(10_000u32, 500u32), (38_000, 1000), (80_000, 2000)] {
         let p = measure(rows, cities);
@@ -113,7 +120,12 @@ mod tests {
     #[test]
     fn shape_holds_at_small_scale() {
         let p = measure(5_000, 250);
-        assert!(p.pbfilter_ios * 3 < p.scan_ios, "{} vs {}", p.pbfilter_ios, p.scan_ios);
+        assert!(
+            p.pbfilter_ios * 3 < p.scan_ios,
+            "{} vs {}",
+            p.pbfilter_ios,
+            p.scan_ios
+        );
         assert!(p.matches > 0);
     }
 }

@@ -69,7 +69,14 @@ pub fn measure(keys: u32) -> E2Point {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E2 — index reorganization: sequential → B-tree-like",
-        &["keys", "seq lookup IOs", "tree lookup IOs", "tree height", "reorg IOs", "break-even lookups"],
+        &[
+            "keys",
+            "seq lookup IOs",
+            "tree lookup IOs",
+            "tree height",
+            "reorg IOs",
+            "break-even lookups",
+        ],
     );
     for keys in [20_000u32, 100_000, 400_000] {
         let p = measure(keys);

@@ -9,10 +9,10 @@
 
 use pds_flash::{Flash, FlashGeometry};
 use pds_mcu::RamBudget;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 use pds_search::gen::{generate_corpus, CorpusConfig};
 use pds_search::{DfStrategy, NaiveSearch, SearchEngine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::table::Table;
 
@@ -33,10 +33,7 @@ pub struct E3Point {
 }
 
 /// Build engine + oracle over a Zipf corpus.
-pub fn build(
-    docs: usize,
-    df: DfStrategy,
-) -> (Flash, RamBudget, SearchEngine, NaiveSearch) {
+pub fn build(docs: usize, df: DfStrategy) -> (Flash, RamBudget, SearchEngine, NaiveSearch) {
     // 128 KB: the RAM-dictionary ablation needs ~16 B per distinct term
     // (48 KB at vocabulary 3000) *on top of* the engine residents — on
     // the 64 KB secure token it aborts with a RAM error, which is
@@ -88,7 +85,15 @@ pub fn measure(docs: usize, keywords: usize, df: DfStrategy) -> E3Point {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E3 — embedded search: 1 RAM page per keyword, exact top-N",
-        &["docs", "keywords", "df mode", "peak query RAM (B)", "page reads", "naive accumulators", "exact top-10"],
+        &[
+            "docs",
+            "keywords",
+            "df mode",
+            "peak query RAM (B)",
+            "page reads",
+            "naive accumulators",
+            "exact top-10",
+        ],
     );
     for docs in [1000usize, 5000] {
         for keywords in [1usize, 2, 4] {

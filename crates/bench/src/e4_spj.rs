@@ -11,8 +11,8 @@ use pds_db::tpcd::{TpcdConfig, TpcdData};
 use pds_db::Value;
 use pds_flash::{Flash, FlashGeometry};
 use pds_mcu::RamBudget;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 use crate::table::Table;
 
@@ -42,8 +42,7 @@ pub fn measure(sf: u32) -> E4Point {
 
     flash.reset_stats();
     let tjoin = TjoinIndex::build(&flash, &tree, &tables).unwrap();
-    let seg =
-        TselectIndex::build(&flash, &ram, &tree, &tables, "CUSTOMER", "mktsegment").unwrap();
+    let seg = TselectIndex::build(&flash, &ram, &tree, &tables, "CUSTOMER", "mktsegment").unwrap();
     let sup = TselectIndex::build(&flash, &ram, &tree, &tables, "SUPPLIER", "name").unwrap();
     let b = flash.stats();
     let build_ios = b.page_reads + b.page_programs;
@@ -89,7 +88,14 @@ pub fn measure(sf: u32) -> E4Point {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E4 — SPJ: Tselect/Tjoin pipeline vs index-free baseline (TPC-D-like query)",
-        &["lineitems", "climbing IOs", "naive IOs", "speedup", "results", "index build IOs"],
+        &[
+            "lineitems",
+            "climbing IOs",
+            "naive IOs",
+            "speedup",
+            "results",
+            "index build IOs",
+        ],
     );
     for sf in [2u32, 8, 20] {
         let p = measure(sf);

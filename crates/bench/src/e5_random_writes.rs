@@ -43,7 +43,9 @@ impl InPlaceIndex {
         let used_pages = (keys.len() * 4).div_ceil(geo.page_size).max(1);
         let mut buf = vec![0u8; geo.page_size];
         for p in 0..used_pages.min(geo.pages_per_block) {
-            self.flash.read_page(geo.page_in_block(bid, p), &mut buf).unwrap();
+            self.flash
+                .read_page(geo.page_in_block(bid, p), &mut buf)
+                .unwrap();
         }
         self.flash.erase_block(bid).unwrap();
         let keys_per_page = geo.page_size / 4;
@@ -143,7 +145,15 @@ pub fn measure(n: u32) -> E5Point {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E5 — random-write avoidance: log-structured vs in-place on NAND",
-        &["inserts", "structure", "page programs", "block erases", "max wear", "random programs", "sim time (ms)"],
+        &[
+            "inserts",
+            "structure",
+            "page programs",
+            "block erases",
+            "max wear",
+            "random programs",
+            "sim time (ms)",
+        ],
     );
     let cost = pds_flash::CostModel::default();
     for n in [2_000u32, 10_000] {

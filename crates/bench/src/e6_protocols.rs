@@ -9,8 +9,8 @@ use pds_global::histogram::{histogram_based, BucketMap};
 use pds_global::noise::{noise_based, NoiseStrategy};
 use pds_global::secure_agg::{secure_aggregation, OnTamper};
 use pds_global::{plaintext_groupby, GroupByQuery, Population, ProtocolStats, Ssi};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 use crate::table::Table;
 
@@ -68,7 +68,11 @@ pub fn measure(n: usize, seed: u64) -> Vec<E6Point> {
         let mut ssi = Ssi::honest(seed + 2);
         let (r, stats) = histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap();
         out.push(E6Point {
-            protocol: if buckets == 2 { "histogram-2" } else { "histogram-6" },
+            protocol: if buckets == 2 {
+                "histogram-2"
+            } else {
+                "histogram-6"
+            },
             stats,
             classes: ssi.leakage().equality_class_sizes.len(),
             signal: ssi.leakage().frequency_signal(),
@@ -82,7 +86,18 @@ pub fn measure(n: usize, seed: u64) -> Vec<E6Point> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E6 — [TNP14] protocol family: cost and leakage (exact results everywhere)",
-        &["N", "protocol", "token tuples", "crypto ops", "rounds", "SSI bytes", "fakes", "classes seen", "freq signal", "exact"],
+        &[
+            "N",
+            "protocol",
+            "token tuples",
+            "crypto ops",
+            "rounds",
+            "SSI bytes",
+            "fakes",
+            "classes seen",
+            "freq signal",
+            "exact",
+        ],
     );
     for n in [100usize, 400] {
         for p in measure(n, n as u64) {

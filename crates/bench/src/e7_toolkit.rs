@@ -8,8 +8,8 @@ use pds_crypto::CommutativeGroup;
 use pds_global::toolkit::{
     secure_intersection_size, secure_scalar_product, secure_set_union, secure_sum,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pds_obs::rng::StdRng;
+use pds_obs::rng::{Rng, SeedableRng};
 
 use crate::table::Table;
 
@@ -106,7 +106,14 @@ pub fn measure(parties: usize, seed: u64) -> Vec<E7Point> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E7 — [CKV+02] toolkit primitives: cost vs number of parties",
-        &["parties", "primitive", "items/party", "messages", "crypto ops", "correct"],
+        &[
+            "parties",
+            "primitive",
+            "items/party",
+            "messages",
+            "crypto ops",
+            "correct",
+        ],
     );
     for parties in [3usize, 10, 30] {
         for p in measure(parties, parties as u64) {
@@ -148,7 +155,10 @@ mod tests {
         };
         assert!(ops(&large, "set-union") > ops(&small, "set-union") * 5);
         let msgs = |pts: &[E7Point]| {
-            pts.iter().find(|p| p.primitive == "secure-sum").unwrap().messages
+            pts.iter()
+                .find(|p| p.primitive == "secure-sum")
+                .unwrap()
+                .messages
         };
         assert_eq!(msgs(&large), 9);
         assert_eq!(msgs(&small), 3);

@@ -8,8 +8,8 @@
 //! Paillier at increasing modulus sizes — and report wall-clock ratios.
 
 use pds_crypto::{Paillier, SymmetricKey};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pds_obs::rng::StdRng;
+use pds_obs::rng::{Rng, SeedableRng};
 use std::time::Instant;
 
 use crate::table::Table;
@@ -91,7 +91,14 @@ pub fn measure(n: usize, seed: u64) -> Vec<E8Point> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E8 — homomorphic encryption vs secure tokens: SUM over N values",
-        &["N", "approach", "time (ms)", "vs plaintext", "vs tokens", "correct"],
+        &[
+            "N",
+            "approach",
+            "time (ms)",
+            "vs plaintext",
+            "vs tokens",
+            "correct",
+        ],
     );
     for n in [200usize] {
         let points = measure(n, 5);

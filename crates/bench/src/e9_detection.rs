@@ -8,8 +8,8 @@
 
 use pds_crypto::SymmetricKey;
 use pds_global::detection::{analytic_detection, measure_detection};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 use crate::table::Table;
 
@@ -32,8 +32,7 @@ pub fn measure(n: u64, trials: u32, seed: u64) -> Vec<E9Point> {
     let mut out = Vec::new();
     for drop_rate in [0.01f64, 0.05, 0.2] {
         for sample_rate in [0.01f64, 0.05, 0.1] {
-            let measured =
-                measure_detection(n, drop_rate, sample_rate, trials, &key, &mut rng);
+            let measured = measure_detection(n, drop_rate, sample_rate, trials, &key, &mut rng);
             let analytic = analytic_detection((n as f64 * drop_rate) as u64, sample_rate);
             out.push(E9Point {
                 drop_rate,
@@ -50,7 +49,12 @@ pub fn measure(n: u64, trials: u32, seed: u64) -> Vec<E9Point> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E9 — covert-adversary deterrence: detection probability of spot checks (N=500)",
-        &["drop f", "sample s", "measured P[detect]", "analytic 1-(1-s)^{fN}"],
+        &[
+            "drop f",
+            "sample s",
+            "measured P[detect]",
+            "analytic 1-(1-s)^{fN}",
+        ],
     );
     for p in measure(500, 60, 3) {
         t.row(vec![

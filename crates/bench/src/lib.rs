@@ -6,6 +6,9 @@
 //! the hot operation of each experiment.
 
 pub mod ablations;
+pub mod e10_ppdp;
+pub mod e11_sync;
+pub mod e12_folkis;
 pub mod e1_pbfilter;
 pub mod e2_reorg;
 pub mod e3_search;
@@ -15,9 +18,7 @@ pub mod e6_protocols;
 pub mod e7_toolkit;
 pub mod e8_fhe_cost;
 pub mod e9_detection;
-pub mod e10_ppdp;
-pub mod e11_sync;
-pub mod e12_folkis;
+pub mod harness;
 pub mod table;
 
 pub use table::Table;

@@ -53,7 +53,11 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         print_row(f, &self.headers)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             print_row(f, row)?;
         }

@@ -10,7 +10,7 @@
 //! undetected (authenticated encryption + Merkle chunk tree).
 
 use pds_crypto::{MerkleTree, SymmetricKey};
-use rand::RngCore;
+use pds_obs::rng::RngCore;
 
 use crate::error::PdsError;
 
@@ -111,11 +111,7 @@ impl EncryptedArchive {
 
     /// Download, verify (count + Merkle root + authenticated decryption)
     /// and decrypt the archive.
-    pub fn restore(
-        &self,
-        cloud: &CloudStore,
-        key: &SymmetricKey,
-    ) -> Result<Vec<u8>, PdsError> {
+    pub fn restore(&self, cloud: &CloudStore, key: &SymmetricKey) -> Result<Vec<u8>, PdsError> {
         let chunks = cloud
             .get(&self.name)
             .ok_or(PdsError::ArchiveCorrupt("archive missing"))?;
@@ -140,8 +136,8 @@ impl EncryptedArchive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup() -> (CloudStore, SymmetricKey, StdRng) {
         (
@@ -204,8 +200,7 @@ mod tests {
     #[test]
     fn wrong_key_cannot_restore() {
         let (mut cloud, key, mut rng) = setup();
-        let archive =
-            EncryptedArchive::publish(&mut cloud, "alice", &key, b"secret", &mut rng);
+        let archive = EncryptedArchive::publish(&mut cloud, "alice", &key, b"secret", &mut rng);
         let other = SymmetricKey::from_seed(b"not-alice");
         assert!(archive.restore(&cloud, &other).is_err());
     }

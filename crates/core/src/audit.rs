@@ -63,13 +63,7 @@ impl AuditLog {
     }
 
     /// Record one decision.
-    pub fn record(
-        &mut self,
-        subject: &str,
-        action: &str,
-        target: &str,
-        decision: Decision,
-    ) {
+    pub fn record(&mut self, subject: &str, action: &str, target: &str, decision: Decision) {
         let entry = AuditEntry {
             seq: self.entries.len() as u64,
             subject: subject.to_string(),

@@ -17,7 +17,7 @@
 
 use pds_crypto::{hmac_sha256, verify_hmac};
 use pds_mcu::TokenId;
-use rand::RngCore;
+use pds_obs::rng::RngCore;
 
 /// Roles a credential can attest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,13 +92,7 @@ impl Issuer {
     }
 
     /// Issue a credential.
-    pub fn issue(
-        &self,
-        token: TokenId,
-        subject: &str,
-        role: Role,
-        expires_day: u64,
-    ) -> Credential {
+    pub fn issue(&self, token: TokenId, subject: &str, role: Role, expires_day: u64) -> Credential {
         let tag = hmac_sha256(
             &self.master,
             &Credential::message(token, subject, role, expires_day),
@@ -142,12 +136,7 @@ impl VerificationKey {
     }
 
     /// Verify a challenge response.
-    pub fn check_response(
-        &self,
-        nonce: &[u8; 32],
-        token: TokenId,
-        response: &[u8; 32],
-    ) -> bool {
+    pub fn check_response(&self, nonce: &[u8; 32], token: TokenId, response: &[u8; 32]) -> bool {
         &self.respond(nonce, token) == response
     }
 }
@@ -194,8 +183,8 @@ pub fn handshake(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup() -> (Issuer, VerificationKey) {
         let issuer = Issuer::new(b"national-health-authority");

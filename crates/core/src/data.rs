@@ -7,7 +7,7 @@
 //! a fixed relational schema plus free text routed to the search engine.
 
 use pds_db::value::{ColumnType, Schema};
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 /// Health-record categories (the social-medical folder's vocabulary).
 pub const HEALTH_CATEGORIES: &[&str] = &[
@@ -137,8 +137,8 @@ pub fn synthetic_life(days: u64, rng: &mut impl Rng) -> SyntheticLife {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     #[test]
     fn schemas_have_expected_columns() {

@@ -78,9 +78,8 @@ impl Pds {
         db.create_table(EMAIL_TABLE, email_schema())?;
         db.create_table(HEALTH_TABLE, health_schema())?;
         db.create_table(BANK_TABLE, bank_schema())?;
-        let owner_key = SymmetricKey::from_seed(
-            format!("owner-key:{owner}:{}", token.id().0).as_bytes(),
-        );
+        let owner_key =
+            SymmetricKey::from_seed(format!("owner-key:{owner}:{}", token.id().0).as_bytes());
         Ok(Pds {
             token,
             owner: owner.to_string(),
@@ -161,9 +160,7 @@ impl Pds {
         subject: &str,
         body: &str,
     ) -> Result<(), PdsError> {
-        let docid = self
-            .engine
-            .index_document(&format!("{subject} {body}"))?;
+        let docid = self.engine.index_document(&format!("{subject} {body}"))?;
         self.db.insert(
             EMAIL_TABLE,
             vec![
@@ -219,6 +216,24 @@ impl Pds {
 
     // ---- the query gateway ----------------------------------------------
 
+    /// Run one gateway request under a `pds.request` span carrying the
+    /// flash I/O delta and the RAM high-water mark of the request.
+    fn traced_request<T>(
+        &mut self,
+        op: &str,
+        f: impl FnOnce(&mut Self) -> Result<T, PdsError>,
+    ) -> Result<T, PdsError> {
+        let span =
+            pds_obs::span!("pds.request", "pds.op" => op, "pds.owner" => self.owner.as_str());
+        let ram = self.token.ram().clone();
+        ram.reset_high_water();
+        let io_before = self.token.flash().stats();
+        let result = f(self);
+        (self.token.flash().stats() - io_before).attach_to_span(&span);
+        ram.attach_peak_to_span(&span);
+        result
+    }
+
     fn check(
         &mut self,
         ctx: &AccessContext,
@@ -226,6 +241,8 @@ impl Pds {
         action: Action,
         age_days: u32,
     ) -> Result<(), PdsError> {
+        let span = pds_obs::span!("pds.policy", "pds.subject" => ctx.subject.as_str());
+        let started = std::time::Instant::now();
         let target = match &collection {
             Collection::Documents => "documents".to_string(),
             Collection::Table(t) => t.clone(),
@@ -234,11 +251,23 @@ impl Pds {
         let ok = self
             .policy
             .permits(&ctx.subject, &collection, action, ctx.purpose, age_days);
+        pds_obs::histogram("policy.decision_ns").observe(started.elapsed().as_nanos() as u64);
+        span.set("policy.decision", if ok { "granted" } else { "denied" });
+        pds_obs::counter(if ok {
+            "policy.grants"
+        } else {
+            "policy.denials"
+        })
+        .inc();
         self.audit.record(
             &ctx.subject,
             action.label(),
             &target,
-            if ok { Decision::Granted } else { Decision::Denied },
+            if ok {
+                Decision::Granted
+            } else {
+                Decision::Denied
+            },
         );
         if ok {
             Ok(())
@@ -257,18 +286,31 @@ impl Pds {
         keywords: &[&str],
         n: usize,
     ) -> Result<Vec<SearchHit>, PdsError> {
-        self.check(ctx, Collection::Documents, Action::Search, 0)?;
-        Ok(self.engine.search(keywords, n)?)
+        self.traced_request("search", |pds| {
+            pds.check(ctx, Collection::Documents, Action::Search, 0)?;
+            Ok(pds.engine.search(keywords, n)?)
+        })
+    }
+
+    /// [`search`](Self::search) plus the full [`pds_obs::QueryTrace`] of
+    /// the request — the "explain" view the experiments check against the
+    /// paper's I/O and RAM budgets.
+    pub fn search_traced(
+        &mut self,
+        ctx: &AccessContext,
+        keywords: &[&str],
+        n: usize,
+    ) -> (Result<Vec<SearchHit>, PdsError>, pds_obs::QueryTrace) {
+        let (res, span) = pds_obs::trace::trace("pds.traced", || self.search(ctx, keywords, n));
+        (res, pds_obs::QueryTrace::new(span))
     }
 
     /// Policy-gated document fetch.
-    pub fn get_document(
-        &mut self,
-        ctx: &AccessContext,
-        docid: u32,
-    ) -> Result<Vec<u8>, PdsError> {
-        self.check(ctx, Collection::Documents, Action::Read, 0)?;
-        Ok(self.engine.get_document(docid)?)
+    pub fn get_document(&mut self, ctx: &AccessContext, docid: u32) -> Result<Vec<u8>, PdsError> {
+        self.traced_request("get_document", |pds| {
+            pds.check(ctx, Collection::Documents, Action::Read, 0)?;
+            Ok(pds.engine.get_document(docid)?)
+        })
     }
 
     /// Policy-gated relational selection. Retention is enforced per row:
@@ -280,20 +322,53 @@ impl Pds {
         table: &str,
         pred: &Predicate,
     ) -> Result<Vec<Row>, PdsError> {
-        self.check(ctx, Collection::Table(table.to_string()), Action::Read, 0)?;
-        let rows = self.db.select(table, pred)?;
-        let clock = self.clock_day;
-        let policy = &self.policy;
-        let coll = Collection::Table(table.to_string());
-        Ok(rows
-            .into_iter()
-            .map(|(_, row)| row)
-            .filter(|row| {
-                let day = row[0].as_u64().unwrap_or(0);
-                let age = clock.saturating_sub(day) as u32;
-                policy.permits(&ctx.subject, &coll, Action::Read, ctx.purpose, age)
-            })
-            .collect())
+        self.traced_request("select", |pds| {
+            pds.check(ctx, Collection::Table(table.to_string()), Action::Read, 0)?;
+            let rows = pds.db.select(table, pred)?;
+            let clock = pds.clock_day;
+            let policy = &pds.policy;
+            let coll = Collection::Table(table.to_string());
+            Ok(rows
+                .into_iter()
+                .map(|(_, row)| row)
+                .filter(|row| {
+                    let day = row[0].as_u64().unwrap_or(0);
+                    let age = clock.saturating_sub(day) as u32;
+                    policy.permits(&ctx.subject, &coll, Action::Read, ctx.purpose, age)
+                })
+                .collect())
+        })
+    }
+
+    /// Owner-only maintenance: build a PBFilter summary index over
+    /// `table.column`, turning future equality selects on that column
+    /// from full table scans into summary scans.
+    pub fn create_index(
+        &mut self,
+        ctx: &AccessContext,
+        table: &str,
+        column: &str,
+    ) -> Result<(), PdsError> {
+        self.traced_request("create_index", |pds| {
+            if ctx.subject != pds.owner {
+                return Err(PdsError::Denied {
+                    subject: ctx.subject.clone(),
+                    action: format!("create_index on {table}"),
+                });
+            }
+            Ok(pds.db.create_index(table, column)?)
+        })
+    }
+
+    /// [`select`](Self::select) plus the request's [`pds_obs::QueryTrace`].
+    pub fn select_traced(
+        &mut self,
+        ctx: &AccessContext,
+        table: &str,
+        pred: &Predicate,
+    ) -> (Result<Vec<Row>, PdsError>, pds_obs::QueryTrace) {
+        let (res, span) = pds_obs::trace::trace("pds.traced", || self.select(ctx, table, pred));
+        (res, pds_obs::QueryTrace::new(span))
     }
 
     /// Policy-gated local aggregation: `SUM(column)` over rows matching
@@ -306,34 +381,36 @@ impl Pds {
         column: &str,
         pred: Option<&Predicate>,
     ) -> Result<u64, PdsError> {
-        self.check(
-            ctx,
-            Collection::Table(table.to_string()),
-            Action::Aggregate,
-            0,
-        )?;
-        let t = self.db.table(table)?;
-        let c = t
-            .schema()
-            .column_index(column)
-            .ok_or_else(|| pds_db::DbError::UnknownColumn {
-                table: table.to_string(),
-                column: column.to_string(),
-            })?;
-        let mut sum = 0u64;
-        match pred {
-            None => {
-                t.scan(|_, row| {
-                    sum += row[c].as_u64().unwrap_or(0);
-                })?;
-            }
-            Some(p) => {
-                for (_, row) in self.db.select(table, p)? {
-                    sum += row[c].as_u64().unwrap_or(0);
+        self.traced_request("aggregate_sum", |pds| {
+            pds.check(
+                ctx,
+                Collection::Table(table.to_string()),
+                Action::Aggregate,
+                0,
+            )?;
+            let t = pds.db.table(table)?;
+            let c =
+                t.schema()
+                    .column_index(column)
+                    .ok_or_else(|| pds_db::DbError::UnknownColumn {
+                        table: table.to_string(),
+                        column: column.to_string(),
+                    })?;
+            let mut sum = 0u64;
+            match pred {
+                None => {
+                    t.scan(|_, row| {
+                        sum += row[c].as_u64().unwrap_or(0);
+                    })?;
+                }
+                Some(p) => {
+                    for (_, row) in pds.db.select(table, p)? {
+                        sum += row[c].as_u64().unwrap_or(0);
+                    }
                 }
             }
-        }
-        Ok(sum)
+            Ok(sum)
+        })
     }
 
     /// Value of one attribute for the global GROUP BY protocols: the
@@ -346,33 +423,33 @@ impl Pds {
         group_column: &str,
         measure_column: &str,
     ) -> Result<Vec<(String, u64)>, PdsError> {
-        self.check(
-            ctx,
-            Collection::Table(table.to_string()),
-            Action::Aggregate,
-            0,
-        )?;
-        let t = self.db.table(table)?;
-        let g = t
-            .schema()
-            .column_index(group_column)
-            .ok_or_else(|| pds_db::DbError::UnknownColumn {
-                table: table.to_string(),
-                column: group_column.to_string(),
+        self.traced_request("group_contribution", |pds| {
+            pds.check(
+                ctx,
+                Collection::Table(table.to_string()),
+                Action::Aggregate,
+                0,
+            )?;
+            let t = pds.db.table(table)?;
+            let g = t.schema().column_index(group_column).ok_or_else(|| {
+                pds_db::DbError::UnknownColumn {
+                    table: table.to_string(),
+                    column: group_column.to_string(),
+                }
             })?;
-        let m = t
-            .schema()
-            .column_index(measure_column)
-            .ok_or_else(|| pds_db::DbError::UnknownColumn {
-                table: table.to_string(),
-                column: measure_column.to_string(),
+            let m = t.schema().column_index(measure_column).ok_or_else(|| {
+                pds_db::DbError::UnknownColumn {
+                    table: table.to_string(),
+                    column: measure_column.to_string(),
+                }
             })?;
-        let mut groups: std::collections::BTreeMap<String, u64> = Default::default();
-        t.scan(|_, row| {
-            let key = row[g].to_string();
-            *groups.entry(key).or_insert(0) += row[m].as_u64().unwrap_or(0);
-        })?;
-        Ok(groups.into_iter().collect())
+            let mut groups: std::collections::BTreeMap<String, u64> = Default::default();
+            t.scan(|_, row| {
+                let key = row[g].to_string();
+                *groups.entry(key).or_insert(0) += row[m].as_u64().unwrap_or(0);
+            })?;
+            Ok(groups.into_iter().collect())
+        })
     }
 
     /// Per-group record counts for global COUNT queries — same gate as
@@ -383,51 +460,54 @@ impl Pds {
         table: &str,
         group_column: &str,
     ) -> Result<Vec<(String, u64)>, PdsError> {
-        self.check(
-            ctx,
-            Collection::Table(table.to_string()),
-            Action::Aggregate,
-            0,
-        )?;
-        let t = self.db.table(table)?;
-        let g = t
-            .schema()
-            .column_index(group_column)
-            .ok_or_else(|| pds_db::DbError::UnknownColumn {
-                table: table.to_string(),
-                column: group_column.to_string(),
+        self.traced_request("group_count", |pds| {
+            pds.check(
+                ctx,
+                Collection::Table(table.to_string()),
+                Action::Aggregate,
+                0,
+            )?;
+            let t = pds.db.table(table)?;
+            let g = t.schema().column_index(group_column).ok_or_else(|| {
+                pds_db::DbError::UnknownColumn {
+                    table: table.to_string(),
+                    column: group_column.to_string(),
+                }
             })?;
-        let mut groups: std::collections::BTreeMap<String, u64> = Default::default();
-        t.scan(|_, row| {
-            *groups.entry(row[g].to_string()).or_insert(0) += 1;
-        })?;
-        Ok(groups.into_iter().collect())
+            let mut groups: std::collections::BTreeMap<String, u64> = Default::default();
+            t.scan(|_, row| {
+                *groups.entry(row[g].to_string()).or_insert(0) += 1;
+            })?;
+            Ok(groups.into_iter().collect())
+        })
     }
 
     /// Snapshot the whole PDS content (documents + tables) as plaintext
     /// bytes — input of the encrypted archive. Gated as an owner Export.
     pub fn snapshot(&mut self, ctx: &AccessContext) -> Result<Vec<u8>, PdsError> {
-        self.check(ctx, Collection::All, Action::Export, 0)?;
-        let mut out = Vec::new();
-        // Documents.
-        let n_docs = self.engine.num_docs();
-        out.extend_from_slice(&n_docs.to_le_bytes());
-        for d in 0..n_docs {
-            let doc = self.engine.get_document(d)?;
-            out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
-            out.extend_from_slice(&doc);
-        }
-        // Tables.
-        for table in [EMAIL_TABLE, HEALTH_TABLE, BANK_TABLE] {
-            let t = self.db.table(table)?;
-            out.extend_from_slice(&t.num_rows().to_le_bytes());
-            t.scan(|_, row| {
-                let bytes = pds_db::value::encode_row(&row);
-                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-                out.extend_from_slice(&bytes);
-            })?;
-        }
-        Ok(out)
+        self.traced_request("snapshot", |pds| {
+            pds.check(ctx, Collection::All, Action::Export, 0)?;
+            let mut out = Vec::new();
+            // Documents.
+            let n_docs = pds.engine.num_docs();
+            out.extend_from_slice(&n_docs.to_le_bytes());
+            for d in 0..n_docs {
+                let doc = pds.engine.get_document(d)?;
+                out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+                out.extend_from_slice(&doc);
+            }
+            // Tables.
+            for table in [EMAIL_TABLE, HEALTH_TABLE, BANK_TABLE] {
+                let t = pds.db.table(table)?;
+                out.extend_from_slice(&t.num_rows().to_le_bytes());
+                t.scan(|_, row| {
+                    let bytes = pds_db::value::encode_row(&row);
+                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&bytes);
+                })?;
+            }
+            Ok(out)
+        })
     }
 
     /// Rebuild a PDS from a snapshot (disaster recovery onto a fresh
@@ -495,7 +575,11 @@ mod tests {
         let hits = pds.search(&ctx, &["blood"], 5).unwrap();
         assert!(!hits.is_empty());
         let rows = pds
-            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .select(
+                &ctx,
+                BANK_TABLE,
+                &Predicate::eq("category", Value::str("salary")),
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][2], Value::U64(250_000));
@@ -531,10 +615,13 @@ mod tests {
         assert_eq!(rows.len(), 1);
         // Purpose matters: the same doctor asking for marketing is denied.
         let bad_ctx = AccessContext::new("dr.martin", Purpose::Marketing);
-        assert!(pds.select(&bad_ctx, HEALTH_TABLE, &Predicate::eq(
-            "category",
-            Value::str("blood-pressure")
-        )).is_err());
+        assert!(pds
+            .select(
+                &bad_ctx,
+                HEALTH_TABLE,
+                &Predicate::eq("category", Value::str("blood-pressure"))
+            )
+            .is_err());
         pds.revoke("dr.martin");
         assert!(pds
             .select(
@@ -559,7 +646,11 @@ mod tests {
         });
         let ctx = AccessContext::new("auditor", Purpose::Care);
         let rows = pds
-            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .select(
+                &ctx,
+                BANK_TABLE,
+                &Predicate::eq("category", Value::str("salary")),
+            )
             .unwrap();
         assert!(rows.len() <= 1);
         let groc = pds
@@ -581,7 +672,11 @@ mod tests {
             .unwrap();
         assert_eq!(sum, 254_500);
         assert!(pds
-            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .select(
+                &ctx,
+                BANK_TABLE,
+                &Predicate::eq("category", Value::str("salary"))
+            )
             .is_err());
     }
 
@@ -603,7 +698,11 @@ mod tests {
         let snap = pds.snapshot(&ctx).unwrap();
         let mut restored = Pds::restore(2, "alice", &snap).unwrap();
         let rows = restored
-            .select(&ctx, BANK_TABLE, &Predicate::eq("category", Value::str("salary")))
+            .select(
+                &ctx,
+                BANK_TABLE,
+                &Predicate::eq("category", Value::str("salary")),
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
         let hits = restored.search(&ctx, &["blood"], 5).unwrap();

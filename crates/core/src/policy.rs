@@ -380,85 +380,77 @@ mod tests {
 
     #[test]
     fn prop_policy_algebra() {
-        use proptest::prelude::*;
-        use proptest::test_runner::{Config, TestRunner};
+        use pds_obs::rng::{Rng, SeedableRng, StdRng};
         let subjects = ["alice", "bob", "carol"];
         let purposes = [Purpose::PersonalUse, Purpose::Care, Purpose::Statistics];
-        let actions = [Action::Read, Action::Search, Action::Aggregate, Action::Export];
-        let rule_strategy = (
-            0usize..4, // 3 = Any
-            0usize..3, // collection: 0 docs, 1 table, 2 all
-            0usize..4,
-            proptest::option::of(0usize..3),
-            proptest::bool::ANY, // allow / deny
-        );
-        let mut runner = TestRunner::new(Config::with_cases(64));
-        runner
-            .run(
-                &(
-                    proptest::collection::vec(rule_strategy, 0..12),
-                    0usize..3,
-                    0usize..3,
-                    0usize..4,
-                ),
-                |(raw_rules, s, p, a)| {
-                    let mk_rules = |raw: &[(usize, usize, usize, Option<usize>, bool)]| {
-                        raw.iter()
-                            .map(|(subj, coll, act, purp, allow)| Rule {
-                                subject: if *subj == 3 {
-                                    SubjectPattern::Any
-                                } else {
-                                    SubjectPattern::Exact(subjects[*subj].to_string())
-                                },
-                                collection: match coll {
-                                    0 => Collection::Documents,
-                                    1 => Collection::Table("T".into()),
-                                    _ => Collection::All,
-                                },
-                                action: actions[*act],
-                                purpose: purp.map(|i| purposes[i]),
-                                policy: if *allow { Policy::Allow } else { Policy::Deny },
-                                max_age_days: None,
-                            })
-                            .collect::<Vec<_>>()
-                    };
-                    let rules = mk_rules(&raw_rules);
-                    let mut set = PolicySet::new();
-                    for r in &rules {
-                        set.add(r.clone());
+        let actions = [
+            Action::Read,
+            Action::Search,
+            Action::Aggregate,
+            Action::Export,
+        ];
+        for case in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(0x9011C7 + case);
+            let rules: Vec<Rule> = (0..rng.gen_range(0usize..12))
+                .map(|_| {
+                    let subj = rng.gen_range(0usize..4);
+                    Rule {
+                        subject: if subj == 3 {
+                            SubjectPattern::Any
+                        } else {
+                            SubjectPattern::Exact(subjects[subj].to_string())
+                        },
+                        collection: match rng.gen_range(0usize..3) {
+                            0 => Collection::Documents,
+                            1 => Collection::Table("T".into()),
+                            _ => Collection::All,
+                        },
+                        action: actions[rng.gen_range(0usize..4)],
+                        purpose: if rng.gen_bool(0.5) {
+                            Some(purposes[rng.gen_range(0usize..3)])
+                        } else {
+                            None
+                        },
+                        policy: if rng.gen_bool(0.5) {
+                            Policy::Allow
+                        } else {
+                            Policy::Deny
+                        },
+                        max_age_days: None,
                     }
-                    let q = (
-                        subjects[s],
-                        Collection::Table("T".into()),
-                        actions[a],
-                        purposes[p],
-                    );
-                    let granted = set.permits(q.0, &q.1, q.2, q.3, 0);
-                    // 1. Deny dominance: if any matching deny exists, the
-                    // request is refused no matter what.
-                    let any_deny = rules.iter().any(|r| {
-                        r.policy == Policy::Deny
-                            && r.matches(q.0, &q.1, q.2, q.3, 0)
-                    });
-                    if any_deny {
-                        prop_assert!(!granted);
-                    }
-                    // 2. Closed world: no matching allow ⇒ refused.
-                    let any_allow = rules.iter().any(|r| {
-                        r.policy == Policy::Allow
-                            && r.matches(q.0, &q.1, q.2, q.3, 0)
-                    });
-                    if !any_allow {
-                        prop_assert!(!granted);
-                    }
-                    // 3. Adding a deny rule never grants anything new.
-                    let mut harder = set.clone();
-                    harder.add(Rule::deny_all(Collection::All, q.2, None));
-                    prop_assert!(!harder.permits(q.0, &q.1, q.2, q.3, 0));
-                    Ok(())
-                },
-            )
-            .unwrap();
+                })
+                .collect();
+            let mut set = PolicySet::new();
+            for r in &rules {
+                set.add(r.clone());
+            }
+            let q = (
+                subjects[rng.gen_range(0usize..3)],
+                Collection::Table("T".into()),
+                actions[rng.gen_range(0usize..4)],
+                purposes[rng.gen_range(0usize..3)],
+            );
+            let granted = set.permits(q.0, &q.1, q.2, q.3, 0);
+            // 1. Deny dominance: if any matching deny exists, the
+            // request is refused no matter what.
+            let any_deny = rules
+                .iter()
+                .any(|r| r.policy == Policy::Deny && r.matches(q.0, &q.1, q.2, q.3, 0));
+            if any_deny {
+                assert!(!granted, "case {case}");
+            }
+            // 2. Closed world: no matching allow ⇒ refused.
+            let any_allow = rules
+                .iter()
+                .any(|r| r.policy == Policy::Allow && r.matches(q.0, &q.1, q.2, q.3, 0));
+            if !any_allow {
+                assert!(!granted, "case {case}");
+            }
+            // 3. Adding a deny rule never grants anything new.
+            let mut harder = set.clone();
+            harder.add(Rule::deny_all(Collection::All, q.2, None));
+            assert!(!harder.permits(q.0, &q.1, q.2, q.3, 0), "case {case}");
+        }
     }
 
     #[test]

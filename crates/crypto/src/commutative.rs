@@ -15,7 +15,7 @@
 
 use crate::hash::sha256;
 use crate::num::BigUint;
-use rand::RngCore;
+use pds_obs::rng::RngCore;
 
 /// Shared group parameters: a safe prime `p` and its subgroup order `q`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,8 +39,8 @@ impl CommutativeGroup {
     /// Fixed 256-bit parameters for tests and deterministic experiments
     /// (generated once with seed 0xC0FFEE; verified prime in tests).
     pub fn test_params() -> Self {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use pds_obs::rng::SeedableRng;
+        use pds_obs::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         Self::generate(256, &mut rng)
     }
@@ -111,8 +111,8 @@ impl CommutativeKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup() -> (CommutativeGroup, CommutativeKey, CommutativeKey) {
         let g = CommutativeGroup::test_params();

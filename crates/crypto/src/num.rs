@@ -6,7 +6,7 @@
 //! Knuth's Algorithm D readable while `u64` intermediates keep it fast
 //! enough for the FHE-cost experiment (E8).
 
-use rand::RngCore;
+use pds_obs::rng::RngCore;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -192,9 +192,8 @@ impl BigUint {
         let mut limbs = Vec::with_capacity(self.limbs.len());
         let mut borrow: i64 = 0;
         for i in 0..self.limbs.len() {
-            let mut diff = self.limbs[i] as i64
-                - other.limbs.get(i).copied().unwrap_or(0) as i64
-                - borrow;
+            let mut diff =
+                self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
             if diff < 0 {
                 diff += 1 << 32;
                 borrow = 1;
@@ -329,9 +328,7 @@ impl BigUint {
             let num = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut qhat = num / v_top;
             let mut rhat = num % v_top;
-            while qhat >= 1 << 32
-                || qhat * v_next > ((rhat << 32) | un[j + n - 2] as u64)
-            {
+            while qhat >= 1 << 32 || qhat * v_next > ((rhat << 32) | un[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1 << 32 {
@@ -622,8 +619,8 @@ fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
 
 const SMALL_PRIMES: &[u64] = &[
     3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
-    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 impl PartialOrd for BigUint {
@@ -650,9 +647,8 @@ impl Ord for BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{RngCore, SeedableRng};
+    use pds_obs::rng::StdRng;
+    use pds_obs::rng::{Rng, RngCore, SeedableRng};
 
     fn big(v: u128) -> BigUint {
         BigUint::from_u128(v)
@@ -786,60 +782,89 @@ mod tests {
         assert_eq!(big(5).mod_sub(&big(20), &m).to_u64(), Some(82));
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_sub_round_trip(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+    #[test]
+    fn prop_add_sub_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0xADD5);
+        for _ in 0..256 {
+            let a: u128 = rng.gen::<u128>() / 2;
+            let b: u128 = rng.gen::<u128>() / 2;
             let s = big(a).add(&big(b));
-            prop_assert_eq!(s.to_u128(), Some(a + b));
-            prop_assert_eq!(s.sub(&big(b)), big(a));
+            assert_eq!(s.to_u128(), Some(a + b));
+            assert_eq!(s.sub(&big(b)), big(a));
         }
+    }
 
-        #[test]
-        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-            prop_assert_eq!(
+    #[test]
+    fn prop_mul_matches_u128() {
+        let mut rng = StdRng::seed_from_u64(0x4A1);
+        for _ in 0..256 {
+            let (a, b) = (rng.next_u64(), rng.next_u64());
+            assert_eq!(
                 big(a as u128).mul(&big(b as u128)).to_u128(),
                 Some(a as u128 * b as u128)
             );
         }
+    }
 
-        #[test]
-        fn prop_divrem_recomposes(a in any::<u128>(), b in 1u128..) {
+    #[test]
+    fn prop_divrem_recomposes() {
+        let mut rng = StdRng::seed_from_u64(0xD1F);
+        for _ in 0..256 {
+            let a: u128 = rng.gen();
+            let b: u128 = rng.gen::<u128>().max(1);
             let (q, r) = big(a).divrem(&big(b));
-            prop_assert!(r < big(b));
-            prop_assert_eq!(q.mul(&big(b)).add(&r), big(a));
+            assert!(r < big(b));
+            assert_eq!(q.mul(&big(b)).add(&r), big(a));
         }
+    }
 
-        #[test]
-        fn prop_mod_exp_matches_naive(b in 0u64..1000, e in 0u64..64, m in 2u64..10_000) {
+    #[test]
+    fn prop_mod_exp_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(0x3A9);
+        for _ in 0..256 {
+            let b = rng.gen_range(0u64..1000);
+            let e = rng.gen_range(0u64..64);
+            let m = rng.gen_range(2u64..10_000);
             let mut expected: u128 = 1;
             for _ in 0..e {
                 expected = expected * b as u128 % m as u128;
             }
-            prop_assert_eq!(
-                big(b as u128).mod_exp(&big(e as u128), &big(m as u128)).to_u128(),
+            assert_eq!(
+                big(b as u128)
+                    .mod_exp(&big(e as u128), &big(m as u128))
+                    .to_u128(),
                 Some(expected)
             );
         }
+    }
 
-        #[test]
-        fn prop_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+    #[test]
+    fn prop_bytes_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0xB17E5);
+        for _ in 0..256 {
+            let mut bytes = vec![0u8; rng.gen_range(0usize..64)];
+            rng.fill_bytes(&mut bytes);
             let n = BigUint::from_bytes_be(&bytes);
             let back = n.to_bytes_be();
             // Equal up to leading zeros.
-            let trimmed: Vec<u8> =
-                bytes.iter().copied().skip_while(|&b| b == 0).collect();
-            prop_assert_eq!(back, trimmed);
+            let trimmed: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
+            assert_eq!(back, trimmed);
         }
+    }
 
-        #[test]
-        fn prop_inverse_is_inverse(a in 1u64.., m in 2u64..) {
+    #[test]
+    fn prop_inverse_is_inverse() {
+        let mut rng = StdRng::seed_from_u64(0x14);
+        for _ in 0..256 {
+            let a = rng.next_u64().max(1);
+            let m = rng.next_u64().max(2);
             let am = big(a as u128);
             let mm = big(m as u128);
             if am.gcd(&mm) == BigUint::one() {
                 let inv = am.mod_inverse(&mm).unwrap();
-                prop_assert_eq!(am.mod_mul(&inv, &mm), BigUint::one());
+                assert_eq!(am.mod_mul(&inv, &mm), BigUint::one());
             } else {
-                prop_assert!(am.mod_inverse(&mm).is_none());
+                assert!(am.mod_inverse(&mm).is_none());
             }
         }
     }

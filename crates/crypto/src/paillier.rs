@@ -18,7 +18,7 @@
 //!   `E(m)^k mod n² = E(k·m)`.
 
 use crate::num::BigUint;
-use rand::RngCore;
+use pds_obs::rng::RngCore;
 
 /// Public key: the modulus `n` (and cached `n²`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,8 +163,8 @@ impl PaillierPrivateKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn keys() -> (PaillierPublicKey, PaillierPrivateKey) {
         let mut rng = StdRng::seed_from_u64(42);

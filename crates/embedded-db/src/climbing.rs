@@ -516,8 +516,7 @@ mod tests {
         let (f, ram, tables) = setup();
         let refs: Vec<&Table> = tables.iter().collect();
         let tree = tree_of(&refs);
-        let tsel =
-            TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
+        let tsel = TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
         let rowids = tsel.lookup(&Value::str("HOUSEHOLD")).unwrap();
         // Customers 0 and 2 → orders 0,2,4,6 → lineitems 0..3×order.
         let expected: Vec<RowId> = (0..24u32).filter(|l| (l / 3) % 2 == 0).collect();
@@ -531,10 +530,8 @@ mod tests {
         let refs: Vec<&Table> = tables.iter().collect();
         let tree = tree_of(&refs);
         let tjoin = TjoinIndex::build(&f, &tree, &refs).unwrap();
-        let seg_idx =
-            TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
-        let color_idx =
-            TselectIndex::build(&f, &ram, &tree, &refs, "LINEITEM", "color").unwrap();
+        let seg_idx = TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
+        let color_idx = TselectIndex::build(&f, &ram, &tree, &refs, "LINEITEM", "color").unwrap();
         let fast = execute_spj(
             &tree,
             &refs,
@@ -574,8 +571,7 @@ mod tests {
         let refs: Vec<&Table> = tables.iter().collect();
         let tree = tree_of(&refs);
         let tjoin = TjoinIndex::build(&f, &tree, &refs).unwrap();
-        let seg_idx =
-            TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
+        let seg_idx = TselectIndex::build(&f, &ram, &tree, &refs, "CUSTOMER", "segment").unwrap();
         let res = execute_spj(
             &tree,
             &refs,

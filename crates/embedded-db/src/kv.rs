@@ -174,9 +174,7 @@ impl KvStore {
             }
         }
         for rec in self.summaries.buffered_records() {
-            filters.push(
-                BloomFilter::from_bytes(&rec).ok_or(FlashError::BadRecordAddr)?,
-            );
+            filters.push(BloomFilter::from_bytes(&rec).ok_or(FlashError::BadRecordAddr)?);
         }
         let page_size = self.flash.geometry().page_size;
         let mut buf = vec![0u8; page_size];
@@ -247,7 +245,7 @@ impl KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pds_obs::rng::{Rng, SeedableRng, StdRng};
     use std::collections::HashMap;
 
     fn flash() -> Flash {
@@ -338,19 +336,19 @@ mod tests {
         assert!(kv.estimated_garbage_ratio() > 0.5);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn prop_matches_hashmap_model(ops in proptest::collection::vec(
-            (0u8..3, 0u8..20, any::<u16>()), 1..400)) {
+    #[test]
+    fn prop_matches_hashmap_model() {
+        for case in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(0x4B00 + case);
             let f = Flash::small(1024);
             let mut kv = KvStore::new(&f);
             let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
-            for (op, key, val) in ops {
-                let k = vec![key];
+            for _ in 0..rng.gen_range(1usize..400) {
+                let op: u8 = rng.gen_range(0u8..3);
+                let k = vec![rng.gen_range(0u8..20)];
                 match op {
                     0 | 1 => {
-                        let v = val.to_le_bytes().to_vec();
+                        let v = rng.gen::<u16>().to_le_bytes().to_vec();
                         kv.put(&k, &v).unwrap();
                         model.insert(k, v);
                     }
@@ -362,13 +360,13 @@ mod tests {
             }
             for key in 0u8..20 {
                 let k = vec![key];
-                prop_assert_eq!(kv.get(&k).unwrap(), model.get(&k).cloned());
+                assert_eq!(kv.get(&k).unwrap(), model.get(&k).cloned(), "case {case}");
             }
             // Compaction preserves the model too.
             let kv = kv.compact().unwrap();
             for key in 0u8..20 {
                 let k = vec![key];
-                prop_assert_eq!(kv.get(&k).unwrap(), model.get(&k).cloned());
+                assert_eq!(kv.get(&k).unwrap(), model.get(&k).cloned(), "case {case}");
             }
         }
     }

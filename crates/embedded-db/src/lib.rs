@@ -61,10 +61,10 @@ pub use climbing::{SchemaTree, TjoinIndex, TselectIndex};
 pub use error::DbError;
 pub use kv::KvStore;
 pub use pbfilter::PBFilter;
-pub use timeseries::TimeSeries;
 pub use query::{Database, Predicate, QueryPlan};
 pub use sort::external_sort;
 pub use spatial::SpatialTrace;
 pub use table::{RowId, Table};
+pub use timeseries::TimeSeries;
 pub use tree::TreeIndex;
 pub use value::{Row, Schema, Value};

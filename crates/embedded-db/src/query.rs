@@ -83,6 +83,17 @@ pub enum QueryPlan {
     TreeLookup,
 }
 
+impl QueryPlan {
+    /// Stable name used as the `db.plan` span attribute.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryPlan::FullScan => "full_scan",
+            QueryPlan::SummaryScan => "summary_scan",
+            QueryPlan::TreeLookup => "tree_lookup",
+        }
+    }
+}
+
 enum ColumnIndex {
     PBFilter(PBFilter),
     Tree(TreeIndex),
@@ -180,6 +191,8 @@ impl Database {
 
     /// Create a PBFilter on `table.column`, indexing existing rows.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), DbError> {
+        let span = pds_obs::span!("db.create_index", "db.table" => table, "db.column" => column);
+        let before = self.flash.stats();
         let t = self.table_idx(table)?;
         let c = self.column_idx(t, column)?;
         let mut pbf = PBFilter::new(&self.flash);
@@ -190,11 +203,15 @@ impl Database {
         })?;
         pbf.flush()?;
         self.indexes.insert((t, c), ColumnIndex::PBFilter(pbf));
+        (self.flash.stats() - before).attach_to_span(&span);
         Ok(())
     }
 
     /// Reorganize `table.column`'s PBFilter into a tree index.
     pub fn reorganize_index(&mut self, table: &str, column: &str) -> Result<(), DbError> {
+        let span =
+            pds_obs::span!("db.reorganize_index", "db.table" => table, "db.column" => column);
+        let before = self.flash.stats();
         let t = self.table_idx(table)?;
         let c = self.column_idx(t, column)?;
         let Some(ColumnIndex::PBFilter(pbf)) = self.indexes.get(&(t, c)) else {
@@ -207,6 +224,7 @@ impl Database {
         {
             old.discard();
         }
+        (self.flash.stats() - before).attach_to_span(&span);
         Ok(())
     }
 
@@ -227,39 +245,60 @@ impl Database {
 
     /// Evaluate `SELECT * FROM table WHERE pred`, returning matching
     /// `(rowid, row)` pairs in rowid order.
-    pub fn select(
-        &self,
-        table: &str,
-        pred: &Predicate,
-    ) -> Result<Vec<(RowId, Row)>, DbError> {
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>, DbError> {
+        let span = pds_obs::span!("db.select", "db.table" => table);
+        let before = self.flash.stats();
         let t = self.table_idx(table)?;
         let c = self.column_idx(t, pred.column())?;
-        let rowids: Vec<RowId> = match (self.indexes.get(&(t, c)), pred) {
+        let plan = self.explain(table, pred)?;
+        span.set("db.plan", plan.name());
+        let result: Vec<(RowId, Row)> = match (self.indexes.get(&(t, c)), pred) {
             (Some(ColumnIndex::Tree(tree)), Predicate::Eq { value, .. }) => {
-                tree.lookup(&value.to_key_bytes())?
+                let ids = {
+                    let _op = pds_obs::span!("db.op.tree_lookup");
+                    tree.lookup(&value.to_key_bytes())?
+                };
+                self.fetch_rows(t, ids)?
             }
             (Some(ColumnIndex::Tree(tree)), Predicate::Between { lo, hi, .. }) => {
-                let mut ids: Vec<RowId> = tree
-                    .lookup_range(&lo.to_key_bytes(), &hi.to_key_bytes())?
-                    .into_iter()
-                    .map(|(_, r)| r)
-                    .collect();
-                ids.sort_unstable();
-                ids
+                let ids = {
+                    let _op = pds_obs::span!("db.op.tree_range");
+                    let mut ids: Vec<RowId> = tree
+                        .lookup_range(&lo.to_key_bytes(), &hi.to_key_bytes())?
+                        .into_iter()
+                        .map(|(_, r)| r)
+                        .collect();
+                    ids.sort_unstable();
+                    ids
+                };
+                self.fetch_rows(t, ids)?
             }
             (Some(ColumnIndex::PBFilter(pbf)), Predicate::Eq { value, .. }) => {
-                pbf.lookup(&value.to_key_bytes())?
+                let ids = {
+                    let _op = pds_obs::span!("db.op.summary_scan");
+                    pbf.lookup(&value.to_key_bytes())?
+                };
+                self.fetch_rows(t, ids)?
             }
             _ => {
+                let _op = pds_obs::span!("db.op.full_scan");
                 let mut hits = Vec::new();
                 self.tables[t].scan(|rowid, row| {
                     if pred.matches(&row[c]) {
                         hits.push((rowid, row));
                     }
                 })?;
-                return Ok(hits);
+                hits
             }
         };
+        span.set("db.rows", result.len() as u64);
+        (self.flash.stats() - before).attach_to_span(&span);
+        Ok(result)
+    }
+
+    /// Materialize rowids into `(rowid, row)` pairs under a fetch span.
+    fn fetch_rows(&self, t: usize, rowids: Vec<RowId>) -> Result<Vec<(RowId, Row)>, DbError> {
+        let _op = pds_obs::span!("db.op.fetch_rows", "db.rows" => rowids.len() as u64);
         rowids
             .into_iter()
             .map(|r| Ok((r, self.tables[t].get(r)?)))
@@ -308,11 +347,17 @@ mod tests {
         let scan = db.select("CUSTOMER", &pred).unwrap();
 
         db.create_index("CUSTOMER", "city").unwrap();
-        assert_eq!(db.explain("CUSTOMER", &pred).unwrap(), QueryPlan::SummaryScan);
+        assert_eq!(
+            db.explain("CUSTOMER", &pred).unwrap(),
+            QueryPlan::SummaryScan
+        );
         let summary = db.select("CUSTOMER", &pred).unwrap();
 
         db.reorganize_index("CUSTOMER", "city").unwrap();
-        assert_eq!(db.explain("CUSTOMER", &pred).unwrap(), QueryPlan::TreeLookup);
+        assert_eq!(
+            db.explain("CUSTOMER", &pred).unwrap(),
+            QueryPlan::TreeLookup
+        );
         let tree = db.select("CUSTOMER", &pred).unwrap();
 
         assert_eq!(scan.len(), 125);
@@ -374,7 +419,10 @@ mod tests {
         assert_eq!(db.select("CUSTOMER", &pred).unwrap(), scan);
         // The reorganized tree serves ranges.
         db.reorganize_index("CUSTOMER", "id").unwrap();
-        assert_eq!(db.explain("CUSTOMER", &pred).unwrap(), QueryPlan::TreeLookup);
+        assert_eq!(
+            db.explain("CUSTOMER", &pred).unwrap(),
+            QueryPlan::TreeLookup
+        );
         assert_eq!(db.select("CUSTOMER", &pred).unwrap(), scan);
         // Equality on the same tree still works too.
         let eq = db

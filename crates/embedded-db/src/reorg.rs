@@ -34,11 +34,7 @@ const RUN_BYTES: usize = 8 * 1024;
 const FAN_IN: usize = 8;
 
 /// One-shot reorganization: PBFilter in, TreeIndex out.
-pub fn reorganize(
-    flash: &Flash,
-    ram: &RamBudget,
-    source: &PBFilter,
-) -> Result<TreeIndex, DbError> {
+pub fn reorganize(flash: &Flash, ram: &RamBudget, source: &PBFilter) -> Result<TreeIndex, DbError> {
     let mut r = Reorganization::start(flash, ram, source)?;
     r.build_tree()
 }

@@ -128,8 +128,8 @@ pub fn read_sorted(log: &Log) -> Result<Vec<SortEntry>, DbError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pds_obs::rng::StdRng;
+    use pds_obs::rng::{Rng, SeedableRng};
 
     fn setup() -> (Flash, RamBudget) {
         (Flash::small(512), RamBudget::new(64 * 1024))
@@ -166,8 +166,9 @@ mod tests {
     fn temporary_runs_are_reclaimed() {
         let (f, ram) = setup();
         let before = f.free_blocks();
-        let entries: Vec<SortEntry> =
-            (0..3000u32).map(|i| ((i * 7 % 997).to_be_bytes().to_vec(), i)).collect();
+        let entries: Vec<SortEntry> = (0..3000u32)
+            .map(|i| ((i * 7 % 997).to_be_bytes().to_vec(), i))
+            .collect();
         let log = external_sort(&f, &ram, entries.into_iter(), 512, 3).unwrap();
         let output_blocks = log.num_blocks();
         assert_eq!(
@@ -220,8 +221,10 @@ mod tests {
     fn merge_ram_is_one_page_per_run() {
         let (f, ram) = setup();
         ram.reset_high_water();
-        let entries: Vec<SortEntry> =
-            (0..4000u32).rev().map(|i| (i.to_be_bytes().to_vec(), i)).collect();
+        let entries: Vec<SortEntry> = (0..4000u32)
+            .rev()
+            .map(|i| (i.to_be_bytes().to_vec(), i))
+            .collect();
         external_sort(&f, &ram, entries.into_iter(), 2048, 4).unwrap();
         let page = f.geometry().page_size;
         // Peak is max(run buffer, fan_in pages) + slack.

@@ -217,14 +217,17 @@ impl SpatialTrace {
         let mut buf = vec![0u8; page_size];
         let mut page_idx: u32 = 0;
         let mut handle = |rec: &[u8], hits: &mut Vec<Point>, idx: u32| -> Result<(), FlashError> {
-            let mbr = Mbr::decode(rec)
-                .ok_or(FlashError::CorruptPage(pds_flash::PageAddr(idx)))?;
+            let mbr = Mbr::decode(rec).ok_or(FlashError::CorruptPage(pds_flash::PageAddr(idx)))?;
             if !mbr.intersects(w) {
                 return Ok(());
             }
             let addr = self.data.page_addr(idx)?;
             self.flash.read_page(addr, &mut buf)?;
-            hits.extend(Self::decode_data_page(&buf).into_iter().filter(|p| w.contains(p)));
+            hits.extend(
+                Self::decode_data_page(&buf)
+                    .into_iter()
+                    .filter(|p| w.contains(p)),
+            );
             Ok(())
         };
         for p in 0..self.summaries.num_pages() {
@@ -245,7 +248,7 @@ impl SpatialTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
     /// A commuter-like trace: loops between home (0,0) and work (1000,800)
     /// with small jitter — strong spatial locality in time.
@@ -276,10 +279,26 @@ mod tests {
     fn window_queries_match_oracle() {
         let (_f, trace, all) = commuter_trace(20);
         let windows = [
-            Window { x: (0, 100), y: (0, 100), t: (0, u64::MAX) },          // near home
-            Window { x: (900, 1100), y: (700, 900), t: (0, u64::MAX) },     // near work
-            Window { x: (0, 2000), y: (0, 2000), t: (6000, 12000) },        // one time slice
-            Window { x: (5000, 6000), y: (0, 10), t: (0, 100) },            // empty
+            Window {
+                x: (0, 100),
+                y: (0, 100),
+                t: (0, u64::MAX),
+            }, // near home
+            Window {
+                x: (900, 1100),
+                y: (700, 900),
+                t: (0, u64::MAX),
+            }, // near work
+            Window {
+                x: (0, 2000),
+                y: (0, 2000),
+                t: (6000, 12000),
+            }, // one time slice
+            Window {
+                x: (5000, 6000),
+                y: (0, 10),
+                t: (0, 100),
+            }, // empty
         ];
         for w in &windows {
             assert_eq!(trace.window_query(w).unwrap(), oracle(&all, w), "{w:?}");
@@ -293,7 +312,11 @@ mod tests {
         f.reset_stats();
         // A tight window around home: only the pages covering the
         // morning/evening ends of each day intersect.
-        let w = Window { x: (0, 60), y: (0, 60), t: (0, u64::MAX) };
+        let w = Window {
+            x: (0, 60),
+            y: (0, 60),
+            t: (0, u64::MAX),
+        };
         trace.window_query(&w).unwrap();
         let reads = f.stats().page_reads;
         assert!(
@@ -308,7 +331,11 @@ mod tests {
         let f = Flash::small(16);
         let mut t = SpatialTrace::new(&f);
         t.record(5, 5, 100).unwrap();
-        let w = Window { x: (0, 10), y: (0, 10), t: (0, 200) };
+        let w = Window {
+            x: (0, 10),
+            y: (0, 10),
+            t: (0, 200),
+        };
         assert_eq!(t.window_query(&w).unwrap().len(), 1);
         assert_eq!(t.num_data_pages(), 0);
     }
@@ -322,27 +349,30 @@ mod tests {
         let _ = t.record(0, 0, 99);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn prop_window_query_equals_oracle(
-            pts in proptest::collection::vec((-100i32..100, -100i32..100), 1..300),
-            wx in (-100i32..100, -100i32..100),
-            wy in (-100i32..100, -100i32..100),
-        ) {
+    #[test]
+    fn prop_window_query_equals_oracle() {
+        for case in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(0x59A7 + case);
             let f = Flash::small(512);
             let mut trace = SpatialTrace::new(&f);
             let mut all = Vec::new();
-            for (i, (x, y)) in pts.iter().enumerate() {
-                trace.record(*x, *y, i as u64).unwrap();
-                all.push(Point { x: *x, y: *y, ts: i as u64 });
+            for i in 0..rng.gen_range(1u64..300) {
+                let (x, y) = (rng.gen_range(-100i32..100), rng.gen_range(-100i32..100));
+                trace.record(x, y, i).unwrap();
+                all.push(Point { x, y, ts: i });
             }
+            let wx = (rng.gen_range(-100i32..100), rng.gen_range(-100i32..100));
+            let wy = (rng.gen_range(-100i32..100), rng.gen_range(-100i32..100));
             let w = Window {
                 x: (wx.0.min(wx.1), wx.0.max(wx.1)),
                 y: (wy.0.min(wy.1), wy.0.max(wy.1)),
                 t: (0, u64::MAX),
             };
-            prop_assert_eq!(trace.window_query(&w).unwrap(), oracle(&all, &w));
+            assert_eq!(
+                trace.window_query(&w).unwrap(),
+                oracle(&all, &w),
+                "case {case}"
+            );
         }
     }
 }

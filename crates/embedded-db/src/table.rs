@@ -121,10 +121,18 @@ mod tests {
         let f = Flash::small(32);
         let mut t = Table::new(&f, "CUSTOMER", customer_schema());
         let r0 = t
-            .insert(&vec![Value::U64(1), Value::str("Lyon"), Value::str("HOUSEHOLD")])
+            .insert(&vec![
+                Value::U64(1),
+                Value::str("Lyon"),
+                Value::str("HOUSEHOLD"),
+            ])
             .unwrap();
         let r1 = t
-            .insert(&vec![Value::U64(2), Value::str("Paris"), Value::str("AUTO")])
+            .insert(&vec![
+                Value::U64(2),
+                Value::str("Paris"),
+                Value::str("AUTO"),
+            ])
             .unwrap();
         assert_eq!((r0, r1), (0, 1));
         assert_eq!(t.get(0).unwrap()[1], Value::str("Lyon"));

@@ -271,7 +271,7 @@ impl TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
     fn series_with(n: u64) -> (Flash, TimeSeries) {
         let f = Flash::small(512);
@@ -299,7 +299,13 @@ mod tests {
     #[test]
     fn range_aggregates_match_oracle() {
         let (_f, ts) = series_with(2000);
-        for (from, to) in [(0, 19990), (5000, 6000), (123, 456), (19990, 19990), (30000, 40000)] {
+        for (from, to) in [
+            (0, 19990),
+            (5000, 6000),
+            (123, 456),
+            (19990, 19990),
+            (30000, 40000),
+        ] {
             assert_eq!(
                 ts.range_aggregate(from, to).unwrap(),
                 oracle(2000, from, to),
@@ -358,17 +364,19 @@ mod tests {
         assert_eq!(fresh.range_aggregate(0, u64::MAX).unwrap().count, 0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn prop_aggregate_equals_oracle(
-            n in 1u64..800,
-            a in 0u64..9000,
-            b in 0u64..9000,
-        ) {
+    #[test]
+    fn prop_aggregate_equals_oracle() {
+        for case in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(0x7155 + case);
+            let n = rng.gen_range(1u64..800);
+            let (a, b) = (rng.gen_range(0u64..9000), rng.gen_range(0u64..9000));
             let (from, to) = (a.min(b), a.max(b));
             let (_f, ts) = series_with(n);
-            prop_assert_eq!(ts.range_aggregate(from, to).unwrap(), oracle(n, from, to));
+            assert_eq!(
+                ts.range_aggregate(from, to).unwrap(),
+                oracle(n, from, to),
+                "case {case}"
+            );
         }
     }
 }

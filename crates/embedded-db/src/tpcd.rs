@@ -10,7 +10,7 @@
 //! Foreign keys are dense rowids (see [`crate::climbing`]).
 
 use pds_flash::Flash;
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 use crate::climbing::SchemaTree;
 use crate::error::DbError;
@@ -18,7 +18,13 @@ use crate::table::Table;
 use crate::value::{ColumnType, Schema, Value};
 
 /// The five market segments of TPC-D/H.
-pub const SEGMENTS: &[&str] = &["HOUSEHOLD", "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY"];
+pub const SEGMENTS: &[&str] = &[
+    "HOUSEHOLD",
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+];
 
 /// Dataset dimensions.
 #[derive(Debug, Clone, Copy)]
@@ -224,8 +230,8 @@ mod tests {
     use super::*;
     use crate::climbing::{execute_spj, execute_spj_naive, TjoinIndex, TselectIndex};
     use pds_mcu::RamBudget;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     #[test]
     fn generated_cardinalities_match_config() {
@@ -261,8 +267,7 @@ mod tests {
         let tree = d.schema_tree().unwrap();
         let tables = d.tables();
         let tjoin = TjoinIndex::build(&f, &tree, &tables).unwrap();
-        let seg =
-            TselectIndex::build(&f, &ram, &tree, &tables, "CUSTOMER", "mktsegment").unwrap();
+        let seg = TselectIndex::build(&f, &ram, &tree, &tables, "CUSTOMER", "mktsegment").unwrap();
         let sup = TselectIndex::build(&f, &ram, &tree, &tables, "SUPPLIER", "name").unwrap();
         let fast = execute_spj(
             &tree,

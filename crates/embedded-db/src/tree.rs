@@ -177,8 +177,7 @@ impl TreeIndex {
         // The single record of the last level points at the root page.
         let root_page = {
             let rec = level.reader().next().expect("root separator")?;
-            let (_, page) =
-                crate::sort::decode_entry(&rec).ok_or(DbError::Corrupt("level log"))?;
+            let (_, page) = crate::sort::decode_entry(&rec).ok_or(DbError::Corrupt("level log"))?;
             page
         };
         level.reclaim();
@@ -268,11 +267,7 @@ impl TreeIndex {
     /// All `(key, rowid)` entries with `lo ≤ key ≤ hi`, in key order —
     /// a range scan: one descent to the first candidate leaf, then a
     /// forward walk over the physically consecutive leaves.
-    pub fn lookup_range(
-        &self,
-        lo: &[u8],
-        hi: &[u8],
-    ) -> Result<Vec<(Vec<u8>, RowId)>, DbError> {
+    pub fn lookup_range(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, RowId)>, DbError> {
         if self.num_leaves == 0 || lo > hi {
             return Ok(Vec::new());
         }
@@ -384,8 +379,7 @@ mod tests {
         let tree = TreeIndex::build(&f, entries(10_000, 100).into_iter()).unwrap();
         for probe in [0u32, 37, 99] {
             let hits = tree.lookup(&probe.to_be_bytes()).unwrap();
-            let expected: Vec<RowId> =
-                (probe * 100..(probe + 1) * 100).collect();
+            let expected: Vec<RowId> = (probe * 100..(probe + 1) * 100).collect();
             assert_eq!(hits, expected, "probe {probe}");
         }
     }
@@ -425,8 +419,7 @@ mod tests {
         let f = flash();
         let before = f.free_blocks();
         let tree = TreeIndex::build(&f, entries(20_000, 4).into_iter()).unwrap();
-        let tree_blocks = (tree.num_pages() as usize)
-            .div_ceil(f.geometry().pages_per_block);
+        let tree_blocks = (tree.num_pages() as usize).div_ceil(f.geometry().pages_per_block);
         assert_eq!(
             f.free_blocks(),
             before - tree_blocks,

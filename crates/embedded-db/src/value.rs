@@ -161,10 +161,7 @@ impl Schema {
     /// Build a schema from `(name, type)` pairs.
     pub fn new(columns: &[(&str, ColumnType)]) -> Self {
         Schema {
-            columns: columns
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
         }
     }
 
@@ -203,7 +200,7 @@ impl Schema {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
     #[test]
     fn value_encode_decode_round_trips() {
@@ -253,20 +250,32 @@ mod tests {
         assert_eq!(s.column_name(0), "id");
     }
 
-    proptest! {
-        #[test]
-        fn prop_row_round_trips(ints in proptest::collection::vec(any::<u64>(), 0..6),
-                                strs in proptest::collection::vec("[a-zA-Z0-9 ]{0,20}", 0..6)) {
-            let mut row: Row = ints.into_iter().map(Value::U64).collect();
-            row.extend(strs.into_iter().map(Value::Str));
-            prop_assert_eq!(decode_row(&encode_row(&row)), Some(row));
+    #[test]
+    fn prop_row_round_trips() {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+        for case in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(0x7A10 + case);
+            let mut row: Row = (0..rng.gen_range(0usize..6))
+                .map(|_| Value::U64(rng.gen()))
+                .collect();
+            for _ in 0..rng.gen_range(0usize..6) {
+                let s: String = (0..rng.gen_range(0usize..21))
+                    .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())] as char)
+                    .collect();
+                row.push(Value::Str(s));
+            }
+            assert_eq!(decode_row(&encode_row(&row)), Some(row), "case {case}");
         }
+    }
 
-        #[test]
-        fn prop_u64_key_order(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn prop_u64_key_order() {
+        let mut rng = StdRng::seed_from_u64(0x7A20);
+        for _ in 0..256 {
+            let (a, b): (u64, u64) = (rng.gen(), rng.gen());
             let ka = Value::U64(a).to_key_bytes();
             let kb = Value::U64(b).to_key_bytes();
-            prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+            assert_eq!(ka.cmp(&kb), a.cmp(&b));
         }
     }
 }

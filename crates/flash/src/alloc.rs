@@ -46,11 +46,7 @@ impl BlockAllocator {
     /// Return a block to the pool (content becomes garbage; the chip
     /// erases it lazily on reuse).
     pub fn free(&mut self, bid: BlockId) {
-        debug_assert!(
-            !self.free.contains(&bid),
-            "double free of block {}",
-            bid.0
-        );
+        debug_assert!(!self.free.contains(&bid), "double free of block {}", bid.0);
         self.free.push_back(bid);
     }
 }

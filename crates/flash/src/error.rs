@@ -50,7 +50,10 @@ impl fmt::Display for FlashError {
             FlashError::WriteToProgrammed(a) => {
                 write!(f, "illegal in-place update of programmed page {}", a.0)
             }
-            FlashError::OutOfOrderProgram { requested, expected } => write!(
+            FlashError::OutOfOrderProgram {
+                requested,
+                expected,
+            } => write!(
                 f,
                 "out-of-order program: requested page {}, block expects {}",
                 requested.0, expected.0
@@ -60,7 +63,10 @@ impl fmt::Display for FlashError {
             }
             FlashError::OutOfBlocks => write!(f, "flash exhausted: no free erase block"),
             FlashError::RecordTooLarge { len, max } => {
-                write!(f, "record of {len} bytes exceeds page payload capacity {max}")
+                write!(
+                    f,
+                    "record of {len} bytes exceeds page payload capacity {max}"
+                )
             }
             FlashError::CorruptPage(a) => write!(f, "corrupt page layout at {}", a.0),
             FlashError::BadRecordAddr => write!(f, "record address outside log"),

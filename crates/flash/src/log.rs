@@ -242,7 +242,6 @@ impl std::fmt::Debug for Log {
     }
 }
 
-
 impl Log {
     /// Number of pages in the log.
     pub fn num_pages(&self) -> u32 {

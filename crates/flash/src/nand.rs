@@ -5,10 +5,34 @@
 //! pages of a block out of order. Data structures that run on this model
 //! are legal by construction on the tutorial's target hardware.
 
+use std::sync::Arc;
+
 use crate::cost::CostModel;
 use crate::error::{FlashError, Result};
 use crate::geometry::{BlockId, FlashGeometry, PageAddr};
 use crate::stats::IoStats;
+
+/// Process-wide flash metrics, shared by every chip instance. Per-chip
+/// accounting stays in [`IoStats`]; these aggregate handles feed the
+/// `pds-obs` registry (`flash.*` namespace) so a JSONL export sees all
+/// I/O of the process.
+struct ObsCounters {
+    reads: Arc<pds_obs::Counter>,
+    programs: Arc<pds_obs::Counter>,
+    erases: Arc<pds_obs::Counter>,
+    non_seq_programs: Arc<pds_obs::Counter>,
+}
+
+impl ObsCounters {
+    fn new() -> Self {
+        ObsCounters {
+            reads: pds_obs::counter("flash.page_reads"),
+            programs: pds_obs::counter("flash.page_programs"),
+            erases: pds_obs::counter("flash.block_erases"),
+            non_seq_programs: pds_obs::counter("flash.non_seq_programs"),
+        }
+    }
+}
 
 /// Program state of one page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +59,7 @@ pub struct NandFlash {
     /// writes.
     last_programmed: Option<PageAddr>,
     stats: IoStats,
+    obs: ObsCounters,
 }
 
 impl NandFlash {
@@ -49,6 +74,7 @@ impl NandFlash {
             erase_counts: vec![0; geo.num_blocks()],
             last_programmed: None,
             stats: IoStats::default(),
+            obs: ObsCounters::new(),
         }
     }
 
@@ -85,8 +111,7 @@ impl NandFlash {
     /// True if every page of the block is erased.
     pub fn block_is_erased(&self, bid: BlockId) -> bool {
         let first = self.geo.first_page_of(bid).0 as usize;
-        (first..first + self.geo.pages_per_block)
-            .all(|p| self.state[p] == PageState::Erased)
+        (first..first + self.geo.pages_per_block).all(|p| self.state[p] == PageState::Erased)
     }
 
     fn check_addr(&self, addr: PageAddr) -> Result<()> {
@@ -115,6 +140,7 @@ impl NandFlash {
             }
         }
         self.stats.page_reads += 1;
+        self.obs.reads.inc();
         Ok(())
     }
 
@@ -156,10 +182,14 @@ impl NandFlash {
         match self.last_programmed {
             Some(prev) if prev.0 + 1 == addr.0 => {}
             None => {}
-            _ => self.stats.non_sequential_programs += 1,
+            _ => {
+                self.stats.non_sequential_programs += 1;
+                self.obs.non_seq_programs.inc();
+            }
         }
         self.last_programmed = Some(addr);
         self.stats.page_programs += 1;
+        self.obs.programs.inc();
         Ok(())
     }
 
@@ -176,6 +206,7 @@ impl NandFlash {
         self.write_cursor[bid.0 as usize] = 0;
         self.erase_counts[bid.0 as usize] += 1;
         self.stats.block_erases += 1;
+        self.obs.erases.inc();
         Ok(())
     }
 }

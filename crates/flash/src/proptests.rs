@@ -1,9 +1,13 @@
 //! Property tests of the NAND legality rules and log invariants under
 //! arbitrary operation schedules.
+//!
+//! Driven by the in-tree deterministic RNG (`pds_obs::rng`) so the suite
+//! runs hermetically offline; each case derives from a fixed seed and is
+//! bit-reproducible.
 
 #![cfg(test)]
 
-use proptest::prelude::*;
+use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
 use crate::{Flash, FlashGeometry};
 
@@ -17,19 +21,26 @@ enum Op {
     NewLog,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..4, 1usize..200).prop_map(|(log, len)| Op::Append { log, len }),
-        (0usize..4).prop_map(|log| Op::Flush { log }),
-        Just(Op::NewLog),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0u32..3) {
+        0 => Op::Append {
+            log: rng.gen_range(0usize..4),
+            len: rng.gen_range(1usize..200),
+        },
+        1 => Op::Flush {
+            log: rng.gen_range(0usize..4),
+        },
+        _ => Op::NewLog,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn interleaved_logs_never_break_chip_rules(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn interleaved_logs_never_break_chip_rules() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1A5_4000 + case);
+        let ops: Vec<Op> = (0..rng.gen_range(1usize..200))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let flash = Flash::new(FlashGeometry::new(512, 8, 256));
         let mut logs = vec![flash.new_log()];
         let mut written: Vec<Vec<Vec<u8>>> = vec![Vec::new()];
@@ -69,7 +80,7 @@ proptest! {
             for rec in sealed.reader() {
                 got.push(rec.unwrap());
             }
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case}");
         }
         // Note: the chip-global `non_sequential_programs` counter may be
         // non-zero here — interleaved logs alternate between *blocks*,
@@ -77,9 +88,14 @@ proptest! {
         // hard one, and it is enforced (any violation would have failed
         // the unwraps above with OutOfOrderProgram).
     }
+}
 
-    #[test]
-    fn reclaimed_blocks_are_fully_reusable(rounds in 1usize..6, recs in 1usize..300) {
+#[test]
+fn reclaimed_blocks_are_fully_reusable() {
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1A5_5000 + case);
+        let rounds = rng.gen_range(1usize..6);
+        let recs = rng.gen_range(1usize..300);
         let flash = Flash::new(FlashGeometry::new(512, 8, 32));
         let total = flash.free_blocks();
         for r in 0..rounds {
@@ -88,9 +104,9 @@ proptest! {
                 w.append(&(i as u32 + r as u32).to_le_bytes()).unwrap();
             }
             let log = w.seal().unwrap();
-            prop_assert_eq!(log.num_records(), recs as u64);
+            assert_eq!(log.num_records(), recs as u64);
             log.reclaim();
-            prop_assert_eq!(flash.free_blocks(), total, "round {} leaked", r);
+            assert_eq!(flash.free_blocks(), total, "case {case} round {r} leaked");
         }
     }
 }

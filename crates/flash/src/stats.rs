@@ -35,6 +35,16 @@ impl IoStats {
         cost.time_ns(self.page_reads, self.page_programs, self.block_erases)
     }
 
+    /// Attach these counters (typically a snapshot delta) to a tracing
+    /// span under the conventional `flash.*` attribute names read by
+    /// [`pds_obs::QueryTrace`].
+    pub fn attach_to_span(&self, span: &pds_obs::SpanGuard) {
+        span.set("flash.page_reads", self.page_reads);
+        span.set("flash.page_programs", self.page_programs);
+        span.set("flash.block_erases", self.block_erases);
+        span.set("flash.non_seq_programs", self.non_sequential_programs);
+    }
+
     /// Write amplification relative to `payload_bytes` of useful data,
     /// given the page size. >1.0 means the structure wrote more pages than
     /// the payload strictly requires.
@@ -49,13 +59,18 @@ impl IoStats {
 impl Sub for IoStats {
     type Output = IoStats;
 
-    /// Delta between two snapshots (`after - before`).
+    /// Delta between two snapshots (`after - before`). Saturating: a
+    /// stale or mismatched snapshot pair (e.g. counters reset between the
+    /// two) yields a zero delta instead of a debug-mode panic inside
+    /// instrumentation code.
     fn sub(self, rhs: IoStats) -> IoStats {
         IoStats {
-            page_reads: self.page_reads - rhs.page_reads,
-            page_programs: self.page_programs - rhs.page_programs,
-            block_erases: self.block_erases - rhs.block_erases,
-            non_sequential_programs: self.non_sequential_programs - rhs.non_sequential_programs,
+            page_reads: self.page_reads.saturating_sub(rhs.page_reads),
+            page_programs: self.page_programs.saturating_sub(rhs.page_programs),
+            block_erases: self.block_erases.saturating_sub(rhs.block_erases),
+            non_sequential_programs: self
+                .non_sequential_programs
+                .saturating_sub(rhs.non_sequential_programs),
         }
     }
 }
@@ -82,6 +97,23 @@ mod tests {
         assert_eq!(d.page_reads, 20);
         assert_eq!(d.total_ios(), 24);
         assert_eq!(d.non_sequential_programs, 0);
+    }
+
+    #[test]
+    fn mismatched_snapshots_saturate_to_zero() {
+        let before = IoStats {
+            page_reads: 30,
+            ..Default::default()
+        };
+        // Counters were reset between the snapshots: "after" is smaller.
+        let after = IoStats {
+            page_reads: 4,
+            page_programs: 2,
+            ..Default::default()
+        };
+        let d = after - before;
+        assert_eq!(d.page_reads, 0, "stale pair surfaces as zero delta");
+        assert_eq!(d.page_programs, 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! stops the query *before any data leaves any token*.
 
 use pds_core::{Credential, Role, VerificationKey};
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 use crate::error::GlobalError;
 use crate::query::{GroupByQuery, Population};
@@ -60,8 +60,8 @@ mod tests {
     use super::*;
     use pds_core::Issuer;
     use pds_mcu::TokenId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup() -> (Population, GroupByQuery, StdRng, Issuer, VerificationKey) {
         let mut rng = StdRng::seed_from_u64(1);
@@ -77,10 +77,9 @@ mod tests {
         let (mut pop, q, mut rng, authority, vk) = setup();
         let cred = authority.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 365);
         let mut ssi = Ssi::honest(1);
-        let (result, _) = authorized_secure_aggregation(
-            &vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng,
-        )
-        .unwrap();
+        let (result, _) =
+            authorized_secure_aggregation(&vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng)
+                .unwrap();
         assert!(!result.is_empty());
     }
 
@@ -89,10 +88,9 @@ mod tests {
         let (mut pop, q, mut rng, authority, vk) = setup();
         let cred = authority.issue(TokenId(1000), "dr.curious", Role::Practitioner, 365);
         let mut ssi = Ssi::honest(2);
-        let err = authorized_secure_aggregation(
-            &vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng,
-        )
-        .unwrap_err();
+        let err =
+            authorized_secure_aggregation(&vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng)
+                .unwrap_err();
         assert!(matches!(err, GlobalError::Unauthorized(_)));
         assert_eq!(ssi.leakage().tuples_seen, 0, "nothing left the tokens");
     }

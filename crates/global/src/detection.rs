@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use pds_crypto::{hmac_sha256, verify_hmac, SymmetricKey};
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 /// One spot-check trial outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,8 +151,8 @@ pub fn measure_detection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn key() -> SymmetricKey {
         SymmetricKey::from_seed(b"detection")
@@ -173,10 +173,7 @@ mod tests {
         let mut ch = CheckedChannel::collect(&key(), 100);
         let altered = ch.alter_fraction(1.0, &mut rng);
         assert_eq!(altered, 100);
-        assert_eq!(
-            ch.spot_check(&key(), 0.1, &mut rng),
-            CheckOutcome::Detected
-        );
+        assert_eq!(ch.spot_check(&key(), 0.1, &mut rng), CheckOutcome::Detected);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 use crate::error::GlobalError;
 use crate::query::{GroupByQuery, Population};
@@ -121,13 +121,14 @@ pub fn histogram_based(
             let plain = key
                 .decrypt(&pds_crypto::Ciphertext(ct))
                 .ok_or(GlobalError::TamperingDetected("unauthentic payload"))?;
-            let t = ProtocolTuple::decode(&plain)
-                .ok_or(GlobalError::Protocol("undecodable tuple"))?;
+            let t =
+                ProtocolTuple::decode(&plain).ok_or(GlobalError::Protocol("undecodable tuple"))?;
             if t.kind == TupleKind::Real {
                 *result.entry(t.group).or_insert(0) += t.value;
             }
         }
     }
+    stats.publish("histogram_based");
     Ok((result.into_iter().collect(), stats))
 }
 
@@ -135,8 +136,8 @@ pub fn histogram_based(
 mod tests {
     use super::*;
     use crate::query::plaintext_groupby;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup(n: usize, seed: u64) -> (Population, GroupByQuery, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -152,8 +153,7 @@ mod tests {
         for buckets in [1u32, 2, 3, 6] {
             let map = BucketMap::equi_width(&q.domain, buckets);
             let mut ssi = Ssi::honest(buckets as u64);
-            let (result, stats) =
-                histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap();
+            let (result, stats) = histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap();
             assert_eq!(result, expected, "buckets={buckets}");
             assert!(stats.rounds <= buckets);
         }

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 use crate::error::GlobalError;
 use crate::query::{GroupByQuery, Population};
@@ -77,14 +77,26 @@ pub fn noise_based(
     for i in 0..population.len() {
         let own = per_token.remove(&i).unwrap_or_default();
         for (g, v) in &own {
-            emit(&key, &ProtocolTuple::real(g, *v, seq), &mut stats, &mut wire, rng);
+            emit(
+                &key,
+                &ProtocolTuple::real(g, *v, seq),
+                &mut stats,
+                &mut wire,
+                rng,
+            );
             seq += 1;
         }
         match strategy {
             NoiseStrategy::Random { fakes_per_token } => {
                 for _ in 0..fakes_per_token {
                     let g = query.domain[rng.gen_range(0..query.domain.len())].clone();
-                    emit(&key, &ProtocolTuple::fake(&g, seq), &mut stats, &mut wire, rng);
+                    emit(
+                        &key,
+                        &ProtocolTuple::fake(&g, seq),
+                        &mut stats,
+                        &mut wire,
+                        rng,
+                    );
                     seq += 1;
                     stats.fake_tuples += 1;
                 }
@@ -92,7 +104,13 @@ pub fn noise_based(
             NoiseStrategy::Complementary => {
                 for g in &query.domain {
                     if !own.iter().any(|(og, _)| og == g) {
-                        emit(&key, &ProtocolTuple::fake(g, seq), &mut stats, &mut wire, rng);
+                        emit(
+                            &key,
+                            &ProtocolTuple::fake(g, seq),
+                            &mut stats,
+                            &mut wire,
+                            rng,
+                        );
                         seq += 1;
                         stats.fake_tuples += 1;
                     }
@@ -124,8 +142,8 @@ pub fn noise_based(
             let plain = key
                 .decrypt(&pds_crypto::Ciphertext(ct))
                 .ok_or(GlobalError::TamperingDetected("unauthentic payload"))?;
-            let t = ProtocolTuple::decode(&plain)
-                .ok_or(GlobalError::Protocol("undecodable tuple"))?;
+            let t =
+                ProtocolTuple::decode(&plain).ok_or(GlobalError::Protocol("undecodable tuple"))?;
             if group.as_deref().is_some_and(|g| g != t.group) {
                 return Err(GlobalError::TamperingDetected(
                     "class mixes groups: SSI mis-grouped",
@@ -142,6 +160,7 @@ pub fn noise_based(
         }
     }
     result.sort();
+    stats.publish("noise_based");
     Ok((result, stats))
 }
 
@@ -149,8 +168,8 @@ pub fn noise_based(
 mod tests {
     use super::*;
     use crate::query::plaintext_groupby;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup(n: usize, seed: u64) -> (Population, GroupByQuery, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);

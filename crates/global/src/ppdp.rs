@@ -15,7 +15,7 @@
 //! class-size ratio `C_avg`) as `k` grows.
 
 use pds_crypto::SymmetricKey;
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 use crate::error::GlobalError;
 
@@ -214,9 +214,8 @@ pub fn publish_anonymized(
         let plain = key
             .decrypt(&pds_crypto::Ciphertext(ct.clone()))
             .ok_or(GlobalError::TamperingDetected("unauthentic PPDP record"))?;
-        records.push(
-            PpdpRecord::decode(&plain).ok_or(GlobalError::Protocol("undecodable record"))?,
-        );
+        records
+            .push(PpdpRecord::decode(&plain).ok_or(GlobalError::Protocol("undecodable record"))?);
     }
     Ok(mondrian(&records, k))
 }
@@ -246,7 +245,7 @@ pub fn synthetic_records(n: usize, rng: &mut impl Rng) -> Vec<PpdpRecord> {
     (0..n)
         .map(|_| PpdpRecord {
             age: rng.gen_range(18..95),
-            zip: 75_000 + rng.gen_range(0..200),
+            zip: 75_000 + rng.gen_range(0..200u32),
             diagnosis: diagnoses[rng.gen_range(0..diagnoses.len())].to_string(),
         })
         .collect()
@@ -255,8 +254,8 @@ pub fn synthetic_records(n: usize, rng: &mut impl Rng) -> Vec<PpdpRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     #[test]
     fn every_class_has_at_least_k_records() {

@@ -8,7 +8,7 @@
 
 use pds_core::{AccessContext, Pds, Purpose};
 use pds_crypto::SymmetricKey;
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 use crate::error::GlobalError;
 
@@ -65,10 +65,7 @@ impl GroupByQuery {
     /// same grouping — the standard decomposition the [TNP14\] protocols
     /// use for algebraic aggregates (both runs are exact, so the average
     /// is too). Groups missing from the count are dropped.
-    pub fn average_from(
-        sums: &[(String, u64)],
-        counts: &[(String, u64)],
-    ) -> Vec<(String, f64)> {
+    pub fn average_from(sums: &[(String, u64)], counts: &[(String, u64)]) -> Vec<(String, f64)> {
         sums.iter()
             .filter_map(|(g, s)| {
                 counts
@@ -152,9 +149,7 @@ impl Population {
                     &query.group_column,
                     &query.measure_column,
                 )?,
-                Measure::Count => {
-                    pds.group_count(&ctx, &query.table, &query.group_column)?
-                }
+                Measure::Count => pds.group_count(&ctx, &query.table, &query.group_column)?,
             };
             for (g, v) in groups {
                 out.push((i, g, v));
@@ -181,8 +176,8 @@ pub fn plaintext_groupby(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     #[test]
     fn synthetic_population_contributes() {

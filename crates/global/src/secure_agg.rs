@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 use crate::error::GlobalError;
 use crate::query::{GroupByQuery, Population};
@@ -103,6 +103,7 @@ pub fn secure_aggregation(
             }
             if last_round {
                 // The final token releases the authorized result.
+                stats.publish("secure_aggregation");
                 return Ok((groups.into_iter().collect(), stats));
             }
             // Re-encrypt partial aggregates back to the SSI.
@@ -117,6 +118,7 @@ pub fn secure_aggregation(
         }
         if tuples.is_empty() {
             // Population contributed nothing at all.
+            stats.publish("secure_aggregation");
             return Ok((Vec::new(), stats));
         }
         if tuples.len() >= before_round {
@@ -130,8 +132,8 @@ mod tests {
     use super::*;
     use crate::query::plaintext_groupby;
     use crate::ssi::SsiThreat;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup(n: usize, seed: u64) -> (Population, GroupByQuery, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -207,8 +209,7 @@ mod tests {
         let expected = plaintext_groupby(&mut pop, &q).unwrap();
         let mut ssi = Ssi::honest(11);
         let (result, stats) =
-            secure_aggregation(&mut pop, &q, &mut ssi, 1000, OnTamper::Abort, &mut rng)
-                .unwrap();
+            secure_aggregation(&mut pop, &q, &mut ssi, 1000, OnTamper::Abort, &mut rng).unwrap();
         assert_eq!(result, expected);
         assert_eq!(stats.rounds, 1);
     }

@@ -9,8 +9,8 @@
 //!   but "does not want to be detected"; [`crate::detection`] quantifies
 //!   the deterrent.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pds_obs::rng::StdRng;
+use pds_obs::rng::{Rng, SeedableRng};
 
 /// SSI behavior model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,8 +51,7 @@ impl Leakage {
         if n < 2 {
             return 0.0;
         }
-        let mean =
-            self.equality_class_sizes.iter().sum::<u64>() as f64 / n as f64;
+        let mean = self.equality_class_sizes.iter().sum::<u64>() as f64 / n as f64;
         if mean == 0.0 {
             return 0.0;
         }
@@ -132,7 +131,7 @@ impl Ssi {
             for _ in 0..forgeries {
                 // Random bytes: without the protocol key the adversary
                 // cannot produce an authentic ciphertext.
-                let len = 64 + self.rng.gen_range(0..32);
+                let len = 64 + self.rng.gen_range(0..32usize);
                 let mut fake = vec![0u8; len];
                 self.rng.fill(&mut fake[..]);
                 out.push(fake);

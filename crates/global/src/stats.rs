@@ -17,6 +17,44 @@ pub struct ProtocolStats {
     pub fake_tuples: u64,
 }
 
+impl ProtocolStats {
+    /// Mirror one finished run into the process-wide `global.*` metrics
+    /// and record a per-run event, so protocol traffic shows up in the
+    /// same registry export as flash I/O and RAM accounting.
+    pub fn publish(&self, protocol: &str) {
+        pds_obs::counter("global.protocol_runs").inc();
+        pds_obs::counter("global.token_tuples").add(self.token_tuples);
+        pds_obs::counter("global.token_crypto_ops").add(self.token_crypto_ops);
+        pds_obs::counter("global.ssi_bytes").add(self.ssi_bytes);
+        pds_obs::counter("global.rounds").add(u64::from(self.rounds));
+        pds_obs::counter("global.fake_tuples").add(self.fake_tuples);
+        pds_obs::histogram("global.ssi_bytes_per_round").observe(if self.rounds == 0 {
+            self.ssi_bytes
+        } else {
+            self.ssi_bytes / u64::from(self.rounds)
+        });
+        pds_obs::event(
+            &format!("global.protocol_run.{protocol}"),
+            &[
+                ("rounds", u64::from(self.rounds)),
+                ("ssi_bytes", self.ssi_bytes),
+                ("token_tuples", self.token_tuples),
+                ("token_crypto_ops", self.token_crypto_ops),
+                ("fake_tuples", self.fake_tuples),
+            ],
+        );
+    }
+
+    /// Attach this run's traffic to a tracing span as `global.*` attrs.
+    pub fn attach_to_span(&self, span: &pds_obs::SpanGuard) {
+        span.set("global.rounds", u64::from(self.rounds));
+        span.set("global.ssi_bytes", self.ssi_bytes);
+        span.set("global.token_tuples", self.token_tuples);
+        span.set("global.token_crypto_ops", self.token_crypto_ops);
+        span.set("global.fake_tuples", self.fake_tuples);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

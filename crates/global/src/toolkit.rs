@@ -19,7 +19,7 @@
 //!   `E(x_i)`, Bob returns `Π E(x_i)^{y_i} = E(Σ x_i·y_i)`.
 
 use pds_crypto::{BigUint, CommutativeGroup, CommutativeKey, Paillier};
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 /// Cost counters of one toolkit run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,11 +35,7 @@ pub struct ToolkitStats {
 ///
 /// The initiator masks with a uniform random `R`; every intermediate
 /// party only ever sees a uniformly-distributed partial sum.
-pub fn secure_sum(
-    values: &[u64],
-    modulus: u64,
-    rng: &mut impl Rng,
-) -> (u64, ToolkitStats) {
+pub fn secure_sum(values: &[u64], modulus: u64, rng: &mut impl Rng) -> (u64, ToolkitStats) {
     assert!(!values.is_empty() && modulus > 0);
     let mut stats = ToolkitStats::default();
     let r = rng.gen_range(0..modulus);
@@ -101,10 +97,7 @@ pub fn secure_set_union(
 /// Decrypt a union result back to group elements (run jointly by all key
 /// holders — provided for tests to confirm the cardinality maps back to
 /// the true union).
-pub fn peel_union(
-    encrypted: &[BigUint],
-    keys: &[&CommutativeKey],
-) -> Vec<BigUint> {
+pub fn peel_union(encrypted: &[BigUint], keys: &[&CommutativeKey]) -> Vec<BigUint> {
     let mut out: Vec<BigUint> = encrypted.to_vec();
     for key in keys {
         for x in &mut out {
@@ -195,8 +188,8 @@ pub fn secure_scalar_product(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     #[test]
     fn secure_sum_is_exact_mod_m() {
@@ -223,8 +216,10 @@ mod tests {
         let (union, _) = secure_set_union(&sets, &group, &mut rng);
         assert_eq!(union.len(), 3, "flu, cold, asthma");
         // Joint decryption maps back to the hashed plaintext union.
-        let keys: Vec<CommutativeKey> =
-            sets.iter().map(|_| CommutativeKey::random(&group, &mut rng)).collect();
+        let keys: Vec<CommutativeKey> = sets
+            .iter()
+            .map(|_| CommutativeKey::random(&group, &mut rng))
+            .collect();
         let _ = keys; // (peel tested through intersection flow below)
         let mut expected: Vec<BigUint> = ["flu", "cold", "asthma"]
             .iter()
@@ -232,8 +227,9 @@ mod tests {
             .collect();
         expected.sort();
         // Re-run union with known keys to peel.
-        let keys: Vec<CommutativeKey> =
-            (0..3).map(|_| CommutativeKey::random(&group, &mut rng)).collect();
+        let keys: Vec<CommutativeKey> = (0..3)
+            .map(|_| CommutativeKey::random(&group, &mut rng))
+            .collect();
         let mut all = Vec::new();
         for (i, set) in sets.iter().enumerate() {
             for item in set {

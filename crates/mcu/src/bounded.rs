@@ -1,8 +1,8 @@
 //! RAM-accounted collections used by the embedded operators.
 
 use crate::ram::{RamBudget, RamError, Reservation};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A growable vector whose heap footprint is charged to the MCU RAM
 /// budget. Used by pipeline operators for their per-operator working sets

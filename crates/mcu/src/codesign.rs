@@ -63,9 +63,7 @@ pub fn required_ram(t: &Treatment, page_size: usize) -> usize {
             // cursors + df page (two-pass) + top-N heap + slack
             keywords * page_size + page_size + n * TOPN_ENTRY + SLACK
         }
-        Treatment::Sort { run_bytes, fan_in } => {
-            (*run_bytes).max(fan_in * page_size) + SLACK
-        }
+        Treatment::Sort { run_bytes, fan_in } => (*run_bytes).max(fan_in * page_size) + SLACK,
         Treatment::Reorganize { run_bytes, fan_in } => {
             (*run_bytes).max(fan_in * page_size) + 2 * page_size + SLACK
         }
@@ -82,11 +80,7 @@ pub fn search_residents(buckets: usize, buffer_triples: usize) -> usize {
 /// Inverse calibration: the largest keyword count a device can serve for
 /// top-`n` search, after residents. `None` if even one keyword does not
 /// fit.
-pub fn max_search_keywords(
-    profile: &HardwareProfile,
-    residents: usize,
-    n: usize,
-) -> Option<usize> {
+pub fn max_search_keywords(profile: &HardwareProfile, residents: usize, n: usize) -> Option<usize> {
     let page = profile.flash.page_size;
     let avail = profile
         .ram_bytes
@@ -98,10 +92,7 @@ pub fn max_search_keywords(
 /// Inverse calibration: the largest merge fan-in a device can afford.
 pub fn max_sort_fan_in(profile: &HardwareProfile, residents: usize) -> usize {
     let page = profile.flash.page_size;
-    profile
-        .ram_bytes
-        .saturating_sub(residents + SLACK)
-        / page
+    profile.ram_bytes.saturating_sub(residents + SLACK) / page
 }
 
 /// A calibration report row for one device profile.
@@ -176,8 +167,13 @@ mod tests {
         let need = required_ram(&Treatment::Search { keywords: k, n: 10 }, p.flash.page_size);
         assert!(need + residents <= p.ram_bytes);
         // …k+1 do not.
-        let need1 =
-            required_ram(&Treatment::Search { keywords: k + 1, n: 10 }, p.flash.page_size);
+        let need1 = required_ram(
+            &Treatment::Search {
+                keywords: k + 1,
+                n: 10,
+            },
+            p.flash.page_size,
+        );
         assert!(need1 + residents > p.ram_bytes);
     }
 
@@ -193,7 +189,10 @@ mod tests {
         assert!(fan("small-token") <= fan("secure-token"));
         assert!(fan("secure-token") <= fan("plug-server"));
         let token = ladder.iter().find(|c| c.device == "secure-token").unwrap();
-        assert!(token.max_keywords.unwrap() >= 8, "64 KB serves real queries");
+        assert!(
+            token.max_keywords.unwrap() >= 8,
+            "64 KB serves real queries"
+        );
         let sensor = ladder.iter().find(|c| c.device == "sensor").unwrap();
         assert!(
             sensor.max_keywords.unwrap_or(0) <= 2,

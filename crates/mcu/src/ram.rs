@@ -8,6 +8,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Error raised when an operator would exceed the device RAM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +37,12 @@ struct Inner {
     capacity: usize,
     used: usize,
     high_water: usize,
+    /// Process-wide aggregate gauges/counters (`mcu.ram.*` namespace):
+    /// bytes reserved across every live budget, the high-water mark of
+    /// that aggregate, and reservations refused for want of RAM.
+    obs_used: Arc<pds_obs::Gauge>,
+    obs_high_water: Arc<pds_obs::Gauge>,
+    obs_aborts: Arc<pds_obs::Counter>,
 }
 
 /// A shared, checked RAM budget for one MCU.
@@ -52,6 +59,9 @@ impl RamBudget {
                 capacity,
                 used: 0,
                 high_water: 0,
+                obs_used: pds_obs::gauge("mcu.ram.used_bytes"),
+                obs_high_water: pds_obs::gauge("mcu.ram.high_water_bytes"),
+                obs_aborts: pds_obs::counter("mcu.ram.budget_aborts"),
             })),
         }
     }
@@ -85,11 +95,21 @@ impl RamBudget {
         i.high_water = i.used;
     }
 
+    /// Attach this budget's high-water mark to a tracing span as
+    /// `mcu.ram.peak_bytes` (the attribute [`pds_obs::QueryTrace`]
+    /// reports as peak RAM). Pair with
+    /// [`reset_high_water`](Self::reset_high_water) at request start to
+    /// get a per-request peak.
+    pub fn attach_peak_to_span(&self, span: &pds_obs::SpanGuard) {
+        span.set("mcu.ram.peak_bytes", self.high_water() as u64);
+    }
+
     /// Reserve `bytes`; fails (like malloc on the MCU) when the budget is
     /// exhausted. The returned guard releases on drop.
     pub fn reserve(&self, bytes: usize) -> Result<Reservation, RamError> {
         let mut i = self.inner.borrow_mut();
         if i.used + bytes > i.capacity {
+            i.obs_aborts.inc();
             return Err(RamError {
                 requested: bytes,
                 available: i.capacity - i.used,
@@ -98,6 +118,8 @@ impl RamBudget {
         }
         i.used += bytes;
         i.high_water = i.high_water.max(i.used);
+        i.obs_used.add(bytes as u64);
+        i.obs_high_water.record_max(i.obs_used.get());
         drop(i);
         Ok(Reservation {
             budget: self.clone(),
@@ -120,7 +142,6 @@ impl fmt::Debug for Reservation {
     }
 }
 
-
 impl Reservation {
     /// Size of this reservation.
     pub fn bytes(&self) -> usize {
@@ -140,13 +161,17 @@ impl Reservation {
     pub fn shrink(&mut self, less: usize) {
         let less = less.min(self.bytes);
         self.bytes -= less;
-        self.budget.inner.borrow_mut().used -= less;
+        let mut i = self.budget.inner.borrow_mut();
+        i.used -= less;
+        i.obs_used.sub(less as u64);
     }
 }
 
 impl Drop for Reservation {
     fn drop(&mut self) {
-        self.budget.inner.borrow_mut().used -= self.bytes;
+        let mut i = self.budget.inner.borrow_mut();
+        i.used -= self.bytes;
+        i.obs_used.sub(self.bytes as u64);
     }
 }
 

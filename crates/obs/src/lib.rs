@@ -1,0 +1,83 @@
+//! # pds-obs — zero-dependency observability for the PDS stack
+//!
+//! The tutorial's Part II argument is quantitative: every embedded
+//! technique is justified by an observable cost ("Summary Scan: 17 IOs vs
+//! Table scan: 640 IOs", "1 RAM page per query keyword", RAM < 128 KB).
+//! This crate makes those numbers visible in the *running* system, not
+//! just in bench harnesses:
+//!
+//! * [`metrics`] — a thread-safe registry of atomic counters, gauges and
+//!   log2-bucket histograms, a ring buffer of recent events, and a
+//!   hand-rolled [JSON-lines exporter](metrics::Registry::export_jsonl).
+//! * [`trace`] — hierarchical span guards ([`trace::span`] /
+//!   [`span!`]) that instrumented layers annotate with I/O deltas, RAM
+//!   peaks and policy decisions, and [`trace::QueryTrace`], the per-query
+//!   "explain" report checked against the paper's claimed budgets.
+//! * [`json`] — the minimal JSON writer/parser behind the exporter, so
+//!   exports round-trip without external crates.
+//! * [`rng`] — deterministic SplitMix64 / xoshiro256++ generators with a
+//!   `rand`-shaped API, so the workspace builds hermetically offline.
+//!
+//! The crate intentionally has **zero dependencies** (only `std`): it
+//! sits below every other crate of the workspace, including the flash
+//! simulator.
+
+pub mod json;
+pub mod metrics;
+pub mod rng;
+pub mod trace;
+
+pub use metrics::{counter, event, gauge, histogram, Counter, Gauge, Histogram, Registry};
+pub use trace::{take_last_root, AttrValue, BudgetCheck, FinishedSpan, QueryTrace, SpanGuard};
+
+/// Resource budgets claimed by the tutorial's slides, used by
+/// [`trace::QueryTrace::check_budgets`] callers and the runtime
+/// validators in the search engine.
+pub mod budgets {
+    /// "RAM is a few dozen KB": the secure-MCU ceiling used throughout
+    /// Part II (128 KB).
+    pub const RAM_BYTES: u64 = 128 * 1024;
+    /// "1 RAM page per query keyword" — the search engine's cursor claim.
+    pub const RAM_PAGES_PER_QUERY_KEYWORD: u64 = 1;
+    /// "Summary Scan: 17 IOs" for the E1 selection workload.
+    pub const SUMMARY_SCAN_IOS: u64 = 17;
+    /// "Table scan: 640 IOs" for the E1 selection workload.
+    pub const TABLE_SCAN_IOS: u64 = 640;
+}
+
+/// Open a span: `span!("db.select")`, optionally with initial attributes:
+/// `span!("db.select", "db.table" => table, "db.plan" => "FullScan")`.
+/// Returns a [`trace::SpanGuard`]; the span finishes when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+    ($name:expr, $($key:expr => $val:expr),+ $(,)?) => {{
+        let guard = $crate::trace::span($name);
+        $(guard.set($key, $val);)+
+        guard
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn span_macro_sets_initial_attrs() {
+        {
+            let _g = span!("m.test", "k" => 7u64, "label" => "x");
+        }
+        let root = crate::trace::take_last_root().unwrap();
+        assert_eq!(root.attr_u64("k"), Some(7));
+        assert_eq!(root.attr("label").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn budgets_are_the_papers_numbers() {
+        assert_eq!(
+            crate::budgets::TABLE_SCAN_IOS / crate::budgets::SUMMARY_SCAN_IOS,
+            37
+        );
+        assert_eq!(crate::budgets::RAM_BYTES, 131072);
+    }
+}

@@ -1,0 +1,420 @@
+//! Thread-safe metrics: counters, gauges, log2-bucket histograms, and a
+//! ring buffer of recent events — all registered by name in a global
+//! registry and exportable as JSON lines.
+//!
+//! Hot paths hold an `Arc` to their instrument, so recording is one
+//! relaxed atomic op; the registry lock is touched only at registration
+//! and export time.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::ObjWriter;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (also usable as a high-water mark via
+/// [`Gauge::record_max`]).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, n: u64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    /// Increase by `n` (e.g. bytes currently reserved).
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.v.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .v
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Raise to `n` if `n` is larger (high-water mark).
+    pub fn record_max(&self, n: u64) {
+        self.v.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: values ≥ 2^62 land in the last bucket.
+const HIST_BUCKETS: usize = 64;
+
+/// A histogram with power-of-two buckets: bucket `i` counts values `v`
+/// with `2^(i-1) ≤ v < 2^i` (bucket 0 counts `v == 0`).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        let b = if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                if c == 0 {
+                    return None;
+                }
+                let hi = if i == 0 { 1 } else { 1u64 << i.min(63) };
+                Some((hi, c))
+            })
+            .collect()
+    }
+}
+
+/// One structured event in the ring buffer.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global sequence number (monotonic across the process).
+    pub seq: u64,
+    /// Event name (dot-scoped like metric names).
+    pub name: String,
+    /// Named integer fields.
+    pub fields: Vec<(String, u64)>,
+}
+
+/// The global metrics registry.
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    events: Mutex<VecDeque<Event>>,
+    event_seq: AtomicU64,
+    event_cap: usize,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(VecDeque::new()),
+            event_seq: AtomicU64::new(0),
+            event_cap: 1024,
+        }
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.histograms.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Append an event to the ring buffer (oldest dropped at capacity).
+    pub fn event(&self, name: &str, fields: &[(&str, u64)]) {
+        let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.events.lock().unwrap();
+        if ring.len() == self.event_cap {
+            ring.pop_front();
+        }
+        ring.push_back(Event {
+            seq,
+            name: name.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Snapshot of the event ring, oldest first.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Reset every registered instrument to zero and clear the event ring.
+    /// Existing `Arc` handles stay valid. Intended for tests and for
+    /// scoping a measurement window.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.v.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.v.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            h.max.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        self.events.lock().unwrap().clear();
+    }
+
+    /// Export every instrument and recent event as JSON lines — the one
+    /// data path shared by live observability and experiment regeneration.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            out.push_str(
+                &ObjWriter::new()
+                    .str("type", "counter")
+                    .str("name", name)
+                    .u64("value", c.get())
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            out.push_str(
+                &ObjWriter::new()
+                    .str("type", "gauge")
+                    .str("name", name)
+                    .u64("value", g.get())
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            let mut buckets = String::from("[");
+            for (i, (hi, c)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    buckets.push(',');
+                }
+                buckets.push_str(&format!("[{hi},{c}]"));
+            }
+            buckets.push(']');
+            out.push_str(
+                &ObjWriter::new()
+                    .str("type", "histogram")
+                    .str("name", name)
+                    .u64("count", h.count())
+                    .u64("sum", h.sum())
+                    .u64("max", h.max())
+                    .raw("buckets", &buckets)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        for ev in self.recent_events() {
+            let mut w = ObjWriter::new()
+                .str("type", "event")
+                .u64("seq", ev.seq)
+                .str("name", &ev.name);
+            for (k, v) in &ev.fields {
+                w = w.u64(k, *v);
+            }
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Shorthand for `global().counter(name)`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shorthand for `global().gauge(name)`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Shorthand for `global().histogram(name)`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Shorthand for `global().event(name, fields)`.
+pub fn event(name: &str, fields: &[(&str, u64)]) {
+    global().event(name, fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        let g = r.gauge("g");
+        g.set(10);
+        g.add(5);
+        g.sub(20);
+        assert_eq!(g.get(), 0, "sub saturates");
+        g.record_max(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_log2_buckets() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.max(), 1000);
+        let buckets = h.nonzero_buckets();
+        // 0 → bucket (1,1); 1 → (2,1); 2,3 → (4,2); 4 → (8,1); 1000 → (1024,1)
+        assert_eq!(buckets, vec![(1, 1), (2, 1), (4, 2), (8, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn event_ring_caps_and_orders() {
+        let r = Registry::new();
+        for i in 0..2000u64 {
+            r.event("e", &[("i", i)]);
+        }
+        let evs = r.recent_events();
+        assert_eq!(evs.len(), 1024);
+        assert_eq!(evs.first().unwrap().fields[0].1, 2000 - 1024);
+        assert_eq!(evs.last().unwrap().fields[0].1, 1999);
+    }
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let r = Registry::new();
+        r.counter("flash.page_reads").add(640);
+        r.gauge("mcu.ram.high_water_bytes").set(4096);
+        r.histogram("pds.request_ns").observe(123456);
+        r.event("pds.request", &[("granted", 1)]);
+        let jsonl = r.export_jsonl();
+        let mut kinds = Vec::new();
+        for line in jsonl.lines() {
+            let j = json::parse(line).expect("every exported line parses");
+            kinds.push(
+                j.get("type")
+                    .and_then(json::Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        assert_eq!(kinds, ["counter", "gauge", "histogram", "event"]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("c").get(), 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! Hierarchical span tracing.
+//!
+//! A [`SpanGuard`] marks a region of work; guards nest into a per-thread
+//! stack, and when a root span finishes its whole tree is moved into a
+//! small ring of recently finished traces. Instrumented layers attach
+//! attributes (I/O deltas, RAM peaks, plan choices) to the current span;
+//! [`QueryTrace`] then renders a finished tree as the per-query "explain"
+//! report the tutorial's cost claims are checked against.
+//!
+//! The embedded stack is single-threaded (one secure MCU), so thread-local
+//! state is exact, not approximate.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::json::{write_f64, write_str};
+
+/// A span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (counts, bytes, pages).
+    U64(u64),
+    /// Float (ratios, scores).
+    F64(f64),
+    /// Short label (plan names, decisions).
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl AttrValue {
+    /// Integer content, if any.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String content, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct ActiveSpan {
+    name: String,
+    start: Instant,
+    attrs: Vec<(String, AttrValue)>,
+    children: Vec<FinishedSpan>,
+}
+
+/// A completed span with its completed children.
+#[derive(Debug, Clone)]
+pub struct FinishedSpan {
+    /// Span name (`layer.operation`, e.g. `db.select`).
+    pub name: String,
+    /// Wall-clock duration.
+    pub duration_ns: u64,
+    /// Attributes set while the span was active.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Completed child spans, in completion order.
+    pub children: Vec<FinishedSpan>,
+}
+
+impl FinishedSpan {
+    /// The attribute `key` on this span, if set.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Integer attribute shorthand.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        self.attr(key).and_then(AttrValue::as_u64)
+    }
+
+    /// The first descendant span (depth-first, self included) named `name`.
+    pub fn find(&self, name: &str) -> Option<&FinishedSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Total of integer attribute `key` over the tree: this span's value
+    /// if it carries the attribute (a span's value is the delta over its
+    /// whole subtree), otherwise the sum of its children's totals.
+    pub fn total(&self, key: &str) -> u64 {
+        if let Some(v) = self.attr_u64(key) {
+            return v;
+        }
+        self.children.iter().map(|c| c.total(key)).sum()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.name);
+        out.push_str(&format!(" [{:.3} ms]", self.duration_ns as f64 / 1e6));
+        for (k, v) in &self.attrs {
+            match v {
+                AttrValue::U64(n) => out.push_str(&format!(" {k}={n}")),
+                AttrValue::F64(f) => out.push_str(&format!(" {k}={f:.3}")),
+                AttrValue::Str(s) => out.push_str(&format!(" {k}={s}")),
+            }
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+
+    /// Serialize the tree as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"span\":");
+        write_str(out, &self.name);
+        out.push_str(&format!(",\"duration_ns\":{}", self.duration_ns));
+        for (k, v) in &self.attrs {
+            out.push(',');
+            write_str(out, k);
+            out.push(':');
+            match v {
+                AttrValue::U64(n) => out.push_str(&n.to_string()),
+                AttrValue::F64(f) => write_f64(out, *f),
+                AttrValue::Str(s) => write_str(out, s),
+            }
+        }
+        if !self.children.is_empty() {
+            out.push_str(",\"children\":[");
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                c.write_json(out);
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+const ROOT_RING_CAP: usize = 16;
+
+thread_local! {
+    static STACK: RefCell<Vec<ActiveSpan>> = const { RefCell::new(Vec::new()) };
+    static ROOTS: RefCell<VecDeque<FinishedSpan>> = const { RefCell::new(VecDeque::new()) };
+}
+
+/// RAII guard for one span. Dropping the guard finishes the span; if
+/// inner guards are still alive (an early return skipped them) they are
+/// folded into this span first, so the tree never corrupts.
+pub struct SpanGuard {
+    depth: usize,
+}
+
+/// Open a span as a child of the innermost active span.
+pub fn span(name: &str) -> SpanGuard {
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(ActiveSpan {
+            name: name.to_string(),
+            start: Instant::now(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+        SpanGuard { depth: s.len() - 1 }
+    })
+}
+
+impl SpanGuard {
+    /// Set (or overwrite) an attribute on this span.
+    pub fn set(&self, key: &str, value: impl Into<AttrValue>) {
+        let value = value.into();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(sp) = s.get_mut(self.depth) {
+                if let Some(slot) = sp.attrs.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    sp.attrs.push((key.to_string(), value));
+                }
+            }
+        });
+    }
+
+    /// Add to an integer attribute (missing counts as 0).
+    pub fn add(&self, key: &str, delta: u64) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(sp) = s.get_mut(self.depth) {
+                if let Some((_, AttrValue::U64(v))) = sp.attrs.iter_mut().find(|(k, _)| k == key) {
+                    *v += delta;
+                } else {
+                    sp.attrs.push((key.to_string(), AttrValue::U64(delta)));
+                }
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Fold any still-open inner spans (leaked by early return or
+            // guard reordering), then this one.
+            while s.len() > self.depth {
+                let active = s.pop().expect("len checked");
+                let finished = FinishedSpan {
+                    name: active.name,
+                    duration_ns: active.start.elapsed().as_nanos() as u64,
+                    attrs: active.attrs,
+                    children: active.children,
+                };
+                if let Some(parent) = s.last_mut() {
+                    parent.children.push(finished);
+                } else {
+                    ROOTS.with(|r| {
+                        let mut r = r.borrow_mut();
+                        if r.len() == ROOT_RING_CAP {
+                            r.pop_front();
+                        }
+                        r.push_back(finished);
+                    });
+                }
+            }
+        });
+    }
+}
+
+/// Remove and return the most recently finished root span of this thread.
+pub fn take_last_root() -> Option<FinishedSpan> {
+    ROOTS.with(|r| r.borrow_mut().pop_back())
+}
+
+/// Most recently finished root spans of this thread, oldest first.
+pub fn recent_roots() -> Vec<FinishedSpan> {
+    ROOTS.with(|r| r.borrow().iter().cloned().collect())
+}
+
+/// Run `f` under a root-or-child span named `name` and return its result
+/// together with the finished span tree. Only exact when `name` opens at
+/// the top level of the thread's stack; otherwise the span is recorded in
+/// its parent and a clone is returned.
+pub fn trace<T>(name: &str, f: impl FnOnce() -> T) -> (T, FinishedSpan) {
+    let was_root = STACK.with(|s| s.borrow().is_empty());
+    let guard = span(name);
+    let out = f();
+    drop(guard);
+    let finished = if was_root {
+        take_last_root().expect("span just finished")
+    } else {
+        STACK.with(|s| {
+            s.borrow()
+                .last()
+                .and_then(|p| p.children.last().cloned())
+                .expect("span just attached to parent")
+        })
+    };
+    (out, finished)
+}
+
+/// Outcome of checking one traced quantity against a claimed budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetCheck {
+    /// Attribute name checked.
+    pub name: String,
+    /// Observed value.
+    pub actual: u64,
+    /// Claimed budget.
+    pub budget: u64,
+    /// `actual <= budget`.
+    pub within: bool,
+}
+
+/// A finished per-query trace: the explain report of one gateway request.
+///
+/// Instrumented layers set the conventional attributes
+/// `flash.page_reads`, `flash.page_programs`, `flash.block_erases`,
+/// `mcu.ram.peak_bytes` and `policy.decision`; this wrapper names them.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// The root span of the request.
+    pub root: FinishedSpan,
+}
+
+impl QueryTrace {
+    /// Wrap a finished root span.
+    pub fn new(root: FinishedSpan) -> Self {
+        QueryTrace { root }
+    }
+
+    /// Pages read during the request.
+    pub fn page_reads(&self) -> u64 {
+        self.root.total("flash.page_reads")
+    }
+
+    /// Pages programmed during the request.
+    pub fn page_programs(&self) -> u64 {
+        self.root.total("flash.page_programs")
+    }
+
+    /// Blocks erased during the request.
+    pub fn block_erases(&self) -> u64 {
+        self.root.total("flash.block_erases")
+    }
+
+    /// Peak RAM bytes reserved during the request.
+    pub fn peak_ram_bytes(&self) -> u64 {
+        self.root.total("mcu.ram.peak_bytes")
+    }
+
+    /// Peak RAM in flash-page units (rounded up).
+    pub fn peak_ram_pages(&self, page_size: u64) -> u64 {
+        if page_size == 0 {
+            return 0;
+        }
+        self.peak_ram_bytes().div_ceil(page_size)
+    }
+
+    /// The policy decision recorded by the gateway (`granted`/`denied`).
+    pub fn policy_decision(&self) -> Option<&str> {
+        self.root
+            .find("pds.policy")
+            .and_then(|s| s.attr("policy.decision"))
+            .and_then(AttrValue::as_str)
+    }
+
+    /// Check traced totals against claimed budgets
+    /// (`[("flash.page_reads", 17), …]`).
+    pub fn check_budgets(&self, budgets: &[(&str, u64)]) -> Vec<BudgetCheck> {
+        budgets
+            .iter()
+            .map(|(name, budget)| {
+                let actual = self.root.total(name);
+                BudgetCheck {
+                    name: name.to_string(),
+                    actual,
+                    budget: *budget,
+                    within: actual <= *budget,
+                }
+            })
+            .collect()
+    }
+
+    /// Human-readable explain report: the span tree, then the headline
+    /// cost totals in the tutorial's units.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, 0);
+        out.push_str(&format!(
+            "totals: page_reads={} page_programs={} block_erases={} peak_ram_bytes={}\n",
+            self.page_reads(),
+            self.page_programs(),
+            self.block_erases(),
+            self.peak_ram_bytes(),
+        ));
+        out
+    }
+
+    /// The trace as one JSON line.
+    pub fn to_json(&self) -> String {
+        self.root.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spans_nest_and_roots_land_in_ring() {
+        {
+            let root = span("pds.select");
+            root.set("db.table", "EMAIL");
+            {
+                let child = span("db.select");
+                child.set("flash.page_reads", 17u64);
+            }
+            {
+                let child = span("db.filter");
+                child.set("flash.page_reads", 3u64);
+            }
+        }
+        let root = take_last_root().expect("root finished");
+        assert_eq!(root.name, "pds.select");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.total("flash.page_reads"), 20, "summed from children");
+        assert_eq!(root.attr("db.table").unwrap().as_str(), Some("EMAIL"));
+    }
+
+    #[test]
+    fn parent_attr_wins_over_child_sum() {
+        {
+            let root = span("r");
+            root.set("x", 100u64);
+            {
+                let c = span("c");
+                c.set("x", 1u64);
+            }
+        }
+        let root = take_last_root().unwrap();
+        assert_eq!(root.total("x"), 100);
+    }
+
+    #[test]
+    fn leaked_inner_guards_fold_into_parent() {
+        {
+            let _root = span("outer");
+            let inner = span("inner");
+            inner.set("k", 1u64);
+            // inner dropped after root by declaration order — Drop folds it.
+        }
+        let root = take_last_root().unwrap();
+        assert_eq!(root.name, "outer");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "inner");
+    }
+
+    #[test]
+    fn trace_returns_result_and_tree() {
+        let (val, spn) = trace("work", || {
+            let _inner = span("step");
+            41 + 1
+        });
+        assert_eq!(val, 42);
+        assert_eq!(spn.name, "work");
+        assert_eq!(spn.children[0].name, "step");
+        assert!(take_last_root().is_none(), "trace consumed its root");
+    }
+
+    #[test]
+    fn query_trace_budgets_and_render() {
+        let (_, root) = trace("pds.select", || {
+            let s = span("db.select");
+            s.set("flash.page_reads", 17u64);
+            s.set("mcu.ram.peak_bytes", 2048u64);
+        });
+        let qt = QueryTrace::new(root);
+        assert_eq!(qt.page_reads(), 17);
+        assert_eq!(qt.peak_ram_pages(512), 4);
+        let checks = qt.check_budgets(&[("flash.page_reads", 17), ("flash.page_programs", 0)]);
+        assert!(checks.iter().all(|c| c.within));
+        let text = qt.render();
+        assert!(text.contains("db.select"));
+        assert!(text.contains("page_reads=17"));
+        let j = json::parse(&qt.to_json()).expect("trace json parses");
+        assert_eq!(
+            j.get("span").and_then(json::Json::as_str),
+            Some("pds.select")
+        );
+    }
+
+    #[test]
+    fn root_ring_is_bounded() {
+        for i in 0..40u64 {
+            let s = span("r");
+            s.set("i", i);
+        }
+        let roots = recent_roots();
+        assert_eq!(roots.len(), ROOT_RING_CAP);
+        assert_eq!(roots.last().unwrap().attr_u64("i"), Some(39));
+        // Drain so other tests see a clean ring.
+        while take_last_root().is_some() {}
+    }
+}

@@ -14,9 +14,7 @@ use pds_mcu::{RamBudget, RamError, TopN};
 
 use crate::docs::DocStore;
 use crate::tokenize::{term_hash, tokenize};
-use crate::triple::{
-    decode_page, encode_page, triples_per_page, DocId, Triple, NO_PREV,
-};
+use crate::triple::{decode_page, encode_page, triples_per_page, DocId, Triple, NO_PREV};
 
 /// Errors of the search engine.
 #[derive(Debug)]
@@ -221,8 +219,7 @@ impl SearchEngine {
             // Keep the exact dictionary exact: decrement df for the
             // document's distinct terms.
             let text = String::from_utf8_lossy(&self.docs.get(doc)?).into_owned();
-            let mut distinct: Vec<u64> =
-                tokenize(&text).iter().map(|t| term_hash(t)).collect();
+            let mut distinct: Vec<u64> = tokenize(&text).iter().map(|t| term_hash(t)).collect();
             distinct.sort_unstable();
             distinct.dedup();
             for term in distinct {
@@ -247,10 +244,15 @@ impl SearchEngine {
         // proportional to the document's distinct terms.
         let tokens = tokenize(text);
         let mut tf: HashMap<u64, u16> = HashMap::new();
-        let _tf_guard = self.ram.reserve(tokens.len().min(1024) * DICT_ENTRY_BYTES)?;
+        let _tf_guard = self
+            .ram
+            .reserve(tokens.len().min(1024) * DICT_ENTRY_BYTES)?;
         for tok in &tokens {
-            *tf.entry(term_hash(tok)).or_insert(0) =
-                tf.get(&term_hash(tok)).copied().unwrap_or(0).saturating_add(1);
+            *tf.entry(term_hash(tok)).or_insert(0) = tf
+                .get(&term_hash(tok))
+                .copied()
+                .unwrap_or(0)
+                .saturating_add(1);
         }
         for (term, count) in tf {
             if self.df_strategy == DfStrategy::RamDictionary {
@@ -350,6 +352,15 @@ impl SearchEngine {
         n: usize,
         mode: SearchMode,
     ) -> Result<Vec<SearchHit>, SearchError> {
+        let span = pds_obs::span!(
+            "search.query",
+            "search.keywords" => keywords.len() as u64,
+            "search.mode" => match mode {
+                SearchMode::Any => "any",
+                SearchMode::All => "all",
+            },
+        );
+        let io_before = self.flash.stats();
         let num_docs = self.num_live_docs();
         if num_docs == 0 || keywords.is_empty() {
             return Ok(Vec::new());
@@ -395,6 +406,13 @@ impl SearchEngine {
         // One chain cursor (one RAM page) per keyword.
         let page_size = self.flash.geometry().page_size;
         let _cursor_guard = self.ram.reserve(terms.len() * page_size)?;
+        // Validate the paper's "1 RAM page per query keyword" claim
+        // against what was actually reserved for the cursors.
+        let pages_per_kw = _cursor_guard.bytes().div_ceil(page_size) as u64 / terms.len() as u64;
+        span.set("search.ram_pages_per_keyword", pages_per_kw);
+        if pages_per_kw > pds_obs::budgets::RAM_PAGES_PER_QUERY_KEYWORD {
+            pds_obs::counter("search.ram_claim_violations").inc();
+        }
         let mut cursors: Vec<ChainCursor> = terms
             .iter()
             .map(|(term, idf)| ChainCursor::new(self, *term, *idf))
@@ -422,14 +440,17 @@ impl SearchEngine {
                 top.offer(Scored { score, doc });
             }
         }
-        Ok(top
+        let hits: Vec<SearchHit> = top
             .into_sorted_desc()
             .into_iter()
             .map(|s| SearchHit {
                 doc: s.doc,
                 score: s.score,
             })
-            .collect())
+            .collect();
+        span.set("search.hits", hits.len() as u64);
+        (self.flash.stats() - io_before).attach_to_span(&span);
+        Ok(hits)
     }
 
     /// Reorganize the index: rewrite every bucket chain into densely
@@ -742,7 +763,8 @@ mod tests {
         let ram = RamBudget::new(profile.ram_bytes);
         let mut e = SearchEngine::new(&flash, &ram, 4, 16, DfStrategy::TwoPass).unwrap();
         for i in 0..60 {
-            e.index_document(&format!("record {i} blood marker")).unwrap();
+            e.index_document(&format!("record {i} blood marker"))
+                .unwrap();
         }
         for doc in 0..30 {
             e.delete_document(doc).unwrap();

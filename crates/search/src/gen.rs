@@ -6,7 +6,7 @@
 //! a Zipf-distributed vocabulary — the term-frequency law real text
 //! follows, which is what stresses posting-list skew.
 
-use rand::Rng;
+use pds_obs::rng::Rng;
 
 /// Configuration of a synthetic corpus.
 #[derive(Debug, Clone, Copy)]
@@ -78,8 +78,8 @@ pub fn generate_corpus(cfg: &CorpusConfig, rng: &mut impl Rng) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     #[test]
     fn corpus_has_requested_shape() {

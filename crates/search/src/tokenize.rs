@@ -7,8 +7,8 @@
 
 /// Words ignored by the indexer (high-frequency, zero selectivity).
 const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
-    "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
 ];
 
 /// Split text into lowercase alphanumeric tokens, dropping stopwords and
@@ -59,14 +59,20 @@ mod tests {
 
     #[test]
     fn numbers_and_unicode() {
-        assert_eq!(tokenize("dose 500mg à Paris"), vec!["dose", "500mg", "paris"]);
+        assert_eq!(
+            tokenize("dose 500mg à Paris"),
+            vec!["dose", "500mg", "paris"]
+        );
     }
 
     #[test]
     fn empty_and_punctuation_only() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("!!! ... ---").is_empty());
-        assert!(tokenize("a I").is_empty(), "single chars and stopwords drop");
+        assert!(
+            tokenize("a I").is_empty(),
+            "single chars and stopwords drop"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 
 use pds_core::{CloudStore, PdsError};
 use pds_crypto::SymmetricKey;
-use rand::RngCore;
+use pds_obs::rng::RngCore;
 
 /// One snapshot header: (version, ciphertext chunks).
 type SnapshotBlob = (u64, Vec<u8>);
@@ -104,11 +104,7 @@ impl TrustedCell {
     }
 
     /// Discover and pull a slice this cell has never seen.
-    pub fn pull_new(
-        &mut self,
-        cloud: &CloudStore,
-        slice: &str,
-    ) -> Result<bool, PdsError> {
+    pub fn pull_new(&mut self, cloud: &CloudStore, slice: &str) -> Result<bool, PdsError> {
         let name = Self::blob_name(slice);
         match Self::fetch(cloud, &name, &self.key)? {
             Some((v, data)) => {
@@ -163,8 +159,8 @@ impl TrustedCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     fn setup() -> (TrustedCell, TrustedCell, CloudStore, StdRng) {
         (
@@ -181,7 +177,10 @@ mod tests {
         home.write("energy-profile", b"heating schedule v1");
         home.sync(&mut cloud, &mut rng).unwrap();
         assert!(phone.pull_new(&cloud, "energy-profile").unwrap());
-        assert_eq!(phone.read("energy-profile").unwrap(), b"heating schedule v1");
+        assert_eq!(
+            phone.read("energy-profile").unwrap(),
+            b"heating schedule v1"
+        );
     }
 
     #[test]

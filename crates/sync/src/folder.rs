@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use pds_crypto::SymmetricKey;
-use rand::RngCore;
+use pds_obs::rng::RngCore;
 
 /// One EHR/social entry.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -44,7 +44,9 @@ impl EhrEntry {
 
     fn decode(bytes: &[u8]) -> Option<EhrEntry> {
         let alen = u16::from_le_bytes(bytes.get(0..2)?.try_into().ok()?) as usize;
-        let author = std::str::from_utf8(bytes.get(2..2 + alen)?).ok()?.to_string();
+        let author = std::str::from_utf8(bytes.get(2..2 + alen)?)
+            .ok()?
+            .to_string();
         let mut off = 2 + alen;
         let seq = u64::from_le_bytes(bytes.get(off..off + 8)?.try_into().ok()?);
         off += 8;
@@ -264,6 +266,7 @@ impl Badge {
                 }
             }
         }
+        let pulled = carried_entries.len() as u64;
         folder.replica.integrate(carried_entries);
         // Folder → badge: what the central copy (as snapshotted) misses.
         let back: Vec<Vec<u8>> = folder
@@ -272,8 +275,13 @@ impl Badge {
             .into_iter()
             .map(|e| key.encrypt_prob(&e.encode(), rng).0)
             .collect();
-        self.cargo
-            .insert(folder.patient().to_string(), (folder.replica.version(), back));
+        pds_obs::counter("sync.folder_syncs").inc();
+        pds_obs::counter("sync.entries_exchanged").add(pulled + back.len() as u64);
+        pds_obs::counter("sync.bytes_carried").add(back.iter().map(|c| c.len() as u64).sum());
+        self.cargo.insert(
+            folder.patient().to_string(),
+            (folder.replica.version(), back),
+        );
     }
 
     /// Back at the clinic: unload the home-side deltas into the central
@@ -315,8 +323,7 @@ impl Badge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
     #[test]
     fn one_badge_tour_converges_both_replicas() {
@@ -398,67 +405,55 @@ mod tests {
 
     #[test]
     fn prop_random_schedules_always_converge() {
-        use proptest::prelude::*;
-        use proptest::test_runner::{Config, TestRunner};
-        let mut runner = TestRunner::new(Config::with_cases(24));
-        runner
-            .run(
-                &(
-                    proptest::collection::vec((0u8..2, 0u8..4), 1..40),
-                    proptest::collection::vec(proptest::collection::vec(0usize..4, 0..4), 0..6),
-                    any::<u64>(),
-                ),
-                |(writes, tours, seed)| {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut server = CentralServer::new();
-                    let mut folders: Vec<MedicalFolder> =
-                        (0..4).map(|i| MedicalFolder::new(&format!("p{i}"))).collect();
-                    let keys: Vec<SymmetricKey> =
-                        folders.iter().map(|f| f.key().clone()).collect();
-                    let names: Vec<String> =
-                        folders.iter().map(|f| f.patient().to_string()).collect();
-                    // Arbitrary interleaving of clinic/home writes…
-                    for (side, patient) in writes {
-                        let i = patient as usize;
-                        if side == 0 {
-                            server.write(&names[i], "dr", 0, "c");
-                        } else {
-                            folders[i].write("nurse", 0, "h");
-                        }
-                    }
-                    // …arbitrary partial tours…
-                    for tour in tours {
-                        let mut visit: Vec<usize> = tour;
-                        visit.sort_unstable();
-                        visit.dedup();
-                        let patients: Vec<(&str, &SymmetricKey)> = visit
-                            .iter()
-                            .map(|&i| (names[i].as_str(), &keys[i]))
-                            .collect();
-                        let mut badge = Badge::new();
-                        badge.load_central(&server, &patients, &mut rng);
-                        for &i in &visit {
-                            badge.sync_with_folder(&mut folders[i], &mut rng);
-                        }
-                        badge.unload_central(&mut server, &patients);
-                    }
-                    // …and one final full tour must always converge every
-                    // pair, with no duplicates and no losses.
-                    let patients: Vec<(&str, &SymmetricKey)> =
-                        names.iter().map(String::as_str).zip(keys.iter()).collect();
-                    let mut badge = Badge::new();
-                    badge.load_central(&server, &patients, &mut rng);
-                    for f in folders.iter_mut() {
-                        badge.sync_with_folder(f, &mut rng);
-                    }
-                    badge.unload_central(&mut server, &patients);
-                    for (f, n) in folders.iter().zip(&names) {
-                        prop_assert_eq!(f.entries(), server.entries(n));
-                    }
-                    Ok(())
-                },
-            )
-            .unwrap();
+        for case in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(0x5F0D + case);
+            let mut server = CentralServer::new();
+            let mut folders: Vec<MedicalFolder> = (0..4)
+                .map(|i| MedicalFolder::new(&format!("p{i}")))
+                .collect();
+            let keys: Vec<SymmetricKey> = folders.iter().map(|f| f.key().clone()).collect();
+            let names: Vec<String> = folders.iter().map(|f| f.patient().to_string()).collect();
+            // Arbitrary interleaving of clinic/home writes…
+            for _ in 0..rng.gen_range(1usize..40) {
+                let i = rng.gen_range(0usize..4);
+                if rng.gen_bool(0.5) {
+                    server.write(&names[i], "dr", 0, "c");
+                } else {
+                    folders[i].write("nurse", 0, "h");
+                }
+            }
+            // …arbitrary partial tours…
+            for _ in 0..rng.gen_range(0usize..6) {
+                let mut visit: Vec<usize> = (0..rng.gen_range(0usize..4))
+                    .map(|_| rng.gen_range(0usize..4))
+                    .collect();
+                visit.sort_unstable();
+                visit.dedup();
+                let patients: Vec<(&str, &SymmetricKey)> = visit
+                    .iter()
+                    .map(|&i| (names[i].as_str(), &keys[i]))
+                    .collect();
+                let mut badge = Badge::new();
+                badge.load_central(&server, &patients, &mut rng);
+                for &i in &visit {
+                    badge.sync_with_folder(&mut folders[i], &mut rng);
+                }
+                badge.unload_central(&mut server, &patients);
+            }
+            // …and one final full tour must always converge every
+            // pair, with no duplicates and no losses.
+            let patients: Vec<(&str, &SymmetricKey)> =
+                names.iter().map(String::as_str).zip(keys.iter()).collect();
+            let mut badge = Badge::new();
+            badge.load_central(&server, &patients, &mut rng);
+            for f in folders.iter_mut() {
+                badge.sync_with_folder(f, &mut rng);
+            }
+            badge.unload_central(&mut server, &patients);
+            for (f, n) in folders.iter().zip(&names) {
+                assert_eq!(f.entries(), server.entries(n), "case {case}");
+            }
+        }
     }
 
     #[test]

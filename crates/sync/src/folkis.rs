@@ -12,7 +12,7 @@
 //! participants exchange bundles (store-and-forward with a copy budget);
 //! delivery ratio and latency vs. density are the E12 measurements.
 
-use rand::Rng;
+use pds_obs::rng::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Simulation parameters.
@@ -127,6 +127,7 @@ impl FolkSim {
         });
         self.replicas.insert(id, 1);
         self.stats.sent += 1;
+        pds_obs::counter("sync.bundles_sent").inc();
         id
     }
 
@@ -146,8 +147,8 @@ impl FolkSim {
         self.step += 1;
         // Move.
         for p in &mut self.pos {
-            let (dx, dy) = [(0i32, 1i32), (0, -1), (1, 0), (-1, 0), (0, 0)]
-                [rng.gen_range(0..5)];
+            let (dx, dy) =
+                [(0i32, 1i32), (0, -1), (1, 0), (-1, 0), (0, 0)][rng.gen_range(0..5usize)];
             p.0 = (p.0 as i32 + dx).clamp(0, self.cfg.grid as i32 - 1) as usize;
             p.1 = (p.1 as i32 + dy).clamp(0, self.cfg.grid as i32 - 1) as usize;
         }
@@ -206,6 +207,9 @@ impl FolkSim {
                     self.delivered_ids.insert(bundle.id);
                     self.stats.delivered += 1;
                     self.stats.total_latency += self.step - bundle.created_at;
+                    pds_obs::counter("sync.bundles_delivered").inc();
+                    pds_obs::histogram("sync.delivery_latency_steps")
+                        .observe(self.step - bundle.created_at);
                 } else if !self.delivered_ids.contains(&bundle.id) {
                     kept.push(bundle);
                 } // delivered copies evaporate
@@ -227,19 +231,15 @@ impl FolkSim {
 
     /// Total payload bytes currently being carried (all opaque).
     pub fn carried_bytes(&self) -> usize {
-        self.carried
-            .iter()
-            .flatten()
-            .map(|b| b.payload.len())
-            .sum()
+        self.carried.iter().flatten().map(|b| b.payload.len()).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pds_obs::rng::SeedableRng;
+    use pds_obs::rng::StdRng;
 
     #[test]
     fn dense_network_delivers_everything() {

@@ -11,8 +11,8 @@ use pds::flash::Flash;
 use pds::mcu::{HardwareProfile, RamBudget};
 use pds::search::gen::{generate_corpus, CorpusConfig};
 use pds::search::{DfStrategy, NaiveSearch, SearchEngine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = HardwareProfile::secure_token();

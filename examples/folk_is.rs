@@ -10,8 +10,8 @@
 
 use pds::crypto::SymmetricKey;
 use pds::sync::{FolkSim, FolkSimConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn main() {
     println!("Folk-IS: 20 administrative forms, villages on a grid, no network\n");
@@ -51,7 +51,10 @@ fn main() {
 
     // The copy budget trades delivery speed for carrying cost.
     println!("\ncopy-budget ablation (160 participants):");
-    println!("{:>8} {:>10} {:>12} {:>10}", "budget", "delivered", "mean steps", "transfers");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "budget", "delivered", "mean steps", "transfers"
+    );
     for budget in [2usize, 4, 8, 0] {
         let mut rng = StdRng::seed_from_u64(13);
         let mut sim = FolkSim::new(
@@ -68,7 +71,11 @@ fn main() {
         let stats = sim.run(4000, &mut rng);
         println!(
             "{:>8} {:>9.0}% {:>12.1} {:>10}",
-            if budget == 0 { "∞".to_string() } else { budget.to_string() },
+            if budget == 0 {
+                "∞".to_string()
+            } else {
+                budget.to_string()
+            },
             stats.delivery_ratio() * 100.0,
             stats.mean_latency(),
             stats.transfers

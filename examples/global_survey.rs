@@ -13,8 +13,8 @@ use pds::global::histogram::{histogram_based, BucketMap};
 use pds::global::noise::{noise_based, NoiseStrategy};
 use pds::global::secure_agg::{secure_aggregation, OnTamper};
 use pds::global::{plaintext_groupby, GroupByQuery, Population, Ssi};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
@@ -40,7 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Protocol 2a: noise-based, random fakes.
     let mut ssi = Ssi::honest(2);
-    let (r2, s2) = noise_based(&mut pop, &query, &mut ssi, NoiseStrategy::Random { fakes_per_token: 4 }, &mut rng)?;
+    let (r2, s2) = noise_based(
+        &mut pop,
+        &query,
+        &mut ssi,
+        NoiseStrategy::Random { fakes_per_token: 4 },
+        &mut rng,
+    )?;
     assert_eq!(r2, truth);
     println!(
         "[noise-random] exact ✓  token tuples {:>6}  rounds {:>4}  SSI bytes {:>8}  frequency signal {:.3}",
@@ -50,7 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Protocol 2b: noise-based, complementary-domain fakes.
     let mut ssi = Ssi::honest(3);
-    let (r3, s3) = noise_based(&mut pop, &query, &mut ssi, NoiseStrategy::Complementary, &mut rng)?;
+    let (r3, s3) = noise_based(
+        &mut pop,
+        &query,
+        &mut ssi,
+        NoiseStrategy::Complementary,
+        &mut rng,
+    )?;
     assert_eq!(r3, truth);
     println!(
         "[noise-compl]  exact ✓  token tuples {:>6}  rounds {:>4}  SSI bytes {:>8}  frequency signal {:.3}",

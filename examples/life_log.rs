@@ -33,9 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     hr.flush()?;
     println!("time series occupies {} data pages", hr.num_data_pages());
 
-    for (label, from_day, to_day) in
-        [("January", 0u64, 31u64), ("one week in June", 151, 158), ("Dec 31", 364, 365)]
-    {
+    for (label, from_day, to_day) in [
+        ("January", 0u64, 31u64),
+        ("one week in June", 151, 158),
+        ("Dec 31", 364, 365),
+    ] {
         flash.reset_stats();
         let agg = hr.range_aggregate(from_day * 86_400, to_day * 86_400 - 1)?;
         println!(

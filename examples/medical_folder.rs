@@ -8,8 +8,8 @@
 //! Run with: `cargo run --example medical_folder`
 
 use pds::sync::{Badge, CentralServer, MedicalFolder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
@@ -32,7 +32,11 @@ fn main() {
     println!("before the tour:");
     for f in &folders {
         println!("  {} (home): {} entries", f.patient(), f.len());
-        println!("  {} (clinic): {} entries", f.patient(), server.entries(f.patient()).len());
+        println!(
+            "  {} (clinic): {} entries",
+            f.patient(),
+            server.entries(f.patient()).len()
+        );
     }
 
     // The nurse's badge tour: load at the clinic, visit every home,
@@ -41,11 +45,8 @@ fn main() {
     // while it needs the patient list.
     let keys: Vec<_> = folders.iter().map(|f| f.key().clone()).collect();
     let names: Vec<String> = folders.iter().map(|f| f.patient().to_string()).collect();
-    let patients: Vec<(&str, &pds::crypto::SymmetricKey)> = names
-        .iter()
-        .map(String::as_str)
-        .zip(keys.iter())
-        .collect();
+    let patients: Vec<(&str, &pds::crypto::SymmetricKey)> =
+        names.iter().map(String::as_str).zip(keys.iter()).collect();
 
     let mut badge = Badge::new();
     badge.load_central(&server, &patients, &mut rng);

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("token {:?} issued to {}", alice.id(), alice.owner());
 
     // Her digital life flows in: emails, health records, transactions.
-    alice.ingest_email(100, "dr.martin", "blood results", "all markers within range")?;
+    alice.ingest_email(
+        100,
+        "dr.martin",
+        "blood results",
+        "all markers within range",
+    )?;
     alice.ingest_email(101, "bank", "statement", "monthly account statement")?;
     alice.ingest_health(102, "blood-pressure", 128, "slightly elevated, recheck")?;
     alice.ingest_bank(102, "salary", 250_000, "employer")?;
@@ -29,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("alice's search for 'blood': {} hits", hits.len());
     for h in &hits {
         let doc = alice.get_document(&me, h.doc)?;
-        println!("  doc {} (score {:.3}): {}", h.doc, h.score, String::from_utf8_lossy(&doc));
+        println!(
+            "  doc {} (score {:.3}): {}",
+            h.doc,
+            h.score,
+            String::from_utf8_lossy(&doc)
+        );
     }
 
     // She grants her doctor care-purpose access to health records only.
@@ -57,14 +67,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // …and a marketer gets nothing at all.
     let marketer = AccessContext::new("adtech-inc", Purpose::Marketing);
-    println!("adtech-inc search: {}", alice.search(&marketer, &["salary"], 5).unwrap_err());
+    println!(
+        "adtech-inc search: {}",
+        alice.search(&marketer, &["salary"], 5).unwrap_err()
+    );
 
     // Everything — grants and denials — is in the tamper-evident trail.
     println!("\naudit trail ({} denials):", alice.audit().denials());
     for e in alice.audit().entries() {
-        println!("  #{} {} {} on {} → {:?}", e.seq, e.subject, e.action, e.target, e.decision);
+        println!(
+            "  #{} {} {} on {} → {:?}",
+            e.seq, e.subject, e.action, e.target, e.decision
+        );
     }
     assert!(alice.audit().verify());
-    println!("audit chain verifies: head = {:02x?}…", &alice.audit().head()[..4]);
+    println!(
+        "audit chain verifies: head = {:02x?}…",
+        &alice.audit().head()[..4]
+    );
     Ok(())
 }

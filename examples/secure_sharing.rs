@@ -17,8 +17,8 @@ use pds::db::{Predicate, Value};
 use pds::global::authz::authorized_secure_aggregation;
 use pds::global::{GroupByQuery, Population, Ssi};
 use pds::mcu::TokenId;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(9);
@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "HEALTH",
         &Predicate::eq("category", Value::str("blood-pressure")),
     )?;
-    println!("dr.martin reads {} health record(s) after the handshake", rows.len());
+    println!(
+        "dr.martin reads {} health record(s) after the handshake",
+        rows.len()
+    );
 
     // 3. A rogue with an expired credential fails the handshake — no
     //    grant is ever considered.
@@ -75,10 +78,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let marketer = authority.issue(TokenId(1001), "adtech", Role::Practitioner, 3650);
     let mut ssi2 = Ssi::honest(2);
-    let err = authorized_secure_aggregation(
-        &vk, &marketer, 100, &mut pop, &q, &mut ssi2, 16, &mut rng,
-    )
-    .unwrap_err();
-    println!("mis-roled issuer: {err} (SSI saw {} tuples)", ssi2.leakage().tuples_seen);
+    let err =
+        authorized_secure_aggregation(&vk, &marketer, 100, &mut pop, &q, &mut ssi2, 16, &mut rng)
+            .unwrap_err();
+    println!(
+        "mis-roled issuer: {err} (SSI saw {} tuples)",
+        ssi2.leakage().tuples_seen
+    );
     Ok(())
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The full offline CI gate: format, lint, build, test.
+# No network access required — the workspace has zero external deps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace -q

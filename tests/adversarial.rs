@@ -2,14 +2,14 @@
 //! exhaustion.
 
 use pds::core::{AccessContext, Pds, Purpose};
+use pds::crypto::SymmetricKey;
 use pds::db::{PBFilter, Predicate, Value};
 use pds::flash::{Flash, FlashError, FlashGeometry};
-use pds::global::detection::{analytic_detection, measure_detection, CheckedChannel, CheckOutcome};
+use pds::global::detection::{analytic_detection, measure_detection, CheckOutcome, CheckedChannel};
 use pds::global::secure_agg::{secure_aggregation, OnTamper};
 use pds::global::{plaintext_groupby, GroupByQuery, Population, Ssi, SsiThreat};
-use pds::crypto::SymmetricKey;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 #[test]
 fn flash_exhaustion_is_a_clean_error_not_a_corruption() {
@@ -37,11 +37,16 @@ fn flash_exhaustion_is_a_clean_error_not_a_corruption() {
 fn ram_violation_aborts_the_query_not_the_token() {
     let mut pds = Pds::for_tests(1, "alice").unwrap();
     for i in 0..50 {
-        pds.ingest_email(i, "s", "subj", &format!("word{i} common")).unwrap();
+        pds.ingest_email(i, "s", "subj", &format!("word{i} common"))
+            .unwrap();
     }
     let me = AccessContext::new("alice", Purpose::PersonalUse);
     // Burn almost all remaining RAM, then query.
-    let hoard = pds.token().ram().reserve(pds.token().ram().available() - 256).unwrap();
+    let hoard = pds
+        .token()
+        .ram()
+        .reserve(pds.token().ram().available() - 256)
+        .unwrap();
     let err = pds.search(&me, &["common"], 5).unwrap_err();
     assert!(matches!(err, pds::core::PdsError::Search(_)));
     drop(hoard);
@@ -93,7 +98,10 @@ fn forged_and_replayed_tuples_never_pass_spot_checks() {
             detected += 1;
         }
     }
-    assert!(detected >= 19, "150 altered tuples at 10% sampling: ~certain");
+    assert!(
+        detected >= 19,
+        "150 altered tuples at 10% sampling: ~certain"
+    );
 }
 
 #[test]
@@ -125,9 +133,7 @@ fn malicious_ssi_with_skipping_tokens_shows_why_checking_matters() {
         },
         6,
     );
-    assert!(
-        secure_aggregation(&mut pop, &q, &mut ssi2, 16, OnTamper::Abort, &mut rng).is_err()
-    );
+    assert!(secure_aggregation(&mut pop, &q, &mut ssi2, 16, OnTamper::Abort, &mut rng).is_err());
 }
 
 #[test]
@@ -144,8 +150,14 @@ fn pbfilter_survives_interleaved_writers_on_a_shared_chip() {
     idx_a.flush().unwrap();
     idx_b.flush().unwrap();
     assert_eq!(idx_a.lookup(b"A5").unwrap().len(), 3000 / 31 + 1);
-    assert_eq!(idx_b.lookup(b"B5").unwrap().len(), 3000 / 17 + iverson(3000 % 17 > 5));
-    assert!(idx_a.lookup(b"B5").unwrap().is_empty(), "no cross-index bleed");
+    assert_eq!(
+        idx_b.lookup(b"B5").unwrap().len(),
+        3000 / 17 + iverson(3000 % 17 > 5)
+    );
+    assert!(
+        idx_a.lookup(b"B5").unwrap().is_empty(),
+        "no cross-index bleed"
+    );
 }
 
 fn iverson(b: bool) -> usize {
@@ -156,7 +168,8 @@ fn iverson(b: bool) -> usize {
 fn per_row_retention_cannot_be_bypassed_by_predicate_choice() {
     let mut pds = Pds::for_tests(2, "bob").unwrap();
     for day in 0..100u64 {
-        pds.ingest_bank(day, "groceries", 100 + day, "shop").unwrap();
+        pds.ingest_bank(day, "groceries", 100 + day, "shop")
+            .unwrap();
     }
     pds.set_clock(100);
     pds.grant(pds::core::policy::Rule {
@@ -169,7 +182,11 @@ fn per_row_retention_cannot_be_bypassed_by_predicate_choice() {
     });
     let auditor = AccessContext::new("auditor", Purpose::Care);
     let rows = pds
-        .select(&auditor, "BANK", &Predicate::eq("category", Value::str("groceries")))
+        .select(
+            &auditor,
+            "BANK",
+            &Predicate::eq("category", Value::str("groceries")),
+        )
         .unwrap();
     assert_eq!(rows.len(), 30, "only days 70..=99 are within 30 days");
     assert!(rows.iter().all(|r| r[0].as_u64().unwrap() >= 70));

@@ -4,14 +4,12 @@
 
 use pds::db::climbing::{execute_spj, execute_spj_naive, TjoinIndex, TselectIndex};
 use pds::db::tpcd::{TpcdConfig, TpcdData};
-use pds::db::{Database, Predicate, QueryPlan, Value};
 use pds::db::value::{ColumnType, Schema};
+use pds::db::{Database, Predicate, QueryPlan, Value};
 use pds::flash::{Flash, FlashGeometry};
 use pds::mcu::RamBudget;
 use pds::search::{DfStrategy, NaiveSearch, SearchEngine};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
 #[test]
 fn database_and_search_engine_share_one_chip() {
@@ -133,18 +131,23 @@ fn tpcd_spj_fast_plan_beats_naive_by_an_order_of_magnitude() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The embedded search engine equals the unconstrained oracle on
-    /// arbitrary corpora and queries.
-    #[test]
-    fn prop_search_engine_equals_oracle(
-        docs in proptest::collection::vec(
-            proptest::collection::vec(0u8..12, 1..12), 1..60),
-        query in proptest::collection::vec(0u8..12, 1..3),
-        n in 1usize..8,
-    ) {
+/// The embedded search engine equals the unconstrained oracle on
+/// arbitrary corpora and queries.
+#[test]
+fn prop_search_engine_equals_oracle() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xE50C + case);
+        let docs: Vec<Vec<u8>> = (0..rng.gen_range(1usize..60))
+            .map(|_| {
+                (0..rng.gen_range(1usize..12))
+                    .map(|_| rng.gen_range(0u8..12))
+                    .collect()
+            })
+            .collect();
+        let query: Vec<u8> = (0..rng.gen_range(1usize..3))
+            .map(|_| rng.gen_range(0u8..12))
+            .collect();
+        let n = rng.gen_range(1usize..8);
         let f = Flash::new(FlashGeometry::new(512, 16, 1024));
         let ram = RamBudget::new(64 * 1024);
         let mut engine = SearchEngine::new(&f, &ram, 8, 16, DfStrategy::TwoPass).unwrap();
@@ -159,19 +162,24 @@ proptest! {
         let kw_refs: Vec<&str> = kw.iter().map(String::as_str).collect();
         let hits = engine.search(&kw_refs, n).unwrap();
         let expected = oracle.search(&kw_refs, n);
-        prop_assert_eq!(
+        assert_eq!(
             hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
-            expected.iter().map(|h| h.doc).collect::<Vec<_>>()
+            expected.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            "case {case}"
         );
     }
+}
 
-    /// Selection answers are identical across the three access methods
-    /// for arbitrary data distributions.
-    #[test]
-    fn prop_plan_ladder_equivalence(
-        cities in proptest::collection::vec(0u16..40, 10..300),
-        probe in 0u16..40,
-    ) {
+/// Selection answers are identical across the three access methods
+/// for arbitrary data distributions.
+#[test]
+fn prop_plan_ladder_equivalence() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x1ADDE0 + case);
+        let cities: Vec<u16> = (0..rng.gen_range(10usize..300))
+            .map(|_| rng.gen_range(0u16..40))
+            .collect();
+        let probe = rng.gen_range(0u16..40);
         let f = Flash::new(FlashGeometry::new(512, 16, 2048));
         let ram = RamBudget::new(64 * 1024);
         let mut db = Database::new(&f, &ram);
@@ -181,7 +189,8 @@ proptest! {
         )
         .unwrap();
         for (i, c) in cities.iter().enumerate() {
-            db.insert("T", vec![Value::U64(i as u64), Value::Str(format!("c{c}"))]).unwrap();
+            db.insert("T", vec![Value::U64(i as u64), Value::Str(format!("c{c}"))])
+                .unwrap();
         }
         let pred = Predicate::eq("city", Value::Str(format!("c{probe}")));
         let scan = db.select("T", &pred).unwrap();
@@ -189,7 +198,7 @@ proptest! {
         let summary = db.select("T", &pred).unwrap();
         db.reorganize_index("T", "city").unwrap();
         let tree = db.select("T", &pred).unwrap();
-        prop_assert_eq!(&scan, &summary);
-        prop_assert_eq!(&scan, &tree);
+        assert_eq!(&scan, &summary, "case {case}");
+        assert_eq!(&scan, &tree, "case {case}");
     }
 }

@@ -8,15 +8,19 @@ use pds::core::{
     AccessContext, Action, CloudStore, Collection, EncryptedArchive, Pds, Purpose, Rule,
 };
 use pds::db::{Predicate, Value};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn populated() -> Pds {
     let mut pds = Pds::for_tests(1, "alice").unwrap();
     for day in 0..30u64 {
         pds.ingest_email(
             day,
-            if day % 3 == 0 { "dr.martin" } else { "newsletter" },
+            if day % 3 == 0 {
+                "dr.martin"
+            } else {
+                "newsletter"
+            },
             &format!("subject {day}"),
             &format!("body mentioning topic{} on day {day}", day % 5),
         )
@@ -25,8 +29,13 @@ fn populated() -> Pds {
             pds.ingest_health(day, "blood-pressure", 110 + day, "routine check")
                 .unwrap();
         }
-        pds.ingest_bank(day, if day % 7 == 0 { "salary" } else { "groceries" }, 1000 + day, "cp")
-            .unwrap();
+        pds.ingest_bank(
+            day,
+            if day % 7 == 0 { "salary" } else { "groceries" },
+            1000 + day,
+            "cp",
+        )
+        .unwrap();
     }
     pds.set_clock(30);
     pds
@@ -41,7 +50,11 @@ fn full_life_cycle_with_archive_recovery() {
     let hits = pds.search(&me, &["topic2"], 10).unwrap();
     assert!(!hits.is_empty());
     let salary_rows = pds
-        .select(&me, "BANK", &Predicate::eq("category", Value::str("salary")))
+        .select(
+            &me,
+            "BANK",
+            &Predicate::eq("category", Value::str("salary")),
+        )
         .unwrap();
     assert_eq!(salary_rows.len(), 5, "days 0,7,14,21,28");
 
@@ -63,7 +76,11 @@ fn full_life_cycle_with_archive_recovery() {
         "restored token answers identically"
     );
     let salary2 = recovered
-        .select(&me, "BANK", &Predicate::eq("category", Value::str("salary")))
+        .select(
+            &me,
+            "BANK",
+            &Predicate::eq("category", Value::str("salary")),
+        )
         .unwrap();
     assert_eq!(salary_rows, salary2);
 }
@@ -89,16 +106,32 @@ fn cross_subject_policy_isolation() {
 
     // Each subject reaches exactly their collection.
     assert!(pds
-        .select(&doctor, "HEALTH", &Predicate::eq("category", Value::str("blood-pressure")))
+        .select(
+            &doctor,
+            "HEALTH",
+            &Predicate::eq("category", Value::str("blood-pressure"))
+        )
         .is_ok());
     assert!(pds
-        .select(&doctor, "BANK", &Predicate::eq("category", Value::str("salary")))
+        .select(
+            &doctor,
+            "BANK",
+            &Predicate::eq("category", Value::str("salary"))
+        )
         .is_err());
     assert!(pds
-        .select(&accountant, "BANK", &Predicate::eq("category", Value::str("salary")))
+        .select(
+            &accountant,
+            "BANK",
+            &Predicate::eq("category", Value::str("salary"))
+        )
         .is_ok());
     assert!(pds
-        .select(&accountant, "HEALTH", &Predicate::eq("category", Value::str("blood-pressure")))
+        .select(
+            &accountant,
+            "HEALTH",
+            &Predicate::eq("category", Value::str("blood-pressure"))
+        )
         .is_err());
 
     // The trail recorded all four decisions and verifies.
@@ -111,7 +144,9 @@ fn cross_subject_policy_isolation() {
 fn aggregate_gateway_reveals_sums_not_rows() {
     let mut pds = populated();
     let stat = AccessContext::new("institute", Purpose::Statistics);
-    let total = pds.aggregate_sum(&stat, "BANK", "amount_cents", None).unwrap();
+    let total = pds
+        .aggregate_sum(&stat, "BANK", "amount_cents", None)
+        .unwrap();
     let me = AccessContext::new("alice", Purpose::PersonalUse);
     let mut check = 0;
     for cat in ["salary", "groceries"] {
@@ -125,7 +160,11 @@ fn aggregate_gateway_reveals_sums_not_rows() {
     assert_eq!(total, check);
     // But the same subject cannot read the rows behind the sum.
     assert!(pds
-        .select(&stat, "BANK", &Predicate::eq("category", Value::str("salary")))
+        .select(
+            &stat,
+            "BANK",
+            &Predicate::eq("category", Value::str("salary"))
+        )
         .is_err());
 }
 

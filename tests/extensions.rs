@@ -10,8 +10,8 @@ use pds::db::{Database, KvStore, Predicate, TimeSeries, Value};
 use pds::flash::{Flash, FlashGeometry};
 use pds::mcu::codesign::{max_search_keywords, search_residents};
 use pds::mcu::{HardwareProfile, RamBudget};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 #[test]
 fn three_data_models_share_one_chip() {
@@ -44,7 +44,9 @@ fn three_data_models_share_one_chip() {
     // Key-value.
     let mut prefs = KvStore::new(&flash);
     for i in 0..500u32 {
-        prefs.put(format!("k{}", i % 50).as_bytes(), &i.to_le_bytes()).unwrap();
+        prefs
+            .put(format!("k{}", i % 50).as_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     prefs.flush().unwrap();
 
@@ -83,8 +85,7 @@ fn kv_state_survives_the_encrypted_archive() {
     let key = SymmetricKey::from_seed(b"kv-archive");
     let mut cloud = CloudStore::new();
     let mut rng = StdRng::seed_from_u64(5);
-    let archive =
-        pds::core::EncryptedArchive::publish(&mut cloud, "kv", &key, &payload, &mut rng);
+    let archive = pds::core::EncryptedArchive::publish(&mut cloud, "kv", &key, &payload, &mut rng);
     let restored = archive.restore(&cloud, &key).unwrap();
     assert_eq!(restored, payload);
 }

@@ -5,8 +5,8 @@ use pds::global::histogram::{histogram_based, BucketMap};
 use pds::global::noise::{noise_based, NoiseStrategy};
 use pds::global::secure_agg::{secure_aggregation, OnTamper};
 use pds::global::{plaintext_groupby, GroupByQuery, Population, Ssi, SsiThreat};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 fn setup(n: usize, seed: u64) -> (Population, GroupByQuery, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -86,8 +86,8 @@ fn weakly_malicious_ssi_is_caught_by_checking_tokens() {
         },
         1,
     );
-    let err = secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng)
-        .unwrap_err();
+    let err =
+        secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng).unwrap_err();
     assert!(matches!(
         err,
         pds::global::GlobalError::TamperingDetected(_)

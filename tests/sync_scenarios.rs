@@ -4,15 +4,16 @@
 use pds::core::CloudStore;
 use pds::crypto::SymmetricKey;
 use pds::sync::{Badge, CentralServer, FolkSim, FolkSimConfig, MedicalFolder, TrustedCell};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pds_obs::rng::SeedableRng;
+use pds_obs::rng::StdRng;
 
 #[test]
 fn month_of_care_coordination_converges() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut server = CentralServer::new();
-    let mut folders: Vec<MedicalFolder> =
-        (0..5).map(|i| MedicalFolder::new(&format!("patient-{i}"))).collect();
+    let mut folders: Vec<MedicalFolder> = (0..5)
+        .map(|i| MedicalFolder::new(&format!("patient-{i}")))
+        .collect();
     let keys: Vec<SymmetricKey> = folders.iter().map(|f| f.key().clone()).collect();
     let names: Vec<String> = folders.iter().map(|f| f.patient().to_string()).collect();
 
@@ -23,7 +24,9 @@ fn month_of_care_coordination_converges() {
             folders[i].write("nurse", week * 7 + 3, &format!("home w{week}"));
         }
         // One badge tour a week, visiting a rotating subset of homes.
-        let tour: Vec<usize> = (0..5).filter(|i| (i + week as usize).is_multiple_of(2)).collect();
+        let tour: Vec<usize> = (0..5)
+            .filter(|i| (i + week as usize).is_multiple_of(2))
+            .collect();
         let patients: Vec<(&str, &SymmetricKey)> = tour
             .iter()
             .map(|&i| (names[i].as_str(), &keys[i]))
@@ -102,7 +105,10 @@ fn folkis_carries_folder_deltas_between_disconnected_regions() {
 
     // Serialize + encrypt the folder's single entry as the bundle.
     let entry = &folder.entries()[0];
-    let payload = format!("{}|{}|{}|{}", entry.author, entry.seq, entry.day, entry.text);
+    let payload = format!(
+        "{}|{}|{}|{}",
+        entry.author, entry.seq, entry.day, entry.text
+    );
     let ct = key.encrypt_prob(payload.as_bytes(), &mut rng);
 
     let mut sim = FolkSim::new(
