@@ -1,0 +1,148 @@
+//! E13 — crash recovery: power loss mid-ingestion, measured end to end.
+//!
+//! The tutorial's secure tokens are *portable*: power is whatever USB
+//! port or NFC field the token happens to be in, and disconnection is a
+//! normal event, not a failure. The storage stack therefore has to treat
+//! power loss as an ordinary input. This experiment cuts the power after
+//! a seeded number of page programs while a PDS ingests across all three
+//! collections, reboots the token (flash controller state rebuilt by
+//! cell scan, RAM lost), runs [`pds_core::Pds::reopen`], and measures
+//! what recovery found: durable records back, losses confined to the
+//! undurable tail, torn pages detected by the page CRC and discarded.
+
+use pds_core::{AccessContext, Pds, Purpose};
+use pds_flash::FaultPlan;
+use pds_obs::rng::{Rng, SeedableRng, StdRng};
+
+use crate::table::Table;
+
+/// Outcome of one seeded crash.
+pub struct E13Point {
+    /// Page programs before the cut.
+    pub cut_after: u64,
+    /// Days fully ingested before the crash (3 records each).
+    pub ingested_days: u64,
+    /// Documents intact after recovery.
+    pub docs_recovered: u32,
+    /// Documents lost to the crash.
+    pub docs_lost: u32,
+    /// Rows lost, summed over the three tables.
+    pub rows_lost: u32,
+    /// Pages scanned by log recovery.
+    pub pages_scanned: u64,
+    /// Torn pages the page CRC caught and recovery discarded.
+    pub torn_pages: u64,
+    /// Whether the recovered PDS answered a search over the survivors.
+    pub search_ok: bool,
+}
+
+/// Run one seeded crash-and-recover cycle. `durable_days` days are
+/// synced before faults are armed, so recovery has a guaranteed floor.
+pub fn measure(seed: u64, durable_days: u64) -> E13Point {
+    let reg = pds_obs::metrics::global();
+    let scanned0 = reg.counter("recovery.pages_scanned").get();
+    let torn0 = reg.counter("recovery.torn_pages_discarded").get();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pds = Pds::for_tests(seed, "alice").expect("pds");
+    let ingest = |pds: &mut Pds, day: u64| -> Result<(), pds_core::PdsError> {
+        pds.ingest_email(
+            day,
+            "dr.martin",
+            &format!("subject {day}"),
+            &format!("marker m{} level {}", day % 7, day % 13),
+        )?;
+        pds.ingest_health(day, "blood-pressure", 110 + day % 30, "routine")?;
+        pds.ingest_bank(day, "groceries", 1_000 + day, "shop-1")?;
+        Ok(())
+    };
+    for day in 0..durable_days {
+        ingest(&mut pds, day).expect("durable prefix");
+    }
+    pds.sync().expect("sync");
+
+    let cut_after = rng.gen_range(5u64..80);
+    pds.token()
+        .flash()
+        .inject_faults(FaultPlan::new(seed).power_loss_after(cut_after));
+    let mut day = durable_days;
+    while day < durable_days + 500 {
+        if ingest(&mut pds, day).is_err() {
+            break;
+        }
+        day += 1;
+    }
+
+    let (mut rec, report) = pds.reopen().expect("reopen");
+    let me = AccessContext::new("alice", Purpose::PersonalUse);
+    let search_ok = rec
+        .search(&me, &["marker"], 50)
+        .map(|hits| hits.len() as u64 >= durable_days)
+        .unwrap_or(false);
+    E13Point {
+        cut_after,
+        ingested_days: day,
+        docs_recovered: report.docs_recovered,
+        docs_lost: report.docs_lost,
+        rows_lost: report.rows_lost.iter().map(|(_, l)| l).sum(),
+        pages_scanned: reg.counter("recovery.pages_scanned").get() - scanned0,
+        torn_pages: reg.counter("recovery.torn_pages_discarded").get() - torn0,
+        search_ok,
+    }
+}
+
+/// Regenerate the E13 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E13 — crash recovery: seeded power loss mid-ingestion",
+        &[
+            "seed",
+            "cut after (programs)",
+            "days ingested",
+            "docs recovered",
+            "docs lost",
+            "rows lost",
+            "pages scanned",
+            "torn pages",
+            "search after",
+        ],
+    );
+    let durable_days = 10u64;
+    let mut total_lost = 0u32;
+    for seed in 0..8u64 {
+        let p = measure(0xE13_0000 + seed, durable_days);
+        total_lost += p.docs_lost + p.rows_lost;
+        t.row(vec![
+            seed.to_string(),
+            p.cut_after.to_string(),
+            p.ingested_days.to_string(),
+            p.docs_recovered.to_string(),
+            p.docs_lost.to_string(),
+            p.rows_lost.to_string(),
+            p.pages_scanned.to_string(),
+            p.torn_pages.to_string(),
+            if p.search_ok { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    t.note(&format!(
+        "every loss is confined to the undurable tail ({total_lost} records \
+         total across 8 crashes); the synced prefix always survives"
+    ));
+    t.note("torn pages are caught by the per-page CRC and discarded, never");
+    t.note("decoded as data; the inverted index is re-derived from the documents");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durable_prefix_always_survives() {
+        for seed in 0..3u64 {
+            let p = measure(0xE13_7E57 + seed, 8);
+            assert!(p.docs_recovered >= 16, "seed {seed}: 2 docs/day durable");
+            assert!(p.search_ok, "seed {seed}");
+        }
+    }
+}

@@ -40,5 +40,5 @@ pub use audit::{AuditEntry, AuditLog, Decision};
 pub use credentials::{Credential, HandshakeOutcome, Issuer, Role, VerificationKey};
 pub use data::{BankCategory, HealthCategory};
 pub use error::PdsError;
-pub use pds::{AccessContext, Pds};
-pub use policy::{Action, Collection, Policy, PolicySet, Purpose, Rule};
+pub use pds::{AccessContext, Pds, ReopenReport};
+pub use policy::{Action, Collection, Policy, PolicySet, Purpose, Rule, SubjectPattern};

@@ -14,6 +14,19 @@ use pds_mcu::{Token, TokenId};
 use pds_search::{DfStrategy, SearchEngine, SearchHit};
 
 use crate::audit::{AuditLog, Decision};
+
+/// What [`Pds::reopen`] recovered after a power loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReopenReport {
+    /// Documents intact after the crash.
+    pub docs_recovered: u32,
+    /// Documents lost (never fully reached flash).
+    pub docs_lost: u32,
+    /// Deletions re-applied from the durable tombstone log.
+    pub tombstones_applied: u64,
+    /// Per-table `(name, rows_lost)`.
+    pub rows_lost: Vec<(String, u32)>,
+}
 use crate::data::{
     bank_schema, email_schema, health_schema, BANK_TABLE, EMAIL_TABLE, HEALTH_TABLE,
 };
@@ -147,6 +160,54 @@ impl Pds {
     /// The audit trail.
     pub fn audit(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// Durably flush every buffered structure (documents, tombstones,
+    /// index pages, table rows) to flash — the PDS equivalent of `fsync`.
+    pub fn sync(&mut self) -> Result<(), PdsError> {
+        self.engine.flush()?;
+        self.db.flush()?;
+        Ok(())
+    }
+
+    /// Simulate a power cycle and recover: the token reboots (flash
+    /// controller state rebuilt by cell scan, RAM lost), every record log
+    /// recovers its durable prefix, derived structures (inverted index,
+    /// selection indexes) are rebuilt or dropped, and the losses are
+    /// reported honestly instead of surfacing later as corruption.
+    ///
+    /// Policy, audit trail and keys are carried over in RAM here; on real
+    /// hardware they live in small dedicated logs recovered the same way
+    /// as the data logs.
+    pub fn reopen(self) -> Result<(Pds, ReopenReport), PdsError> {
+        let _span = pds_obs::span!("pds.reopen", "pds.owner" => self.owner.as_str());
+        let engine_manifest = self.engine.manifest();
+        let db_manifest = self.db.manifest();
+        let token = self.token.reopen();
+        let flash = token.flash().clone();
+        let ram = token.ram().clone();
+        let (engine, er) = SearchEngine::recover(&flash, &ram, &engine_manifest)?;
+        let (db, rows_lost) = Database::recover(&flash, &ram, &db_manifest)?;
+        let report = ReopenReport {
+            docs_recovered: er.docs_recovered,
+            docs_lost: er.docs_lost,
+            tombstones_applied: er.tombstones_applied,
+            rows_lost,
+        };
+        Ok((
+            Pds {
+                token,
+                owner: self.owner,
+                engine,
+                db,
+                policy: self.policy,
+                audit: self.audit,
+                owner_key: self.owner_key,
+                protocol_key: self.protocol_key,
+                clock_day: self.clock_day,
+            },
+            report,
+        ))
     }
 
     // ---- ingestion -----------------------------------------------------

@@ -157,7 +157,16 @@ impl Rule {
             && self.collection.covers(collection)
             && self.action == action
             && self.purpose.is_none_or(|p| p == purpose)
-            && self.max_age_days.is_none_or(|max| age_days <= max)
+            && match self.policy {
+                // Retention bounds a *grant*: the allow covers data up to
+                // `max_age_days` old and lapses beyond.
+                Policy::Allow => self.max_age_days.is_none_or(|max| age_days <= max),
+                // A deny must never lapse with age. Applying the same
+                // bound here would make "deny for 90 days" silently stop
+                // matching on day 91 — aged data would fall through to
+                // any standing allow, turning a refusal into a grant.
+                Policy::Deny => true,
+            }
     }
 }
 
@@ -349,6 +358,32 @@ mod tests {
         });
         let coll = Collection::Table("BANK".into());
         assert!(p.permits("insurer", &coll, Action::Read, Purpose::Care, 30));
+        assert!(!p.permits("insurer", &coll, Action::Read, Purpose::Care, 120));
+    }
+
+    #[test]
+    fn deny_rules_are_not_retention_scoped() {
+        // Regression: a deny carrying `max_age_days` used to cease
+        // matching once the data aged past the bound, so the standing
+        // allow below would win and old data leaked to the insurer.
+        let mut p = PolicySet::new();
+        p.add(Rule::allow(
+            "insurer",
+            Collection::Table("BANK".into()),
+            Action::Read,
+            Some(Purpose::Care),
+        ));
+        p.add(Rule {
+            subject: SubjectPattern::Exact("insurer".into()),
+            collection: Collection::Table("BANK".into()),
+            action: Action::Read,
+            purpose: Some(Purpose::Care),
+            policy: Policy::Deny,
+            max_age_days: Some(90),
+        });
+        let coll = Collection::Table("BANK".into());
+        assert!(!p.permits("insurer", &coll, Action::Read, Purpose::Care, 30));
+        // The deny still dominates for data older than its bound.
         assert!(!p.permits("insurer", &coll, Action::Read, Purpose::Care, 120));
     }
 

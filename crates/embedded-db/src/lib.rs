@@ -61,10 +61,10 @@ pub use climbing::{SchemaTree, TjoinIndex, TselectIndex};
 pub use error::DbError;
 pub use kv::KvStore;
 pub use pbfilter::PBFilter;
-pub use query::{Database, Predicate, QueryPlan};
+pub use query::{Database, DatabaseManifest, Predicate, QueryPlan};
 pub use sort::external_sort;
 pub use spatial::SpatialTrace;
-pub use table::{RowId, Table};
+pub use table::{RowId, Table, TableManifest};
 pub use timeseries::TimeSeries;
 pub use tree::TreeIndex;
 pub use value::{Row, Schema, Value};

@@ -122,6 +122,15 @@ impl PBFilter {
         self.summaries.flush()
     }
 
+    /// Erase blocks of both logs — what crash recovery frees before
+    /// rebuilding the index from its base table (a PBFilter is derived
+    /// state; its RAM-buffered tail makes page-level recovery moot).
+    pub fn blocks(&self) -> Vec<pds_flash::BlockId> {
+        let mut blocks = self.keys.blocks().to_vec();
+        blocks.extend_from_slice(self.summaries.blocks());
+        blocks
+    }
+
     /// All rowids whose key equals `key`, in ascending rowid order.
     pub fn lookup(&self, key: &[u8]) -> Result<Vec<RowId>, FlashError> {
         let mut hits = Vec::new();

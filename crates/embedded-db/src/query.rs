@@ -9,15 +9,31 @@
 
 use std::collections::HashMap;
 
-use pds_flash::Flash;
+use pds_flash::{BlockId, Flash};
 use pds_mcu::RamBudget;
 
 use crate::error::DbError;
 use crate::pbfilter::PBFilter;
 use crate::reorg;
-use crate::table::{RowId, Table};
+use crate::table::{RowId, Table, TableManifest};
 use crate::tree::TreeIndex;
 use crate::value::{Row, Schema, Value};
+
+/// Durable identity of a [`Database`] across a power cycle: the manifest
+/// of every table plus the erase blocks of every selection index. A real
+/// token persists this in a catalog log; the simulation carries it across
+/// the reboot in RAM.
+///
+/// Indexes are *derived* state (rebuildable from the tables by
+/// `create_index`/`reorganize_index`), so only their blocks are recorded —
+/// recovery frees them and comes back index-less.
+#[derive(Debug, Clone)]
+pub struct DatabaseManifest {
+    /// Per-table manifests, in creation order.
+    pub tables: Vec<TableManifest>,
+    /// Blocks of every PBFilter and tree index, freed on recovery.
+    pub index_blocks: Vec<BlockId>,
+}
 
 /// A selection predicate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,6 +177,66 @@ impl Database {
     /// All tables (for schema-tree construction).
     pub fn tables(&self) -> Vec<&Table> {
         self.tables.iter().collect()
+    }
+
+    /// Flush every table's buffered rows to flash.
+    pub fn flush(&mut self) -> Result<(), DbError> {
+        for t in &mut self.tables {
+            t.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The database's durable identity, for [`recover`](Self::recover)
+    /// after a power loss.
+    pub fn manifest(&self) -> DatabaseManifest {
+        let mut index_blocks = Vec::new();
+        for idx in self.indexes.values() {
+            match idx {
+                ColumnIndex::PBFilter(pbf) => index_blocks.extend(pbf.blocks()),
+                ColumnIndex::Tree(tree) => index_blocks.extend(tree.blocks()),
+            }
+        }
+        DatabaseManifest {
+            tables: self.tables.iter().map(Table::manifest).collect(),
+            index_blocks,
+        }
+    }
+
+    /// Rebuild a database after a power loss: every table recovers its
+    /// durable row prefix; every selection index is dropped (its blocks
+    /// return to the pool) and must be re-created from the recovered
+    /// tables. Returns the database and per-table `(name, rows_lost)`.
+    pub fn recover(
+        flash: &Flash,
+        ram: &RamBudget,
+        m: &DatabaseManifest,
+    ) -> Result<(Self, Vec<(String, u32)>), DbError> {
+        let mut tables = Vec::new();
+        let mut by_name = HashMap::new();
+        let mut losses = Vec::new();
+        for tm in &m.tables {
+            let (table, lost) = Table::recover(flash, tm)?;
+            by_name.insert(tm.name.clone(), tables.len());
+            tables.push(table);
+            losses.push((tm.name.clone(), lost));
+        }
+        // Claim first so a block the reboot scan classified as free is
+        // not double-inserted into the pool.
+        for b in &m.index_blocks {
+            let _ = flash.claim_block(*b);
+            flash.free_block(*b);
+        }
+        Ok((
+            Database {
+                flash: flash.clone(),
+                ram: ram.clone(),
+                tables,
+                by_name,
+                indexes: HashMap::new(),
+            },
+            losses,
+        ))
     }
 
     /// Insert a row, maintaining every index of the table.
@@ -429,6 +505,43 @@ mod tests {
             .select("CUSTOMER", &Predicate::eq("id", Value::U64(99)))
             .unwrap();
         assert_eq!(eq.len(), 1);
+    }
+
+    #[test]
+    fn recover_restores_tables_and_drops_indexes() {
+        let mut db = db_with_customers(300);
+        db.create_index("CUSTOMER", "city").unwrap();
+        db.reorganize_index("CUSTOMER", "id").unwrap_err(); // no PBFilter on id
+        db.create_index("CUSTOMER", "id").unwrap();
+        db.reorganize_index("CUSTOMER", "id").unwrap();
+        db.flush().unwrap();
+        let pred = Predicate::eq("city", Value::str("Lyon"));
+        let before = db.select("CUSTOMER", &pred).unwrap();
+        let manifest = db.manifest();
+
+        let rebooted = db.flash.reboot();
+        let free_after_reboot = rebooted.free_blocks();
+        let ram = RamBudget::new(64 * 1024);
+        let (mut rec, losses) = Database::recover(&rebooted, &ram, &manifest).unwrap();
+        assert_eq!(losses, vec![("CUSTOMER".to_string(), 0)]);
+        // Indexes are gone (their programmed blocks, orphaned by the
+        // reboot scan, are back in the pool) but the planner ladder
+        // climbs again from a scan.
+        assert_eq!(rec.explain("CUSTOMER", &pred).unwrap(), QueryPlan::FullScan);
+        assert_eq!(rec.select("CUSTOMER", &pred).unwrap(), before);
+        assert_eq!(
+            rec.flash().free_blocks(),
+            free_after_reboot + manifest.index_blocks.len()
+        );
+        rec.create_index("CUSTOMER", "city").unwrap();
+        assert_eq!(rec.select("CUSTOMER", &pred).unwrap(), before);
+        // And the recovered table keeps accepting rows.
+        rec.insert(
+            "CUSTOMER",
+            vec![Value::U64(300), Value::str("Lyon"), Value::str("AUTO")],
+        )
+        .unwrap();
+        assert_eq!(rec.table("CUSTOMER").unwrap().num_rows(), 301);
     }
 
     #[test]

@@ -6,9 +6,25 @@
 //! dense and increasing — the property every climbing index and pipeline
 //! merge of this crate relies on.
 
-use pds_flash::{Flash, FlashError, LogWriter, RecordAddr};
+use pds_flash::{BlockId, Flash, FlashError, LogWriter, RecordAddr};
 
 use crate::value::{decode_row, encode_row, Row, Schema};
+
+/// Durable identity of a [`Table`] across a power cycle: name, schema,
+/// the row log's erase blocks, and the rowid directory. A real token
+/// persists this in a catalog log; the simulation carries it across the
+/// reboot in RAM.
+#[derive(Debug, Clone)]
+pub struct TableManifest {
+    /// Table name.
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Erase blocks of the row log.
+    pub blocks: Vec<BlockId>,
+    /// rowid → record address.
+    pub directory: Vec<RecordAddr>,
+}
 
 /// Dense row identifier within one table.
 pub type RowId = u32;
@@ -81,6 +97,45 @@ impl Table {
     /// Flush buffered rows to flash.
     pub fn flush(&mut self) -> Result<(), FlashError> {
         self.log.flush()
+    }
+
+    /// The table's durable identity, for [`recover`](Self::recover)
+    /// after a power loss.
+    pub fn manifest(&self) -> TableManifest {
+        TableManifest {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            blocks: self.log.blocks().to_vec(),
+            directory: self.directory.clone(),
+        }
+    }
+
+    /// Rebuild a table after a power loss. Rows are appended in rowid
+    /// order, so whatever the crash destroyed is a *suffix*: the
+    /// directory is truncated at the first row whose record lies beyond
+    /// the recovered pages. Returns the table and the number of rows
+    /// lost.
+    pub fn recover(flash: &Flash, m: &TableManifest) -> Result<(Self, u32), FlashError> {
+        let (log, report) = LogWriter::recover(flash, &m.blocks)?;
+        let keep = m
+            .directory
+            .iter()
+            .take_while(|a| {
+                (a.page as usize) < report.slots_per_page.len()
+                    && a.slot < report.slots_per_page[a.page as usize]
+            })
+            .count();
+        let lost = (m.directory.len() - keep) as u32;
+        pds_obs::counter("recovery.rows_lost").add(lost as u64);
+        Ok((
+            Table {
+                name: m.name.clone(),
+                schema: m.schema.clone(),
+                log,
+                directory: m.directory[..keep].to_vec(),
+            },
+            lost,
+        ))
     }
 
     /// Full sequential scan (page-buffered): calls `f(rowid, row)` for

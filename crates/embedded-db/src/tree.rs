@@ -205,6 +205,12 @@ impl TreeIndex {
         self.log.num_pages()
     }
 
+    /// Erase blocks of the index log — what crash recovery frees before
+    /// rebuilding from the base table (the tree is derived state).
+    pub fn blocks(&self) -> Vec<pds_flash::BlockId> {
+        self.log.blocks().to_vec()
+    }
+
     /// All rowids with key exactly `key`, ascending.
     pub fn lookup(&self, key: &[u8]) -> Result<Vec<RowId>, DbError> {
         if self.num_leaves == 0 {

@@ -38,6 +38,18 @@ impl BlockAllocator {
         self.total - self.free.len()
     }
 
+    /// An allocator over `total` blocks of which only `free` are
+    /// available — the reboot constructor: after a power loss the free
+    /// list is re-derived by scanning the chip (erased blocks are free,
+    /// programmed ones belong to whichever structure recovers them).
+    pub fn with_free(total: usize, free: Vec<BlockId>) -> Self {
+        debug_assert!(free.iter().all(|b| (b.0 as usize) < total));
+        BlockAllocator {
+            free: free.into(),
+            total,
+        }
+    }
+
     /// Take one block from the pool.
     pub fn alloc(&mut self) -> Result<BlockId> {
         self.free.pop_front().ok_or(FlashError::OutOfBlocks)
@@ -48,6 +60,33 @@ impl BlockAllocator {
     pub fn free(&mut self, bid: BlockId) {
         debug_assert!(!self.free.contains(&bid), "double free of block {}", bid.0);
         self.free.push_back(bid);
+    }
+
+    /// Take a *specific* block out of the free list. Returns false if it
+    /// was not free. Recovery uses this to re-adopt a log's tail block
+    /// that the reboot scan classified as erased (its next pages were
+    /// never programmed) and therefore free.
+    pub fn claim(&mut self, bid: BlockId) -> bool {
+        match self.free.iter().position(|b| *b == bid) {
+            Some(i) => {
+                self.free.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Permanently remove a block from circulation (stuck block whose
+    /// erase fails). The block must currently be allocated — the caller
+    /// just failed to erase it.
+    pub fn retire(&mut self) {
+        debug_assert!(self.total > 0);
+        self.total -= 1;
+    }
+
+    /// Number of blocks still in circulation (total minus retired).
+    pub fn capacity(&self) -> usize {
+        self.total
     }
 }
 

@@ -38,8 +38,20 @@ pub enum FlashError {
     RecordTooLarge { len: usize, max: usize },
     /// A log reader met a corrupt page layout (bad slot count / lengths).
     CorruptPage(PageAddr),
+    /// A log reader met a fully-erased page (all 0xFF, never programmed).
+    /// Distinct from corruption: during a recovery scan an erased page
+    /// marks the clean tail of the log, while a corrupt one marks a torn
+    /// write to discard.
+    ErasedPage(PageAddr),
     /// Record address pointing outside the log or at a missing slot.
     BadRecordAddr,
+    /// Power was lost mid-operation (injected by a [`crate::FaultPlan`]).
+    /// The chip is offline: every subsequent primitive fails with this
+    /// error until the host "reboots" via [`crate::Flash::reboot`].
+    PowerLoss,
+    /// The block's erase no longer completes (worn out / stuck cells).
+    /// The allocator retires such blocks from the pool.
+    StuckBlock(BlockId),
 }
 
 impl fmt::Display for FlashError {
@@ -69,7 +81,10 @@ impl fmt::Display for FlashError {
                 )
             }
             FlashError::CorruptPage(a) => write!(f, "corrupt page layout at {}", a.0),
+            FlashError::ErasedPage(a) => write!(f, "page {} is erased (log tail)", a.0),
             FlashError::BadRecordAddr => write!(f, "record address outside log"),
+            FlashError::PowerLoss => write!(f, "power lost: chip offline until reboot"),
+            FlashError::StuckBlock(b) => write!(f, "block {} is stuck (erase failed)", b.0),
         }
     }
 }

@@ -33,6 +33,7 @@
 pub mod alloc;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod log;
 pub mod nand;
@@ -42,9 +43,10 @@ pub mod stats;
 pub use alloc::BlockAllocator;
 pub use cost::CostModel;
 pub use error::{FlashError, Result};
+pub use fault::{FaultPlan, ProgramFault};
 pub use geometry::{BlockId, FlashGeometry, PageAddr};
-pub use log::{Log, LogReader, LogWriter, RecordAddr};
-pub use nand::NandFlash;
+pub use log::{Log, LogReader, LogWriter, RecordAddr, RecoveryReport};
+pub use nand::{ChipSnapshot, NandFlash};
 pub use stats::IoStats;
 
 use std::cell::RefCell;
@@ -124,14 +126,28 @@ impl Flash {
     }
 
     /// Allocate one erased block, erasing it lazily if it was reclaimed.
+    ///
+    /// A reclaimed block whose erase fails ([`FlashError::StuckBlock`],
+    /// worn-out cells) is *retired* — dropped from circulation, counted
+    /// under `flash.blocks_retired` — and the next free block is tried:
+    /// one bad block must not brick the token.
     pub fn alloc_block(&self) -> Result<BlockId> {
         let mut inner = self.inner.borrow_mut();
         let FlashInner { nand, alloc } = &mut *inner;
-        let bid = alloc.alloc()?;
-        if !nand.block_is_erased(bid) {
-            nand.erase_block(bid)?;
+        loop {
+            let bid = alloc.alloc()?;
+            if nand.block_is_erased(bid) {
+                return Ok(bid);
+            }
+            match nand.erase_block(bid) {
+                Ok(()) => return Ok(bid),
+                Err(FlashError::StuckBlock(_)) => {
+                    alloc.retire();
+                    pds_obs::counter("flash.blocks_retired").inc();
+                }
+                Err(e) => return Err(e),
+            }
         }
-        Ok(bid)
     }
 
     /// Return a block to the free pool. The content becomes garbage; it is
@@ -159,6 +175,54 @@ impl Flash {
     /// Open a fresh append-only log on this chip.
     pub fn new_log(&self) -> LogWriter {
         LogWriter::new(self.clone())
+    }
+
+    // ---- faults and reboot ----------------------------------------------
+
+    /// Install a scripted [`FaultPlan`] on the chip.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().nand.inject_faults(plan);
+    }
+
+    /// True unless an injected power loss took the chip offline.
+    pub fn is_powered(&self) -> bool {
+        self.inner.borrow().nand.is_powered()
+    }
+
+    /// Capture the persistent chip content (survives power loss).
+    pub fn snapshot(&self) -> ChipSnapshot {
+        self.inner.borrow().nand.snapshot()
+    }
+
+    /// Boot a fresh handle from persistent content: the chip state is
+    /// rebuilt by scanning the cells and the allocator's free list is
+    /// re-derived as "fully erased ⇒ free". Non-erased blocks start out
+    /// allocated-to-nobody; each recovered structure re-adopts its own
+    /// via [`LogWriter::recover`], which also frees what it truncates.
+    pub fn reopen(snap: ChipSnapshot) -> Flash {
+        let geo = snap.geometry();
+        let free: Vec<BlockId> = (0..geo.num_blocks() as u32)
+            .map(BlockId)
+            .filter(|b| snap.block_is_erased(*b))
+            .collect();
+        let nand = NandFlash::reopen(snap);
+        let alloc = BlockAllocator::with_free(geo.num_blocks(), free);
+        Flash {
+            inner: Rc::new(RefCell::new(FlashInner { nand, alloc })),
+        }
+    }
+
+    /// Simulate a full power cycle: snapshot the cells and boot a new
+    /// handle from them. The old handle keeps pointing at the dead chip.
+    pub fn reboot(&self) -> Flash {
+        Flash::reopen(self.snapshot())
+    }
+
+    /// Take a specific block out of the free list (recovery re-adopting
+    /// a tail block the reboot scan saw as erased). Returns false if the
+    /// block was not free.
+    pub fn claim_block(&self, bid: BlockId) -> bool {
+        self.inner.borrow_mut().alloc.claim(bid)
     }
 }
 

@@ -102,6 +102,20 @@ impl Token {
     pub fn compromise(&mut self) {
         self.tamper = TamperState::Broken;
     }
+
+    /// Simulate a power cycle: same identity, same silicon, but the flash
+    /// controller rebuilds its state by cell scan ([`Flash::reboot`]) and
+    /// the RAM budget starts empty — everything RAM-resident died with
+    /// the power. Tamper state is physical and survives.
+    pub fn reopen(&self) -> Token {
+        Token {
+            id: self.id,
+            profile: self.profile,
+            flash: self.flash.reboot(),
+            ram: RamBudget::new(self.profile.ram_bytes),
+            tamper: self.tamper,
+        }
+    }
 }
 
 #[cfg(test)]

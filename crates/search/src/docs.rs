@@ -7,7 +7,7 @@
 //! from a directory log; the I/O accounting here charges the data pages,
 //! which dominate).
 
-use pds_flash::{Flash, FlashError, LogWriter, RecordAddr};
+use pds_flash::{BlockId, Flash, FlashError, LogWriter, RecordAddr};
 
 use crate::triple::DocId;
 
@@ -70,6 +70,51 @@ impl DocStore {
     /// Durably flush pending chunks.
     pub fn flush(&mut self) -> Result<(), FlashError> {
         self.log.flush()
+    }
+
+    /// The store's erase blocks — half of its durable identity (see
+    /// [`recover`](Self::recover)).
+    pub fn blocks(&self) -> Vec<BlockId> {
+        self.log.blocks().to_vec()
+    }
+
+    /// The chunk directory — the other half of the durable identity.
+    pub fn directory(&self) -> &[Vec<RecordAddr>] {
+        &self.directory
+    }
+
+    /// Rebuild a store after a power loss from its durable identity
+    /// (block list + chunk directory; a real token persists both in a
+    /// catalog log — the simulation carries them across the reboot in
+    /// RAM). Returns the store and the number of documents lost.
+    ///
+    /// Docids are dense and chunks are appended in docid order, so
+    /// whatever the crash destroyed is a *suffix*: the directory is
+    /// truncated at the first document with a chunk beyond the recovered
+    /// pages, and every earlier document is intact.
+    pub fn recover(
+        flash: &Flash,
+        blocks: &[BlockId],
+        directory: &[Vec<RecordAddr>],
+    ) -> Result<(Self, u32), FlashError> {
+        let (log, report) = LogWriter::recover(flash, blocks)?;
+        let chunk_ok = |a: &RecordAddr| {
+            (a.page as usize) < report.slots_per_page.len()
+                && a.slot < report.slots_per_page[a.page as usize]
+        };
+        let keep = directory
+            .iter()
+            .take_while(|addrs| addrs.iter().all(chunk_ok))
+            .count();
+        let lost = (directory.len() - keep) as u32;
+        pds_obs::counter("recovery.docs_lost").add(lost as u64);
+        Ok((
+            DocStore {
+                log,
+                directory: directory[..keep].to_vec(),
+            },
+            lost,
+        ))
     }
 }
 

@@ -23,6 +23,11 @@ pub enum SearchError {
     Flash(FlashError),
     /// The MCU RAM budget cannot accommodate the operation.
     Ram(RamError),
+    /// An internal index invariant does not hold (empty bucket table,
+    /// cursor consumed past its end). Surfaced as an error instead of a
+    /// panic: on an unattended token a corrupt index must degrade into a
+    /// failed query, never a crash.
+    CorruptIndex(&'static str),
 }
 
 impl From<FlashError> for SearchError {
@@ -42,6 +47,7 @@ impl std::fmt::Display for SearchError {
         match self {
             SearchError::Flash(e) => write!(f, "flash: {e}"),
             SearchError::Ram(e) => write!(f, "ram: {e}"),
+            SearchError::CorruptIndex(what) => write!(f, "corrupt index: {what}"),
         }
     }
 }
@@ -213,8 +219,17 @@ impl SearchEngine {
         if doc >= self.num_docs() || self.deleted.contains(&doc) {
             return Ok(());
         }
-        self.deleted_reservation.grow(4)?;
         self.tombstones.append(&doc.to_le_bytes())?;
+        self.note_deleted(doc)
+    }
+
+    /// Register `doc` as deleted in RAM state (deleted set + exact df
+    /// dictionary) without touching the tombstone log — shared by
+    /// [`delete_document`](Self::delete_document) (which appends the
+    /// tombstone first) and crash recovery (which replays tombstones
+    /// already on flash).
+    fn note_deleted(&mut self, doc: DocId) -> Result<(), SearchError> {
+        self.deleted_reservation.grow(4)?;
         if self.df_strategy == DfStrategy::RamDictionary {
             // Keep the exact dictionary exact: decrement df for the
             // document's distinct terms.
@@ -240,6 +255,15 @@ impl SearchEngine {
     /// Index one document; returns its docid.
     pub fn index_document(&mut self, text: &str) -> Result<DocId, SearchError> {
         let doc = self.docs.append(text.as_bytes())?;
+        self.index_text(doc, text)?;
+        Ok(doc)
+    }
+
+    /// Build index triples for an already-stored document — the indexing
+    /// half of [`index_document`](Self::index_document), reused by crash
+    /// recovery to re-derive the inverted index from recovered documents
+    /// without re-appending their content.
+    fn index_text(&mut self, doc: DocId, text: &str) -> Result<(), SearchError> {
         // Per-document term-frequency aggregation: transient RAM
         // proportional to the document's distinct terms.
         let tokens = tokenize(text);
@@ -275,7 +299,7 @@ impl SearchEngine {
                 self.flush_largest_bucket()?;
             }
         }
-        Ok(doc)
+        Ok(())
     }
 
     /// Flush the bucket with the most pending triples to flash.
@@ -285,7 +309,7 @@ impl SearchEngine {
             .iter()
             .enumerate()
             .max_by_key(|(_, v)| v.len())
-            .expect("at least one bucket");
+            .ok_or(SearchError::CorruptIndex("no buckets to flush"))?;
         self.flush_bucket(b)
     }
 
@@ -310,6 +334,9 @@ impl SearchEngine {
             self.flush_bucket(b)?;
         }
         self.docs.flush()?;
+        // Tombstones too — a deletion the user was told about must not
+        // evaporate in a crash.
+        self.tombstones.flush()?;
         Ok(())
     }
 
@@ -510,6 +537,113 @@ impl SearchEngine {
         self.heads = new_heads;
         Ok(())
     }
+
+    /// The engine's durable identity, to be persisted by the layer above
+    /// (a real token keeps it in a catalog log) and handed to
+    /// [`recover`](Self::recover) after a power loss.
+    pub fn manifest(&self) -> EngineManifest {
+        EngineManifest {
+            doc_blocks: self.docs.blocks(),
+            doc_directory: self.docs.directory().to_vec(),
+            tombstone_blocks: self.tombstones.blocks().to_vec(),
+            index_blocks: self.index.blocks().to_vec(),
+            num_buckets: self.num_buckets,
+            buffer_triples: self.pending_cap,
+            df_strategy: self.df_strategy,
+        }
+    }
+
+    /// Rebuild an engine after a power loss.
+    ///
+    /// The document store and the tombstone log are record logs and
+    /// recover via [`LogWriter::recover`] — every document durably on
+    /// flash before the cut comes back. The inverted index is *derived*
+    /// state: its bucket heads lived in controller RAM and died with the
+    /// power, and its chain pages are raw (no record framing), so the old
+    /// index blocks are returned to the pool and the index is re-derived
+    /// by replaying every recovered document through the indexing path.
+    /// Tombstones are re-applied last, so deletions survive the crash.
+    pub fn recover(
+        flash: &Flash,
+        ram: &RamBudget,
+        m: &EngineManifest,
+    ) -> Result<(SearchEngine, EngineRecovery), SearchError> {
+        let (docs, docs_lost) = DocStore::recover(flash, &m.doc_blocks, &m.doc_directory)?;
+        let (tombstones, _) = LogWriter::recover(flash, &m.tombstone_blocks)?;
+        let mut tombstoned: Vec<DocId> = Vec::new();
+        for page in 0..tombstones.num_pages() {
+            for rec in tombstones.read_page_records(page)? {
+                if let Ok(b) = <[u8; 4]>::try_from(rec.as_slice()) {
+                    tombstoned.push(DocId::from_le_bytes(b));
+                }
+            }
+        }
+        // Drop the stale index blocks (claim first so a block the reboot
+        // scan classified as free is not double-inserted).
+        for b in &m.index_blocks {
+            let _ = flash.claim_block(*b);
+            flash.free_block(*b);
+        }
+        let mut engine =
+            SearchEngine::new(flash, ram, m.num_buckets, m.buffer_triples, m.df_strategy)?;
+        engine.docs = docs;
+        engine.tombstones = tombstones;
+        for doc in 0..engine.docs.len() as DocId {
+            let text = String::from_utf8_lossy(&engine.docs.get(doc)?).into_owned();
+            engine.index_text(doc, &text)?;
+        }
+        let mut tombstones_applied = 0u64;
+        for doc in tombstoned {
+            // Tombstones for documents the crash destroyed are moot, and
+            // duplicates (recovery after recovery) apply once.
+            if (doc as usize) < engine.docs.len() && !engine.deleted.contains(&doc) {
+                engine.note_deleted(doc)?;
+                tombstones_applied += 1;
+            }
+        }
+        let report = EngineRecovery {
+            docs_recovered: engine.docs.len() as u32,
+            docs_lost,
+            tombstones_applied,
+            index_blocks_dropped: m.index_blocks.len(),
+        };
+        Ok((engine, report))
+    }
+}
+
+/// Durable identity of a [`SearchEngine`] across a power cycle: block
+/// lists of its three logs, the chunk directory, and the sizing knobs.
+/// A real token persists this in a catalog log; the simulation carries it
+/// across the reboot in RAM.
+#[derive(Debug, Clone)]
+pub struct EngineManifest {
+    /// Blocks of the document log.
+    pub doc_blocks: Vec<pds_flash::BlockId>,
+    /// docid → chunk addresses.
+    pub doc_directory: Vec<Vec<pds_flash::RecordAddr>>,
+    /// Blocks of the tombstone log.
+    pub tombstone_blocks: Vec<pds_flash::BlockId>,
+    /// Blocks of the (derived, rebuilt-on-recovery) index log.
+    pub index_blocks: Vec<pds_flash::BlockId>,
+    /// Hash bucket count.
+    pub num_buckets: usize,
+    /// RAM insertion-buffer capacity in triples.
+    pub buffer_triples: usize,
+    /// df strategy.
+    pub df_strategy: DfStrategy,
+}
+
+/// What [`SearchEngine::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineRecovery {
+    /// Documents intact after the crash.
+    pub docs_recovered: u32,
+    /// Documents lost to the crash (suffix of the docid space).
+    pub docs_lost: u32,
+    /// Tombstones re-applied from the recovered tombstone log.
+    pub tombstones_applied: u64,
+    /// Stale index blocks returned to the pool before the rebuild.
+    pub index_blocks_dropped: usize,
 }
 
 /// Backward cursor over one term's bucket chain, holding exactly one
@@ -568,7 +702,10 @@ impl<'a> ChainCursor<'a> {
 
     /// Consume the current triple, returning `(tf, idf)`.
     fn take(&mut self) -> Result<(u16, f64), SearchError> {
-        let (_, tf) = self.current.pop().expect("take() on exhausted cursor");
+        let (_, tf) = self
+            .current
+            .pop()
+            .ok_or(SearchError::CorruptIndex("take() on exhausted cursor"))?;
         self.refill()?;
         Ok((tf, self.idf))
     }
@@ -853,6 +990,40 @@ mod tests {
                 expected.iter().map(|h| h.doc).collect::<Vec<_>>(),
                 "query {query:?}"
             );
+        }
+    }
+
+    #[test]
+    fn recover_rebuilds_index_and_reapplies_tombstones() {
+        let (flash, ram, mut e) = setup(DfStrategy::TwoPass);
+        for text in CORPUS {
+            e.index_document(text).unwrap();
+        }
+        e.delete_document(1).unwrap();
+        e.flush().unwrap();
+        let manifest = e.manifest();
+        let before = e.search(&["blood"], 10).unwrap();
+        drop(e);
+
+        let rebooted = flash.reboot();
+        let ram2 = RamBudget::new(ram.capacity());
+        let (recovered, report) = SearchEngine::recover(&rebooted, &ram2, &manifest).unwrap();
+        assert_eq!(report.docs_recovered as usize, CORPUS.len());
+        assert_eq!(report.docs_lost, 0);
+        assert_eq!(report.tombstones_applied, 1);
+        assert_eq!(recovered.num_deleted(), 1);
+        let after = recovered.search(&["blood"], 10).unwrap();
+        assert_eq!(
+            after.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            before.iter().map(|h| h.doc).collect::<Vec<_>>(),
+        );
+        // Document bytes survived verbatim (doc 1 is tombstoned).
+        for (i, text) in CORPUS.iter().enumerate() {
+            if i == 1 {
+                assert!(recovered.get_document(1).is_err());
+            } else {
+                assert_eq!(recovered.get_document(i as DocId).unwrap(), text.as_bytes());
+            }
         }
     }
 

@@ -34,7 +34,9 @@ pub mod tokenize;
 pub mod triple;
 
 pub use docs::DocStore;
-pub use engine::{DfStrategy, SearchEngine, SearchError, SearchHit, SearchMode};
+pub use engine::{
+    DfStrategy, EngineManifest, EngineRecovery, SearchEngine, SearchError, SearchHit, SearchMode,
+};
 pub use oracle::NaiveSearch;
 pub use tokenize::tokenize;
 pub use triple::{DocId, Triple};

@@ -8,3 +8,6 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+# Widened seeded crash-recovery sweep: a fixed, larger seed set than the
+# default 48 so every gate run exercises the fault paths broadly.
+PDS_CRASH_SEEDS=256 cargo test -p pds-flash -q seeded_crash_recovery_sweep
