@@ -17,28 +17,21 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("secure_agg_n100", |b| {
         b.iter(|| {
-            let mut ssi = Ssi::honest(1);
-            secure_aggregation(&mut pop, &q, &mut ssi, 32, OnTamper::Abort, &mut rng).unwrap()
+            let ssi = Ssi::honest(1);
+            secure_aggregation(&mut pop, &q, &ssi, 32, OnTamper::Abort, &mut rng).unwrap()
         })
     });
     g.bench_function("noise_complementary_n100", |b| {
         b.iter(|| {
-            let mut ssi = Ssi::honest(2);
-            noise_based(
-                &mut pop,
-                &q,
-                &mut ssi,
-                NoiseStrategy::Complementary,
-                &mut rng,
-            )
-            .unwrap()
+            let ssi = Ssi::honest(2);
+            noise_based(&mut pop, &q, &ssi, NoiseStrategy::Complementary, &mut rng).unwrap()
         })
     });
     let map = BucketMap::equi_width(&q.domain, 3);
     g.bench_function("histogram3_n100", |b| {
         b.iter(|| {
-            let mut ssi = Ssi::honest(3);
-            histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap()
+            let ssi = Ssi::honest(3);
+            histogram_based(&mut pop, &q, &ssi, &map, &mut rng).unwrap()
         })
     });
     g.finish();

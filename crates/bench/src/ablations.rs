@@ -78,10 +78,9 @@ pub fn a2_partition_size() -> Table {
     let mut pop = Population::synthetic(300, &q.domain, &mut rng).unwrap();
     let truth = pds_global::plaintext_groupby(&mut pop, &q).unwrap();
     for partition in [4usize, 16, 64, 256] {
-        let mut ssi = Ssi::honest(partition as u64);
+        let ssi = Ssi::honest(partition as u64);
         let (r, stats) =
-            secure_aggregation(&mut pop, &q, &mut ssi, partition, OnTamper::Abort, &mut rng)
-                .unwrap();
+            secure_aggregation(&mut pop, &q, &ssi, partition, OnTamper::Abort, &mut rng).unwrap();
         t.row(vec![
             partition.to_string(),
             stats.rounds.to_string(),

@@ -28,6 +28,7 @@ fn main() {
         ("e11", e11_sync::run),
         ("e12", e12_folkis::run),
         ("e13", e13_recovery::run),
+        ("e14", e14_fleet::run),
         ("a1", ablations::a1_bloom_budget),
         ("a2", ablations::a2_partition_size),
         ("a3", ablations::a3_codesign),

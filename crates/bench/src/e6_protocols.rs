@@ -36,9 +36,8 @@ pub fn measure(n: usize, seed: u64) -> Vec<E6Point> {
     let truth = plaintext_groupby(&mut pop, &q).unwrap();
     let mut out = Vec::new();
 
-    let mut ssi = Ssi::honest(seed);
-    let (r, stats) =
-        secure_aggregation(&mut pop, &q, &mut ssi, 32, OnTamper::Abort, &mut rng).unwrap();
+    let ssi = Ssi::honest(seed);
+    let (r, stats) = secure_aggregation(&mut pop, &q, &ssi, 32, OnTamper::Abort, &mut rng).unwrap();
     out.push(E6Point {
         protocol: "secure-agg",
         stats,
@@ -52,8 +51,8 @@ pub fn measure(n: usize, seed: u64) -> Vec<E6Point> {
         (NoiseStrategy::Random { fakes_per_token: 4 }, "noise-random"),
         (NoiseStrategy::Complementary, "noise-compl"),
     ] {
-        let mut ssi = Ssi::honest(seed + 1);
-        let (r, stats) = noise_based(&mut pop, &q, &mut ssi, strategy, &mut rng).unwrap();
+        let ssi = Ssi::honest(seed + 1);
+        let (r, stats) = noise_based(&mut pop, &q, &ssi, strategy, &mut rng).unwrap();
         out.push(E6Point {
             protocol: label,
             stats,
@@ -65,8 +64,8 @@ pub fn measure(n: usize, seed: u64) -> Vec<E6Point> {
 
     for buckets in [2u32, 6] {
         let map = BucketMap::equi_width(&q.domain, buckets);
-        let mut ssi = Ssi::honest(seed + 2);
-        let (r, stats) = histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap();
+        let ssi = Ssi::honest(seed + 2);
+        let (r, stats) = histogram_based(&mut pop, &q, &ssi, &map, &mut rng).unwrap();
         out.push(E6Point {
             protocol: if buckets == 2 {
                 "histogram-2"

@@ -10,6 +10,7 @@ pub mod e10_ppdp;
 pub mod e11_sync;
 pub mod e12_folkis;
 pub mod e13_recovery;
+pub mod e14_fleet;
 pub mod e1_pbfilter;
 pub mod e2_reorg;
 pub mod e3_search;

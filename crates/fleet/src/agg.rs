@@ -1,0 +1,587 @@
+//! [TNP14] secure aggregation re-hosted as a phased fleet job.
+//!
+//! The single-threaded reference (`pds_global::secure_agg`) iterates a
+//! `Population` in one loop. Here the same protocol runs the way the
+//! tutorial describes the ecosystem: N tokens sharded over a worker
+//! pool, every token↔SSI exchange carried by the store-and-forward
+//! [`MailboxBus`](crate::bus::MailboxBus), and the run organized as
+//! three phases with barriers between them:
+//!
+//! 1. **Collection** — every token computes its policy-gated
+//!    contributions, encrypts them probabilistically and uploads the
+//!    ciphertexts (one bus message per tuple). The SSI ingests whatever
+//!    arrives through `Ssi::collect_tagged`, keyed by the bus message
+//!    ids, so a weakly-malicious SSI's drop verdicts are per-message
+//!    and thread-count independent.
+//! 2. **Reduction** — the SSI partitions the opaque ciphertext set and
+//!    mails each partition to whichever token the round-robin schedule
+//!    picks ("whichever token happens to connect"); serving tokens
+//!    decrypt, partially aggregate, re-encrypt and mail the partials
+//!    back, shrinking the set geometrically until one partition remains.
+//! 3. **Distribution** — the final token's released result is mailed to
+//!    every token in the fleet.
+//!
+//! Determinism: all randomness is derived by hashing `(seed, domain
+//! tag, index)` — per-token encryption streams, per-partition
+//! re-encryption streams, bus delivery schedule, SSI verdicts. Workers
+//! only ever compute pure per-token functions between barriers and the
+//! driver merges their outputs in token/partition order, so a run's
+//! every observable (result, leakage ledger, bus stats) is identical at
+//! any worker count.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pds_core::Pds;
+use pds_crypto::{Ciphertext, SymmetricKey};
+use pds_global::query::Measure;
+use pds_global::ssi::{Leakage, Ssi, SsiThreat};
+use pds_global::tuple::{ProtocolTuple, TupleKind};
+use pds_global::{GlobalError, GroupByQuery, ProtocolStats};
+use pds_obs::rng::{Rng, SeedableRng, StdRng};
+
+use crate::bus::{mix, Addr, BusConfig, BusStats, MailboxBus};
+use crate::pool::TokenPool;
+pub use pds_global::secure_agg::OnTamper;
+
+const TAG_TOKEN: u64 = 0x464C_5454_4F4B_4E01; // per-token data stream
+const TAG_ENC: u64 = 0x464C_5445_4E43_5202; // per-token encryption stream
+const TAG_REDUCE: u64 = 0x464C_5452_4544_5503; // per-partition re-encryption
+
+/// An RNG stream derived from `(seed, tag, index)` — statistically
+/// independent per index, identical across runs and worker counts.
+pub fn derived_rng(seed: u64, tag: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(mix(seed, tag, index, 0))
+}
+
+/// Shape of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet size.
+    pub tokens: usize,
+    /// Worker threads hosting the token shards.
+    pub workers: usize,
+    /// Master seed: token data, crypto streams, bus schedule, SSI
+    /// verdicts all derive from it.
+    pub seed: u64,
+    /// Tuples one token can absorb per connection (reduction fan-in).
+    pub partition_size: usize,
+    /// Simulated link latency per token connection, in microseconds
+    /// (the cost a worker pays to talk to one weakly-connected token —
+    /// overlapped across workers, which is where fleet speedup comes
+    /// from).
+    pub link_latency_us: u64,
+    /// Safety valve for bus draining (virtual ticks per phase).
+    pub max_bus_ticks: u64,
+    /// Fabric profile.
+    pub bus: BusConfig,
+}
+
+impl FleetConfig {
+    /// A fleet with the default weak-connectivity fabric.
+    pub fn new(tokens: usize, workers: usize, seed: u64) -> Self {
+        FleetConfig {
+            tokens,
+            workers,
+            seed,
+            partition_size: 64,
+            link_latency_us: 0,
+            max_bus_ticks: 1_000_000,
+            bus: BusConfig {
+                seed,
+                ..BusConfig::default()
+            },
+        }
+    }
+
+    /// The shared protocol key of this fleet (issued at manufacture,
+    /// derived here from the seed so every run agrees on it).
+    pub fn protocol_key(&self) -> SymmetricKey {
+        SymmetricKey::from_seed(&self.seed.to_le_bytes())
+    }
+}
+
+/// Build token `i` of the fleet: a slim PDS with 1–3 synthetic bank
+/// records whose categories follow the same skewed draw as
+/// `Population::synthetic`, from a per-token derived stream.
+pub fn build_token(cfg: &FleetConfig, domain: &[String], i: usize) -> Pds {
+    let mut rng = derived_rng(cfg.seed, TAG_TOKEN, i as u64);
+    let mut pds = Pds::slim(i as u64, &format!("user-{i}")).expect("slim token");
+    let records = rng.gen_range(1..=3);
+    for day in 0..records {
+        let a = rng.gen_range(0..domain.len());
+        let b = rng.gen_range(0..domain.len());
+        let cat = &domain[a.min(b)];
+        pds.ingest_bank(day, cat, rng.gen_range(100..10_000), "shop")
+            .expect("synthetic ingest");
+    }
+    pds.enroll(cfg.protocol_key());
+    pds
+}
+
+/// Build the fleet's worker pool (setup cost — excluded from protocol
+/// timing, exactly like manufacturing tokens is excluded from query
+/// latency).
+pub fn build_fleet(cfg: &FleetConfig, query: &GroupByQuery) -> TokenPool<Pds> {
+    let cfg = cfg.clone();
+    let domain = query.domain.clone();
+    TokenPool::build(cfg.tokens, cfg.workers, move |i| {
+        build_token(&cfg, &domain, i)
+    })
+}
+
+/// Everything one fleet aggregation run produced.
+#[derive(Debug, Clone)]
+pub struct FleetAggReport {
+    /// The released `(group, aggregate)` result.
+    pub result: Vec<(String, u64)>,
+    /// Plaintext reference over the same fleet (what a trusted
+    /// centralized server would have computed).
+    pub expected: Vec<(String, u64)>,
+    /// Protocol work/traffic accounting.
+    pub stats: ProtocolStats,
+    /// Bus delivery counters.
+    pub bus: BusStats,
+    /// What the SSI observed.
+    pub leakage: Leakage,
+    /// Tokens that received the final result in the distribution phase.
+    pub result_coverage: usize,
+    /// Wall-clock of the timed protocol phases (collection + reduction
+    /// + distribution; excludes pool construction).
+    pub elapsed: Duration,
+}
+
+impl FleetAggReport {
+    /// Protocol throughput: fleet size over the timed phases.
+    pub fn tokens_per_sec(&self, tokens: usize) -> f64 {
+        tokens as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// One token's collection-phase output: `(ciphertexts, crypto ops)`.
+type CollectOut = Result<(Vec<Vec<u8>>, u64), GlobalError>;
+
+/// Reduction work shipped per serving token: `(partition idx, chunks)`.
+type PartitionWork = HashMap<usize, Vec<(u32, Vec<Vec<u8>>)>>;
+
+fn sleep_link(us: u64) {
+    if us > 0 {
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+/// What a serving token mails back for one partition.
+enum ReduceOut {
+    Final(Vec<(String, u64)>),
+    Partials(Vec<Vec<u8>>),
+}
+
+struct TokenReduce {
+    parts: Vec<(u32, ReduceOut)>,
+    tuples: u64,
+    crypto_ops: u64,
+}
+
+/// `round ‖ partition index ‖ chunk count ‖ chunks` — the work unit the
+/// SSI mails to a serving token.
+fn encode_partition(round: u32, pi: u32, chunks: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&round.to_le_bytes());
+    out.extend_from_slice(&pi.to_le_bytes());
+    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for c in chunks {
+        out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+fn decode_partition(bytes: &[u8]) -> Option<(u32, u32, Vec<Vec<u8>>)> {
+    let round = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?);
+    let pi = u32::from_le_bytes(bytes.get(4..8)?.try_into().ok()?);
+    let n = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+    let mut off = 12;
+    let mut chunks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        chunks.push(bytes.get(off..off + len)?.to_vec());
+        off += len;
+    }
+    Some((round, pi, chunks))
+}
+
+/// Run the [TNP14] secure aggregation protocol over an already-built
+/// fleet. The pool must have been built by [`build_fleet`] with the
+/// same `cfg` and `query`.
+pub fn fleet_secure_aggregation(
+    cfg: &FleetConfig,
+    query: &GroupByQuery,
+    pool: &TokenPool<Pds>,
+    threat: SsiThreat,
+    on_tamper: OnTamper,
+) -> Result<FleetAggReport, GlobalError> {
+    assert!(cfg.partition_size >= 2);
+    assert_eq!(pool.len(), cfg.tokens);
+    let key = cfg.protocol_key();
+    let ssi = Ssi::new(threat, cfg.seed);
+    let mut bus = MailboxBus::new(cfg.bus);
+    let mut stats = ProtocolStats::default();
+
+    // Plaintext reference over the same fleet (untimed; used by tests
+    // and E14 to check exactness).
+    let q = query.clone();
+    let expected: Vec<(String, u64)> = {
+        let per_token = pool.map(move |_, pds| contributions_of(pds, &q));
+        let mut groups: BTreeMap<String, u64> = BTreeMap::new();
+        for r in per_token {
+            for (g, v) in r? {
+                *groups.entry(g).or_insert(0) += v;
+            }
+        }
+        groups.into_iter().collect()
+    };
+
+    let t0 = Instant::now();
+
+    // Phase 1: collection. Each token encrypts its contributions with
+    // its own derived stream; sequence numbers are (token << 24 | k),
+    // unique fleet-wide without any shared counter.
+    let phase0 = Instant::now();
+    let q = query.clone();
+    let latency = cfg.link_latency_us;
+    let enc_key = key.clone();
+    let seed = cfg.seed;
+    let wire: Vec<CollectOut> = pool.map(move |i, pds| {
+        sleep_link(latency);
+        let mut rng = derived_rng(seed, TAG_ENC, i as u64);
+        let mut cts = Vec::new();
+        let mut ops = 0u64;
+        for (k, (g, v)) in contributions_of(pds, &q)?.into_iter().enumerate() {
+            let t = ProtocolTuple::real(&g, v, ((i as u64) << 24) | k as u64);
+            cts.push(enc_key.encrypt_prob(&t.encode(), &mut rng).0);
+            ops += 1;
+        }
+        Ok((cts, ops))
+    });
+    for (i, r) in wire.into_iter().enumerate() {
+        let (cts, ops) = r?;
+        stats.token_crypto_ops += ops;
+        for ct in cts {
+            bus.send(Addr::Token(i), Addr::Ssi, ct);
+        }
+    }
+    bus.run_until_quiet(cfg.max_bus_ticks);
+    let arrived: Vec<(u64, Vec<u8>)> = bus
+        .drain_inbox(Addr::Ssi)
+        .into_iter()
+        .map(|m| (m.id, m.payload))
+        .collect();
+    let mut tuples = ssi.collect_tagged(arrived);
+    stats.ssi_bytes += tuples.iter().map(|t| t.len() as u64).sum::<u64>();
+    pds_obs::histogram("fleet.phase.collect_us").observe(phase0.elapsed().as_micros() as u64);
+
+    // Phase 2: reduction tree, partitions mailed to round-robin serving
+    // tokens. Same convergence guard as the reference implementation:
+    // when a round fails to shrink the set, the SSI doubles the
+    // partition size.
+    let phase0 = Instant::now();
+    let mut partition_size = cfg.partition_size;
+    let mut next_token = 0usize;
+    let mut round = 0u32;
+    let result = 'reduce: loop {
+        let before_round = tuples.len();
+        let parts = ssi.partition(std::mem::take(&mut tuples), partition_size);
+        if parts.is_empty() {
+            break Vec::new(); // population contributed nothing at all
+        }
+        let last_round = parts.len() <= 1;
+        let mut serving: Vec<usize> = Vec::with_capacity(parts.len());
+        for (pi, part) in parts.iter().enumerate() {
+            next_token = (next_token + 1) % cfg.tokens.max(1);
+            serving.push(next_token);
+            stats.rounds += 1;
+            bus.send(
+                Addr::Ssi,
+                Addr::Token(next_token),
+                encode_partition(round, pi as u32, part),
+            );
+        }
+        bus.run_until_quiet(cfg.max_bus_ticks);
+        let mut work: PartitionWork = HashMap::new();
+        for &t in serving.iter().collect::<BTreeSet<_>>() {
+            for m in bus.drain_inbox(Addr::Token(t)) {
+                if let Some((r, pi, chunks)) = decode_partition(&m.payload) {
+                    if r == round {
+                        work.entry(t).or_default().push((pi, chunks));
+                    }
+                }
+            }
+        }
+        let work = Arc::new(work);
+        let red_key = key.clone();
+        let seed = cfg.seed;
+        let this_round = round;
+        let reduced: Vec<Result<TokenReduce, GlobalError>> = pool.map(move |i, _| {
+            let mut out = TokenReduce {
+                parts: Vec::new(),
+                tuples: 0,
+                crypto_ops: 0,
+            };
+            let Some(mine) = work.get(&i) else {
+                return Ok(out);
+            };
+            for (pi, chunks) in mine {
+                sleep_link(latency); // one connection per served partition
+                let mut groups: BTreeMap<String, u64> = BTreeMap::new();
+                for ct in chunks {
+                    out.tuples += 1;
+                    out.crypto_ops += 1;
+                    let Some(plain) = red_key.decrypt(&Ciphertext(ct.clone())) else {
+                        match on_tamper {
+                            OnTamper::Abort => {
+                                return Err(GlobalError::TamperingDetected(
+                                    "unauthentic ciphertext in partition",
+                                ))
+                            }
+                            OnTamper::Skip => continue,
+                        }
+                    };
+                    let t = ProtocolTuple::decode(&plain)
+                        .ok_or(GlobalError::Protocol("undecodable tuple"))?;
+                    if t.kind == TupleKind::Real {
+                        *groups.entry(t.group).or_insert(0) += t.value;
+                    }
+                }
+                if last_round {
+                    out.parts
+                        .push((*pi, ReduceOut::Final(groups.into_iter().collect())));
+                } else {
+                    let mut rng = derived_rng(
+                        seed,
+                        TAG_REDUCE,
+                        (u64::from(this_round) << 32) | u64::from(*pi),
+                    );
+                    let mut partials = Vec::with_capacity(groups.len());
+                    for (k, (g, v)) in groups.into_iter().enumerate() {
+                        let seq = (1u64 << 60)
+                            | (u64::from(this_round) << 40)
+                            | (u64::from(*pi) << 20)
+                            | k as u64;
+                        let t = ProtocolTuple::real(&g, v, seq);
+                        out.crypto_ops += 1;
+                        partials.push(red_key.encrypt_prob(&t.encode(), &mut rng).0);
+                    }
+                    out.parts.push((*pi, ReduceOut::Partials(partials)));
+                }
+            }
+            Ok(out)
+        });
+        // Ordered merge: partial results re-enter the SSI store in
+        // partition order, so the next round's tuple list is identical
+        // at any worker count.
+        let mut merged: Vec<(u32, usize, ReduceOut)> = Vec::new();
+        for (t, r) in reduced.into_iter().enumerate() {
+            let r = r?;
+            stats.token_tuples += r.tuples;
+            stats.token_crypto_ops += r.crypto_ops;
+            for (pi, o) in r.parts {
+                merged.push((pi, t, o));
+            }
+        }
+        merged.sort_by_key(|(pi, _, _)| *pi);
+        for (_, t, o) in merged {
+            match o {
+                ReduceOut::Final(groups) => break 'reduce groups,
+                ReduceOut::Partials(cts) => {
+                    for ct in cts {
+                        stats.ssi_bytes += ct.len() as u64;
+                        bus.send(Addr::Token(t), Addr::Ssi, ct);
+                    }
+                }
+            }
+        }
+        bus.run_until_quiet(cfg.max_bus_ticks);
+        // Reduction partials bypass `collect_tagged` (parity with the
+        // reference implementation: the threat behavior applies to the
+        // collection phase; afterwards the SSI must keep the reduction
+        // moving or be caught by the missing result).
+        tuples = bus
+            .drain_inbox(Addr::Ssi)
+            .into_iter()
+            .map(|m| m.payload)
+            .collect();
+        if tuples.is_empty() && !last_round {
+            break Vec::new();
+        }
+        if tuples.len() >= before_round {
+            partition_size *= 2;
+        }
+        round += 1;
+    };
+    pds_obs::histogram("fleet.phase.reduce_us").observe(phase0.elapsed().as_micros() as u64);
+
+    // Phase 3: result distribution — the released aggregate is mailed
+    // to every token.
+    let phase0 = Instant::now();
+    let result_wire: Vec<u8> = result
+        .iter()
+        .flat_map(|(g, v)| {
+            let mut row = (g.len() as u32).to_le_bytes().to_vec();
+            row.extend_from_slice(g.as_bytes());
+            row.extend_from_slice(&v.to_le_bytes());
+            row
+        })
+        .collect();
+    for i in 0..cfg.tokens {
+        bus.send(Addr::Ssi, Addr::Token(i), result_wire.clone());
+    }
+    bus.run_until_quiet(cfg.max_bus_ticks);
+    let mut got_result: Vec<bool> = Vec::with_capacity(cfg.tokens);
+    for i in 0..cfg.tokens {
+        got_result.push(!bus.drain_inbox(Addr::Token(i)).is_empty());
+    }
+    let got = Arc::new(got_result);
+    let got2 = got.clone();
+    let downloads: Vec<bool> = pool.map(move |i, _| {
+        if got2[i] {
+            sleep_link(latency); // the download connection
+            true
+        } else {
+            false
+        }
+    });
+    let result_coverage = downloads.iter().filter(|b| **b).count();
+    pds_obs::histogram("fleet.phase.distribute_us").observe(phase0.elapsed().as_micros() as u64);
+
+    let elapsed = t0.elapsed();
+    stats.publish("fleet_secure_aggregation");
+    bus.publish();
+    pds_obs::counter("fleet.runs").inc();
+    pds_obs::gauge("fleet.tokens").set(cfg.tokens as u64);
+    pds_obs::gauge("fleet.workers").set(cfg.workers as u64);
+    pds_obs::gauge("fleet.result_coverage").set(result_coverage as u64);
+
+    Ok(FleetAggReport {
+        result,
+        expected,
+        stats,
+        bus: bus.stats(),
+        leakage: ssi.leakage(),
+        result_coverage,
+        elapsed,
+    })
+}
+
+/// One token's policy-gated contributions to `query`.
+fn contributions_of(
+    pds: &mut Pds,
+    query: &GroupByQuery,
+) -> Result<Vec<(String, u64)>, GlobalError> {
+    let ctx = query.context();
+    let groups = match query.measure {
+        Measure::Sum => pds.group_contribution(
+            &ctx,
+            &query.table,
+            &query.group_column,
+            &query.measure_column,
+        )?,
+        Measure::Count => pds.group_count(&ctx, &query.table, &query.group_column)?,
+    };
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(workers: usize) -> (FleetConfig, GroupByQuery) {
+        let mut cfg = FleetConfig::new(24, workers, 42);
+        cfg.partition_size = 8;
+        (cfg, GroupByQuery::bank_by_category())
+    }
+
+    #[test]
+    fn fleet_result_matches_plaintext_reference() {
+        let (cfg, q) = small_cfg(3);
+        let pool = build_fleet(&cfg, &q);
+        let rep = fleet_secure_aggregation(
+            &cfg,
+            &q,
+            &pool,
+            SsiThreat::HonestButCurious,
+            OnTamper::Abort,
+        )
+        .unwrap();
+        assert_eq!(rep.result, rep.expected);
+        assert!(!rep.result.is_empty());
+        assert!(rep.stats.rounds >= 2, "reduction tree has depth");
+        assert_eq!(rep.result_coverage, 24, "everyone got the result");
+        assert_eq!(rep.bus.expired, 0);
+    }
+
+    #[test]
+    fn probabilistic_encryption_leaks_no_equality_classes() {
+        let (cfg, q) = small_cfg(2);
+        let pool = build_fleet(&cfg, &q);
+        let rep = fleet_secure_aggregation(
+            &cfg,
+            &q,
+            &pool,
+            SsiThreat::HonestButCurious,
+            OnTamper::Abort,
+        )
+        .unwrap();
+        assert!(rep.leakage.equality_class_sizes.is_empty());
+        assert!(rep.leakage.tuples_seen > 0);
+    }
+
+    #[test]
+    fn forged_ciphertexts_abort_loudly() {
+        let (cfg, q) = small_cfg(2);
+        let pool = build_fleet(&cfg, &q);
+        let err = fleet_secure_aggregation(
+            &cfg,
+            &q,
+            &pool,
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.0,
+                forge_rate: 0.2,
+            },
+            OnTamper::Abort,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GlobalError::TamperingDetected(_)));
+    }
+
+    #[test]
+    fn covert_drops_shrink_the_unchecked_result() {
+        let mut cfg = FleetConfig::new(48, 2, 7);
+        cfg.partition_size = 8;
+        let q = GroupByQuery::bank_by_category();
+        let pool = build_fleet(&cfg, &q);
+        let rep = fleet_secure_aggregation(
+            &cfg,
+            &q,
+            &pool,
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.5,
+                forge_rate: 0.0,
+            },
+            OnTamper::Skip,
+        )
+        .unwrap();
+        let sum = |r: &[(String, u64)]| r.iter().map(|(_, v)| *v).sum::<u64>();
+        assert!(sum(&rep.result) < sum(&rep.expected));
+    }
+
+    #[test]
+    fn partition_wire_format_round_trips() {
+        let chunks = vec![vec![1u8, 2], vec![], vec![9; 70]];
+        let enc = encode_partition(3, 11, &chunks);
+        assert_eq!(decode_partition(&enc), Some((3, 11, chunks)));
+        assert_eq!(decode_partition(&enc[..enc.len() - 1]), None);
+        assert_eq!(decode_partition(&[]), None);
+    }
+}

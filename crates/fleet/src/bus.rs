@@ -1,0 +1,491 @@
+//! The store-and-forward mailbox bus.
+//!
+//! The tutorial's tokens are "low powered, highly disconnected": they
+//! cannot talk to each other directly, and they cannot even be assumed
+//! reachable at any given moment. The SSI supplies the missing
+//! *availability*: every message travels token → SSI store → token in
+//! two hops, parked in a mailbox until each side happens to be online.
+//!
+//! The bus simulates that fabric in virtual time:
+//!
+//! * **Store-and-forward** — a message is first *uploaded* (needs the
+//!   sender online), then sits in the SSI store, then is *downloaded*
+//!   (needs the receiver online). Messages to or from the SSI itself
+//!   skip the hop the SSI plays no part in.
+//! * **Connectivity model** — token `t` is online at tick `k` with
+//!   probability [`BusConfig::connectivity`], decided by hashing
+//!   `(seed, t, k)`. The SSI is always online ("untrusted but
+//!   available"). Tests can pin a token offline with
+//!   [`MailboxBus::force_offline`].
+//! * **At-least-once delivery** — each transmission attempt can be lost
+//!   ([`BusConfig::loss_rate`]); the bus retries with exponential
+//!   backoff up to [`BusConfig::max_attempts`] per hop, then counts the
+//!   message as expired. A delivered message's acknowledgement can
+//!   itself be lost ([`BusConfig::dup_rate`]), in which case the SSI
+//!   re-delivers and the receiver's **dedup-by-message-id** set absorbs
+//!   the duplicate.
+//! * **Determinism** — every decision (online, loss, ack-loss) is a pure
+//!   hash of `(seed, message id, tick/attempt)`; the bus itself is
+//!   driven single-threaded by the fleet driver, so a run's delivery
+//!   schedule depends only on the seed and the send sequence — never on
+//!   worker-thread interleaving.
+//!
+//! Message ids are `sender code << 24 | per-sender sequence`, globally
+//! unique and stable across runs; the SSI threat model keys its
+//! drop/forge verdicts off these same ids (`Ssi::collect_tagged`).
+
+use std::collections::{BTreeMap, HashSet};
+
+use pds_obs::rng::SplitMix64;
+
+const TAG_ONLINE: u64 = 0x4255_534F_4E4C_4E01; // "BUSONLN"
+const TAG_LOSS: u64 = 0x4255_534C_4F53_5302; // "BUSLOSS"
+const TAG_ACK: u64 = 0x4255_5341_434B_4C03; // "BUSACKL"
+
+/// Mix `(seed, tag, a, b)` into a well-avalanched u64.
+pub(crate) fn mix(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
+    let x = SplitMix64::new(seed ^ tag).next_u64();
+    let y = SplitMix64::new(x ^ a).next_u64();
+    SplitMix64::new(y ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// Map a mixed u64 to the unit interval (canonical 53-bit construction).
+pub(crate) fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A bus endpoint: the SSI store or one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Addr {
+    /// The always-online SSI store.
+    Ssi,
+    /// Token (or trusted cell) number `i`.
+    Token(usize),
+}
+
+impl Addr {
+    /// Stable numeric code (SSI = 0, token i = i + 1), used in message
+    /// ids and connectivity hashes.
+    pub fn code(self) -> u64 {
+        match self {
+            Addr::Ssi => 0,
+            Addr::Token(i) => i as u64 + 1,
+        }
+    }
+}
+
+/// Connectivity / reliability profile of the simulated fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusConfig {
+    /// Seed of every connectivity/loss decision.
+    pub seed: u64,
+    /// Probability a token is online at any given tick.
+    pub connectivity: f64,
+    /// Probability one transmission attempt is lost.
+    pub loss_rate: f64,
+    /// Probability the delivery acknowledgement is lost (forcing a
+    /// re-delivery the receiver must dedup).
+    pub dup_rate: f64,
+    /// First retry backoff, in ticks; doubles per failed attempt.
+    pub backoff_base: u64,
+    /// Backoff ceiling, in ticks.
+    pub backoff_cap: u64,
+    /// Transmission attempts per hop before the message expires.
+    /// Waiting for an offline endpoint does not consume attempts.
+    pub max_attempts: u32,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            seed: 0,
+            connectivity: 0.3,
+            loss_rate: 0.05,
+            dup_rate: 0.02,
+            backoff_base: 1,
+            backoff_cap: 16,
+            max_attempts: 24,
+        }
+    }
+}
+
+impl BusConfig {
+    /// A fully-connected, lossless fabric (unit tests, plaintext refs).
+    pub fn reliable(seed: u64) -> Self {
+        BusConfig {
+            seed,
+            connectivity: 1.0,
+            loss_rate: 0.0,
+            dup_rate: 0.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// One message on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusMsg {
+    /// Globally unique, run-stable id: `sender code << 24 | seq`.
+    pub id: u64,
+    /// Sender endpoint.
+    pub from: Addr,
+    /// Receiver endpoint.
+    pub to: Addr,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// Delivery hop a message is currently waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hop {
+    /// Waiting for the sender to upload to the SSI store.
+    Upload,
+    /// Parked at the SSI store, waiting for the receiver to download.
+    Download,
+    /// Delivered, but the ack was lost: one re-delivery is pending.
+    Redeliver,
+}
+
+#[derive(Debug)]
+struct Flight {
+    msg: BusMsg,
+    hop: Hop,
+    attempts: u32,
+    next_try: u64,
+}
+
+/// Delivery counters of one bus (also mirrored into `fleet.bus.*`
+/// metrics by [`MailboxBus::publish`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Messages accepted from senders.
+    pub sent: u64,
+    /// Messages handed to their receiver (first delivery only).
+    pub delivered: u64,
+    /// Transmission attempts that were lost and rescheduled.
+    pub retries: u64,
+    /// Re-deliveries discarded by the receiver's dedup set.
+    pub duplicates: u64,
+    /// Messages that ran out of attempts on a hop.
+    pub expired: u64,
+    /// Virtual ticks elapsed.
+    pub ticks: u64,
+}
+
+/// The store-and-forward fabric between one fleet and its SSI.
+pub struct MailboxBus {
+    cfg: BusConfig,
+    tick: u64,
+    flights: Vec<Flight>,
+    inboxes: BTreeMap<u64, Vec<BusMsg>>,
+    seen: BTreeMap<u64, HashSet<u64>>,
+    next_seq: BTreeMap<u64, u64>,
+    forced_offline: HashSet<usize>,
+    stats: BusStats,
+}
+
+impl MailboxBus {
+    /// An empty bus over the given fabric profile.
+    pub fn new(cfg: BusConfig) -> Self {
+        assert!(cfg.connectivity > 0.0, "a fully-dark fleet never drains");
+        MailboxBus {
+            cfg,
+            tick: 0,
+            flights: Vec::new(),
+            inboxes: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            next_seq: BTreeMap::new(),
+            forced_offline: HashSet::new(),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Messages still in flight (un-delivered, un-expired).
+    pub fn in_flight(&self) -> usize {
+        self.flights.len()
+    }
+
+    /// Pin a token offline regardless of the connectivity hash (crash /
+    /// long-disconnection scenarios). Delivery attempts to it wait
+    /// without consuming attempts.
+    pub fn force_offline(&mut self, token: usize, offline: bool) {
+        if offline {
+            self.forced_offline.insert(token);
+        } else {
+            self.forced_offline.remove(&token);
+        }
+    }
+
+    /// Is `addr` reachable at tick `tick`? Pure in `(seed, addr, tick)`.
+    pub fn online(&self, addr: Addr, tick: u64) -> bool {
+        match addr {
+            Addr::Ssi => true,
+            Addr::Token(i) => {
+                !self.forced_offline.contains(&i)
+                    && unit(mix(self.cfg.seed, TAG_ONLINE, addr.code(), tick))
+                        < self.cfg.connectivity
+            }
+        }
+    }
+
+    /// Accept a message for delivery; returns its stable id.
+    pub fn send(&mut self, from: Addr, to: Addr, payload: Vec<u8>) -> u64 {
+        let seq = self.next_seq.entry(from.code()).or_insert(0);
+        let id = (from.code() << 24) | *seq;
+        *seq += 1;
+        self.stats.sent += 1;
+        let hop = if from == Addr::Ssi {
+            Hop::Download
+        } else {
+            Hop::Upload
+        };
+        self.flights.push(Flight {
+            msg: BusMsg {
+                id,
+                from,
+                to,
+                payload,
+            },
+            hop,
+            attempts: 0,
+            next_try: self.tick,
+        });
+        id
+    }
+
+    fn backoff(&self, attempts: u32) -> u64 {
+        (self.cfg.backoff_base << attempts.min(16)).min(self.cfg.backoff_cap.max(1))
+    }
+
+    /// Advance one virtual tick: every due flight whose gating endpoint
+    /// is online makes a transmission attempt.
+    pub fn tick(&mut self) {
+        self.tick += 1;
+        self.stats.ticks += 1;
+        let tick = self.tick;
+        let mut still = Vec::with_capacity(self.flights.len());
+        for mut f in std::mem::take(&mut self.flights) {
+            if f.next_try > tick {
+                still.push(f);
+                continue;
+            }
+            let gate = match f.hop {
+                Hop::Upload => f.msg.from,
+                Hop::Download | Hop::Redeliver => f.msg.to,
+            };
+            if !self.online(gate, tick) {
+                // Endpoint unreachable: wait, don't burn an attempt.
+                f.next_try = tick + 1;
+                still.push(f);
+                continue;
+            }
+            f.attempts += 1;
+            let lost = unit(mix(
+                self.cfg.seed,
+                TAG_LOSS,
+                f.msg.id ^ ((f.hop as u64) << 62),
+                u64::from(f.attempts),
+            )) < self.cfg.loss_rate;
+            if lost {
+                self.stats.retries += 1;
+                if f.hop == Hop::Redeliver {
+                    // The original was already delivered; a lost
+                    // re-delivery simply evaporates.
+                    continue;
+                }
+                if f.attempts >= self.cfg.max_attempts {
+                    self.stats.expired += 1;
+                    continue;
+                }
+                f.next_try = tick + self.backoff(f.attempts);
+                still.push(f);
+                continue;
+            }
+            match f.hop {
+                Hop::Upload => {
+                    // Now parked at the SSI store; fresh attempt budget
+                    // for the second hop.
+                    f.hop = Hop::Download;
+                    f.attempts = 0;
+                    f.next_try = tick + 1;
+                    still.push(f);
+                }
+                Hop::Download | Hop::Redeliver => {
+                    let dedup = self.seen.entry(f.msg.to.code()).or_default();
+                    if dedup.insert(f.msg.id) {
+                        self.stats.delivered += 1;
+                        self.inboxes
+                            .entry(f.msg.to.code())
+                            .or_default()
+                            .push(f.msg.clone());
+                    } else {
+                        self.stats.duplicates += 1;
+                    }
+                    // Lost ack ⇒ the store re-delivers exactly once more.
+                    if f.hop == Hop::Download
+                        && unit(mix(self.cfg.seed, TAG_ACK, f.msg.id, 0)) < self.cfg.dup_rate
+                    {
+                        f.hop = Hop::Redeliver;
+                        f.attempts = 0;
+                        f.next_try = tick + self.backoff(1);
+                        still.push(f);
+                    }
+                }
+            }
+        }
+        self.flights = still;
+    }
+
+    /// Tick until no message is in flight, or `max_ticks` elapse.
+    /// Returns the number of ticks spent.
+    pub fn run_until_quiet(&mut self, max_ticks: u64) -> u64 {
+        let start = self.tick;
+        while !self.flights.is_empty() && self.tick - start < max_ticks {
+            self.tick();
+        }
+        self.tick - start
+    }
+
+    /// Take everything delivered to `addr`, ordered by message id (a
+    /// canonical order independent of delivery timing).
+    pub fn drain_inbox(&mut self, addr: Addr) -> Vec<BusMsg> {
+        let mut msgs = self.inboxes.remove(&addr.code()).unwrap_or_default();
+        msgs.sort_by_key(|m| m.id);
+        msgs
+    }
+
+    /// Mirror the counters into the `fleet.bus.*` metrics registry.
+    pub fn publish(&self) {
+        pds_obs::counter("fleet.bus.sent").add(self.stats.sent);
+        pds_obs::counter("fleet.bus.delivered").add(self.stats.delivered);
+        pds_obs::counter("fleet.bus.retries").add(self.stats.retries);
+        pds_obs::counter("fleet.bus.duplicates").add(self.stats.duplicates);
+        pds_obs::counter("fleet.bus.expired").add(self.stats.expired);
+        pds_obs::counter("fleet.bus.ticks").add(self.stats.ticks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(bus: &mut MailboxBus, to: Addr) -> Vec<BusMsg> {
+        bus.run_until_quiet(100_000);
+        bus.drain_inbox(to)
+    }
+
+    #[test]
+    fn reliable_bus_delivers_everything_in_id_order() {
+        let mut bus = MailboxBus::new(BusConfig::reliable(1));
+        for i in 0..10usize {
+            bus.send(Addr::Token(i), Addr::Ssi, vec![i as u8]);
+        }
+        let got = drain_all(&mut bus, Addr::Ssi);
+        assert_eq!(got.len(), 10);
+        assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+        let s = bus.stats();
+        assert_eq!((s.delivered, s.retries, s.expired), (10, 0, 0));
+    }
+
+    #[test]
+    fn weak_connectivity_still_converges() {
+        let mut bus = MailboxBus::new(BusConfig {
+            seed: 7,
+            connectivity: 0.15,
+            loss_rate: 0.2,
+            dup_rate: 0.1,
+            max_attempts: 64,
+            ..Default::default()
+        });
+        for i in 0..50usize {
+            bus.send(Addr::Ssi, Addr::Token(i), vec![0; 8]);
+            bus.send(Addr::Token(i), Addr::Ssi, vec![1; 8]);
+        }
+        bus.run_until_quiet(1_000_000);
+        let ssi_got = bus.drain_inbox(Addr::Ssi).len();
+        let token_got: usize = (0..50).map(|i| bus.drain_inbox(Addr::Token(i)).len()).sum();
+        let s = bus.stats();
+        assert_eq!(ssi_got + token_got + s.expired as usize, 100);
+        assert!(s.retries > 0, "losses happened and were retried");
+    }
+
+    #[test]
+    fn duplicates_are_deduped_by_message_id() {
+        let mut bus = MailboxBus::new(BusConfig {
+            seed: 3,
+            connectivity: 1.0,
+            loss_rate: 0.0,
+            dup_rate: 0.5,
+            ..Default::default()
+        });
+        for i in 0..200usize {
+            bus.send(Addr::Token(i), Addr::Ssi, vec![0; 4]);
+        }
+        let got = drain_all(&mut bus, Addr::Ssi);
+        assert_eq!(got.len(), 200, "each message delivered exactly once");
+        assert!(bus.stats().duplicates > 50, "ack losses re-delivered");
+    }
+
+    #[test]
+    fn delivery_schedule_is_seed_deterministic() {
+        let run = |seed| {
+            let mut bus = MailboxBus::new(BusConfig {
+                seed,
+                connectivity: 0.4,
+                loss_rate: 0.1,
+                dup_rate: 0.05,
+                ..Default::default()
+            });
+            for i in 0..40usize {
+                bus.send(Addr::Token(i), Addr::Ssi, vec![i as u8; 3]);
+            }
+            bus.run_until_quiet(100_000);
+            (bus.drain_inbox(Addr::Ssi), bus.stats())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).1.ticks, run(10).1.ticks);
+    }
+
+    #[test]
+    fn forced_offline_token_receives_after_coming_back() {
+        let mut bus = MailboxBus::new(BusConfig::reliable(5));
+        bus.force_offline(3, true);
+        bus.send(Addr::Ssi, Addr::Token(3), b"parked".to_vec());
+        for _ in 0..50 {
+            bus.tick();
+        }
+        assert!(bus.drain_inbox(Addr::Token(3)).is_empty());
+        assert_eq!(bus.in_flight(), 1, "message waits, never expires");
+        bus.force_offline(3, false);
+        bus.run_until_quiet(100);
+        assert_eq!(bus.drain_inbox(Addr::Token(3)).len(), 1);
+    }
+
+    #[test]
+    fn expiry_counts_only_transmission_attempts() {
+        let mut bus = MailboxBus::new(BusConfig {
+            seed: 2,
+            connectivity: 1.0,
+            loss_rate: 1.0, // every attempt lost
+            dup_rate: 0.0,
+            max_attempts: 4,
+            ..Default::default()
+        });
+        bus.send(Addr::Token(0), Addr::Ssi, vec![1]);
+        bus.run_until_quiet(10_000);
+        let s = bus.stats();
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.retries, 4);
+        assert_eq!(bus.in_flight(), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Trusted-Cells synchronization as a fleet job.
+//!
+//! The Trusted-Cells vision syncs one owner's devices through an
+//! untrusted cloud. In-process, `pds_sync::TrustedCell::sync` talks to
+//! the [`CloudStore`] directly; here the same [`CellMsg`] protocol runs
+//! over the store-and-forward bus: cells are online only a fraction of
+//! ticks, pull requests / responses / pushes are bus messages that
+//! retry with backoff, and an offline cell's traffic simply parks in
+//! its mailbox until it reconnects — which is exactly how the cloud
+//! provides availability in the paper's architecture. A sync round is a
+//! three-phase fleet job: *request* (cells emit pull requests in
+//! parallel), *serve* (the driver's cloud answers; version-guarded),
+//! *reconcile* (cells apply responses in parallel and emit pushes).
+//!
+//! Every randomness source is a derived stream keyed by
+//! `(seed, round, cell)`, so a run is deterministic at any worker
+//! count; the regression test for "offline cells converge after coming
+//! back online" lives in `tests/fleet.rs`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pds_core::{CloudStore, PdsError};
+use pds_sync::{serve_cloud, CellMsg, CellSyncReport, TrustedCell};
+
+use crate::agg::derived_rng;
+use crate::bus::{Addr, BusConfig, BusStats, MailboxBus};
+use crate::pool::TokenPool;
+
+const TAG_CELL: u64 = 0x464C_5443_454C_4C04; // per-(round, cell) push stream
+
+/// One cell's reconcile-phase output: `(pushes, outcome tallies)`.
+type ReconcileOut = Result<(Vec<Vec<u8>>, CellSyncReport), PdsError>;
+
+/// Shape of one cell network.
+#[derive(Debug, Clone)]
+pub struct CellNetConfig {
+    /// Number of trusted cells.
+    pub cells: usize,
+    /// Worker threads hosting the cell shards.
+    pub workers: usize,
+    /// Master seed (bus schedule + push encryption streams).
+    pub seed: u64,
+    /// Bus ticks granted per phase; traffic still in flight afterwards
+    /// (e.g. to a forced-offline cell) carries over to later rounds.
+    pub ticks_per_phase: u64,
+    /// Fabric profile.
+    pub bus: BusConfig,
+}
+
+impl CellNetConfig {
+    /// A cell network over the default weak-connectivity fabric.
+    pub fn new(cells: usize, workers: usize, seed: u64) -> Self {
+        CellNetConfig {
+            cells,
+            workers,
+            seed,
+            ticks_per_phase: 2_000,
+            bus: BusConfig {
+                seed,
+                ..BusConfig::default()
+            },
+        }
+    }
+}
+
+/// One owner's cells, the untrusted cloud, and the bus between them.
+pub struct CellNet {
+    cfg: CellNetConfig,
+    pool: TokenPool<TrustedCell>,
+    bus: MailboxBus,
+    cloud: CloudStore,
+    /// Public slice-name directory (slice names are cloud metadata the
+    /// cells use to discover slices they have never written).
+    directory: Vec<String>,
+    round: u32,
+    report: CellSyncReport,
+}
+
+impl CellNet {
+    /// Build the network; the factory constructs cell `i` inside its
+    /// owning worker.
+    pub fn build<F>(cfg: CellNetConfig, factory: F) -> Self
+    where
+        F: Fn(usize) -> TrustedCell + Send + Clone + 'static,
+    {
+        let pool = TokenPool::build(cfg.cells, cfg.workers, factory);
+        let bus = MailboxBus::new(cfg.bus);
+        CellNet {
+            cfg,
+            pool,
+            bus,
+            cloud: CloudStore::new(),
+            directory: Vec::new(),
+            round: 0,
+            report: CellSyncReport::default(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cfg.cells
+    }
+
+    /// True when the network hosts no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.cells == 0
+    }
+
+    /// Cumulative sync outcomes.
+    pub fn report(&self) -> CellSyncReport {
+        self.report
+    }
+
+    /// Bus delivery counters.
+    pub fn bus_stats(&self) -> BusStats {
+        self.bus.stats()
+    }
+
+    /// Pin a cell offline / bring it back (its bus traffic waits).
+    pub fn force_offline(&mut self, cell: usize, offline: bool) {
+        self.bus.force_offline(cell, offline);
+    }
+
+    /// Local write on one cell (bumps the slice version there).
+    pub fn write(&mut self, cell: usize, slice: &str, data: &[u8]) {
+        if !self.directory.iter().any(|s| s == slice) {
+            self.directory.push(slice.to_string());
+        }
+        let slice = slice.to_string();
+        let data = data.to_vec();
+        self.pool.map(move |i, c| {
+            if i == cell {
+                c.write(&slice, &data);
+            }
+        });
+    }
+
+    /// One synchronization round: request → serve → reconcile, all
+    /// token↔cloud traffic on the bus.
+    pub fn sync_round(&mut self) -> Result<CellSyncReport, PdsError> {
+        let round = self.round;
+        self.round += 1;
+        let mut delta = CellSyncReport::default();
+
+        // Phase 1: every cell mails its pull requests.
+        let directory = self.directory.clone();
+        let requests: Vec<Vec<Vec<u8>>> = self.pool.map(move |_, c| {
+            c.sync_requests(&directory)
+                .iter()
+                .map(CellMsg::to_bytes)
+                .collect()
+        });
+        for (i, reqs) in requests.into_iter().enumerate() {
+            for r in reqs {
+                self.bus.send(Addr::Token(i), Addr::Ssi, r);
+            }
+        }
+        self.bus.run_until_quiet(self.cfg.ticks_per_phase);
+
+        // Phase 2: the cloud serves whatever arrived (version-guarded;
+        // requests from offline cells simply arrive in a later round).
+        for m in self.bus.drain_inbox(Addr::Ssi) {
+            let Some(msg) = CellMsg::from_bytes(&m.payload) else {
+                continue;
+            };
+            if let Some(resp) = serve_cloud(&mut self.cloud, &msg) {
+                self.bus.send(Addr::Ssi, m.from, resp.to_bytes());
+            }
+        }
+        self.bus.run_until_quiet(self.cfg.ticks_per_phase);
+
+        // Phase 3: cells reconcile the responses in parallel.
+        let mut mail: HashMap<usize, Vec<Vec<u8>>> = HashMap::new();
+        for i in 0..self.cfg.cells {
+            let msgs = self.bus.drain_inbox(Addr::Token(i));
+            if !msgs.is_empty() {
+                mail.insert(i, msgs.into_iter().map(|m| m.payload).collect());
+            }
+        }
+        let mail = Arc::new(mail);
+        let seed = self.cfg.seed;
+        let handled: Vec<ReconcileOut> = self.pool.map(move |i, c| {
+            let mut pushes = Vec::new();
+            let mut rep = CellSyncReport::default();
+            let Some(mine) = mail.get(&i) else {
+                return Ok((pushes, rep));
+            };
+            let mut rng = derived_rng(seed, TAG_CELL, (u64::from(round) << 32) | i as u64);
+            for bytes in mine {
+                let Some(resp) = CellMsg::from_bytes(bytes) else {
+                    continue;
+                };
+                let (push, outcome) = c.handle_response(&resp, &mut rng)?;
+                rep.record(outcome);
+                if let Some(p) = push {
+                    pushes.push(p.to_bytes());
+                }
+            }
+            Ok((pushes, rep))
+        });
+        for (i, r) in handled.into_iter().enumerate() {
+            let (pushes, rep) = r?;
+            delta.pushed += rep.pushed;
+            delta.pulled += rep.pulled;
+            delta.unchanged += rep.unchanged;
+            for p in pushes {
+                self.bus.send(Addr::Token(i), Addr::Ssi, p);
+            }
+        }
+        self.bus.run_until_quiet(self.cfg.ticks_per_phase);
+        for m in self.bus.drain_inbox(Addr::Ssi) {
+            if let Some(msg) = CellMsg::from_bytes(&m.payload) {
+                serve_cloud(&mut self.cloud, &msg);
+            }
+        }
+
+        self.report.pushed += delta.pushed;
+        self.report.pulled += delta.pulled;
+        self.report.unchanged += delta.unchanged;
+        pds_obs::counter("fleet.cells.pushed").add(u64::from(delta.pushed));
+        pds_obs::counter("fleet.cells.pulled").add(u64::from(delta.pulled));
+        pds_obs::counter("fleet.cells.unchanged").add(u64::from(delta.unchanged));
+        Ok(delta)
+    }
+
+    /// Run up to `rounds` sync rounds, stopping early once a round moved
+    /// nothing and the bus is idle.
+    pub fn sync_until_quiet(&mut self, rounds: u32) -> Result<u32, PdsError> {
+        for r in 0..rounds {
+            let delta = self.sync_round()?;
+            if delta.pushed == 0 && delta.pulled == 0 && self.bus.in_flight() == 0 {
+                return Ok(r + 1);
+            }
+        }
+        Ok(rounds)
+    }
+
+    /// Per-cell `(slice, version)` maps — the convergence witness.
+    pub fn versions(&self) -> Vec<Vec<(String, u64)>> {
+        self.pool.map(|_, c| {
+            c.slice_names()
+                .into_iter()
+                .map(|s| {
+                    let v = c.version(&s);
+                    (s, v)
+                })
+                .collect()
+        })
+    }
+
+    /// True when every cell holds identical slice versions.
+    pub fn converged(&self) -> bool {
+        let v = self.versions();
+        v.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Read one slice on one cell.
+    pub fn read(&self, cell: usize, slice: &str) -> Option<Vec<u8>> {
+        let slice = slice.to_string();
+        self.pool
+            .map(move |i, c| {
+                if i == cell {
+                    c.read(&slice).map(|d| d.to_vec())
+                } else {
+                    None
+                }
+            })
+            .swap_remove(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(cells: usize, workers: usize, seed: u64) -> CellNet {
+        let cfg = CellNetConfig::new(cells, workers, seed);
+        CellNet::build(cfg, |i| TrustedCell::new(&format!("cell-{i}"), b"owner-x"))
+    }
+
+    #[test]
+    fn all_cells_converge_on_one_write() {
+        let mut n = net(5, 2, 1);
+        n.write(0, "prefs", b"dark-mode");
+        n.sync_until_quiet(40).unwrap();
+        assert!(n.converged(), "versions: {:?}", n.versions());
+        assert_eq!(n.read(4, "prefs").unwrap(), b"dark-mode");
+    }
+
+    #[test]
+    fn newer_write_wins_across_the_bus() {
+        let mut n = net(3, 2, 2);
+        n.write(0, "s", b"v1");
+        n.sync_until_quiet(40).unwrap();
+        n.write(1, "s", b"v2-from-1");
+        n.write(1, "s", b"v3-from-1");
+        n.sync_until_quiet(40).unwrap();
+        assert_eq!(n.read(2, "s").unwrap(), b"v3-from-1");
+        assert_eq!(n.read(0, "s").unwrap(), b"v3-from-1");
+    }
+
+    #[test]
+    fn rounds_are_seed_deterministic() {
+        let run = |seed| {
+            let mut n = net(4, 2, seed);
+            n.write(0, "a", b"1");
+            n.write(2, "b", b"2");
+            let rounds = n.sync_until_quiet(40).unwrap();
+            (rounds, n.versions(), n.bus_stats())
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

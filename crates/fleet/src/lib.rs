@@ -1,0 +1,49 @@
+//! # pds-fleet — the multi-token ecosystem runtime
+//!
+//! The tutorial's architecture is *asymmetric*: "millions" of secure
+//! tokens — low powered, **highly disconnected** — on one side, and an
+//! untrusted but always-available Supporting Server Infrastructure on
+//! the other. The other crates build one token and the protocols; this
+//! crate builds the *ecosystem*: many tokens at once, weak connectivity
+//! and all, with the SSI doing the only thing it is trusted to do —
+//! store and forward.
+//!
+//! Three layers:
+//!
+//! * [`bus`] — the **store-and-forward mailbox bus**: per-endpoint
+//!   mailboxes, a seeded connectivity model (each token is online only a
+//!   fraction of ticks), at-least-once delivery with retry/backoff,
+//!   duplicate re-deliveries absorbed by per-receiver dedup sets, and a
+//!   delivery schedule that is a pure function of the seed.
+//! * [`pool`] — the **token worker pool**: a `Pds` is `!Send` (it *is*
+//!   a secure microcontroller), so each long-lived worker thread builds
+//!   and owns a shard of tokens; phases run as parallel maps with
+//!   barriers, merged in token order so results are identical at any
+//!   worker count.
+//! * [`agg`] / [`cellnet`] — the [TNP14] secure-aggregation /
+//!   global-query protocols and the Trusted-Cells sync pass re-hosted as
+//!   **phased fleet jobs** (collection → SSI shuffle/compute → result
+//!   distribution) on top of the two.
+//!
+//! The determinism contract threaded through all of it: every random
+//! decision is a derived hash stream — per-token data and encryption
+//! streams `(seed, tag, token)`, per-partition re-encryption streams
+//! `(seed, round, partition)`, bus connectivity/loss `(seed, message
+//! id, tick)`, SSI drop/forge verdicts `(seed, message id)`. Worker
+//! threads only compute pure per-token functions between phase
+//! barriers, so for a fixed seed the protocol result, the leakage
+//! ledger, and the bus statistics are bit-for-bit identical at 1, 2, or
+//! 8 workers — `tests/fleet.rs` proves it.
+
+pub mod agg;
+pub mod bus;
+pub mod cellnet;
+pub mod pool;
+
+pub use agg::{
+    build_fleet, build_token, derived_rng, fleet_secure_aggregation, FleetAggReport, FleetConfig,
+    OnTamper,
+};
+pub use bus::{Addr, BusConfig, BusMsg, BusStats, MailboxBus};
+pub use cellnet::{CellNet, CellNetConfig};
+pub use pool::TokenPool;

@@ -1,0 +1,178 @@
+//! The fleet worker pool: parallel phases over `!Send` tokens.
+//!
+//! A [`pds_core::Pds`] is deliberately `!Send` — it models one secure
+//! microcontroller with `Rc`-shared flash and RAM. The pool therefore
+//! never moves a token between threads: each long-lived worker thread
+//! *builds and owns* a contiguous shard of tokens (the factory closure
+//! runs inside the worker), and phases are shipped to the shards as
+//! boxed jobs. [`TokenPool::map`] is a **phase barrier**: it runs one
+//! closure over every token in parallel and returns the results merged
+//! in token-index order, so the output is identical no matter how many
+//! workers the fleet was sharded across.
+//!
+//! Determinism contract: the phase closure must derive any randomness
+//! it needs from the token index (per-token RNG streams), never from
+//! shared mutable state — then `map(f)` at 1, 2, and 8 workers is
+//! bit-for-bit identical.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+type Job<T> = Box<dyn FnOnce(&mut Vec<(usize, T)>) + Send>;
+
+/// A pool of worker threads, each owning one shard of tokens.
+pub struct TokenPool<T> {
+    txs: Vec<Sender<Job<T>>>,
+    handles: Vec<JoinHandle<()>>,
+    n_tokens: usize,
+}
+
+impl<T: 'static> TokenPool<T> {
+    /// Build `n_tokens` tokens sharded over `workers` threads. The
+    /// factory runs inside the owning worker (tokens may be `!Send`);
+    /// shards are contiguous index ranges, but since every per-token
+    /// computation is a pure function of the token index, the shard
+    /// layout is unobservable in any result.
+    pub fn build<F>(n_tokens: usize, workers: usize, factory: F) -> Self
+    where
+        F: Fn(usize) -> T + Send + Clone + 'static,
+    {
+        let workers = workers.max(1).min(n_tokens.max(1));
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        let chunk = n_tokens.div_ceil(workers);
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n_tokens);
+            let factory = factory.clone();
+            let (tx, rx): (Sender<Job<T>>, Receiver<Job<T>>) = channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("fleet-worker-{w}"))
+                .spawn(move || {
+                    let mut shard: Vec<(usize, T)> = (lo..hi).map(|i| (i, factory(i))).collect();
+                    for job in rx {
+                        job(&mut shard);
+                    }
+                })
+                .expect("spawn fleet worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        TokenPool {
+            txs,
+            handles,
+            n_tokens,
+        }
+    }
+
+    /// Number of tokens hosted.
+    pub fn len(&self) -> usize {
+        self.n_tokens
+    }
+
+    /// True when the pool hosts no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.n_tokens == 0
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Phase barrier: run `f` on every token in parallel, then return
+    /// the results ordered by token index.
+    pub fn map<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &mut T) -> R + Send + Clone + 'static,
+    {
+        let (out_tx, out_rx) = channel::<Vec<(usize, R)>>();
+        for tx in &self.txs {
+            let f = f.clone();
+            let out_tx = out_tx.clone();
+            let job: Job<T> = Box::new(move |shard| {
+                let results = shard.iter_mut().map(|(i, t)| (*i, f(*i, t))).collect();
+                // The driver only hangs up after every send; ignore its
+                // early death (a panic elsewhere already unwinds us).
+                let _ = out_tx.send(results);
+            });
+            tx.send(job).expect("fleet worker alive");
+        }
+        drop(out_tx);
+        let mut merged: Vec<(usize, R)> = Vec::with_capacity(self.n_tokens);
+        for batch in out_rx.iter() {
+            merged.extend(batch);
+        }
+        assert_eq!(merged.len(), self.n_tokens, "a fleet worker panicked");
+        merged.sort_by_key(|(i, _)| *i);
+        merged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl<T> Drop for TokenPool<T> {
+    fn drop(&mut self) {
+        self.txs.clear(); // hang up: workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    // A deliberately !Send token stand-in.
+    struct NotSendToken {
+        idx: usize,
+        state: Rc<std::cell::RefCell<u64>>,
+    }
+
+    fn factory(i: usize) -> NotSendToken {
+        NotSendToken {
+            idx: i,
+            state: Rc::new(std::cell::RefCell::new(i as u64 * 10)),
+        }
+    }
+
+    #[test]
+    fn map_returns_token_index_order() {
+        let pool = TokenPool::build(17, 4, factory);
+        let out = pool.map(|i, t| {
+            assert_eq!(i, t.idx);
+            *t.state.borrow_mut() += 1;
+            *t.state.borrow()
+        });
+        assert_eq!(out.len(), 17);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 10 + 1);
+        }
+    }
+
+    #[test]
+    fn state_persists_across_phases() {
+        let pool = TokenPool::build(8, 3, factory);
+        pool.map(|_, t| *t.state.borrow_mut() += 5);
+        let out = pool.map(|_, t| *t.state.borrow());
+        assert_eq!(out[2], 25);
+    }
+
+    #[test]
+    fn result_is_identical_across_worker_counts() {
+        let run = |workers| {
+            let pool = TokenPool::build(23, workers, factory);
+            pool.map(|i, _| i as u64 * 3 + 1)
+        };
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn more_workers_than_tokens_is_fine() {
+        let pool = TokenPool::build(2, 16, factory);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.map(|i, _| i).len(), 2);
+    }
+}

@@ -43,7 +43,7 @@ pub fn authorized_secure_aggregation(
     today: u64,
     population: &mut Population,
     query: &GroupByQuery,
-    ssi: &mut Ssi,
+    ssi: &Ssi,
     partition_size: usize,
     rng: &mut impl Rng,
 ) -> Result<(Vec<(String, u64)>, ProtocolStats), GlobalError> {
@@ -76,9 +76,9 @@ mod tests {
     fn accredited_institute_runs_the_query() {
         let (mut pop, q, mut rng, authority, vk) = setup();
         let cred = authority.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 365);
-        let mut ssi = Ssi::honest(1);
+        let ssi = Ssi::honest(1);
         let (result, _) =
-            authorized_secure_aggregation(&vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng)
+            authorized_secure_aggregation(&vk, &cred, 100, &mut pop, &q, &ssi, 16, &mut rng)
                 .unwrap();
         assert!(!result.is_empty());
     }
@@ -87,10 +87,9 @@ mod tests {
     fn wrong_role_is_refused_before_any_data_moves() {
         let (mut pop, q, mut rng, authority, vk) = setup();
         let cred = authority.issue(TokenId(1000), "dr.curious", Role::Practitioner, 365);
-        let mut ssi = Ssi::honest(2);
-        let err =
-            authorized_secure_aggregation(&vk, &cred, 100, &mut pop, &q, &mut ssi, 16, &mut rng)
-                .unwrap_err();
+        let ssi = Ssi::honest(2);
+        let err = authorized_secure_aggregation(&vk, &cred, 100, &mut pop, &q, &ssi, 16, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, GlobalError::Unauthorized(_)));
         assert_eq!(ssi.leakage().tuples_seen, 0, "nothing left the tokens");
     }
@@ -99,17 +98,17 @@ mod tests {
     fn expired_or_forged_credentials_are_refused() {
         let (mut pop, q, mut rng, authority, vk) = setup();
         let expired = authority.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 50);
-        let mut ssi = Ssi::honest(3);
+        let ssi = Ssi::honest(3);
         assert!(authorized_secure_aggregation(
-            &vk, &expired, 100, &mut pop, &q, &mut ssi, 16, &mut rng
+            &vk, &expired, 100, &mut pop, &q, &ssi, 16, &mut rng
         )
         .is_err());
 
         let rogue = Issuer::new(b"rogue");
         let forged = rogue.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 365);
-        assert!(authorized_secure_aggregation(
-            &vk, &forged, 100, &mut pop, &q, &mut ssi, 16, &mut rng
-        )
-        .is_err());
+        assert!(
+            authorized_secure_aggregation(&vk, &forged, 100, &mut pop, &q, &ssi, 16, &mut rng)
+                .is_err()
+        );
     }
 }

@@ -84,7 +84,7 @@ impl BucketMap {
 pub fn histogram_based(
     population: &mut Population,
     query: &GroupByQuery,
-    ssi: &mut Ssi,
+    ssi: &Ssi,
     map: &BucketMap,
     rng: &mut impl Rng,
 ) -> Result<(Vec<(String, u64)>, ProtocolStats), GlobalError> {
@@ -152,8 +152,8 @@ mod tests {
         let expected = plaintext_groupby(&mut pop, &q).unwrap();
         for buckets in [1u32, 2, 3, 6] {
             let map = BucketMap::equi_width(&q.domain, buckets);
-            let mut ssi = Ssi::honest(buckets as u64);
-            let (result, stats) = histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap();
+            let ssi = Ssi::honest(buckets as u64);
+            let (result, stats) = histogram_based(&mut pop, &q, &ssi, &map, &mut rng).unwrap();
             assert_eq!(result, expected, "buckets={buckets}");
             assert!(stats.rounds <= buckets);
         }
@@ -162,17 +162,17 @@ mod tests {
     #[test]
     fn leakage_grows_with_bucket_count() {
         let (mut pop, q, mut rng) = setup(100, 2);
-        let mut coarse = Ssi::honest(1);
+        let coarse = Ssi::honest(1);
         let map1 = BucketMap::equi_width(&q.domain, 1);
-        histogram_based(&mut pop, &q, &mut coarse, &map1, &mut rng).unwrap();
+        histogram_based(&mut pop, &q, &coarse, &map1, &mut rng).unwrap();
         assert_eq!(
             coarse.leakage().equality_class_sizes.len(),
             1,
             "one bucket: the SSI sees only the total count"
         );
-        let mut fine = Ssi::honest(2);
+        let fine = Ssi::honest(2);
         let map6 = BucketMap::equi_width(&q.domain, 6);
-        histogram_based(&mut pop, &q, &mut fine, &map6, &mut rng).unwrap();
+        histogram_based(&mut pop, &q, &fine, &map6, &mut rng).unwrap();
         assert!(fine.leakage().equality_class_sizes.len() > 1);
     }
 

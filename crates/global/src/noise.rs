@@ -58,7 +58,7 @@ pub enum NoiseStrategy {
 pub fn noise_based(
     population: &mut Population,
     query: &GroupByQuery,
-    ssi: &mut Ssi,
+    ssi: &Ssi,
     strategy: NoiseStrategy,
     rng: &mut impl Rng,
 ) -> Result<(Vec<(String, u64)>, ProtocolStats), GlobalError> {
@@ -182,11 +182,11 @@ mod tests {
     fn random_noise_is_exact() {
         let (mut pop, q, mut rng) = setup(40, 1);
         let expected = plaintext_groupby(&mut pop, &q).unwrap();
-        let mut ssi = Ssi::honest(5);
+        let ssi = Ssi::honest(5);
         let (result, stats) = noise_based(
             &mut pop,
             &q,
-            &mut ssi,
+            &ssi,
             NoiseStrategy::Random { fakes_per_token: 3 },
             &mut rng,
         )
@@ -199,15 +199,9 @@ mod tests {
     fn complementary_noise_is_exact_and_flat() {
         let (mut pop, q, mut rng) = setup(50, 2);
         let expected = plaintext_groupby(&mut pop, &q).unwrap();
-        let mut ssi = Ssi::honest(6);
-        let (result, _) = noise_based(
-            &mut pop,
-            &q,
-            &mut ssi,
-            NoiseStrategy::Complementary,
-            &mut rng,
-        )
-        .unwrap();
+        let ssi = Ssi::honest(6);
+        let (result, _) =
+            noise_based(&mut pop, &q, &ssi, NoiseStrategy::Complementary, &mut rng).unwrap();
         assert_eq!(result, expected);
         // Every token contributes (really or fake) to every domain value
         // at least once ⇒ class sizes are nearly equal ⇒ almost no
@@ -222,11 +216,11 @@ mod tests {
     #[test]
     fn no_noise_leaks_the_true_skew() {
         let (mut pop, q, mut rng) = setup(80, 3);
-        let mut flat_ssi = Ssi::honest(7);
+        let flat_ssi = Ssi::honest(7);
         noise_based(
             &mut pop,
             &q,
-            &mut flat_ssi,
+            &flat_ssi,
             NoiseStrategy::Random { fakes_per_token: 0 },
             &mut rng,
         )
@@ -239,11 +233,11 @@ mod tests {
             "without noise the SSI sees the skew, signal={raw_signal}"
         );
         // More noise ⇒ weaker signal.
-        let mut noisy_ssi = Ssi::honest(8);
+        let noisy_ssi = Ssi::honest(8);
         noise_based(
             &mut pop,
             &q,
-            &mut noisy_ssi,
+            &noisy_ssi,
             NoiseStrategy::Random {
                 fakes_per_token: 20,
             },
@@ -256,11 +250,11 @@ mod tests {
     #[test]
     fn one_round_per_group_not_per_tuple() {
         let (mut pop, q, mut rng) = setup(60, 4);
-        let mut ssi = Ssi::honest(9);
+        let ssi = Ssi::honest(9);
         let (result, stats) = noise_based(
             &mut pop,
             &q,
-            &mut ssi,
+            &ssi,
             NoiseStrategy::Random { fakes_per_token: 0 },
             &mut rng,
         )

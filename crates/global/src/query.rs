@@ -214,10 +214,9 @@ mod tests {
         let mut pop = Population::synthetic(40, &sum_q.domain, &mut rng).unwrap();
         // COUNT through a real protocol equals the plaintext count.
         let expected_counts = plaintext_groupby(&mut pop, &count_q).unwrap();
-        let mut ssi = Ssi::honest(1);
+        let ssi = Ssi::honest(1);
         let (counts, _) =
-            secure_aggregation(&mut pop, &count_q, &mut ssi, 16, OnTamper::Abort, &mut rng)
-                .unwrap();
+            secure_aggregation(&mut pop, &count_q, &ssi, 16, OnTamper::Abort, &mut rng).unwrap();
         assert_eq!(counts, expected_counts);
         // COUNT counts rows (each token ingested 1–3), not per-token
         // group contributions.

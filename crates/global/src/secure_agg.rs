@@ -41,7 +41,7 @@ pub enum OnTamper {
 pub fn secure_aggregation(
     population: &mut Population,
     query: &GroupByQuery,
-    ssi: &mut Ssi,
+    ssi: &Ssi,
     partition_size: usize,
     on_tamper: OnTamper,
     rng: &mut impl Rng,
@@ -146,9 +146,9 @@ mod tests {
     fn result_matches_plaintext_reference() {
         let (mut pop, q, mut rng) = setup(40, 1);
         let expected = plaintext_groupby(&mut pop, &q).unwrap();
-        let mut ssi = Ssi::honest(7);
+        let ssi = Ssi::honest(7);
         let (result, stats) =
-            secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap();
+            secure_aggregation(&mut pop, &q, &ssi, 8, OnTamper::Abort, &mut rng).unwrap();
         assert_eq!(result, expected);
         assert!(stats.rounds >= 2, "reduction tree has depth");
         assert!(stats.token_tuples > 0);
@@ -157,8 +157,8 @@ mod tests {
     #[test]
     fn ssi_learns_no_equality_classes() {
         let (mut pop, q, mut rng) = setup(25, 2);
-        let mut ssi = Ssi::honest(8);
-        secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap();
+        let ssi = Ssi::honest(8);
+        secure_aggregation(&mut pop, &q, &ssi, 8, OnTamper::Abort, &mut rng).unwrap();
         assert!(
             ssi.leakage().equality_class_sizes.is_empty(),
             "probabilistic encryption leaks no grouping information"
@@ -169,15 +169,14 @@ mod tests {
     #[test]
     fn forged_ciphertexts_abort_loudly() {
         let (mut pop, q, mut rng) = setup(20, 3);
-        let mut ssi = Ssi::new(
+        let ssi = Ssi::new(
             SsiThreat::WeaklyMalicious {
                 drop_rate: 0.0,
                 forge_rate: 0.2,
             },
             9,
         );
-        let err =
-            secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap_err();
+        let err = secure_aggregation(&mut pop, &q, &ssi, 8, OnTamper::Abort, &mut rng).unwrap_err();
         assert!(matches!(err, GlobalError::TamperingDetected(_)));
     }
 
@@ -187,7 +186,7 @@ mod tests {
         // covert adversary biases the statistics undetected.
         let (mut pop, q, mut rng) = setup(60, 4);
         let expected = plaintext_groupby(&mut pop, &q).unwrap();
-        let mut ssi = Ssi::new(
+        let ssi = Ssi::new(
             SsiThreat::WeaklyMalicious {
                 drop_rate: 0.5,
                 forge_rate: 0.0,
@@ -195,7 +194,7 @@ mod tests {
             10,
         );
         let (result, _) =
-            secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Skip, &mut rng).unwrap();
+            secure_aggregation(&mut pop, &q, &ssi, 8, OnTamper::Skip, &mut rng).unwrap();
         let sum = |r: &[(String, u64)]| r.iter().map(|(_, v)| *v).sum::<u64>();
         assert!(
             sum(&result) < sum(&expected),
@@ -207,9 +206,9 @@ mod tests {
     fn single_partition_degenerates_to_one_round() {
         let (mut pop, q, mut rng) = setup(5, 5);
         let expected = plaintext_groupby(&mut pop, &q).unwrap();
-        let mut ssi = Ssi::honest(11);
+        let ssi = Ssi::honest(11);
         let (result, stats) =
-            secure_aggregation(&mut pop, &q, &mut ssi, 1000, OnTamper::Abort, &mut rng).unwrap();
+            secure_aggregation(&mut pop, &q, &ssi, 1000, OnTamper::Abort, &mut rng).unwrap();
         assert_eq!(result, expected);
         assert_eq!(stats.rounds, 1);
     }

@@ -8,9 +8,27 @@
 //! * **Weakly Malicious (covert adversary)** — deviates (drops, forges)
 //!   but "does not want to be detected"; [`crate::detection`] quantifies
 //!   the deterrent.
+//!
+//! ## Concurrency model
+//!
+//! The fleet runtime (`pds-fleet`) shares one SSI across many worker
+//! threads, so every observation path uses interior mutability that is
+//! safe to call through `&self`: leakage tallies are relaxed atomics,
+//! the equality-class ledger is a mutex-guarded vector, and the SSI
+//! holds **no RNG state at all**. Weakly-malicious drop/forge decisions
+//! are pure functions of `(seed, message id)` — two runs that deliver
+//! the same message ids reach the same verdicts no matter how many
+//! threads raced, in which order messages arrived, or how many other
+//! random decisions happened in between.
 
-use pds_obs::rng::StdRng;
-use pds_obs::rng::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pds_obs::rng::{RngCore, SeedableRng, SplitMix64, StdRng};
+
+/// Domain-separation tags for the per-message decision streams.
+const TAG_DROP: u64 = 0x5353_4944_524F_5001; // "SSIDROP"
+const TAG_FORGE: u64 = 0x5353_4946_4F52_4702; // "SSIFORG"
 
 /// SSI behavior model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,8 +46,9 @@ pub enum SsiThreat {
 }
 
 /// Everything an honest-but-curious SSI managed to observe during a run.
-/// This is the *measured leakage* of experiment E6.
-#[derive(Debug, Clone, Default)]
+/// This is the *measured leakage* of experiment E6. Snapshot value —
+/// obtained from [`Ssi::leakage`], comparable across runs with `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Leakage {
     /// Total ciphertext tuples it handled.
     pub tuples_seen: u64,
@@ -68,15 +87,31 @@ impl Leakage {
     }
 }
 
-/// The untrusted infrastructure.
+/// The untrusted infrastructure. `Send + Sync`: all observation paths go
+/// through `&self` and commute, so worker threads can share one instance
+/// behind an `Arc` without a lock around the whole struct.
 pub struct Ssi {
     threat: SsiThreat,
-    leakage: Leakage,
-    rng: StdRng,
-    /// Tuples dropped by a weakly malicious run (ground truth for tests).
-    pub dropped: u64,
-    /// Forged tuples injected (ground truth for tests).
-    pub forged: u64,
+    seed: u64,
+    tuples_seen: AtomicU64,
+    bytes_seen: AtomicU64,
+    equality_classes: Mutex<Vec<u64>>,
+    /// Message-id source for untagged [`Ssi::collect`] calls.
+    next_msg_id: AtomicU64,
+    dropped: AtomicU64,
+    forged: AtomicU64,
+}
+
+/// Mix `(seed, tag, id)` into one well-avalanched u64 (two SplitMix64
+/// rounds — the same mixer the workspace RNG seeds with).
+fn mix(seed: u64, tag: u64, id: u64) -> u64 {
+    let a = SplitMix64::new(seed ^ tag).next_u64();
+    SplitMix64::new(a ^ id).next_u64()
+}
+
+/// Map a mixed u64 to the unit interval (canonical 53-bit construction).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 impl Ssi {
@@ -84,10 +119,13 @@ impl Ssi {
     pub fn new(threat: SsiThreat, seed: u64) -> Self {
         Ssi {
             threat,
-            leakage: Leakage::default(),
-            rng: StdRng::seed_from_u64(seed),
-            dropped: 0,
-            forged: 0,
+            seed,
+            tuples_seen: AtomicU64::new(0),
+            bytes_seen: AtomicU64::new(0),
+            equality_classes: Mutex::new(Vec::new()),
+            next_msg_id: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            forged: AtomicU64::new(0),
         }
     }
 
@@ -101,41 +139,80 @@ impl Ssi {
         self.threat
     }
 
-    /// What it observed so far.
-    pub fn leakage(&self) -> &Leakage {
-        &self.leakage
+    /// Snapshot of what it observed so far.
+    pub fn leakage(&self) -> Leakage {
+        Leakage {
+            tuples_seen: self.tuples_seen.load(Ordering::Relaxed),
+            bytes_seen: self.bytes_seen.load(Ordering::Relaxed),
+            equality_class_sizes: self.equality_classes.lock().unwrap().clone(),
+        }
+    }
+
+    /// Tuples dropped by a weakly malicious run (ground truth for tests).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Forged tuples injected (ground truth for tests).
+    pub fn forged(&self) -> u64 {
+        self.forged.load(Ordering::Relaxed)
+    }
+
+    /// The covert drop verdict for one message id — a pure function of
+    /// `(seed, msg_id)`, independent of call order and thread count.
+    pub fn drops_message(&self, msg_id: u64) -> bool {
+        match self.threat {
+            SsiThreat::HonestButCurious => false,
+            SsiThreat::WeaklyMalicious { drop_rate, .. } => {
+                unit(mix(self.seed, TAG_DROP, msg_id)) < drop_rate
+            }
+        }
     }
 
     /// Collect ciphertext tuples from the population, applying the threat
-    /// behavior. Returns the tuple list as the SSI will present it to the
-    /// aggregating tokens.
-    pub fn collect(&mut self, tuples: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        let mut out = Vec::with_capacity(tuples.len());
-        let genuine = tuples.len();
-        for t in tuples {
-            self.leakage.tuples_seen += 1;
-            self.leakage.bytes_seen += t.len() as u64;
-            match self.threat {
-                SsiThreat::HonestButCurious => out.push(t),
-                SsiThreat::WeaklyMalicious { drop_rate, .. } => {
-                    if self.rng.gen_bool(drop_rate) {
-                        self.dropped += 1;
-                    } else {
-                        out.push(t);
-                    }
-                }
+    /// behavior. Ids are assigned from an internal sequence; callers that
+    /// already have stable message ids (the fleet bus) should prefer
+    /// [`Ssi::collect_tagged`].
+    pub fn collect(&self, tuples: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let base = self
+            .next_msg_id
+            .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        let tagged = tuples
+            .into_iter()
+            .enumerate()
+            .map(|(k, t)| (base + k as u64, t))
+            .collect();
+        self.collect_tagged(tagged)
+    }
+
+    /// Collect `(message id, ciphertext)` pairs, applying the threat
+    /// behavior with per-message-id decisions. Returns the tuple list as
+    /// the SSI will present it to the aggregating tokens.
+    pub fn collect_tagged(&self, msgs: Vec<(u64, Vec<u8>)>) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(msgs.len());
+        let genuine = msgs.len();
+        for (id, t) in msgs {
+            self.tuples_seen.fetch_add(1, Ordering::Relaxed);
+            self.bytes_seen.fetch_add(t.len() as u64, Ordering::Relaxed);
+            if self.drops_message(id) {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                out.push(t);
             }
         }
         if let SsiThreat::WeaklyMalicious { forge_rate, .. } = self.threat {
-            let forgeries = (genuine as f64 * forge_rate).round() as usize;
-            for _ in 0..forgeries {
+            let forgeries = (genuine as f64 * forge_rate).round() as u64;
+            let base = self.forged.fetch_add(forgeries, Ordering::Relaxed);
+            for k in 0..forgeries {
                 // Random bytes: without the protocol key the adversary
-                // cannot produce an authentic ciphertext.
-                let len = 64 + self.rng.gen_range(0..32usize);
+                // cannot produce an authentic ciphertext. Each forgery's
+                // content is its own derived stream, so forged traffic is
+                // reproducible per (seed, forgery index).
+                let mut g = StdRng::seed_from_u64(mix(self.seed, TAG_FORGE, base + k));
+                let len = 64 + (g.next_u64() % 32) as usize;
                 let mut fake = vec![0u8; len];
-                self.rng.fill(&mut fake[..]);
+                g.fill_bytes(&mut fake);
                 out.push(fake);
-                self.forged += 1;
             }
         }
         out
@@ -143,9 +220,10 @@ impl Ssi {
 
     /// Record the equality classes the SSI could form (called by
     /// protocols whose wire format makes grouping observable).
-    pub fn observe_classes(&mut self, class_sizes: &[u64]) {
-        self.leakage
-            .equality_class_sizes
+    pub fn observe_classes(&self, class_sizes: &[u64]) {
+        self.equality_classes
+            .lock()
+            .unwrap()
             .extend_from_slice(class_sizes);
     }
 
@@ -168,19 +246,25 @@ mod tests {
     use super::*;
 
     #[test]
+    fn ssi_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Ssi>();
+    }
+
+    #[test]
     fn honest_ssi_passes_everything_and_counts() {
-        let mut ssi = Ssi::honest(1);
+        let ssi = Ssi::honest(1);
         let tuples = vec![vec![1u8; 10], vec![2u8; 20]];
         let out = ssi.collect(tuples);
         assert_eq!(out.len(), 2);
         assert_eq!(ssi.leakage().tuples_seen, 2);
         assert_eq!(ssi.leakage().bytes_seen, 30);
-        assert_eq!(ssi.dropped + ssi.forged, 0);
+        assert_eq!(ssi.dropped() + ssi.forged(), 0);
     }
 
     #[test]
     fn weakly_malicious_drops_and_forges() {
-        let mut ssi = Ssi::new(
+        let ssi = Ssi::new(
             SsiThreat::WeaklyMalicious {
                 drop_rate: 0.5,
                 forge_rate: 0.1,
@@ -189,9 +273,70 @@ mod tests {
         );
         let tuples: Vec<Vec<u8>> = (0..1000).map(|i| vec![i as u8; 8]).collect();
         let out = ssi.collect(tuples);
-        assert!(ssi.dropped > 400 && ssi.dropped < 600, "≈50% dropped");
-        assert_eq!(ssi.forged, 100);
-        assert_eq!(out.len() as u64, 1000 - ssi.dropped + ssi.forged);
+        assert!(
+            ssi.dropped() > 400 && ssi.dropped() < 600,
+            "≈50% dropped, got {}",
+            ssi.dropped()
+        );
+        assert_eq!(ssi.forged(), 100);
+        assert_eq!(out.len() as u64, 1000 - ssi.dropped() + ssi.forged());
+    }
+
+    #[test]
+    fn drop_verdict_depends_only_on_message_id() {
+        let a = Ssi::new(
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.4,
+                forge_rate: 0.0,
+            },
+            7,
+        );
+        let b = Ssi::new(
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.4,
+                forge_rate: 0.0,
+            },
+            7,
+        );
+        // b consumes unrelated decisions first — verdicts must not shift.
+        for noise_id in 5000..5100 {
+            b.drops_message(noise_id);
+        }
+        for id in 0..500 {
+            assert_eq!(a.drops_message(id), b.drops_message(id), "id {id}");
+        }
+        // A different seed decides differently somewhere.
+        let c = Ssi::new(
+            SsiThreat::WeaklyMalicious {
+                drop_rate: 0.4,
+                forge_rate: 0.0,
+            },
+            8,
+        );
+        assert!((0..500).any(|id| a.drops_message(id) != c.drops_message(id)));
+    }
+
+    #[test]
+    fn tagged_collect_is_order_independent() {
+        let mk = || {
+            Ssi::new(
+                SsiThreat::WeaklyMalicious {
+                    drop_rate: 0.3,
+                    forge_rate: 0.0,
+                },
+                11,
+            )
+        };
+        let msgs: Vec<(u64, Vec<u8>)> = (0..200u64).map(|i| (i, vec![i as u8; 4])).collect();
+        let mut reversed = msgs.clone();
+        reversed.reverse();
+        let a = mk();
+        let fwd = a.collect_tagged(msgs);
+        let b = mk();
+        let mut rev = b.collect_tagged(reversed);
+        rev.reverse();
+        assert_eq!(fwd, rev, "same survivors regardless of arrival order");
+        assert_eq!(a.dropped(), b.dropped());
     }
 
     #[test]
@@ -219,5 +364,25 @@ mod tests {
         assert!(uniform.frequency_signal() < 0.01);
         assert!(skewed.frequency_signal() > 1.0);
         assert_eq!(Leakage::default().frequency_signal(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_observation_loses_nothing() {
+        let ssi = std::sync::Arc::new(Ssi::honest(5));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ssi = ssi.clone();
+                s.spawn(move || {
+                    let msgs: Vec<(u64, Vec<u8>)> =
+                        (0..250u64).map(|i| (t * 1000 + i, vec![0u8; 16])).collect();
+                    ssi.collect_tagged(msgs);
+                    ssi.observe_classes(&[t]);
+                });
+            }
+        });
+        let leak = ssi.leakage();
+        assert_eq!(leak.tuples_seen, 1000);
+        assert_eq!(leak.bytes_seen, 16_000);
+        assert_eq!(leak.equality_class_sizes.len(), 4);
     }
 }

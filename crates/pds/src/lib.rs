@@ -31,11 +31,13 @@
 //! | [`core`] | `pds-core` | the Personal Data Server (Part I) |
 //! | [`global`] | `pds-global` | secure global computation (Part III) |
 //! | [`sync`] | `pds-sync` | folder sync, Folk-IS, trusted cells (Perspectives) |
+//! | [`fleet`] | `pds-fleet` | multi-token fleet runtime + store-and-forward bus |
 
 pub use pds_core as core;
 pub use pds_crypto as crypto;
 pub use pds_db as db;
 pub use pds_flash as flash;
+pub use pds_fleet as fleet;
 pub use pds_global as global;
 pub use pds_mcu as mcu;
 pub use pds_search as search;

@@ -8,6 +8,18 @@
 //! version-stamped snapshots to the cloud and pull each other's updates.
 //! The cloud sees ciphertext and version numbers only; conflict
 //! resolution (last-writer-wins per slice) happens inside the cells.
+//!
+//! ## Message-based synchronization
+//!
+//! Synchronization is expressed as an exchange of [`CellMsg`] values so
+//! that a transport can sit between a cell and the cloud: the fleet
+//! runtime (`pds-fleet`) routes these messages over its store-and-forward
+//! mailbox bus, where cells are online only a fraction of the time and
+//! deliveries retry with backoff. [`TrustedCell::sync`] is the direct
+//! in-process composition of the same messages against a local
+//! [`CloudStore`] — one protocol, two transports. Messages have a compact
+//! wire form ([`CellMsg::to_bytes`]) because bus payloads are opaque
+//! byte strings.
 
 use std::collections::BTreeMap;
 
@@ -17,6 +29,163 @@ use pds_obs::rng::RngCore;
 
 /// One snapshot header: (version, ciphertext chunks).
 type SnapshotBlob = (u64, Vec<u8>);
+
+/// A cell↔cloud synchronization message. `blob` fields carry
+/// `version (8 bytes LE) || ciphertext`: the version is the only
+/// plaintext the cloud ever sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellMsg {
+    /// Cell asks the cloud for its stored snapshot of `slice`.
+    PullReq {
+        /// Slice name.
+        slice: String,
+    },
+    /// Cloud's reply: the stored versioned blob, if any.
+    PullResp {
+        /// Slice name.
+        slice: String,
+        /// `version || ciphertext`, or `None` when the cloud holds nothing.
+        blob: Option<Vec<u8>>,
+    },
+    /// Cell publishes its (newer) encrypted snapshot.
+    Push {
+        /// Slice name.
+        slice: String,
+        /// `version || ciphertext`.
+        blob: Vec<u8>,
+    },
+}
+
+impl CellMsg {
+    const TAG_PULL_REQ: u8 = 1;
+    const TAG_PULL_RESP: u8 = 2;
+    const TAG_PUSH: u8 = 3;
+
+    /// Slice this message is about.
+    pub fn slice(&self) -> &str {
+        match self {
+            CellMsg::PullReq { slice }
+            | CellMsg::PullResp { slice, .. }
+            | CellMsg::Push { slice, .. } => slice,
+        }
+    }
+
+    /// Compact wire form (bus payloads are opaque bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put(out: &mut Vec<u8>, bytes: &[u8]) {
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        let mut out = Vec::new();
+        match self {
+            CellMsg::PullReq { slice } => {
+                out.push(Self::TAG_PULL_REQ);
+                put(&mut out, slice.as_bytes());
+            }
+            CellMsg::PullResp { slice, blob } => {
+                out.push(Self::TAG_PULL_RESP);
+                put(&mut out, slice.as_bytes());
+                out.push(u8::from(blob.is_some()));
+                if let Some(b) = blob {
+                    put(&mut out, b);
+                }
+            }
+            CellMsg::Push { slice, blob } => {
+                out.push(Self::TAG_PUSH);
+                put(&mut out, slice.as_bytes());
+                put(&mut out, blob);
+            }
+        }
+        out
+    }
+
+    /// Parse the wire form; `None` on any truncation or unknown tag.
+    pub fn from_bytes(bytes: &[u8]) -> Option<CellMsg> {
+        fn take<'a>(bytes: &mut &'a [u8]) -> Option<&'a [u8]> {
+            if bytes.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+            if bytes.len() < 4 + len {
+                return None;
+            }
+            let out = &bytes[4..4 + len];
+            *bytes = &bytes[4 + len..];
+            Some(out)
+        }
+        let (&tag, mut rest) = bytes.split_first()?;
+        let slice = String::from_utf8(take(&mut rest)?.to_vec()).ok()?;
+        match tag {
+            Self::TAG_PULL_REQ => Some(CellMsg::PullReq { slice }),
+            Self::TAG_PULL_RESP => {
+                let (&present, mut rest2) = rest.split_first()?;
+                let blob = if present == 1 {
+                    Some(take(&mut rest2)?.to_vec())
+                } else {
+                    None
+                };
+                Some(CellMsg::PullResp { slice, blob })
+            }
+            Self::TAG_PUSH => Some(CellMsg::Push {
+                slice,
+                blob: take(&mut rest)?.to_vec(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// What one [`CellMsg::PullResp`] did to the receiving cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSyncOutcome {
+    /// The cloud was ahead: the cell adopted the remote snapshot.
+    Pulled,
+    /// The cell was ahead (or the cloud empty): it emitted a push.
+    Pushed,
+    /// Versions matched; nothing moved.
+    Unchanged,
+}
+
+/// Serve one cell message at the cloud. Returns the response message to
+/// route back, if the request calls for one. The cloud never decrypts:
+/// it compares the 8-byte plaintext version prefix so a stale or
+/// duplicated [`CellMsg::Push`] (the bus is at-least-once) can never
+/// regress a newer snapshot.
+pub fn serve_cloud(cloud: &mut CloudStore, msg: &CellMsg) -> Option<CellMsg> {
+    match msg {
+        CellMsg::PullReq { slice } => {
+            let blob = cloud
+                .get(&TrustedCell::blob_name(slice))
+                .and_then(|chunks| chunks.first().cloned());
+            Some(CellMsg::PullResp {
+                slice: slice.clone(),
+                blob,
+            })
+        }
+        CellMsg::Push { slice, blob } => {
+            let name = TrustedCell::blob_name(slice);
+            let incoming = blob_version(blob);
+            let stored = cloud
+                .get(&name)
+                .and_then(|chunks| chunks.first())
+                .map(|b| blob_version(b))
+                .unwrap_or(0);
+            if incoming >= stored {
+                cloud.put(&name, vec![blob.clone()]);
+            }
+            None
+        }
+        CellMsg::PullResp { .. } => None,
+    }
+}
+
+/// Plaintext version prefix of a versioned blob (0 when malformed —
+/// malformed pushes then lose to any real snapshot).
+fn blob_version(blob: &[u8]) -> u64 {
+    blob.get(0..8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0)
+}
 
 /// A trusted cell holding named slices of the owner's state.
 pub struct TrustedCell {
@@ -36,6 +205,17 @@ pub struct CellSyncReport {
     pub pulled: u32,
     /// Slices already in sync.
     pub unchanged: u32,
+}
+
+impl CellSyncReport {
+    /// Fold one message outcome into the pass report.
+    pub fn record(&mut self, outcome: CellSyncOutcome) {
+        match outcome {
+            CellSyncOutcome::Pulled => self.pulled += 1,
+            CellSyncOutcome::Pushed => self.pushed += 1,
+            CellSyncOutcome::Unchanged => self.unchanged += 1,
+        }
+    }
 }
 
 impl TrustedCell {
@@ -66,38 +246,88 @@ impl TrustedCell {
         self.slices.get(slice).map(|(v, _)| *v).unwrap_or(0)
     }
 
-    fn blob_name(owner_slice: &str) -> String {
+    /// Slice names this cell currently tracks.
+    pub fn slice_names(&self) -> Vec<String> {
+        self.slices.keys().cloned().collect()
+    }
+
+    /// Cloud blob name of a slice.
+    pub fn blob_name(owner_slice: &str) -> String {
         format!("cell-slice:{owner_slice}")
     }
 
-    /// Synchronize with the cloud: push slices where this cell is ahead,
-    /// pull where it is behind (version numbers are the only plaintext
-    /// the cloud sees).
+    /// One [`CellMsg::PullReq`] per slice this cell should reconcile:
+    /// everything it tracks plus any `extra` slice names it has learned
+    /// about (slice names are public cloud metadata).
+    pub fn sync_requests(&self, extra: &[String]) -> Vec<CellMsg> {
+        let mut names = self.slice_names();
+        for e in extra {
+            if !names.contains(e) {
+                names.push(e.clone());
+            }
+        }
+        names
+            .into_iter()
+            .map(|slice| CellMsg::PullReq { slice })
+            .collect()
+    }
+
+    /// Apply one [`CellMsg::PullResp`]: adopt the remote snapshot when the
+    /// cloud is ahead, emit a [`CellMsg::Push`] when this cell is ahead.
+    /// Duplicated responses (the bus is at-least-once) are harmless: a
+    /// re-applied pull is version-equal and a re-emitted push is
+    /// version-guarded at the cloud.
+    pub fn handle_response(
+        &mut self,
+        resp: &CellMsg,
+        rng: &mut impl RngCore,
+    ) -> Result<(Option<CellMsg>, CellSyncOutcome), PdsError> {
+        let CellMsg::PullResp { slice, blob } = resp else {
+            return Err(PdsError::ArchiveCorrupt("cell expected a pull response"));
+        };
+        let local_v = self.version(slice);
+        let remote = blob.as_deref().map(|b| Self::decode_blob(b, &self.key));
+        match remote.transpose()? {
+            Some((rv, data)) if rv > local_v => {
+                self.slices.insert(slice.clone(), (rv, data));
+                Ok((None, CellSyncOutcome::Pulled))
+            }
+            Some((rv, _)) if rv == local_v => Ok((None, CellSyncOutcome::Unchanged)),
+            _ => match self.slices.get(slice) {
+                // We are ahead (or the cloud has nothing): push.
+                Some((v, data)) => {
+                    let blob = Self::encode_blob(&self.key, *v, data, rng);
+                    Ok((
+                        Some(CellMsg::Push {
+                            slice: slice.clone(),
+                            blob,
+                        }),
+                        CellSyncOutcome::Pushed,
+                    ))
+                }
+                // Neither side has it (a foreign slice not yet written).
+                None => Ok((None, CellSyncOutcome::Unchanged)),
+            },
+        }
+    }
+
+    /// Synchronize with the cloud: the direct in-process run of the
+    /// message protocol — push slices where this cell is ahead, pull
+    /// where it is behind (version numbers are the only plaintext the
+    /// cloud sees).
     pub fn sync(
         &mut self,
         cloud: &mut CloudStore,
         rng: &mut impl RngCore,
     ) -> Result<CellSyncReport, PdsError> {
         let mut report = CellSyncReport::default();
-        // Pull phase: check every slice the cloud knows about that we
-        // also track, plus push our own.
-        let slice_names: Vec<String> = self.slices.keys().cloned().collect();
-        for slice in slice_names {
-            let name = Self::blob_name(&slice);
-            let remote = Self::fetch(cloud, &name, &self.key)?;
-            let local_v = self.version(&slice);
-            match remote {
-                Some((rv, data)) if rv > local_v => {
-                    self.slices.insert(slice.clone(), (rv, data));
-                    report.pulled += 1;
-                }
-                Some((rv, _)) if rv == local_v => report.unchanged += 1,
-                _ => {
-                    // We are ahead (or the cloud has nothing): push.
-                    let (v, data) = &self.slices[&slice];
-                    Self::store(cloud, &name, &self.key, *v, data, rng);
-                    report.pushed += 1;
-                }
+        for req in self.sync_requests(&[]) {
+            let resp = serve_cloud(cloud, &req)
+                .ok_or(PdsError::ArchiveCorrupt("cloud ignored a pull request"))?;
+            let (push, outcome) = self.handle_response(&resp, rng)?;
+            report.record(outcome);
+            if let Some(push) = push {
+                serve_cloud(cloud, &push);
             }
         }
         Ok(report)
@@ -106,45 +336,31 @@ impl TrustedCell {
     /// Discover and pull a slice this cell has never seen.
     pub fn pull_new(&mut self, cloud: &CloudStore, slice: &str) -> Result<bool, PdsError> {
         let name = Self::blob_name(slice);
-        match Self::fetch(cloud, &name, &self.key)? {
-            Some((v, data)) => {
-                let local_v = self.version(slice);
-                if v > local_v {
-                    self.slices.insert(slice.to_string(), (v, data));
-                    Ok(true)
-                } else {
-                    Ok(false)
-                }
-            }
-            None => Ok(false),
+        let Some(blob) = cloud.get(&name).and_then(|chunks| chunks.first()) else {
+            return Ok(false);
+        };
+        let (v, data) = Self::decode_blob(blob, &self.key)?;
+        if v > self.version(slice) {
+            self.slices.insert(slice.to_string(), (v, data));
+            Ok(true)
+        } else {
+            Ok(false)
         }
     }
 
-    fn store(
-        cloud: &mut CloudStore,
-        name: &str,
+    fn encode_blob(
         key: &SymmetricKey,
         version: u64,
         data: &[u8],
         rng: &mut impl RngCore,
-    ) {
+    ) -> Vec<u8> {
         let ct = key.encrypt_prob(data, rng);
         let mut blob = version.to_le_bytes().to_vec();
         blob.extend_from_slice(&ct.0);
-        cloud.put(name, vec![blob]);
+        blob
     }
 
-    fn fetch(
-        cloud: &CloudStore,
-        name: &str,
-        key: &SymmetricKey,
-    ) -> Result<Option<SnapshotBlob>, PdsError> {
-        let Some(chunks) = cloud.get(name) else {
-            return Ok(None);
-        };
-        let blob = chunks
-            .first()
-            .ok_or(PdsError::ArchiveCorrupt("empty cell blob"))?;
+    fn decode_blob(blob: &[u8], key: &SymmetricKey) -> Result<SnapshotBlob, PdsError> {
         if blob.len() < 8 {
             return Err(PdsError::ArchiveCorrupt("short cell blob"));
         }
@@ -152,7 +368,7 @@ impl TrustedCell {
         let data = key
             .decrypt(&pds_crypto::Ciphertext(blob[8..].to_vec()))
             .ok_or(PdsError::ArchiveCorrupt("cell blob authentication"))?;
-        Ok(Some((version, data)))
+        Ok((version, data))
     }
 }
 
@@ -244,5 +460,82 @@ mod tests {
         assert_eq!(r1.pushed, 2);
         let r2 = home.sync(&mut cloud, &mut rng).unwrap();
         assert_eq!(r2.unchanged, 2);
+    }
+
+    #[test]
+    fn messages_round_trip_the_wire_form() {
+        let msgs = vec![
+            CellMsg::PullReq {
+                slice: "prefs".into(),
+            },
+            CellMsg::PullResp {
+                slice: "prefs".into(),
+                blob: None,
+            },
+            CellMsg::PullResp {
+                slice: "prefs".into(),
+                blob: Some(vec![1, 2, 3]),
+            },
+            CellMsg::Push {
+                slice: "médical".into(),
+                blob: vec![0; 40],
+            },
+        ];
+        for m in msgs {
+            assert_eq!(CellMsg::from_bytes(&m.to_bytes()), Some(m.clone()));
+        }
+        assert_eq!(CellMsg::from_bytes(&[]), None);
+        assert_eq!(CellMsg::from_bytes(&[9, 0, 0, 0, 0]), None);
+        let truncated = CellMsg::PullReq {
+            slice: "long-name".into(),
+        }
+        .to_bytes();
+        assert_eq!(CellMsg::from_bytes(&truncated[..truncated.len() - 2]), None);
+    }
+
+    #[test]
+    fn message_protocol_equals_direct_sync() {
+        // The same exchange through explicit messages reaches the same
+        // state as TrustedCell::sync.
+        let (mut home, mut phone, mut cloud, mut rng) = setup();
+        home.write("slice", b"from-home");
+        for req in home.sync_requests(&[]) {
+            let resp = serve_cloud(&mut cloud, &req).unwrap();
+            let (push, outcome) = home.handle_response(&resp, &mut rng).unwrap();
+            assert_eq!(outcome, CellSyncOutcome::Pushed);
+            serve_cloud(&mut cloud, &push.unwrap());
+        }
+        for req in phone.sync_requests(&["slice".into()]) {
+            let resp = serve_cloud(&mut cloud, &req).unwrap();
+            let (push, outcome) = phone.handle_response(&resp, &mut rng).unwrap();
+            assert!(push.is_none());
+            assert_eq!(outcome, CellSyncOutcome::Pulled);
+        }
+        assert_eq!(phone.read("slice").unwrap(), b"from-home");
+    }
+
+    #[test]
+    fn stale_or_duplicated_push_cannot_regress_the_cloud() {
+        let (mut home, _, mut cloud, mut rng) = setup();
+        home.write("s", b"v1-data");
+        let v1 = TrustedCell::encode_blob(&home.key, 1, b"v1-data", &mut rng);
+        let v2 = TrustedCell::encode_blob(&home.key, 2, b"v2-data", &mut rng);
+        serve_cloud(
+            &mut cloud,
+            &CellMsg::Push {
+                slice: "s".into(),
+                blob: v2.clone(),
+            },
+        );
+        // A delayed duplicate of the older push arrives afterwards.
+        serve_cloud(
+            &mut cloud,
+            &CellMsg::Push {
+                slice: "s".into(),
+                blob: v1,
+            },
+        );
+        let stored = cloud.get("cell-slice:s").unwrap().first().unwrap().clone();
+        assert_eq!(stored, v2, "newer snapshot survives the stale duplicate");
     }
 }

@@ -29,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Protocol 1: secure aggregation (probabilistic encryption).
-    let mut ssi = Ssi::honest(1);
-    let (r1, s1) = secure_aggregation(&mut pop, &query, &mut ssi, 32, OnTamper::Abort, &mut rng)?;
+    let ssi = Ssi::honest(1);
+    let (r1, s1) = secure_aggregation(&mut pop, &query, &ssi, 32, OnTamper::Abort, &mut rng)?;
     assert_eq!(r1, truth);
     println!(
         "\n[secure-agg]   exact ✓  token tuples {:>6}  rounds {:>4}  SSI bytes {:>8}  SSI sees {} equality classes",
@@ -39,11 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Protocol 2a: noise-based, random fakes.
-    let mut ssi = Ssi::honest(2);
+    let ssi = Ssi::honest(2);
     let (r2, s2) = noise_based(
         &mut pop,
         &query,
-        &mut ssi,
+        &ssi,
         NoiseStrategy::Random { fakes_per_token: 4 },
         &mut rng,
     )?;
@@ -55,11 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Protocol 2b: noise-based, complementary-domain fakes.
-    let mut ssi = Ssi::honest(3);
+    let ssi = Ssi::honest(3);
     let (r3, s3) = noise_based(
         &mut pop,
         &query,
-        &mut ssi,
+        &ssi,
         NoiseStrategy::Complementary,
         &mut rng,
     )?;
@@ -72,8 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Protocol 3: histogram-based (3 buckets over the 6-category domain).
     let map = BucketMap::equi_width(&query.domain, 3);
-    let mut ssi = Ssi::honest(4);
-    let (r4, s4) = histogram_based(&mut pop, &query, &mut ssi, &map, &mut rng)?;
+    let ssi = Ssi::honest(4);
+    let (r4, s4) = histogram_based(&mut pop, &query, &ssi, &map, &mut rng)?;
     assert_eq!(r4, truth);
     println!(
         "[histogram-3]  exact ✓  token tuples {:>6}  rounds {:>4}  SSI bytes {:>8}  SSI sees {} buckets",

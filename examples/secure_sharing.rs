@@ -68,19 +68,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q = GroupByQuery::bank_by_category();
     let mut pop = Population::synthetic(50, &q.domain, &mut rng)?;
     let insee = authority.issue(TokenId(1000), "insee", Role::StatisticsInstitute, 3650);
-    let mut ssi = Ssi::honest(1);
+    let ssi = Ssi::honest(1);
     let (result, stats) =
-        authorized_secure_aggregation(&vk, &insee, 100, &mut pop, &q, &mut ssi, 16, &mut rng)?;
+        authorized_secure_aggregation(&vk, &insee, 100, &mut pop, &q, &ssi, 16, &mut rng)?;
     println!(
         "\naccredited institute ran the national survey: {} groups, {} token rounds",
         result.len(),
         stats.rounds
     );
     let marketer = authority.issue(TokenId(1001), "adtech", Role::Practitioner, 3650);
-    let mut ssi2 = Ssi::honest(2);
-    let err =
-        authorized_secure_aggregation(&vk, &marketer, 100, &mut pop, &q, &mut ssi2, 16, &mut rng)
-            .unwrap_err();
+    let ssi2 = Ssi::honest(2);
+    let err = authorized_secure_aggregation(&vk, &marketer, 100, &mut pop, &q, &ssi2, 16, &mut rng)
+        .unwrap_err();
     println!(
         "mis-roled issuer: {err} (SSI saw {} tuples)",
         ssi2.leakage().tuples_seen

@@ -11,3 +11,8 @@ cargo test --workspace -q
 # Widened seeded crash-recovery sweep: a fixed, larger seed set than the
 # default 48 so every gate run exercises the fault paths broadly.
 PDS_CRASH_SEEDS=256 cargo test -p pds-flash -q seeded_crash_recovery_sweep
+# Fleet smoke sweep: a small tokens × threads × connectivity run of the
+# phased secure-aggregation job, with the pds-obs registry exported so
+# the fleet.* counters are visible in the gate log.
+PDS_E14_TOKENS=64 PDS_E14_MAX_THREADS=4 \
+  cargo run --release -q -p pds-bench --bin report -- --metrics e14

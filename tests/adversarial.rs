@@ -66,9 +66,8 @@ fn broken_token_does_not_poison_the_population_result() {
     pop.tokens[3].token_mut().compromise();
     assert!(!pop.tokens[3].token().is_trusted());
     let truth = plaintext_groupby(&mut pop, &q).unwrap();
-    let mut ssi = Ssi::honest(1);
-    let (result, _) =
-        secure_aggregation(&mut pop, &q, &mut ssi, 8, OnTamper::Abort, &mut rng).unwrap();
+    let ssi = Ssi::honest(1);
+    let (result, _) = secure_aggregation(&mut pop, &q, &ssi, 8, OnTamper::Abort, &mut rng).unwrap();
     assert_eq!(result, truth);
 }
 
@@ -112,28 +111,27 @@ fn malicious_ssi_with_skipping_tokens_shows_why_checking_matters() {
     let truth = plaintext_groupby(&mut pop, &q).unwrap();
     let truth_total: u64 = truth.iter().map(|(_, v)| v).sum();
 
-    let mut ssi = Ssi::new(
+    let ssi = Ssi::new(
         SsiThreat::WeaklyMalicious {
             drop_rate: 0.3,
             forge_rate: 0.0,
         },
         5,
     );
-    let (biased, _) =
-        secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Skip, &mut rng).unwrap();
+    let (biased, _) = secure_aggregation(&mut pop, &q, &ssi, 16, OnTamper::Skip, &mut rng).unwrap();
     let biased_total: u64 = biased.iter().map(|(_, v)| v).sum();
     assert!(biased_total < truth_total, "silent bias without checks");
 
     // With checking tokens, the same adversary forging anything at all
     // is caught immediately.
-    let mut ssi2 = Ssi::new(
+    let ssi2 = Ssi::new(
         SsiThreat::WeaklyMalicious {
             drop_rate: 0.0,
             forge_rate: 0.05,
         },
         6,
     );
-    assert!(secure_aggregation(&mut pop, &q, &mut ssi2, 16, OnTamper::Abort, &mut rng).is_err());
+    assert!(secure_aggregation(&mut pop, &q, &ssi2, 16, OnTamper::Abort, &mut rng).is_err());
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! Integration: the fleet runtime's determinism contract and the
+//! bus-routed Trusted-Cells convergence.
+//!
+//! The contract under test: for a fixed seed, a phased fleet job is
+//! bit-for-bit identical at 1, 2, and 8 worker threads — the protocol
+//! result, the SSI's leakage ledger, its covert drop/forge tallies, the
+//! protocol cost accounting, and the bus delivery counters. And the
+//! store-and-forward bus gives the Trusted-Cells sync the paper's
+//! availability story: a cell that disappears mid-sync converges as
+//! soon as it comes back online.
+
+use pds::fleet::{
+    build_fleet, fleet_secure_aggregation, CellNet, CellNetConfig, FleetAggReport, FleetConfig,
+    OnTamper,
+};
+use pds::global::ssi::SsiThreat;
+use pds::global::GroupByQuery;
+use pds::sync::TrustedCell;
+
+fn run_fleet(workers: usize, threat: SsiThreat, on_tamper: OnTamper) -> FleetAggReport {
+    let mut cfg = FleetConfig::new(64, workers, 0xF1EE7);
+    cfg.partition_size = 16;
+    let query = GroupByQuery::bank_by_category();
+    let pool = build_fleet(&cfg, &query);
+    fleet_secure_aggregation(&cfg, &query, &pool, threat, on_tamper).unwrap()
+}
+
+#[test]
+fn aggregation_is_identical_at_1_2_and_8_workers() {
+    let one = run_fleet(1, SsiThreat::HonestButCurious, OnTamper::Abort);
+    assert_eq!(one.result, one.expected, "protocol is exact");
+    assert!(!one.result.is_empty());
+    for workers in [2, 8] {
+        let many = run_fleet(workers, SsiThreat::HonestButCurious, OnTamper::Abort);
+        assert_eq!(one.result, many.result, "{workers} workers: result");
+        assert_eq!(
+            one.leakage, many.leakage,
+            "{workers} workers: leakage ledger"
+        );
+        assert_eq!(one.stats, many.stats, "{workers} workers: protocol stats");
+        assert_eq!(
+            one.bus, many.bus,
+            "{workers} workers: bus delivery schedule"
+        );
+        assert_eq!(one.result_coverage, many.result_coverage);
+    }
+}
+
+#[test]
+fn covert_adversary_verdicts_are_thread_count_independent() {
+    // A weakly-malicious SSI decides drops per message id, so even the
+    // *damage* it does is reproducible at any worker count.
+    let threat = SsiThreat::WeaklyMalicious {
+        drop_rate: 0.4,
+        forge_rate: 0.0,
+    };
+    let one = run_fleet(1, threat, OnTamper::Skip);
+    let eight = run_fleet(8, threat, OnTamper::Skip);
+    assert_eq!(one.result, eight.result, "identical corrupted result");
+    assert_eq!(one.leakage, eight.leakage);
+    let sum = |r: &[(String, u64)]| r.iter().map(|(_, v)| *v).sum::<u64>();
+    assert!(
+        sum(&one.result) < sum(&one.expected),
+        "drops did bias the unchecked result"
+    );
+}
+
+#[test]
+fn weak_connectivity_changes_schedule_but_not_result() {
+    let mut flaky = FleetConfig::new(48, 4, 77);
+    flaky.partition_size = 16;
+    flaky.bus.connectivity = 0.15;
+    flaky.bus.loss_rate = 0.2;
+    flaky.bus.dup_rate = 0.1;
+    flaky.bus.max_attempts = 64;
+    let mut solid = flaky.clone();
+    solid.bus.connectivity = 1.0;
+    solid.bus.loss_rate = 0.0;
+    solid.bus.dup_rate = 0.0;
+    let query = GroupByQuery::bank_by_category();
+    let run = |cfg: &FleetConfig| {
+        let pool = build_fleet(cfg, &query);
+        fleet_secure_aggregation(
+            cfg,
+            &query,
+            &pool,
+            SsiThreat::HonestButCurious,
+            OnTamper::Abort,
+        )
+        .unwrap()
+    };
+    let a = run(&flaky);
+    let b = run(&solid);
+    assert_eq!(a.bus.expired, 0, "at-least-once within the attempt budget");
+    assert!(a.bus.retries > 0 && a.bus.duplicates > 0);
+    assert!(a.bus.ticks > b.bus.ticks, "weak connectivity costs time");
+    assert_eq!(a.result, b.result, "…but never correctness");
+}
+
+fn cell_net(workers: usize, seed: u64) -> CellNet {
+    let cfg = CellNetConfig::new(6, workers, seed);
+    CellNet::build(cfg, |i| {
+        TrustedCell::new(&format!("cell-{i}"), b"owner-alice")
+    })
+}
+
+#[test]
+fn offline_cell_converges_after_coming_back_online() {
+    let mut net = cell_net(3, 11);
+    net.write(0, "energy-profile", b"heating v1");
+    net.sync_until_quiet(40).unwrap();
+    assert!(net.converged(), "baseline sync: {:?}", net.versions());
+
+    // Cell 4 drops off the network; the others keep evolving the state.
+    net.force_offline(4, true);
+    net.write(1, "energy-profile", b"heating v2");
+    net.write(1, "medical", b"diagnosis");
+    net.sync_until_quiet(40).unwrap();
+    assert!(!net.converged(), "cell 4 is behind while offline");
+    assert_eq!(net.read(5, "energy-profile").unwrap(), b"heating v2");
+    assert_ne!(net.read(4, "energy-profile").unwrap(), b"heating v2");
+
+    // It reconnects: the parked bus traffic and the next sync rounds
+    // bring it up to date without anyone re-entering data.
+    net.force_offline(4, false);
+    net.sync_until_quiet(40).unwrap();
+    assert!(net.converged(), "after reconnect: {:?}", net.versions());
+    assert_eq!(net.read(4, "energy-profile").unwrap(), b"heating v2");
+    assert_eq!(net.read(4, "medical").unwrap(), b"diagnosis");
+}
+
+#[test]
+fn cell_sync_is_identical_across_worker_counts() {
+    let run = |workers| {
+        let mut net = cell_net(workers, 23);
+        net.write(0, "a", b"1");
+        net.write(3, "b", b"2");
+        let rounds = net.sync_until_quiet(40).unwrap();
+        net.write(2, "a", b"3");
+        net.sync_until_quiet(40).unwrap();
+        (rounds, net.versions(), net.report(), net.bus_stats())
+    };
+    let one = run(1);
+    assert_eq!(one, run(2));
+    assert_eq!(one, run(8));
+}

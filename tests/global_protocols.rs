@@ -21,9 +21,8 @@ fn all_protocols_agree_with_ground_truth_across_sizes() {
         let (mut pop, q, mut rng) = setup(n, seed);
         let truth = plaintext_groupby(&mut pop, &q).unwrap();
 
-        let mut ssi = Ssi::honest(seed);
-        let (r, _) =
-            secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng).unwrap();
+        let ssi = Ssi::honest(seed);
+        let (r, _) = secure_aggregation(&mut pop, &q, &ssi, 16, OnTamper::Abort, &mut rng).unwrap();
         assert_eq!(r, truth, "secure-agg n={n}");
 
         for strategy in [
@@ -31,15 +30,15 @@ fn all_protocols_agree_with_ground_truth_across_sizes() {
             NoiseStrategy::Random { fakes_per_token: 5 },
             NoiseStrategy::Complementary,
         ] {
-            let mut ssi = Ssi::honest(seed + 10);
-            let (r, _) = noise_based(&mut pop, &q, &mut ssi, strategy, &mut rng).unwrap();
+            let ssi = Ssi::honest(seed + 10);
+            let (r, _) = noise_based(&mut pop, &q, &ssi, strategy, &mut rng).unwrap();
             assert_eq!(r, truth, "noise {strategy:?} n={n}");
         }
 
         for buckets in [1u32, 2, 6] {
             let map = BucketMap::equi_width(&q.domain, buckets);
-            let mut ssi = Ssi::honest(seed + 20);
-            let (r, _) = histogram_based(&mut pop, &q, &mut ssi, &map, &mut rng).unwrap();
+            let ssi = Ssi::honest(seed + 20);
+            let (r, _) = histogram_based(&mut pop, &q, &ssi, &map, &mut rng).unwrap();
             assert_eq!(r, truth, "histogram B={buckets} n={n}");
         }
     }
@@ -51,20 +50,20 @@ fn leakage_ordering_matches_the_paper() {
     // can reconstruct of the group frequency distribution.
     let (mut pop, q, mut rng) = setup(200, 5);
 
-    let mut agg_ssi = Ssi::honest(1);
-    secure_aggregation(&mut pop, &q, &mut agg_ssi, 16, OnTamper::Abort, &mut rng).unwrap();
+    let agg_ssi = Ssi::honest(1);
+    secure_aggregation(&mut pop, &q, &agg_ssi, 16, OnTamper::Abort, &mut rng).unwrap();
     let agg_classes = agg_ssi.leakage().equality_class_sizes.len();
 
     let map = BucketMap::equi_width(&q.domain, 2);
-    let mut hist_ssi = Ssi::honest(2);
-    histogram_based(&mut pop, &q, &mut hist_ssi, &map, &mut rng).unwrap();
+    let hist_ssi = Ssi::honest(2);
+    histogram_based(&mut pop, &q, &hist_ssi, &map, &mut rng).unwrap();
     let hist_classes = hist_ssi.leakage().equality_class_sizes.len();
 
-    let mut det_ssi = Ssi::honest(3);
+    let det_ssi = Ssi::honest(3);
     noise_based(
         &mut pop,
         &q,
-        &mut det_ssi,
+        &det_ssi,
         NoiseStrategy::Random { fakes_per_token: 0 },
         &mut rng,
     )
@@ -79,15 +78,14 @@ fn leakage_ordering_matches_the_paper() {
 #[test]
 fn weakly_malicious_ssi_is_caught_by_checking_tokens() {
     let (mut pop, q, mut rng) = setup(50, 6);
-    let mut ssi = Ssi::new(
+    let ssi = Ssi::new(
         SsiThreat::WeaklyMalicious {
             drop_rate: 0.0,
             forge_rate: 0.3,
         },
         1,
     );
-    let err =
-        secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng).unwrap_err();
+    let err = secure_aggregation(&mut pop, &q, &ssi, 16, OnTamper::Abort, &mut rng).unwrap_err();
     assert!(matches!(
         err,
         pds::global::GlobalError::TamperingDetected(_)
@@ -99,9 +97,9 @@ fn token_work_scales_linearly_with_population() {
     let mut work = Vec::new();
     for n in [50usize, 200] {
         let (mut pop, q, mut rng) = setup(n, 8);
-        let mut ssi = Ssi::honest(1);
+        let ssi = Ssi::honest(1);
         let (_, stats) =
-            secure_aggregation(&mut pop, &q, &mut ssi, 16, OnTamper::Abort, &mut rng).unwrap();
+            secure_aggregation(&mut pop, &q, &ssi, 16, OnTamper::Abort, &mut rng).unwrap();
         work.push(stats.token_tuples as f64);
     }
     let ratio = work[1] / work[0];
