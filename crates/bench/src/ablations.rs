@@ -110,8 +110,7 @@ pub fn a3_codesign() -> Table {
             c.device.to_string(),
             (c.ram / 1024).to_string(),
             c.max_keywords
-                .map(|k| k.to_string())
-                .unwrap_or_else(|| "0".to_string()),
+                .map_or_else(|| "0".to_string(), |k| k.to_string()),
             c.max_fan_in.to_string(),
         ]);
     }

@@ -46,6 +46,18 @@ fn main() {
         }
     }
     if metrics {
+        // Fold the static-analysis posture into the same registry dump:
+        // lint.findings / lint.waivers / lint.files_scanned sit next to
+        // the runtime counters, so one `--metrics` run captures both.
+        if let Some(root) = std::env::current_dir()
+            .ok()
+            .and_then(|cwd| pds_lint::find_workspace_root(&cwd))
+        {
+            match pds_lint::run_workspace(&root) {
+                Ok(report) => report.publish(),
+                Err(e) => eprintln!("  [pds-lint skipped: {e}]"),
+            }
+        }
         println!("-- pds-obs registry (JSONL) --");
         print!("{}", pds_obs::metrics::global().export_jsonl());
     }

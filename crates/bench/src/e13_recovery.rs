@@ -77,8 +77,7 @@ pub fn measure(seed: u64, durable_days: u64) -> E13Point {
     let me = AccessContext::new("alice", Purpose::PersonalUse);
     let search_ok = rec
         .search(&me, &["marker"], 50)
-        .map(|hits| hits.len() as u64 >= durable_days)
-        .unwrap_or(false);
+        .is_ok_and(|hits| hits.len() as u64 >= durable_days);
     E13Point {
         cut_after,
         ingested_days: day,

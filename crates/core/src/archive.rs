@@ -66,8 +66,7 @@ impl CloudStore {
     pub fn observable_bytes(&self, name: &str) -> usize {
         self.blobs
             .get(name)
-            .map(|c| c.iter().map(Vec::len).sum())
-            .unwrap_or(0)
+            .map_or(0, |c| c.iter().map(Vec::len).sum())
     }
 }
 

@@ -35,10 +35,10 @@ pub mod error;
 pub mod pds;
 pub mod policy;
 
+pub use crate::pds::{AccessContext, Pds, ReopenReport};
 pub use archive::{CloudStore, EncryptedArchive};
 pub use audit::{AuditEntry, AuditLog, Decision};
 pub use credentials::{Credential, HandshakeOutcome, Issuer, Role, VerificationKey};
 pub use data::{BankCategory, HealthCategory};
 pub use error::PdsError;
-pub use pds::{AccessContext, Pds, ReopenReport};
 pub use policy::{Action, Collection, Policy, PolicySet, Purpose, Rule, SubjectPattern};

@@ -579,9 +579,8 @@ impl Pds {
         let read_u32 = |buf: &[u8], off: &mut usize| -> Result<u32, PdsError> {
             let b: [u8; 4] = buf
                 .get(*off..*off + 4)
-                .ok_or(PdsError::ArchiveCorrupt("truncated length"))?
-                .try_into()
-                .unwrap();
+                .and_then(|s| s.try_into().ok())
+                .ok_or(PdsError::ArchiveCorrupt("truncated length"))?;
             *off += 4;
             Ok(u32::from_le_bytes(b))
         };

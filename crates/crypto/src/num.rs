@@ -636,7 +636,7 @@ impl Ord for BigUint {
         }
         for i in (0..self.limbs.len()).rev() {
             match self.limbs[i].cmp(&other.limbs[i]) {
-                Ordering::Equal => continue,
+                Ordering::Equal => {}
                 o => return o,
             }
         }

@@ -158,7 +158,7 @@ impl SymmetricKey {
         }
         let mode = payload[0];
         let mut iv = [0u8; IV_LEN];
-        iv.copy_from_slice(&payload[1..1 + IV_LEN]);
+        iv.copy_from_slice(&payload[1..=IV_LEN]);
         let mut body = payload[1 + IV_LEN..].to_vec();
         self.keystream_xor(&iv, &mut body);
         // SIV re-check: the deterministic IV must match the plaintext.

@@ -231,9 +231,14 @@ impl TjoinIndex {
         self.log.read_raw_page(page_idx as u32, &mut buf)?;
         let entry_size = self.ancestors.len().max(1) * 4;
         let off = 2 + slot * entry_size;
-        Ok((0..self.ancestors.len())
-            .map(|i| u32::from_le_bytes(buf[off + i * 4..off + i * 4 + 4].try_into().unwrap()))
-            .collect())
+        (0..self.ancestors.len())
+            .map(|i| {
+                buf.get(off + i * 4..off + i * 4 + 4)
+                    .and_then(|s| s.try_into().ok())
+                    .map(u32::from_le_bytes)
+                    .ok_or(DbError::Corrupt("tjoin entry past page end"))
+            })
+            .collect()
     }
 }
 
@@ -341,6 +346,8 @@ pub fn execute_spj(
     tjoin: &TjoinIndex,
     selects: &[(&TselectIndex, Value)],
 ) -> Result<Vec<JoinedRow>, DbError> {
+    // pds-lint: allow(panic.assert) — query-plan shape check on the caller's
+    // statically-built predicate list, not on stored data.
     assert!(!selects.is_empty(), "at least one predicate");
     // Sorted rowid streams from each Tselect.
     let lists: Vec<Vec<RowId>> = selects
@@ -408,6 +415,18 @@ pub fn execute_spj_naive(
 ) -> Result<Vec<JoinedRow>, DbError> {
     let root = tree.root();
     let n = tables[root].num_rows();
+    // Resolve each predicate's table to its slot in the join order once,
+    // up front; a predicate on a table outside the tree is a caller error,
+    // not a reason to panic mid-scan.
+    let positions: Vec<usize> = selects
+        .iter()
+        .map(|(t, _, _)| {
+            tree.order()
+                .iter()
+                .position(|x| x == t)
+                .ok_or_else(|| DbError::NotInSchemaTree(format!("table #{t}")))
+        })
+        .collect::<Result<_, _>>()?;
     let mut out = Vec::new();
     for r in 0..n {
         let rowids = tree.resolve(tables, r)?;
@@ -417,10 +436,10 @@ pub fn execute_spj_naive(
             .zip(&rowids)
             .map(|(&t, &rid)| tables[t].get(rid))
             .collect::<Result<_, _>>()?;
-        let keep = selects.iter().all(|(t, c, v)| {
-            let pos = tree.order().iter().position(|x| x == t).unwrap();
-            &rows[pos][*c] == v
-        });
+        let keep = selects
+            .iter()
+            .zip(&positions)
+            .all(|((_, c, v), &pos)| &rows[pos][*c] == v);
         if keep {
             out.push(rows);
         }

@@ -17,6 +17,15 @@ pub enum DbError {
     UnknownColumn { table: String, column: String },
     /// A climbing-index query addressed a table outside the schema tree.
     NotInSchemaTree(String),
+    /// An append-only time-ordered store received a sample older than its
+    /// tail. Out-of-order samples are a protocol error on sensor logs,
+    /// surfaced to the caller instead of panicking the token.
+    OutOfOrderTimestamp {
+        /// Timestamp of the newest stored sample.
+        last: u64,
+        /// The offending (older) timestamp.
+        got: u64,
+    },
     /// Stored bytes failed to decode.
     Corrupt(&'static str),
 }
@@ -43,6 +52,12 @@ impl fmt::Display for DbError {
                 write!(f, "unknown column {table}.{column}")
             }
             DbError::NotInSchemaTree(t) => write!(f, "table {t} not in schema tree"),
+            DbError::OutOfOrderTimestamp { last, got } => {
+                write!(
+                    f,
+                    "timestamps must be non-decreasing: got {got} after {last}"
+                )
+            }
             DbError::Corrupt(what) => write!(f, "corrupt {what}"),
         }
     }

@@ -84,10 +84,12 @@ impl KvStore {
     fn append_entry(&mut self, kind: u8, key: &[u8], value: &[u8]) -> Result<(), FlashError> {
         let page_size = self.flash.geometry().page_size;
         let sz = Self::entry_bytes(key, value);
-        assert!(
-            sz + PAGE_HEADER <= page_size,
-            "entry larger than a flash page"
-        );
+        if sz + PAGE_HEADER > page_size {
+            return Err(FlashError::RecordTooLarge {
+                len: sz,
+                max: page_size - PAGE_HEADER,
+            });
+        }
         if self.pending_bytes + sz > page_size {
             self.flush_page()?;
         }

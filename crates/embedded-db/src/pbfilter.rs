@@ -45,6 +45,8 @@ impl PBFilter {
 
     /// An empty index with an explicit Bloom budget (bits per key).
     pub fn with_bits_per_key(flash: &Flash, bits_per_key: usize) -> Self {
+        // pds-lint: allow(panic.assert) — construction-time shape check on a
+        // caller-chosen constant (Bloom budget dial); not data-dependent.
         assert!(bits_per_key >= 1);
         PBFilter {
             flash: flash.clone(),
@@ -157,7 +159,13 @@ impl PBFilter {
         for page_idx in positive_pages {
             let addr = self.keys.page_addr(page_idx)?;
             self.flash.read_page(addr, &mut buf)?;
-            Self::scan_keys_page(&buf, key, &mut hits);
+            let entries = decode_keys_page(&buf).ok_or(FlashError::CorruptPage(addr))?;
+            hits.extend(
+                entries
+                    .into_iter()
+                    .filter(|(k, _)| k.as_slice() == key)
+                    .map(|(_, rowid)| rowid),
+            );
         }
         // 3. The pending RAM page.
         for (k, rowid) in &self.pending {
@@ -174,22 +182,6 @@ impl PBFilter {
         Ok(bf.maybe_contains(key))
     }
 
-    fn scan_keys_page(buf: &[u8], key: &[u8], hits: &mut Vec<RowId>) {
-        let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-        let mut off = PAGE_HEADER;
-        for _ in 0..count {
-            let klen = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
-            off += 2;
-            let k = &buf[off..off + klen];
-            off += klen;
-            let rowid = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
-            off += 4;
-            if k == key {
-                hits.push(rowid);
-            }
-        }
-    }
-
     /// Iterate every `(key, rowid)` entry in insertion order — the input
     /// stream of a reorganization.
     pub fn for_each_entry(&self, mut f: impl FnMut(&[u8], RowId)) -> Result<(), FlashError> {
@@ -198,15 +190,8 @@ impl PBFilter {
         for p in 0..self.keys.num_pages() {
             let addr = self.keys.page_addr(p)?;
             self.flash.read_page(addr, &mut buf)?;
-            let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-            let mut off = PAGE_HEADER;
-            for _ in 0..count {
-                let klen = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
-                off += 2;
-                let key = buf[off..off + klen].to_vec();
-                off += klen;
-                let rowid = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
-                off += 4;
+            let entries = decode_keys_page(&buf).ok_or(FlashError::CorruptPage(addr))?;
+            for (key, rowid) in entries {
                 f(&key, rowid);
             }
         }
@@ -266,7 +251,10 @@ impl Iterator for PBFilterEntries<'_> {
                 if let Err(e) = self.idx.flash.read_page(addr, &mut buf) {
                     return Some(Err(e));
                 }
-                self.current = decode_keys_page(&buf);
+                self.current = match decode_keys_page(&buf) {
+                    Some(entries) => entries,
+                    None => return Some(Err(FlashError::CorruptPage(addr))),
+                };
                 self.pos = 0;
                 continue;
             }
@@ -281,20 +269,24 @@ impl Iterator for PBFilterEntries<'_> {
     }
 }
 
-fn decode_keys_page(buf: &[u8]) -> Vec<(Vec<u8>, RowId)> {
-    let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+/// Decode one Keys page. `None` means the page bytes do not form a
+/// well-formed entry list (truncated length prefix, key running past the
+/// page end): the caller maps it to [`FlashError::CorruptPage`] so a
+/// damaged flash page degrades into a failed query, never a panic.
+fn decode_keys_page(buf: &[u8]) -> Option<Vec<(Vec<u8>, RowId)>> {
+    let count = u16::from_le_bytes([*buf.first()?, *buf.get(1)?]) as usize;
     let mut off = PAGE_HEADER;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let klen = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+        let klen = u16::from_le_bytes([*buf.get(off)?, *buf.get(off + 1)?]) as usize;
         off += 2;
-        let key = buf[off..off + klen].to_vec();
+        let key = buf.get(off..off + klen)?.to_vec();
         off += klen;
-        let rowid = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        let rowid = u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?);
         off += 4;
         out.push((key, rowid));
     }
-    out
+    Some(out)
 }
 
 #[cfg(test)]

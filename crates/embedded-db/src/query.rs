@@ -243,7 +243,7 @@ impl Database {
     pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId, DbError> {
         let t = self.table_idx(table)?;
         let rowid = self.tables[t].insert(&row)?;
-        for ((ti, ci), idx) in self.indexes.iter_mut() {
+        for ((ti, ci), idx) in &mut self.indexes {
             if *ti != t {
                 continue;
             }

@@ -74,7 +74,10 @@ impl Reorganization {
 
     /// Phase 2: build the tree above the sorted log, reclaiming it.
     pub fn build_tree(&mut self) -> Result<TreeIndex, DbError> {
-        let sorted = self.sorted.take().expect("build_tree called twice");
+        let sorted = self
+            .sorted
+            .take()
+            .ok_or(DbError::Corrupt("reorg state: build_tree called twice"))?;
         let first_err: RefCell<Option<DbError>> = RefCell::new(None);
         let entries = sorted.reader().map_while(|rec| match rec {
             Ok(bytes) => match decode_entry(&bytes) {

@@ -17,6 +17,8 @@
 
 use pds_flash::{Flash, FlashError, LogWriter};
 
+use crate::error::DbError;
+
 /// One spatio-temporal point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Point {
@@ -103,14 +105,16 @@ impl Mbr {
         if rec.len() != 32 {
             return None;
         }
-        let i = |a: usize| i32::from_le_bytes(rec[a..a + 4].try_into().unwrap());
+        let i = |a: usize| -> Option<i32> {
+            Some(i32::from_le_bytes(rec.get(a..a + 4)?.try_into().ok()?))
+        };
+        let t = |a: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(rec.get(a..a + 8)?.try_into().ok()?))
+        };
         Some(Mbr {
-            x: (i(0), i(4)),
-            y: (i(8), i(12)),
-            t: (
-                u64::from_le_bytes(rec[16..24].try_into().ok()?),
-                u64::from_le_bytes(rec[24..32].try_into().ok()?),
-            ),
+            x: (i(0)?, i(4)?),
+            y: (i(8)?, i(12)?),
+            t: (t(16)?, t(24)?),
         })
     }
 }
@@ -156,10 +160,13 @@ impl SpatialTrace {
         self.data.num_pages()
     }
 
-    /// Record one point (timestamps must be non-decreasing).
-    pub fn record(&mut self, x: i32, y: i32, ts: u64) -> Result<(), FlashError> {
+    /// Record one point. Timestamps must be non-decreasing; an older point
+    /// is rejected with [`DbError::OutOfOrderTimestamp`].
+    pub fn record(&mut self, x: i32, y: i32, ts: u64) -> Result<(), DbError> {
         if let Some(last) = self.last_ts {
-            assert!(ts >= last, "timestamps must be non-decreasing");
+            if ts < last {
+                return Err(DbError::OutOfOrderTimestamp { last, got: ts });
+            }
         }
         self.last_ts = Some(ts);
         self.pending.push(Point { x, y, ts });
@@ -195,16 +202,19 @@ impl SpatialTrace {
         self.summaries.flush()
     }
 
-    fn decode_data_page(buf: &[u8]) -> Vec<Point> {
-        let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    /// Decode a data page; `None` when the point array runs past the page
+    /// end (corrupt header) — callers surface [`FlashError::CorruptPage`].
+    fn decode_data_page(buf: &[u8]) -> Option<Vec<Point>> {
+        let count = u16::from_le_bytes([*buf.first()?, *buf.get(1)?]) as usize;
         (0..count)
             .map(|i| {
                 let off = PAGE_HEADER + i * POINT_LEN;
-                Point {
-                    x: i32::from_le_bytes(buf[off..off + 4].try_into().unwrap()),
-                    y: i32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap()),
-                    ts: u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),
-                }
+                let word = |a: usize| buf.get(a..a + 4)?.try_into().ok();
+                Some(Point {
+                    x: i32::from_le_bytes(word(off)?),
+                    y: i32::from_le_bytes(word(off + 4)?),
+                    ts: u64::from_le_bytes(buf.get(off + 8..off + 16)?.try_into().ok()?),
+                })
             })
             .collect()
     }
@@ -223,11 +233,8 @@ impl SpatialTrace {
             }
             let addr = self.data.page_addr(idx)?;
             self.flash.read_page(addr, &mut buf)?;
-            hits.extend(
-                Self::decode_data_page(&buf)
-                    .into_iter()
-                    .filter(|p| w.contains(p)),
-            );
+            let points = Self::decode_data_page(&buf).ok_or(FlashError::CorruptPage(addr))?;
+            hits.extend(points.into_iter().filter(|p| w.contains(p)));
             Ok(())
         };
         for p in 0..self.summaries.num_pages() {
@@ -341,12 +348,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-decreasing")]
     fn time_order_enforced() {
         let f = Flash::small(8);
         let mut t = SpatialTrace::new(&f);
         t.record(0, 0, 100).unwrap();
-        let _ = t.record(0, 0, 99);
+        match t.record(0, 0, 99) {
+            Err(DbError::OutOfOrderTimestamp { last: 100, got: 99 }) => {}
+            other => panic!("expected out-of-order error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -74,6 +74,8 @@ impl Table {
     /// Insert a row; returns its rowid. Panics on schema mismatch (a
     /// programming error, not a runtime condition).
     pub fn insert(&mut self, row: &Row) -> Result<RowId, FlashError> {
+        // pds-lint: allow(panic.assert) — documented panic on schema mismatch,
+        // a call-site programming error; stored bytes never reach this check.
         assert!(
             self.schema.validate(row),
             "row does not match schema of {}",

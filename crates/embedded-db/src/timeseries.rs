@@ -17,6 +17,8 @@
 
 use pds_flash::{Flash, FlashError, LogWriter};
 
+use crate::error::DbError;
+
 /// One sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sample {
@@ -162,10 +164,13 @@ impl TimeSeries {
     }
 
     /// Append one sample. Timestamps must be non-decreasing (out-of-order
-    /// samples are a protocol error on an append-only sensor store).
-    pub fn append(&mut self, ts: u64, value: i64) -> Result<(), FlashError> {
+    /// samples are a protocol error on an append-only sensor store) — an
+    /// older sample is rejected with [`DbError::OutOfOrderTimestamp`].
+    pub fn append(&mut self, ts: u64, value: i64) -> Result<(), DbError> {
         if let Some(last) = self.last_ts {
-            assert!(ts >= last, "timestamps must be non-decreasing");
+            if ts < last {
+                return Err(DbError::OutOfOrderTimestamp { last, got: ts });
+            }
         }
         self.last_ts = Some(ts);
         self.pending.push(Sample { ts, value });
@@ -207,15 +212,18 @@ impl TimeSeries {
         self.summaries.flush()
     }
 
-    fn decode_data_page(buf: &[u8]) -> Vec<Sample> {
-        let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    /// Decode a data page; `None` when the sample array runs past the page
+    /// end (corrupt header) — callers surface [`FlashError::CorruptPage`].
+    fn decode_data_page(buf: &[u8]) -> Option<Vec<Sample>> {
+        let count = u16::from_le_bytes([*buf.first()?, *buf.get(1)?]) as usize;
         (0..count)
             .map(|i| {
                 let off = PAGE_HEADER + i * SAMPLE_LEN;
-                Sample {
-                    ts: u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
-                    value: i64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),
-                }
+                let word = |a: usize| buf.get(a..a + 8)?.try_into().ok();
+                Some(Sample {
+                    ts: u64::from_le_bytes(word(off)?),
+                    value: i64::from_le_bytes(word(off + 8)?),
+                })
             })
             .collect()
     }
@@ -241,7 +249,8 @@ impl TimeSeries {
             // Boundary page: probe the data page.
             let addr = self.data.page_addr(idx)?;
             self.flash.read_page(addr, &mut buf)?;
-            for sample in Self::decode_data_page(&buf) {
+            let samples = Self::decode_data_page(&buf).ok_or(FlashError::CorruptPage(addr))?;
+            for sample in samples {
                 if sample.ts >= from && sample.ts <= to {
                     agg.add(sample.value);
                 }
@@ -346,12 +355,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-decreasing")]
-    fn out_of_order_timestamps_panic() {
+    fn out_of_order_timestamps_rejected() {
         let f = Flash::small(16);
         let mut ts = TimeSeries::new(&f);
         ts.append(100, 1).unwrap();
-        let _ = ts.append(50, 2);
+        match ts.append(50, 2) {
+            Err(DbError::OutOfOrderTimestamp { last: 100, got: 50 }) => {}
+            other => panic!("expected out-of-order error, got {other:?}"),
+        }
+        // The rejected sample must not have advanced any state.
+        ts.append(100, 3).unwrap();
+        assert_eq!(ts.len(), 2);
     }
 
     #[test]

@@ -84,21 +84,25 @@ impl PagePacker {
     }
 }
 
-fn decode_entries(page: &[u8]) -> (u8, Vec<(Vec<u8>, u32)>) {
-    let kind = page[0];
-    let count = u16::from_le_bytes([page[1], page[2]]) as usize;
+/// Decode a tree page. `None` when the entry array runs past the page end
+/// (corrupt header / truncated key) — callers surface [`DbError::Corrupt`]
+/// so a damaged page fails the query instead of panicking the token.
+#[allow(clippy::type_complexity)] // (kind, entries) pair mirrors the page layout
+fn decode_entries(page: &[u8]) -> Option<(u8, Vec<(Vec<u8>, u32)>)> {
+    let kind = *page.first()?;
+    let count = u16::from_le_bytes([*page.get(1)?, *page.get(2)?]) as usize;
     let mut off = HEADER;
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
-        let klen = u16::from_le_bytes([page[off], page[off + 1]]) as usize;
+        let klen = u16::from_le_bytes([*page.get(off)?, *page.get(off + 1)?]) as usize;
         off += 2;
-        let key = page[off..off + klen].to_vec();
+        let key = page.get(off..off + klen)?.to_vec();
         off += klen;
-        let val = u32::from_le_bytes(page[off..off + 4].try_into().unwrap());
+        let val = u32::from_le_bytes(page.get(off..off + 4)?.try_into().ok()?);
         off += 4;
         entries.push((key, val));
     }
-    (kind, entries)
+    Some((kind, entries))
 }
 
 impl TreeIndex {
@@ -125,7 +129,10 @@ impl TreeIndex {
             num_entries += 1;
             if !packer.fits(&key) {
                 let page_idx = log.append_raw_page(&packer.reset())?;
-                push_separator(&mut level_log, first_key.take().unwrap(), page_idx)?;
+                let sep = first_key
+                    .take()
+                    .ok_or(DbError::Corrupt("tree build: page without a first key"))?;
+                push_separator(&mut level_log, sep, page_idx)?;
             }
             if first_key.is_none() {
                 first_key = Some(key.clone());
@@ -134,7 +141,10 @@ impl TreeIndex {
         }
         if !packer.is_empty() {
             let page_idx = log.append_raw_page(&packer.reset())?;
-            push_separator(&mut level_log, first_key.take().unwrap(), page_idx)?;
+            let sep = first_key
+                .take()
+                .ok_or(DbError::Corrupt("tree build: page without a first key"))?;
+            push_separator(&mut level_log, sep, page_idx)?;
         }
         let num_leaves = log.num_pages();
         if num_leaves == 0 {
@@ -160,7 +170,10 @@ impl TreeIndex {
                     crate::sort::decode_entry(&rec?).ok_or(DbError::Corrupt("level log"))?;
                 if !packer.fits(&key) {
                     let page_idx = log.append_raw_page(&packer.reset())?;
-                    push_separator(&mut next_level, first_key.take().unwrap(), page_idx)?;
+                    let sep = first_key
+                        .take()
+                        .ok_or(DbError::Corrupt("tree build: page without a first key"))?;
+                    push_separator(&mut next_level, sep, page_idx)?;
                 }
                 if first_key.is_none() {
                     first_key = Some(key.clone());
@@ -169,14 +182,20 @@ impl TreeIndex {
             }
             if !packer.is_empty() {
                 let page_idx = log.append_raw_page(&packer.reset())?;
-                push_separator(&mut next_level, first_key.take().unwrap(), page_idx)?;
+                let sep = first_key
+                    .take()
+                    .ok_or(DbError::Corrupt("tree build: page without a first key"))?;
+                push_separator(&mut next_level, sep, page_idx)?;
             }
             level.reclaim();
             level = next_level.seal()?;
         }
         // The single record of the last level points at the root page.
         let root_page = {
-            let rec = level.reader().next().expect("root separator")?;
+            let rec = level
+                .reader()
+                .next()
+                .ok_or(DbError::Corrupt("tree level log ended without a root"))??;
             let (_, page) = crate::sort::decode_entry(&rec).ok_or(DbError::Corrupt("level log"))?;
             page
         };
@@ -224,7 +243,7 @@ impl TreeIndex {
         let mut leaf_entries;
         loop {
             self.log.read_raw_page(page, &mut buf)?;
-            let (kind, entries) = decode_entries(&buf);
+            let (kind, entries) = decode_entries(&buf).ok_or(DbError::Corrupt("tree page"))?;
             if kind == 0 {
                 leaf_entries = entries;
                 break;
@@ -263,7 +282,7 @@ impl TreeIndex {
                 break;
             }
             self.log.read_raw_page(leaf, &mut buf)?;
-            let (kind, entries) = decode_entries(&buf);
+            let (kind, entries) = decode_entries(&buf).ok_or(DbError::Corrupt("tree page"))?;
             debug_assert_eq!(kind, 0);
             leaf_entries = entries;
         }
@@ -283,7 +302,7 @@ impl TreeIndex {
         let mut leaf_entries;
         loop {
             self.log.read_raw_page(page, &mut buf)?;
-            let (kind, entries) = decode_entries(&buf);
+            let (kind, entries) = decode_entries(&buf).ok_or(DbError::Corrupt("tree page"))?;
             if kind == 0 {
                 leaf_entries = entries;
                 break;
@@ -312,7 +331,7 @@ impl TreeIndex {
                 break;
             }
             self.log.read_raw_page(leaf, &mut buf)?;
-            let (kind, entries) = decode_entries(&buf);
+            let (kind, entries) = decode_entries(&buf).ok_or(DbError::Corrupt("tree page"))?;
             debug_assert_eq!(kind, 0);
             leaf_entries = entries;
         }

@@ -83,6 +83,8 @@ impl FaultPlan {
     /// Flip one random bit of a read buffer with probability `p` per
     /// read (transient read disturb).
     pub fn read_flips(mut self, p: f64) -> Self {
+        // pds-lint: allow(panic.assert) — fault-plan builder is test-harness
+        // scripting; the probability is an experimenter-chosen constant.
         assert!((0.0..=1.0).contains(&p), "probability out of [0,1]");
         self.read_flip_prob = p;
         self

@@ -38,6 +38,8 @@ pub struct FlashGeometry {
 impl FlashGeometry {
     /// Build a geometry; all dimensions must be non-zero.
     pub fn new(page_size: usize, pages_per_block: usize, blocks: usize) -> Self {
+        // pds-lint: allow(panic.assert) — chip geometry is a construction-time
+        // constant chosen by the experimenter, never derived from stored data.
         assert!(page_size > 0 && pages_per_block > 0 && blocks > 0);
         FlashGeometry {
             page_size,

@@ -123,7 +123,9 @@ impl LogWriter {
     }
 
     /// Records currently buffered in RAM (not yet on flash).
+    #[allow(clippy::expect_used)]
     pub fn buffered_records(&self) -> Vec<Vec<u8>> {
+        // pds-lint: allow(panic.expect) — decodes the writer's own RAM buffer, encoded solely by `append`; no flash-sourced bytes flow here.
         decode_records(&self.buf, self.buf_records).expect("own buffer is well-formed")
     }
 
@@ -325,24 +327,28 @@ impl LogWriter {
             let _ = flash.claim_block(*b);
             flash.free_block(*b);
         }
+        // A torn page implies at least one kept block; the `if let` makes
+        // the (unreachable) empty case a no-op instead of a panic.
         if torn {
-            // The torn page sits at offset `valid_pages % per` of the last
-            // kept block; that block cannot accept further programs.
-            // Relocate its valid prefix to a fresh block (legal NAND: a
-            // strictly sequential program of an erased block).
-            let old = kept.pop().expect("torn page implies a kept block");
-            let prefix = (valid_pages % per) as usize;
-            if prefix > 0 {
-                let fresh = flash.alloc_block()?;
-                let mut buf = vec![0u8; geo.page_size];
-                for off in 0..prefix {
-                    flash.read_page(geo.page_in_block(old, off), &mut buf)?;
-                    flash.program_page(geo.page_in_block(fresh, off), &buf)?;
-                    report.pages_relocated += 1;
+            if let Some(old) = kept.pop() {
+                // The torn page sits at offset `valid_pages % per` of the
+                // last kept block; that block cannot accept further
+                // programs. Relocate its valid prefix to a fresh block
+                // (legal NAND: a strictly sequential program of an erased
+                // block).
+                let prefix = (valid_pages % per) as usize;
+                if prefix > 0 {
+                    let fresh = flash.alloc_block()?;
+                    let mut buf = vec![0u8; geo.page_size];
+                    for off in 0..prefix {
+                        flash.read_page(geo.page_in_block(old, off), &mut buf)?;
+                        flash.program_page(geo.page_in_block(fresh, off), &buf)?;
+                        report.pages_relocated += 1;
+                    }
+                    kept.push(fresh);
                 }
-                kept.push(fresh);
+                flash.free_block(old);
             }
-            flash.free_block(old);
         }
         let mut writer = LogWriter::new(flash.clone());
         writer.blocks = kept;

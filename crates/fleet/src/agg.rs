@@ -29,7 +29,7 @@
 //! every observable (result, leakage ledger, bus stats) is identical at
 //! any worker count.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -163,7 +163,7 @@ impl FleetAggReport {
 type CollectOut = Result<(Vec<Vec<u8>>, u64), GlobalError>;
 
 /// Reduction work shipped per serving token: `(partition idx, chunks)`.
-type PartitionWork = HashMap<usize, Vec<(u32, Vec<Vec<u8>>)>>;
+type PartitionWork = BTreeMap<usize, Vec<(u32, Vec<Vec<u8>>)>>;
 
 fn sleep_link(us: u64) {
     if us > 0 {
@@ -243,11 +243,14 @@ pub fn fleet_secure_aggregation(
         groups.into_iter().collect()
     };
 
+    // pds-lint: allow(det.time) — wall-clock feeds only the reported
+    // throughput stat; no protocol value derives from it
     let t0 = Instant::now();
 
     // Phase 1: collection. Each token encrypts its contributions with
     // its own derived stream; sequence numbers are (token << 24 | k),
     // unique fleet-wide without any shared counter.
+    // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
     let q = query.clone();
     let latency = cfg.link_latency_us;
@@ -286,6 +289,7 @@ pub fn fleet_secure_aggregation(
     // tokens. Same convergence guard as the reference implementation:
     // when a round fails to shrink the set, the SSI doubles the
     // partition size.
+    // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
     let mut partition_size = cfg.partition_size;
     let mut next_token = 0usize;
@@ -309,7 +313,7 @@ pub fn fleet_secure_aggregation(
             );
         }
         bus.run_until_quiet(cfg.max_bus_ticks);
-        let mut work: PartitionWork = HashMap::new();
+        let mut work: PartitionWork = BTreeMap::new();
         for &t in serving.iter().collect::<BTreeSet<_>>() {
             for m in bus.drain_inbox(Addr::Token(t)) {
                 if let Some((r, pi, chunks)) = decode_partition(&m.payload) {
@@ -424,6 +428,7 @@ pub fn fleet_secure_aggregation(
 
     // Phase 3: result distribution — the released aggregate is mailed
     // to every token.
+    // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
     let result_wire: Vec<u8> = result
         .iter()

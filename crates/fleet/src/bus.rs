@@ -34,7 +34,7 @@
 //! unique and stable across runs; the SSI threat model keys its
 //! drop/forge verdicts off these same ids (`Ssi::collect_tagged`).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use pds_obs::rng::SplitMix64;
 
@@ -178,9 +178,9 @@ pub struct MailboxBus {
     tick: u64,
     flights: Vec<Flight>,
     inboxes: BTreeMap<u64, Vec<BusMsg>>,
-    seen: BTreeMap<u64, HashSet<u64>>,
+    seen: BTreeMap<u64, BTreeSet<u64>>,
     next_seq: BTreeMap<u64, u64>,
-    forced_offline: HashSet<usize>,
+    forced_offline: BTreeSet<usize>,
     stats: BusStats,
 }
 
@@ -195,7 +195,7 @@ impl MailboxBus {
             inboxes: BTreeMap::new(),
             seen: BTreeMap::new(),
             next_seq: BTreeMap::new(),
-            forced_offline: HashSet::new(),
+            forced_offline: BTreeSet::new(),
             stats: BusStats::default(),
         }
     }

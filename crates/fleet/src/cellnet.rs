@@ -17,7 +17,7 @@
 //! count; the regression test for "offline cells converge after coming
 //! back online" lives in `tests/fleet.rs`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pds_core::{CloudStore, PdsError};
@@ -171,7 +171,7 @@ impl CellNet {
         self.bus.run_until_quiet(self.cfg.ticks_per_phase);
 
         // Phase 3: cells reconcile the responses in parallel.
-        let mut mail: HashMap<usize, Vec<Vec<u8>>> = HashMap::new();
+        let mut mail: BTreeMap<usize, Vec<Vec<u8>>> = BTreeMap::new();
         for i in 0..self.cfg.cells {
             let msgs = self.bus.drain_inbox(Addr::Token(i));
             if !msgs.is_empty() {

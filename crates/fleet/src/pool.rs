@@ -101,7 +101,7 @@ impl<T: 'static> TokenPool<T> {
         }
         drop(out_tx);
         let mut merged: Vec<(usize, R)> = Vec::with_capacity(self.n_tokens);
-        for batch in out_rx.iter() {
+        for batch in &out_rx {
             merged.extend(batch);
         }
         assert_eq!(merged.len(), self.n_tokens, "a fleet worker panicked");

@@ -20,7 +20,7 @@
 //! Experiment E9 sweeps `(f, s)` and compares measured detection to the
 //! analytic curve.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pds_crypto::{hmac_sha256, verify_hmac, SymmetricKey};
 use pds_obs::rng::Rng;
@@ -37,14 +37,14 @@ pub enum CheckOutcome {
 /// A store-and-forward SSI for the detection experiment: it holds the
 /// authenticated tuples by sequence number and may cheat.
 pub struct CheckedChannel {
-    tuples: HashMap<u64, Vec<u8>>,
+    tuples: BTreeMap<u64, Vec<u8>>,
     expected: u64,
 }
 
 impl CheckedChannel {
     /// Collect `n` MAC-authenticated tuples from the population.
     pub fn collect(key: &SymmetricKey, n: u64) -> Self {
-        let mut tuples = HashMap::new();
+        let mut tuples = BTreeMap::new();
         for seq in 0..n {
             let body = format!("contribution-{seq}").into_bytes();
             let mut msg = seq.to_le_bytes().to_vec();

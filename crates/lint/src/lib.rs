@@ -1,0 +1,179 @@
+//! # pds-lint — static enforcement of the paper invariants
+//!
+//! The tutorial's embedded engine is defined by rules the compiler
+//! cannot see: token-resident code must never panic (an unattended,
+//! tamper-resistant token has no operator to restart it), must allocate
+//! through the `pds-mcu` RAM budget (the ≤128 KB bound *is* the design
+//! constraint), the fleet/global protocols must stay bit-for-bit
+//! deterministic, and the trusted/untrusted layering must hold
+//! structurally. `pds-lint` walks the workspace with its own
+//! zero-dependency Rust scanner and enforces those rules per crate,
+//! with an inline waiver comment as the only escape hatch:
+//!
+//! ```text
+//! // pds-lint: allow(panic.unwrap) — index bounds checked on the previous line
+//! ```
+//!
+//! Run it with `cargo run -p pds-lint`; it exits nonzero on any
+//! unwaived finding, which is how `scripts/ci.sh` gates on it. The
+//! `lint.findings` / `lint.waivers` counters are exported through the
+//! `pds-obs` registry for the static-health trend.
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{crate_config, lint_source, CrateConfig, Finding, CRATES, RULE_IDS};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unwaived findings — each one fails the gate.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a reasoned waiver comment.
+    pub waived: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the tree passes (no unwaived findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One-line summary for gate logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "pds-lint: {} finding(s), {} waiver(s), {} file(s) scanned",
+            self.findings.len(),
+            self.waived.len(),
+            self.files_scanned
+        )
+    }
+
+    /// Record `lint.*` metrics in the process-wide `pds-obs` registry.
+    pub fn publish(&self) {
+        pds_obs::counter("lint.findings").add(self.findings.len() as u64);
+        pds_obs::counter("lint.waivers").add(self.waived.len() as u64);
+        pds_obs::counter("lint.files_scanned").add(self.files_scanned as u64);
+    }
+}
+
+/// Lint every `crates/*/src/**.rs` file under `root` (the workspace
+/// directory). Files of crates missing from the layering matrix are an
+/// error: a new crate must declare its rule row before it can land.
+pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let Some(cfg) = crate_config(&name) else {
+            report.findings.push(Finding {
+                file: format!("crates/{name}"),
+                line: 1,
+                rule: "layer.dependency",
+                message: format!(
+                    "crate `{name}` has no row in the layering matrix — add it to \
+                     crates/lint/src/rules.rs with its allowed dependencies and rule families"
+                ),
+                waived: false,
+            });
+            continue;
+        };
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.files_scanned += 1;
+            for finding in lint_source(cfg, &rel, &source) {
+                if finding.waived {
+                    report.waived.push(finding);
+                } else {
+                    report.findings.push(finding);
+                }
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_crate_dir() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn every_crate_dir_has_a_matrix_row() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        for entry in fs::read_dir(root.join("crates")).unwrap() {
+            let p = entry.unwrap().path();
+            if p.is_dir() {
+                let name = p.file_name().unwrap().to_str().unwrap();
+                assert!(
+                    crate_config(name).is_some(),
+                    "crate `{name}` missing from the layering matrix"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! CLI gate: `cargo run -p pds-lint [-- --root <dir>] [--metrics] [--list-rules]`
+//!
+//! Walks the workspace, prints every finding as `file:line rule —
+//! rationale`, then a one-line summary, and exits nonzero when any
+//! unwaived finding remains. `--metrics` additionally dumps the
+//! `pds-obs` registry (the `lint.*` counters) as JSON lines.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: pds-lint [--root <dir>] [--metrics] [--list-rules]");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        println!("rule ids accepted by `// pds-lint: allow(<rule>) — <reason>`:");
+        for id in pds_lint::RULE_IDS {
+            println!("  {id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            pds_lint::find_workspace_root(&cwd)
+        });
+    let Some(root) = root else {
+        eprintln!("pds-lint: no workspace root found (pass --root <dir>)");
+        return ExitCode::FAILURE;
+    };
+    let report = match pds_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pds-lint: walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    println!("{}", report.summary());
+    report.publish();
+    if args.iter().any(|a| a == "--metrics") {
+        print!("{}", pds_obs::metrics::global().export_jsonl());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,703 @@
+//! The rule framework: rule ids, per-crate rule sets, waiver parsing,
+//! and the per-file lint pass.
+//!
+//! Each rule family protects one claim of the tutorial paper:
+//!
+//! | family   | paper claim                                             |
+//! |----------|---------------------------------------------------------|
+//! | `panic.*`| the secure token is unattended and tamper-resistant — a |
+//! |          | panic is a bricked token, so embedded crates return     |
+//! |          | typed errors instead                                    |
+//! | `det.*`  | the fleet/global protocols are bit-for-bit reproducible |
+//! |          | at any worker count (PR 3's determinism contract)       |
+//! | `ram.*`  | the engine runs in ≤128 KB of RAM — allocation goes     |
+//! |          | through the `pds-mcu` budget arena, never raw           |
+//! | `layer.*`| trusted/untrusted zones stay structurally separated     |
+//! |          | (NAND behind the log/alloc API, fleet above the token)  |
+//!
+//! The only escape hatch is an inline waiver comment:
+//!
+//! ```text
+//! // pds-lint: allow(panic.unwrap) — length checked two lines above
+//! ```
+//!
+//! placed on the offending line or alone on the line above it. The
+//! reason is mandatory; a waiver without one is itself a finding.
+
+use crate::scan::{find_path_root, find_token, scan, Line};
+
+/// One rule violation (or a waived would-be violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id, e.g. `panic.unwrap`.
+    pub rule: &'static str,
+    /// One-line rationale for this site.
+    pub message: String,
+    /// True when an inline waiver suppressed the finding.
+    pub waived: bool,
+}
+
+impl Finding {
+    /// `file:line rule message` — the one-line gate-log form.
+    pub fn render(&self) -> String {
+        let mark = if self.waived { " (waived)" } else { "" };
+        format!(
+            "{}:{} {}{} — {}",
+            self.file, self.line, self.rule, mark, self.message
+        )
+    }
+}
+
+/// Every enforceable rule id, used to validate waiver comments.
+pub const RULE_IDS: &[&str] = &[
+    "panic.unwrap",
+    "panic.expect",
+    "panic.macro",
+    "panic.assert",
+    "det.time",
+    "det.hash_collections",
+    "ram.raw_alloc",
+    "layer.dependency",
+    "layer.module",
+    "waiver.missing_reason",
+    "waiver.unknown_rule",
+];
+
+/// Rule families a crate can opt into (layering always applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// No `unwrap`/`expect`/`panic!`-class macros/asserts outside tests.
+    Panic,
+    /// No wall-clock reads or hash-ordered collections.
+    Determinism,
+    /// No raw heap growth outside the RAM-budget arena.
+    RamBudget,
+}
+
+/// Static per-crate configuration.
+pub struct CrateConfig {
+    /// Directory name under `crates/`.
+    pub dir: &'static str,
+    /// The crate's library name (`pds_flash`, …).
+    pub lib: &'static str,
+    /// Rule families enforced in this crate.
+    pub families: &'static [Family],
+    /// `pds_*` library names this crate may reference (its own name is
+    /// implicitly allowed). Mirrors the Cargo dependency graph so a new
+    /// cross-layer `use` shows up here even after someone edits
+    /// Cargo.toml.
+    pub allowed_deps: &'static [&'static str],
+}
+
+/// Libraries every crate may use (the observability substrate is
+/// deliberately ubiquitous).
+const ALL: &[&str] = &[
+    "pds_obs",
+    "pds_flash",
+    "pds_mcu",
+    "pds_crypto",
+    "pds_search",
+    "pds_db",
+    "pds_core",
+    "pds_global",
+    "pds_sync",
+    "pds_fleet",
+    "pds_lint",
+    "pds_bench",
+    "pds",
+];
+
+/// The workspace layering matrix. Order follows the dependency stack:
+/// flash at the bottom, the `pds` umbrella and the bench/lint harnesses
+/// on top.
+pub const CRATES: &[CrateConfig] = &[
+    CrateConfig {
+        dir: "obs",
+        lib: "pds_obs",
+        families: &[],
+        allowed_deps: &[],
+    },
+    CrateConfig {
+        dir: "flash",
+        lib: "pds_flash",
+        families: &[Family::Panic],
+        allowed_deps: &["pds_obs"],
+    },
+    CrateConfig {
+        dir: "mcu",
+        lib: "pds_mcu",
+        families: &[Family::Panic, Family::RamBudget],
+        allowed_deps: &["pds_obs", "pds_flash"],
+    },
+    CrateConfig {
+        dir: "crypto",
+        lib: "pds_crypto",
+        families: &[],
+        allowed_deps: &["pds_obs"],
+    },
+    CrateConfig {
+        dir: "search",
+        lib: "pds_search",
+        families: &[Family::Panic],
+        allowed_deps: &["pds_obs", "pds_flash", "pds_mcu", "pds_crypto"],
+    },
+    CrateConfig {
+        dir: "embedded-db",
+        lib: "pds_db",
+        families: &[Family::Panic],
+        allowed_deps: &["pds_obs", "pds_flash", "pds_mcu", "pds_crypto"],
+    },
+    CrateConfig {
+        dir: "core",
+        lib: "pds_core",
+        families: &[Family::Panic],
+        allowed_deps: &[
+            "pds_obs",
+            "pds_flash",
+            "pds_mcu",
+            "pds_crypto",
+            "pds_search",
+            "pds_db",
+        ],
+    },
+    CrateConfig {
+        dir: "global",
+        lib: "pds_global",
+        families: &[Family::Determinism],
+        allowed_deps: &["pds_obs", "pds_core", "pds_crypto", "pds_db", "pds_mcu"],
+    },
+    CrateConfig {
+        dir: "sync",
+        lib: "pds_sync",
+        families: &[Family::Determinism],
+        allowed_deps: &["pds_obs", "pds_core", "pds_crypto"],
+    },
+    CrateConfig {
+        dir: "fleet",
+        lib: "pds_fleet",
+        families: &[Family::Determinism],
+        allowed_deps: &[
+            "pds_obs",
+            "pds_crypto",
+            "pds_core",
+            "pds_global",
+            "pds_sync",
+        ],
+    },
+    CrateConfig {
+        dir: "pds",
+        lib: "pds",
+        families: &[],
+        allowed_deps: ALL,
+    },
+    CrateConfig {
+        dir: "bench",
+        lib: "pds_bench",
+        families: &[],
+        allowed_deps: ALL,
+    },
+    CrateConfig {
+        dir: "lint",
+        lib: "pds_lint",
+        families: &[],
+        allowed_deps: &["pds_obs"],
+    },
+];
+
+/// Look up the configuration for a crate directory name.
+pub fn crate_config(dir: &str) -> Option<&'static CrateConfig> {
+    CRATES.iter().find(|c| c.dir == dir)
+}
+
+/// Module paths that may only be referenced inside their owning crate:
+/// `(token, owning dir, rationale)`.
+const SEALED_MODULES: &[(&str, &str, &str)] = &[
+    (
+        "nand",
+        "flash",
+        "raw NAND is sealed inside pds-flash: upper layers must go through the log/alloc API \
+         so the chip rules (sequential program, erase-before-write) stay enforced in one place",
+    ),
+    (
+        "fault",
+        "flash",
+        "fault injection is a pds-flash test facility; upper layers observe faults only as \
+         FlashError values",
+    ),
+];
+
+/// Panic-family tokens: `(token, rule, rationale)`.
+const PANIC_TOKENS: &[(&str, &str, &str)] = &[
+    (
+        ".unwrap()",
+        "panic.unwrap",
+        "a panic bricks the unattended token — return a typed error",
+    ),
+    (
+        ".unwrap_err()",
+        "panic.unwrap",
+        "a panic bricks the unattended token — return a typed error",
+    ),
+    (
+        ".expect(",
+        "panic.expect",
+        "a panic bricks the unattended token — return a typed error",
+    ),
+    (
+        ".expect_err(",
+        "panic.expect",
+        "a panic bricks the unattended token — return a typed error",
+    ),
+    (
+        "panic!",
+        "panic.macro",
+        "explicit panic in embedded code — surface a typed error instead",
+    ),
+    (
+        "unreachable!",
+        "panic.macro",
+        "unreachable! is a latent panic — make the impossible state unrepresentable or return an error",
+    ),
+    (
+        "todo!",
+        "panic.macro",
+        "todo! must not ship to the token",
+    ),
+    (
+        "unimplemented!",
+        "panic.macro",
+        "unimplemented! must not ship to the token",
+    ),
+    (
+        "assert!",
+        "panic.assert",
+        "a failed assert is a panic on the token — validate and return an error, or waive a \
+         provably-constant precondition",
+    ),
+    (
+        "assert_eq!",
+        "panic.assert",
+        "a failed assert is a panic on the token — validate and return an error, or waive a \
+         provably-constant precondition",
+    ),
+    (
+        "assert_ne!",
+        "panic.assert",
+        "a failed assert is a panic on the token — validate and return an error, or waive a \
+         provably-constant precondition",
+    ),
+];
+
+/// Determinism-family tokens.
+const DET_TOKENS: &[(&str, &str, &str)] = &[
+    (
+        "Instant::now",
+        "det.time",
+        "wall-clock reads break the bit-for-bit determinism contract — keep them only in \
+         stats reporting, behind a waiver",
+    ),
+    (
+        "SystemTime",
+        "det.time",
+        "wall-clock reads break the bit-for-bit determinism contract — keep them only in \
+         stats reporting, behind a waiver",
+    ),
+    (
+        "HashMap",
+        "det.hash_collections",
+        "HashMap iteration order is seeded per-process — use BTreeMap or an index-ordered Vec",
+    ),
+    (
+        "HashSet",
+        "det.hash_collections",
+        "HashSet iteration order is seeded per-process — use BTreeSet or an index-ordered Vec",
+    ),
+];
+
+/// RAM-budget tokens (raw growth that bypasses the accounted arena).
+const RAM_TOKENS: &[(&str, &str, &str)] = &[
+    ("Vec::new", "ram.raw_alloc", ""),
+    ("Vec::with_capacity", "ram.raw_alloc", ""),
+    ("vec!", "ram.raw_alloc", ""),
+    ("Box::new", "ram.raw_alloc", ""),
+    ("String::new", "ram.raw_alloc", ""),
+    ("String::with_capacity", "ram.raw_alloc", ""),
+    ("String::from", "ram.raw_alloc", ""),
+    ("format!", "ram.raw_alloc", ""),
+    (".to_vec()", "ram.raw_alloc", ""),
+    (".to_string()", "ram.raw_alloc", ""),
+    (".to_owned()", "ram.raw_alloc", ""),
+];
+
+const RAM_RATIONALE: &str = "raw heap growth bypasses the ≤128 KB RAM budget — allocate through \
+     the pds-mcu accounted containers (BoundedVec / TopN / RamBudget reservations)";
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+struct Waiver {
+    /// Line the waiver applies to (the waivered code line).
+    line: usize,
+    rules: Vec<String>,
+    has_reason: bool,
+}
+
+/// Parse a waiver out of a comment, if present. The marker must open
+/// the comment (after `//`/`//!`/`/*` markers) so that prose merely
+/// *mentioning* the syntax is never read as a waiver.
+fn parse_waiver(comment: &str) -> Option<(Vec<String>, bool)> {
+    let anchored = comment
+        .trim_start()
+        .trim_start_matches(['/', '!', '*'])
+        .trim_start();
+    let rest = anchored.strip_prefix("pds-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut reason = rest[close + 1..].trim_start();
+    // Accept `—`, `–`, `-`, `:` separators before the reason text.
+    reason = reason.trim_start_matches(['—', '–', '-', ':', ' ']);
+    Some((rules, reason.len() >= 3))
+}
+
+/// Collect waivers from scanned lines. A waiver on a line with code
+/// applies to that line; a waiver alone on a comment line applies to
+/// the next line that carries code.
+fn collect_waivers(lines: &[Line], file: &str, findings: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(comment) = &line.comment else {
+            continue;
+        };
+        let Some((rules, has_reason)) = parse_waiver(comment) else {
+            continue;
+        };
+        for r in &rules {
+            if !RULE_IDS.contains(&r.as_str()) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "waiver.unknown_rule",
+                    message: format!("waiver names unknown rule `{r}` — see --list-rules"),
+                    waived: false,
+                });
+            }
+        }
+        if !has_reason {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "waiver.missing_reason",
+                message: "waiver without a written reason — every escape hatch must say why"
+                    .to_string(),
+                waived: false,
+            });
+            continue;
+        }
+        let own_line_has_code = !line.code.trim().is_empty();
+        let target = if own_line_has_code {
+            i + 1
+        } else {
+            // Apply to the next line that has code.
+            lines
+                .iter()
+                .enumerate()
+                .skip(i + 1)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map_or(i + 1, |(j, _)| j + 1)
+        };
+        out.push(Waiver {
+            line: target,
+            rules,
+            has_reason,
+        });
+    }
+    out
+}
+
+/// Lint one file's source under `cfg`'s rule sets. `file` is the
+/// workspace-relative path used in findings.
+pub fn lint_source(cfg: &CrateConfig, file: &str, source: &str) -> Vec<Finding> {
+    let lines = scan(source);
+    let mut findings = Vec::new();
+    let waivers = collect_waivers(&lines, file, &mut findings);
+    let waived_for = |line: usize, rule: &str| {
+        waivers
+            .iter()
+            .any(|w| w.line == line && w.has_reason && w.rules.iter().any(|r| r == rule))
+    };
+
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        let waived = waived_for(line, rule);
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+            waived,
+        });
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        let n = i + 1;
+        let code = &line.code;
+        if code.trim().is_empty() {
+            continue;
+        }
+        // Layering applies to test code too — tests must not reach
+        // through sealed boundaries either.
+        for lib in ALL {
+            if *lib == cfg.lib || cfg.allowed_deps.contains(lib) {
+                continue;
+            }
+            // The umbrella crate's name collides with `pds` as an
+            // ordinary variable name and as core's own `pds` module;
+            // only a path-root use of the crate (`pds::…`) counts.
+            let hit = if *lib == "pds" {
+                find_path_root(code, "pds")
+            } else {
+                find_token(code, lib)
+            };
+            if hit.is_some() {
+                push(
+                    n,
+                    "layer.dependency",
+                    format!(
+                        "crate `{}` must not reference `{}` — outside its row of the layering \
+                         matrix (crates/lint/src/rules.rs)",
+                        cfg.lib, lib
+                    ),
+                );
+            }
+        }
+        for (token, owner, why) in SEALED_MODULES {
+            if cfg.dir != *owner {
+                let sealed_use = format!("{token}::");
+                let sealed_path = format!("::{token}");
+                if find_token(code, &sealed_use).is_some()
+                    || find_token(code, &sealed_path).is_some()
+                {
+                    push(n, "layer.module", format!("`{token}` is sealed: {why}"));
+                }
+            }
+        }
+
+        if line.is_test {
+            continue;
+        }
+
+        if cfg.families.contains(&Family::Panic) {
+            for (token, rule, why) in PANIC_TOKENS {
+                if find_token(code, token).is_some() {
+                    push(n, rule, format!("`{token}` in panic-free crate: {why}"));
+                }
+            }
+        }
+        if cfg.families.contains(&Family::Determinism) {
+            for (token, rule, why) in DET_TOKENS {
+                if find_token(code, token).is_some() {
+                    push(n, rule, format!("`{token}`: {why}"));
+                }
+            }
+        }
+        if cfg.families.contains(&Family::RamBudget) {
+            for (token, rule, _) in RAM_TOKENS {
+                if find_token(code, token).is_some() {
+                    push(n, rule, format!("`{token}`: {RAM_RATIONALE}"));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(dir: &str) -> &'static CrateConfig {
+        crate_config(dir).unwrap()
+    }
+
+    fn unwaived(f: &[Finding]) -> Vec<&Finding> {
+        f.iter().filter(|x| !x.waived).collect()
+    }
+
+    // -- panic family --
+
+    #[test]
+    fn panic_positive_each_token() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap();\n    x.expect(\"no\");\n    panic!(\"boom\");\n    unreachable!();\n    assert!(true);\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"panic.unwrap"));
+        assert!(rules.contains(&"panic.expect"));
+        assert!(rules.contains(&"panic.macro"));
+        assert!(rules.contains(&"panic.assert"));
+        assert_eq!(unwaived(&f).len(), f.len());
+    }
+
+    #[test]
+    fn panic_negative_clean_code_and_debug_assert() {
+        let src = "fn f(x: Option<u8>) -> Result<u8, ()> {\n    debug_assert!(x.is_some());\n    x.ok_or(())\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_in_test_mod_is_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        let f = lint_source(cfg("embedded-db"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_not_enforced_outside_family() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let f = lint_source(cfg("global"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // -- determinism family --
+
+    #[test]
+    fn determinism_positive() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let _t = std::time::Instant::now(); }\n";
+        let f = lint_source(cfg("fleet"), "t.rs", src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"det.hash_collections"));
+        assert!(rules.contains(&"det.time"));
+    }
+
+    #[test]
+    fn determinism_negative_btree() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let _m: BTreeMap<u8, u8> = BTreeMap::new(); }\n";
+        let f = lint_source(cfg("fleet"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // -- ram family --
+
+    #[test]
+    fn ram_positive() {
+        let src =
+            "fn f() { let _v: Vec<u8> = Vec::with_capacity(4096); let _b = Box::new(7u8); }\n";
+        let f = lint_source(cfg("mcu"), "t.rs", src);
+        assert!(f.iter().all(|x| x.rule == "ram.raw_alloc"));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn ram_negative_bounded() {
+        let src = "fn f(b: &RamBudget) -> Result<(), RamError> {\n    let mut v: BoundedVec<u8> = BoundedVec::new(b)?;\n    v.push(1)\n}\n";
+        let f = lint_source(cfg("mcu"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // -- layering family --
+
+    #[test]
+    fn layering_dependency_positive() {
+        let src = "use pds_fleet::TokenPool;\n";
+        let f = lint_source(cfg("embedded-db"), "t.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "layer.dependency");
+    }
+
+    #[test]
+    fn layering_sealed_module_positive() {
+        let src = "use pds_flash::nand::NandChip;\n";
+        let f = lint_source(cfg("embedded-db"), "t.rs", src);
+        assert!(f.iter().any(|x| x.rule == "layer.module"));
+    }
+
+    #[test]
+    fn layering_negative_allowed_edge() {
+        let src = "use pds_flash::{Flash, LogWriter};\nuse pds_mcu::RamBudget;\n";
+        let f = lint_source(cfg("embedded-db"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn layering_applies_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    use pds_fleet::TokenPool;\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        assert!(f.iter().any(|x| x.rule == "layer.dependency"));
+    }
+
+    #[test]
+    fn umbrella_crate_name_does_not_false_positive() {
+        // `pds_obs` must not be read as a use of the `pds` umbrella.
+        let src = "use pds_obs::metrics;\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // -- waivers --
+
+    #[test]
+    fn trailing_waiver_with_reason_suppresses() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap(); // pds-lint: allow(panic.unwrap) — x assigned Some two lines up\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+
+    #[test]
+    fn standalone_waiver_applies_to_next_code_line() {
+        let src = "fn f(x: Option<u8>) {\n    // pds-lint: allow(panic.unwrap) — checked by caller\n    x.unwrap();\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_rejected() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap(); // pds-lint: allow(panic.unwrap)\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        let rules: Vec<&str> = unwaived(&f).iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"waiver.missing_reason"));
+        assert!(
+            rules.contains(&"panic.unwrap"),
+            "a reasonless waiver must not suppress"
+        );
+    }
+
+    #[test]
+    fn waiver_unknown_rule_is_rejected() {
+        let src = "fn f() {} // pds-lint: allow(panic.everything) — nope\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        assert!(f.iter().any(|x| x.rule == "waiver.unknown_rule"));
+    }
+
+    #[test]
+    fn waiver_covers_only_named_rule() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap(); assert!(true); // pds-lint: allow(panic.unwrap) — only the unwrap\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        let open: Vec<&Finding> = unwaived(&f);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].rule, "panic.assert");
+    }
+
+    #[test]
+    fn waiver_multiple_rules_one_comment() {
+        let src = "fn f(x: Option<u8>) {\n    assert!(x.unwrap() > 0); // pds-lint: allow(panic.unwrap, panic.assert) — startup self-check, constant input\n}\n";
+        let f = lint_source(cfg("flash"), "t.rs", src);
+        assert!(f.iter().all(|x| x.waived), "{f:?}");
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_fire() {
+        let src = "fn f() -> &'static str {\n    // .unwrap() would panic here\n    \"call .unwrap() and HashMap::new()\"\n}\n";
+        assert!(lint_source(cfg("flash"), "t.rs", src).is_empty());
+        assert!(lint_source(cfg("fleet"), "t.rs", src).is_empty());
+    }
+}

@@ -18,6 +18,7 @@ impl<T> BoundedVec<T> {
     pub fn new(budget: &RamBudget) -> Result<Self, RamError> {
         let reservation = budget.reserve(0)?;
         Ok(BoundedVec {
+            // pds-lint: allow(ram.raw_alloc) — this IS the accounted container: every push reserves through `budget` before growing.
             items: Vec::new(),
             reservation,
             budget: budget.clone(),

@@ -154,6 +154,8 @@ impl SearchEngine {
         buffer_triples: usize,
         df_strategy: DfStrategy,
     ) -> Result<Self, SearchError> {
+        // pds-lint: allow(panic.assert) — construction-time shape check on
+        // caller-chosen constants, not data-dependent; cannot fire at query time
         assert!(num_buckets > 0 && buffer_triples > 0);
         // Charge the permanent RAM residents: bucket heads + insertion
         // buffer. The df dictionary is charged as it grows.
@@ -352,7 +354,8 @@ impl SearchEngine {
         while page != NO_PREV {
             let addr = self.index.page_addr(page)?;
             self.flash.read_page(addr, &mut buf)?;
-            let (prev, triples) = decode_page(&buf);
+            let (prev, triples) =
+                decode_page(&buf).ok_or(SearchError::CorruptIndex("undecodable bucket page"))?;
             df += triples.iter().filter(live).count() as u32;
             page = prev;
         }
@@ -505,7 +508,8 @@ impl SearchEngine {
                 chain.push(page);
                 let addr = self.index.page_addr(page)?;
                 self.flash.read_page(addr, &mut buf)?;
-                let (prev, _) = decode_page(&buf);
+                let (prev, _) = decode_page(&buf)
+                    .ok_or(SearchError::CorruptIndex("undecodable bucket page"))?;
                 page = prev;
             }
             // Re-read oldest → newest, repacking into full pages.
@@ -513,7 +517,8 @@ impl SearchEngine {
             for &p in chain.iter().rev() {
                 let addr = self.index.page_addr(p)?;
                 self.flash.read_page(addr, &mut buf)?;
-                let (_, triples) = decode_page(&buf);
+                let (_, triples) = decode_page(&buf)
+                    .ok_or(SearchError::CorruptIndex("undecodable bucket page"))?;
                 for t in triples {
                     if self.deleted.contains(&t.doc) {
                         continue; // physical purge of tombstoned documents
@@ -684,7 +689,8 @@ impl<'a> ChainCursor<'a> {
             let addr = self.engine.index.page_addr(self.next_page)?;
             let mut buf = vec![0u8; self.engine.flash.geometry().page_size];
             self.engine.flash.read_page(addr, &mut buf)?;
-            let (prev, triples) = decode_page(&buf);
+            let (prev, triples) =
+                decode_page(&buf).ok_or(SearchError::CorruptIndex("undecodable bucket page"))?;
             self.current = triples
                 .into_iter()
                 .filter(|t| t.term == self.term && !self.engine.deleted.contains(&t.doc))

@@ -41,6 +41,8 @@ pub struct Zipf {
 impl Zipf {
     /// Build a sampler for `n` ranks with skew `s`.
     pub fn new(n: usize, s: f64) -> Self {
+        // pds-lint: allow(panic.assert) — corpus generator is experiment
+        // harness code; n is a compile-time experiment constant
         assert!(n > 0);
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;

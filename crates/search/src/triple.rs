@@ -47,13 +47,16 @@ impl Triple {
         buf[off + 12..off + 14].copy_from_slice(&self.tf.to_le_bytes());
     }
 
-    /// Deserialize from `buf` at `off`.
-    pub fn read(buf: &[u8], off: usize) -> Triple {
-        Triple {
-            term: u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
-            doc: u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()),
-            tf: u16::from_le_bytes(buf[off + 12..off + 14].try_into().unwrap()),
-        }
+    /// Deserialize from `buf` at `off`; `None` when the buffer is too
+    /// short (a corrupt page must degrade into a failed query, never a
+    /// panic on the unattended token).
+    pub fn read(buf: &[u8], off: usize) -> Option<Triple> {
+        let bytes = buf.get(off..off + TRIPLE_LEN)?;
+        Some(Triple {
+            term: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            doc: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            tf: u16::from_le_bytes(bytes[12..14].try_into().ok()?),
+        })
     }
 }
 
@@ -74,14 +77,16 @@ pub fn encode_page(page_size: usize, prev: u32, triples: &[Triple]) -> Vec<u8> {
     buf
 }
 
-/// Decode one bucket page into `(prev, triples)`.
-pub fn decode_page(buf: &[u8]) -> (u32, Vec<Triple>) {
-    let prev = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-    let count = u16::from_le_bytes(buf[4..6].try_into().unwrap()) as usize;
+/// Decode one bucket page into `(prev, triples)`; `None` on a short
+/// buffer or a slot count pointing past the page (torn or corrupt
+/// flash). The engine maps `None` to `SearchError::CorruptIndex`.
+pub fn decode_page(buf: &[u8]) -> Option<(u32, Vec<Triple>)> {
+    let prev = u32::from_le_bytes(buf.get(0..4)?.try_into().ok()?);
+    let count = u16::from_le_bytes(buf.get(4..6)?.try_into().ok()?) as usize;
     let triples = (0..count)
         .map(|i| Triple::read(buf, PAGE_HEADER + i * TRIPLE_LEN))
-        .collect();
-    (prev, triples)
+        .collect::<Option<Vec<Triple>>>()?;
+    Some((prev, triples))
 }
 
 #[cfg(test)]
@@ -97,7 +102,7 @@ mod tests {
         };
         let mut buf = vec![0u8; TRIPLE_LEN];
         t.write(&mut buf, 0);
-        assert_eq!(Triple::read(&buf, 0), t);
+        assert_eq!(Triple::read(&buf, 0), Some(t));
     }
 
     #[test]
@@ -111,7 +116,7 @@ mod tests {
             .collect();
         let page = encode_page(512, 77, &triples);
         assert_eq!(page.len(), 512);
-        let (prev, back) = decode_page(&page);
+        let (prev, back) = decode_page(&page).unwrap();
         assert_eq!(prev, 77);
         assert_eq!(back, triples);
     }
@@ -129,7 +134,7 @@ mod tests {
             n
         ];
         let page = encode_page(512, NO_PREV, &triples);
-        let (prev, back) = decode_page(&page);
+        let (prev, back) = decode_page(&page).unwrap();
         assert_eq!(prev, NO_PREV);
         assert_eq!(back.len(), n);
     }

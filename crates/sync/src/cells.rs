@@ -168,8 +168,7 @@ pub fn serve_cloud(cloud: &mut CloudStore, msg: &CellMsg) -> Option<CellMsg> {
             let stored = cloud
                 .get(&name)
                 .and_then(|chunks| chunks.first())
-                .map(|b| blob_version(b))
-                .unwrap_or(0);
+                .map_or(0, |b| blob_version(b));
             if incoming >= stored {
                 cloud.put(&name, vec![blob.clone()]);
             }
@@ -183,8 +182,8 @@ pub fn serve_cloud(cloud: &mut CloudStore, msg: &CellMsg) -> Option<CellMsg> {
 /// malformed pushes then lose to any real snapshot).
 fn blob_version(blob: &[u8]) -> u64 {
     blob.get(0..8)
-        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-        .unwrap_or(0)
+        .and_then(|b| b.try_into().ok())
+        .map_or(0, u64::from_le_bytes)
 }
 
 /// A trusted cell holding named slices of the owner's state.
@@ -231,7 +230,7 @@ impl TrustedCell {
 
     /// Local write: bump the slice version.
     pub fn write(&mut self, slice: &str, data: &[u8]) {
-        let v = self.slices.get(slice).map(|(v, _)| *v).unwrap_or(0);
+        let v = self.slices.get(slice).map_or(0, |(v, _)| *v);
         self.slices
             .insert(slice.to_string(), (v + 1, data.to_vec()));
     }
@@ -243,7 +242,7 @@ impl TrustedCell {
 
     /// Version of a slice.
     pub fn version(&self, slice: &str) -> u64 {
-        self.slices.get(slice).map(|(v, _)| *v).unwrap_or(0)
+        self.slices.get(slice).map_or(0, |(v, _)| *v)
     }
 
     /// Slice names this cell currently tracks.

@@ -446,7 +446,7 @@ mod tests {
                 names.iter().map(String::as_str).zip(keys.iter()).collect();
             let mut badge = Badge::new();
             badge.load_central(&server, &patients, &mut rng);
-            for f in folders.iter_mut() {
+            for f in &mut folders {
                 badge.sync_with_folder(f, &mut rng);
             }
             badge.unload_central(&mut server, &patients);

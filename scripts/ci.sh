@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Project-specific static analysis: panic-freedom, determinism,
+# RAM-budget and layering contracts (see DESIGN.md "Static guarantees").
+# Exits nonzero on any unwaived finding.
+cargo run --release -q -p pds-lint
 cargo build --workspace --release
 cargo test --workspace -q
 # Widened seeded crash-recovery sweep: a fixed, larger seed set than the
