@@ -1,18 +1,62 @@
 //! Regenerate every experiment table of EXPERIMENTS.md in one run.
 //!
-//! Usage: `cargo run --release -p pds-bench --bin report [--metrics] [e1 e2 …]`
-//! (no experiment ids = all experiments). With `--metrics`, the
-//! process-wide `pds-obs` registry is dumped as JSONL after the tables —
-//! every flash IO, RAM high-water mark, policy decision, and protocol
-//! round the experiments generated.
+//! Usage:
+//!   `cargo run --release -p pds-bench --bin report [FLAGS] [e1 e2 …]`
+//! (no experiment ids = all experiments). Flags:
+//!
+//! * `--metrics` — dump the process-wide `pds-obs` registry as JSONL
+//!   after the tables: every flash IO, RAM high-water mark, policy
+//!   decision, and protocol round the experiments generated.
+//! * `--baseline FILE` — after running the selected experiments, write
+//!   their deterministic metrics (plus scope and env knobs) to `FILE`.
+//!   Commit the file to pin the repo's cost envelope.
+//! * `--check FILE` — replay the scope and env knobs recorded in
+//!   `FILE`, then compare the fresh deterministic metrics against it.
+//!   Exits 1 naming every drifted metric; CI runs this on every push.
 
+use pds_bench::baseline::{self, Baseline};
 use pds_bench::*;
+
+/// Pop `flag FILE` out of `args`; exit 2 if the value is missing.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{flag} needs a file argument");
+        std::process::exit(2);
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics = args.iter().any(|a| a == "--metrics");
     args.retain(|a| a != "--metrics");
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    let write_path = take_opt(&mut args, "--baseline");
+    let check_path = take_opt(&mut args, "--check");
+
+    let checked: Option<Baseline> = check_path.map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("--check: cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        Baseline::parse(&text).unwrap_or_else(|| {
+            eprintln!("--check: {p} is not a baseline document");
+            std::process::exit(2);
+        })
+    });
+    // A check replays the recorded shape: same experiments, same env
+    // knobs — a drift must mean the *code* changed, not the invocation.
+    let scope: Vec<String> = match &checked {
+        Some(b) => {
+            b.apply_env();
+            b.scope.clone()
+        }
+        None => args.clone(),
+    };
+
+    let want = |id: &str| scope.is_empty() || scope.iter().any(|a| a == id);
     type Exp = (&'static str, fn() -> Table);
     let experiments: Vec<Exp> = vec![
         ("e1", e1_pbfilter::run),
@@ -29,6 +73,7 @@ fn main() {
         ("e12", e12_folkis::run),
         ("e13", e13_recovery::run),
         ("e14", e14_fleet::run),
+        ("e15", e15_fleet_trace::run),
         ("a1", ablations::a1_bloom_budget),
         ("a2", ablations::a2_partition_size),
         ("a3", ablations::a3_codesign),
@@ -45,10 +90,11 @@ fn main() {
             );
         }
     }
-    if metrics {
+
+    if metrics || write_path.is_some() || checked.is_some() {
         // Fold the static-analysis posture into the same registry dump:
         // lint.findings / lint.waivers / lint.files_scanned sit next to
-        // the runtime counters, so one `--metrics` run captures both.
+        // the runtime counters, so one run captures both.
         if let Some(root) = std::env::current_dir()
             .ok()
             .and_then(|cwd| pds_lint::find_workspace_root(&cwd))
@@ -58,7 +104,36 @@ fn main() {
                 Err(e) => eprintln!("  [pds-lint skipped: {e}]"),
             }
         }
+    }
+    if metrics {
         println!("-- pds-obs registry (JSONL) --");
         print!("{}", pds_obs::metrics::global().export_jsonl());
+    }
+
+    if let Some(path) = write_path {
+        let base = baseline::capture(&scope);
+        if let Err(e) = std::fs::write(&path, base.to_json()) {
+            eprintln!("--baseline: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "baseline: wrote {} deterministic metrics to {path}",
+            base.metrics.len()
+        );
+    }
+    if let Some(base) = checked {
+        let drifts = base.diff(&baseline::capture(&base.scope));
+        if drifts.is_empty() {
+            println!(
+                "baseline check OK: {} deterministic metrics match",
+                base.metrics.len()
+            );
+        } else {
+            eprintln!("baseline check FAILED: {} metric(s) drifted", drifts.len());
+            for d in &drifts {
+                eprintln!("  {d}");
+            }
+            std::process::exit(1);
+        }
     }
 }

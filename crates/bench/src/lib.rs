@@ -6,11 +6,13 @@
 //! the hot operation of each experiment.
 
 pub mod ablations;
+pub mod baseline;
 pub mod e10_ppdp;
 pub mod e11_sync;
 pub mod e12_folkis;
 pub mod e13_recovery;
 pub mod e14_fleet;
+pub mod e15_fleet_trace;
 pub mod e1_pbfilter;
 pub mod e2_reorg;
 pub mod e3_search;

@@ -41,8 +41,11 @@ use pds_global::tuple::{ProtocolTuple, TupleKind};
 use pds_global::{GlobalError, GroupByQuery, ProtocolStats};
 use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
+use pds_obs::FleetTrace;
+
 use crate::bus::{mix, Addr, BusConfig, BusStats, MailboxBus};
 use crate::pool::TokenPool;
+use crate::trace::FleetTraceBuilder;
 pub use pds_global::secure_agg::OnTamper;
 
 const TAG_TOKEN: u64 = 0x464C_5454_4F4B_4E01; // per-token data stream
@@ -74,6 +77,9 @@ pub struct FleetConfig {
     pub link_latency_us: u64,
     /// Safety valve for bus draining (virtual ticks per phase).
     pub max_bus_ticks: u64,
+    /// Stitch a causal [`FleetTrace`] of the run (per-token spans, per
+    /// message hop histories, critical path in bus ticks).
+    pub trace: bool,
     /// Fabric profile.
     pub bus: BusConfig,
 }
@@ -88,6 +94,7 @@ impl FleetConfig {
             partition_size: 64,
             link_latency_us: 0,
             max_bus_ticks: 1_000_000,
+            trace: false,
             bus: BusConfig {
                 seed,
                 ..BusConfig::default()
@@ -147,6 +154,8 @@ pub struct FleetAggReport {
     pub leakage: Leakage,
     /// Tokens that received the final result in the distribution phase.
     pub result_coverage: usize,
+    /// The stitched causal trace of the run ([`FleetConfig::trace`]).
+    pub trace: Option<FleetTrace>,
     /// Wall-clock of the timed protocol phases (collection + reduction
     /// + distribution; excludes pool construction).
     pub elapsed: Duration,
@@ -169,6 +178,18 @@ fn sleep_link(us: u64) {
     if us > 0 {
         std::thread::sleep(Duration::from_micros(us));
     }
+}
+
+/// Open this token's phase-work span — only when the worker is inside a
+/// traced phase, so untraced runs pay nothing. Instrumented layers the
+/// closure calls into (flash IO counters, RAM high-water) attach their
+/// spans underneath it.
+fn token_span(i: usize) -> Option<pds_obs::SpanGuard> {
+    pds_obs::trace::context().is_some().then(|| {
+        let g = pds_obs::trace::span(&format!("token.{i}"));
+        g.set("token", i);
+        g
+    })
 }
 
 /// What a serving token mails back for one partition.
@@ -228,6 +249,14 @@ pub fn fleet_secure_aggregation(
     let ssi = Ssi::new(threat, cfg.seed);
     let mut bus = MailboxBus::new(cfg.bus);
     let mut stats = ProtocolStats::default();
+    let mut ftb = cfg.trace.then(|| {
+        let mut b = FleetTraceBuilder::new("fleet.agg");
+        // No worker-count attribute: the stitched trace must be
+        // bit-identical no matter how the fleet was sharded.
+        b.set("tokens", cfg.tokens);
+        b.set("seed", cfg.seed);
+        b
+    });
 
     // Plaintext reference over the same fleet (untimed; used by tests
     // and E14 to check exactness).
@@ -252,11 +281,13 @@ pub fn fleet_secure_aggregation(
     // unique fleet-wide without any shared counter.
     // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
+    let ctx = ftb.as_mut().map(|b| b.begin_phase("phase.collect", &bus));
     let q = query.clone();
     let latency = cfg.link_latency_us;
     let enc_key = key.clone();
     let seed = cfg.seed;
-    let wire: Vec<CollectOut> = pool.map(move |i, pds| {
+    let wire: Vec<CollectOut> = pool.map_in_trace(ctx, move |i, pds| {
+        let _span = token_span(i);
         sleep_link(latency);
         let mut rng = derived_rng(seed, TAG_ENC, i as u64);
         let mut cts = Vec::new();
@@ -272,10 +303,13 @@ pub fn fleet_secure_aggregation(
         let (cts, ops) = r?;
         stats.token_crypto_ops += ops;
         for ct in cts {
-            bus.send(Addr::Token(i), Addr::Ssi, ct);
+            bus.send_in(Addr::Token(i), Addr::Ssi, ct, ctx);
         }
     }
     bus.run_until_quiet(cfg.max_bus_ticks);
+    if let Some(b) = ftb.as_mut() {
+        b.end_phase(&mut bus);
+    }
     let arrived: Vec<(u64, Vec<u8>)> = bus
         .drain_inbox(Addr::Ssi)
         .into_iter()
@@ -300,16 +334,20 @@ pub fn fleet_secure_aggregation(
         if parts.is_empty() {
             break Vec::new(); // population contributed nothing at all
         }
+        let ctx = ftb
+            .as_mut()
+            .map(|b| b.begin_phase(&format!("phase.reduce.{round}"), &bus));
         let last_round = parts.len() <= 1;
         let mut serving: Vec<usize> = Vec::with_capacity(parts.len());
         for (pi, part) in parts.iter().enumerate() {
             next_token = (next_token + 1) % cfg.tokens.max(1);
             serving.push(next_token);
             stats.rounds += 1;
-            bus.send(
+            bus.send_in(
                 Addr::Ssi,
                 Addr::Token(next_token),
                 encode_partition(round, pi as u32, part),
+                ctx,
             );
         }
         bus.run_until_quiet(cfg.max_bus_ticks);
@@ -327,7 +365,8 @@ pub fn fleet_secure_aggregation(
         let red_key = key.clone();
         let seed = cfg.seed;
         let this_round = round;
-        let reduced: Vec<Result<TokenReduce, GlobalError>> = pool.map(move |i, _| {
+        let reduced: Vec<Result<TokenReduce, GlobalError>> = pool.map_in_trace(ctx, move |i, _| {
+            let _span = token_span(i);
             let mut out = TokenReduce {
                 parts: Vec::new(),
                 tuples: 0,
@@ -397,16 +436,24 @@ pub fn fleet_secure_aggregation(
         merged.sort_by_key(|(pi, _, _)| *pi);
         for (_, t, o) in merged {
             match o {
-                ReduceOut::Final(groups) => break 'reduce groups,
+                ReduceOut::Final(groups) => {
+                    if let Some(b) = ftb.as_mut() {
+                        b.end_phase(&mut bus);
+                    }
+                    break 'reduce groups;
+                }
                 ReduceOut::Partials(cts) => {
                     for ct in cts {
                         stats.ssi_bytes += ct.len() as u64;
-                        bus.send(Addr::Token(t), Addr::Ssi, ct);
+                        bus.send_in(Addr::Token(t), Addr::Ssi, ct, ctx);
                     }
                 }
             }
         }
         bus.run_until_quiet(cfg.max_bus_ticks);
+        if let Some(b) = ftb.as_mut() {
+            b.end_phase(&mut bus);
+        }
         // Reduction partials bypass `collect_tagged` (parity with the
         // reference implementation: the threat behavior applies to the
         // collection phase; afterwards the SSI must keep the reduction
@@ -430,6 +477,9 @@ pub fn fleet_secure_aggregation(
     // to every token.
     // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
+    let ctx = ftb
+        .as_mut()
+        .map(|b| b.begin_phase("phase.distribute", &bus));
     let result_wire: Vec<u8> = result
         .iter()
         .flat_map(|(g, v)| {
@@ -440,7 +490,7 @@ pub fn fleet_secure_aggregation(
         })
         .collect();
     for i in 0..cfg.tokens {
-        bus.send(Addr::Ssi, Addr::Token(i), result_wire.clone());
+        bus.send_in(Addr::Ssi, Addr::Token(i), result_wire.clone(), ctx);
     }
     bus.run_until_quiet(cfg.max_bus_ticks);
     let mut got_result: Vec<bool> = Vec::with_capacity(cfg.tokens);
@@ -449,7 +499,8 @@ pub fn fleet_secure_aggregation(
     }
     let got = Arc::new(got_result);
     let got2 = got.clone();
-    let downloads: Vec<bool> = pool.map(move |i, _| {
+    let downloads: Vec<bool> = pool.map_in_trace(ctx, move |i, _| {
+        let _span = token_span(i);
         if got2[i] {
             sleep_link(latency); // the download connection
             true
@@ -458,6 +509,9 @@ pub fn fleet_secure_aggregation(
         }
     });
     let result_coverage = downloads.iter().filter(|b| **b).count();
+    if let Some(b) = ftb.as_mut() {
+        b.end_phase(&mut bus);
+    }
     pds_obs::histogram("fleet.phase.distribute_us").observe(phase0.elapsed().as_micros() as u64);
 
     let elapsed = t0.elapsed();
@@ -475,6 +529,7 @@ pub fn fleet_secure_aggregation(
         bus: bus.stats(),
         leakage: ssi.leakage(),
         result_coverage,
+        trace: ftb.map(FleetTraceBuilder::finish),
         elapsed,
     })
 }
@@ -524,6 +579,36 @@ mod tests {
         assert!(rep.stats.rounds >= 2, "reduction tree has depth");
         assert_eq!(rep.result_coverage, 24, "everyone got the result");
         assert_eq!(rep.bus.expired, 0);
+    }
+
+    #[test]
+    fn traced_run_stitches_phases_and_keeps_the_result() {
+        let (mut cfg, q) = small_cfg(3);
+        cfg.trace = true;
+        let pool = build_fleet(&cfg, &q);
+        let rep = fleet_secure_aggregation(
+            &cfg,
+            &q,
+            &pool,
+            SsiThreat::HonestButCurious,
+            OnTamper::Abort,
+        )
+        .unwrap();
+        assert_eq!(rep.result, rep.expected);
+        let t = rep.trace.expect("trace requested");
+        let phases = t.phases();
+        assert!(phases.len() >= 3, "collect + reduce rounds + distribute");
+        assert_eq!(phases[0].name, "phase.collect");
+        assert_eq!(phases.last().unwrap().name, "phase.distribute");
+        assert_eq!(t.critical_path().len(), phases.len());
+        assert!(t.total_ticks() > 0);
+        // Every token worked in the collection phase and its RAM
+        // high-water rode along on the stitched token span.
+        assert_eq!(
+            t.per_token_in_phase("phase.collect", "mcu.ram.peak_bytes")
+                .len(),
+            24
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use pds_obs::rng::SplitMix64;
+use pds_obs::TraceContext;
 
 const TAG_ONLINE: u64 = 0x4255_534F_4E4C_4E01; // "BUSONLN"
 const TAG_LOSS: u64 = 0x4255_534C_4F53_5302; // "BUSLOSS"
@@ -131,8 +132,37 @@ pub struct BusMsg {
     pub from: Addr,
     /// Receiver endpoint.
     pub to: Addr,
+    /// Distributed-trace context this message belongs to, if the send
+    /// happened inside a traced protocol phase ([`MailboxBus::send_in`]).
+    pub ctx: Option<TraceContext>,
     /// Opaque payload.
     pub payload: Vec<u8>,
+}
+
+/// Delivery history of one traced message: everything the stitcher needs
+/// to render the send → (re)delivery → ack edges of a hop span. Recorded
+/// only for messages sent with a [`TraceContext`]; all fields are pure
+/// functions of the seed and the send sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Message id.
+    pub msg: u64,
+    /// The trace/phase the send belonged to.
+    pub ctx: TraceContext,
+    /// Sender endpoint.
+    pub from: Addr,
+    /// Receiver endpoint.
+    pub to: Addr,
+    /// Tick the message was accepted at.
+    pub send_tick: u64,
+    /// Tick of the first delivery to the receiver (0 if never delivered).
+    pub deliver_tick: u64,
+    /// Transmission attempts burned across both store-and-forward hops.
+    pub attempts: u64,
+    /// Duplicate re-deliveries absorbed by the receiver's dedup set.
+    pub redeliveries: u64,
+    /// True when the message ran out of attempts before delivery.
+    pub expired: bool,
 }
 
 /// Delivery hop a message is currently waiting on.
@@ -182,6 +212,7 @@ pub struct MailboxBus {
     next_seq: BTreeMap<u64, u64>,
     forced_offline: BTreeSet<usize>,
     stats: BusStats,
+    hops: BTreeMap<u64, HopRecord>,
 }
 
 impl MailboxBus {
@@ -197,6 +228,7 @@ impl MailboxBus {
             next_seq: BTreeMap::new(),
             forced_offline: BTreeSet::new(),
             stats: BusStats::default(),
+            hops: BTreeMap::new(),
         }
     }
 
@@ -240,10 +272,40 @@ impl MailboxBus {
 
     /// Accept a message for delivery; returns its stable id.
     pub fn send(&mut self, from: Addr, to: Addr, payload: Vec<u8>) -> u64 {
+        self.send_in(from, to, payload, None)
+    }
+
+    /// Accept a message that belongs to a distributed-trace phase: its
+    /// full delivery history is recorded as a [`HopRecord`] for the
+    /// fleet-trace stitcher ([`MailboxBus::take_hops`]). With `ctx:
+    /// None` this is exactly [`MailboxBus::send`] — no record is kept.
+    pub fn send_in(
+        &mut self,
+        from: Addr,
+        to: Addr,
+        payload: Vec<u8>,
+        ctx: Option<TraceContext>,
+    ) -> u64 {
         let seq = self.next_seq.entry(from.code()).or_insert(0);
         let id = (from.code() << 24) | *seq;
         *seq += 1;
         self.stats.sent += 1;
+        if let Some(ctx) = ctx {
+            self.hops.insert(
+                id,
+                HopRecord {
+                    msg: id,
+                    ctx,
+                    from,
+                    to,
+                    send_tick: self.tick,
+                    deliver_tick: 0,
+                    attempts: 0,
+                    redeliveries: 0,
+                    expired: false,
+                },
+            );
+        }
         let hop = if from == Addr::Ssi {
             Hop::Download
         } else {
@@ -254,6 +316,7 @@ impl MailboxBus {
                 id,
                 from,
                 to,
+                ctx,
                 payload,
             },
             hop,
@@ -290,6 +353,9 @@ impl MailboxBus {
                 continue;
             }
             f.attempts += 1;
+            if let Some(rec) = self.hops.get_mut(&f.msg.id) {
+                rec.attempts += 1;
+            }
             let lost = unit(mix(
                 self.cfg.seed,
                 TAG_LOSS,
@@ -305,6 +371,9 @@ impl MailboxBus {
                 }
                 if f.attempts >= self.cfg.max_attempts {
                     self.stats.expired += 1;
+                    if let Some(rec) = self.hops.get_mut(&f.msg.id) {
+                        rec.expired = true;
+                    }
                     continue;
                 }
                 f.next_try = tick + self.backoff(f.attempts);
@@ -324,12 +393,18 @@ impl MailboxBus {
                     let dedup = self.seen.entry(f.msg.to.code()).or_default();
                     if dedup.insert(f.msg.id) {
                         self.stats.delivered += 1;
+                        if let Some(rec) = self.hops.get_mut(&f.msg.id) {
+                            rec.deliver_tick = tick;
+                        }
                         self.inboxes
                             .entry(f.msg.to.code())
                             .or_default()
                             .push(f.msg.clone());
                     } else {
                         self.stats.duplicates += 1;
+                        if let Some(rec) = self.hops.get_mut(&f.msg.id) {
+                            rec.redeliveries += 1;
+                        }
                     }
                     // Lost ack ⇒ the store re-delivers exactly once more.
                     if f.hop == Hop::Download
@@ -362,6 +437,14 @@ impl MailboxBus {
         let mut msgs = self.inboxes.remove(&addr.code()).unwrap_or_default();
         msgs.sort_by_key(|m| m.id);
         msgs
+    }
+
+    /// Drain the delivery histories of every traced message, in message
+    /// id order (run-stable, independent of delivery timing). Phases are
+    /// barriers, so draining at a phase boundary yields exactly that
+    /// phase's hops.
+    pub fn take_hops(&mut self) -> Vec<HopRecord> {
+        std::mem::take(&mut self.hops).into_values().collect()
     }
 
     /// Mirror the counters into the `fleet.bus.*` metrics registry.
@@ -469,6 +552,32 @@ mod tests {
         bus.force_offline(3, false);
         bus.run_until_quiet(100);
         assert_eq!(bus.drain_inbox(Addr::Token(3)).len(), 1);
+    }
+
+    #[test]
+    fn traced_sends_record_hop_histories() {
+        let ctx = TraceContext {
+            trace_id: 9,
+            parent_span: 2,
+        };
+        let mut bus = MailboxBus::new(BusConfig {
+            seed: 3,
+            connectivity: 1.0,
+            loss_rate: 0.0,
+            dup_rate: 0.5,
+            ..Default::default()
+        });
+        for i in 0..20usize {
+            bus.send_in(Addr::Token(i), Addr::Ssi, vec![0; 4], Some(ctx));
+        }
+        bus.send(Addr::Token(99), Addr::Ssi, vec![1]); // untraced
+        bus.run_until_quiet(100_000);
+        let hops = bus.take_hops();
+        assert_eq!(hops.len(), 20, "only traced sends are recorded");
+        assert!(hops.windows(2).all(|w| w[0].msg < w[1].msg));
+        assert!(hops.iter().all(|h| h.ctx == ctx && h.deliver_tick > 0));
+        assert!(hops.iter().map(|h| h.redeliveries).sum::<u64>() > 0);
+        assert!(bus.take_hops().is_empty(), "drain removes");
     }
 
     #[test]

@@ -21,13 +21,25 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pds_core::{CloudStore, PdsError};
+use pds_obs::FleetTrace;
 use pds_sync::{serve_cloud, CellMsg, CellSyncReport, TrustedCell};
 
 use crate::agg::derived_rng;
 use crate::bus::{Addr, BusConfig, BusStats, MailboxBus};
 use crate::pool::TokenPool;
+use crate::trace::FleetTraceBuilder;
 
 const TAG_CELL: u64 = 0x464C_5443_454C_4C04; // per-(round, cell) push stream
+
+/// Open this cell's phase-work span when inside a traced phase (same
+/// shape as the aggregation driver's token spans).
+fn cell_span(i: usize) -> Option<pds_obs::SpanGuard> {
+    pds_obs::trace::context().is_some().then(|| {
+        let g = pds_obs::trace::span(&format!("token.{i}"));
+        g.set("token", i);
+        g
+    })
+}
 
 /// One cell's reconcile-phase output: `(pushes, outcome tallies)`.
 type ReconcileOut = Result<(Vec<Vec<u8>>, CellSyncReport), PdsError>;
@@ -139,13 +151,37 @@ impl CellNet {
     /// One synchronization round: request → serve → reconcile, all
     /// token↔cloud traffic on the bus.
     pub fn sync_round(&mut self) -> Result<CellSyncReport, PdsError> {
+        self.sync_round_inner(&mut None)
+    }
+
+    /// [`CellNet::sync_round`] with a stitched causal [`FleetTrace`]:
+    /// per-cell `token.N` spans in the request/reconcile phases and the
+    /// full hop history of every message the round moved.
+    pub fn sync_round_traced(&mut self) -> Result<(CellSyncReport, FleetTrace), PdsError> {
+        let mut b = FleetTraceBuilder::new("fleet.sync");
+        b.set("cells", self.cfg.cells);
+        b.set("round", u64::from(self.round));
+        b.set("seed", self.cfg.seed);
+        let mut ftb = Some(b);
+        let delta = self.sync_round_inner(&mut ftb)?;
+        Ok((delta, ftb.take().expect("builder kept").finish()))
+    }
+
+    fn sync_round_inner(
+        &mut self,
+        ftb: &mut Option<FleetTraceBuilder>,
+    ) -> Result<CellSyncReport, PdsError> {
         let round = self.round;
         self.round += 1;
         let mut delta = CellSyncReport::default();
 
         // Phase 1: every cell mails its pull requests.
+        let ctx = ftb
+            .as_mut()
+            .map(|b| b.begin_phase("phase.request", &self.bus));
         let directory = self.directory.clone();
-        let requests: Vec<Vec<Vec<u8>>> = self.pool.map(move |_, c| {
+        let requests: Vec<Vec<Vec<u8>>> = self.pool.map_in_trace(ctx, move |i, c| {
+            let _span = cell_span(i);
             c.sync_requests(&directory)
                 .iter()
                 .map(CellMsg::to_bytes)
@@ -153,24 +189,36 @@ impl CellNet {
         });
         for (i, reqs) in requests.into_iter().enumerate() {
             for r in reqs {
-                self.bus.send(Addr::Token(i), Addr::Ssi, r);
+                self.bus.send_in(Addr::Token(i), Addr::Ssi, r, ctx);
             }
         }
         self.bus.run_until_quiet(self.cfg.ticks_per_phase);
+        if let Some(b) = ftb.as_mut() {
+            b.end_phase(&mut self.bus);
+        }
 
         // Phase 2: the cloud serves whatever arrived (version-guarded;
         // requests from offline cells simply arrive in a later round).
+        let ctx = ftb
+            .as_mut()
+            .map(|b| b.begin_phase("phase.serve", &self.bus));
         for m in self.bus.drain_inbox(Addr::Ssi) {
             let Some(msg) = CellMsg::from_bytes(&m.payload) else {
                 continue;
             };
             if let Some(resp) = serve_cloud(&mut self.cloud, &msg) {
-                self.bus.send(Addr::Ssi, m.from, resp.to_bytes());
+                self.bus.send_in(Addr::Ssi, m.from, resp.to_bytes(), ctx);
             }
         }
         self.bus.run_until_quiet(self.cfg.ticks_per_phase);
+        if let Some(b) = ftb.as_mut() {
+            b.end_phase(&mut self.bus);
+        }
 
         // Phase 3: cells reconcile the responses in parallel.
+        let ctx = ftb
+            .as_mut()
+            .map(|b| b.begin_phase("phase.reconcile", &self.bus));
         let mut mail: BTreeMap<usize, Vec<Vec<u8>>> = BTreeMap::new();
         for i in 0..self.cfg.cells {
             let msgs = self.bus.drain_inbox(Addr::Token(i));
@@ -180,7 +228,8 @@ impl CellNet {
         }
         let mail = Arc::new(mail);
         let seed = self.cfg.seed;
-        let handled: Vec<ReconcileOut> = self.pool.map(move |i, c| {
+        let handled: Vec<ReconcileOut> = self.pool.map_in_trace(ctx, move |i, c| {
+            let _span = cell_span(i);
             let mut pushes = Vec::new();
             let mut rep = CellSyncReport::default();
             let Some(mine) = mail.get(&i) else {
@@ -205,10 +254,13 @@ impl CellNet {
             delta.pulled += rep.pulled;
             delta.unchanged += rep.unchanged;
             for p in pushes {
-                self.bus.send(Addr::Token(i), Addr::Ssi, p);
+                self.bus.send_in(Addr::Token(i), Addr::Ssi, p, ctx);
             }
         }
         self.bus.run_until_quiet(self.cfg.ticks_per_phase);
+        if let Some(b) = ftb.as_mut() {
+            b.end_phase(&mut self.bus);
+        }
         for m in self.bus.drain_inbox(Addr::Ssi) {
             if let Some(msg) = CellMsg::from_bytes(&m.payload) {
                 serve_cloud(&mut self.cloud, &msg);
@@ -298,6 +350,21 @@ mod tests {
         n.sync_until_quiet(40).unwrap();
         assert_eq!(n.read(2, "s").unwrap(), b"v3-from-1");
         assert_eq!(n.read(0, "s").unwrap(), b"v3-from-1");
+    }
+
+    #[test]
+    fn traced_round_shows_request_serve_reconcile() {
+        let mut n = net(4, 2, 9);
+        n.write(1, "notes", b"hello");
+        let (_, t) = n.sync_round_traced().unwrap();
+        let names: Vec<&str> = t.phases().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["phase.request", "phase.serve", "phase.reconcile"]);
+        assert!(t.total_ticks() > 0);
+        // The round moved traffic and every hop's history was stitched.
+        assert!(t
+            .phases()
+            .iter()
+            .any(|p| p.children.iter().any(|c| c.name.starts_with("hop."))));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! and all, with the SSI doing the only thing it is trusted to do —
 //! store and forward.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`bus`] — the **store-and-forward mailbox bus**: per-endpoint
 //!   mailboxes, a seeded connectivity model (each token is online only a
@@ -24,6 +24,12 @@
 //!   global-query protocols and the Trusted-Cells sync pass re-hosted as
 //!   **phased fleet jobs** (collection → SSI shuffle/compute → result
 //!   distribution) on top of the two.
+//! * [`trace`] — the **fleet-trace stitcher**: with `FleetConfig::trace`
+//!   on, every worker's per-token span trees and every bus message's
+//!   hop history are stitched into one causal
+//!   [`FleetTrace`](pds_obs::FleetTrace) per round — per-phase straggler
+//!   hops (the critical path, in bus ticks) and per-token flash/RAM
+//!   attribution, bit-for-bit identical at any worker count.
 //!
 //! The determinism contract threaded through all of it: every random
 //! decision is a derived hash stream — per-token data and encryption
@@ -39,11 +45,13 @@ pub mod agg;
 pub mod bus;
 pub mod cellnet;
 pub mod pool;
+pub mod trace;
 
 pub use agg::{
     build_fleet, build_token, derived_rng, fleet_secure_aggregation, FleetAggReport, FleetConfig,
     OnTamper,
 };
-pub use bus::{Addr, BusConfig, BusMsg, BusStats, MailboxBus};
+pub use bus::{Addr, BusConfig, BusMsg, BusStats, HopRecord, MailboxBus};
 pub use cellnet::{CellNet, CellNetConfig};
 pub use pool::TokenPool;
+pub use trace::FleetTraceBuilder;

@@ -87,12 +87,34 @@ impl<T: 'static> TokenPool<T> {
         R: Send + 'static,
         F: Fn(usize, &mut T) -> R + Send + Clone + 'static,
     {
+        self.map_in_trace(None, f)
+    }
+
+    /// [`TokenPool::map`] inside a distributed-trace phase: each worker
+    /// sets `ctx` as its thread's trace context for the duration of the
+    /// shard, so root spans the phase closure opens (and every
+    /// instrumented layer underneath) are contributed to the shared
+    /// trace sink, then flushed *before* the barrier releases — by the
+    /// time this returns, the driver can drain the whole phase. With
+    /// `ctx: None` this is exactly `map`.
+    pub fn map_in_trace<R, F>(&self, ctx: Option<pds_obs::TraceContext>, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &mut T) -> R + Send + Clone + 'static,
+    {
         let (out_tx, out_rx) = channel::<Vec<(usize, R)>>();
         for tx in &self.txs {
             let f = f.clone();
             let out_tx = out_tx.clone();
             let job: Job<T> = Box::new(move |shard| {
+                if ctx.is_some() {
+                    pds_obs::trace::set_context(ctx);
+                }
                 let results = shard.iter_mut().map(|(i, t)| (*i, f(*i, t))).collect();
+                if ctx.is_some() {
+                    pds_obs::trace::set_context(None);
+                    pds_obs::trace::flush_contributions();
+                }
                 // The driver only hangs up after every send; ignore its
                 // early death (a panic elsewhere already unwinds us).
                 let _ = out_tx.send(results);
@@ -167,6 +189,27 @@ mod tests {
         };
         assert_eq!(run(1), run(2));
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn map_in_trace_contributes_every_token_span() {
+        let ctx = pds_obs::TraceContext {
+            trace_id: 0x9000_0001,
+            parent_span: 3,
+        };
+        let pool = TokenPool::build(6, 3, factory);
+        let out = pool.map_in_trace(Some(ctx), |i, _| {
+            let g = pds_obs::trace::span("token.work");
+            g.set("token", i);
+            i
+        });
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        // The barrier already released ⇒ everything is in the sink.
+        let mut got = pds_obs::trace::drain_trace(0x9000_0001);
+        assert_eq!(got.len(), 6);
+        got.sort_by_key(|(_, s)| s.attr_u64("token"));
+        assert!(got.iter().all(|(p, _)| *p == 3));
+        assert_eq!(got[5].1.attr_u64("token"), Some(5));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub const RULE_IDS: &[&str] = &[
     "panic.assert",
     "det.time",
     "det.hash_collections",
+    "det.metric_wallclock",
     "ram.raw_alloc",
     "layer.dependency",
     "layer.module",
@@ -318,6 +319,23 @@ const DET_TOKENS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Metric-write call tokens for the baseline-hygiene rule.
+const METRIC_WRITE_TOKENS: &[&str] = &["counter(", "gauge("];
+
+/// Wall-clock reads that must never feed a counter or gauge: those two
+/// instrument kinds are compared *exactly* by `report --check`, so a
+/// machine-time value on the same line smuggles nondeterminism into the
+/// committed baseline. Histograms are exempt — baselines compare only
+/// their observation counts, so timing may flow into them freely.
+const WALLCLOCK_TOKENS: &[&str] = &[
+    "elapsed",
+    "Instant",
+    "SystemTime",
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+];
+
 /// RAM-budget tokens (raw growth that bypasses the accounted arena).
 const RAM_TOKENS: &[(&str, &str, &str)] = &[
     ("Vec::new", "ram.raw_alloc", ""),
@@ -493,6 +511,29 @@ pub fn lint_source(cfg: &CrateConfig, file: &str, source: &str) -> Vec<Finding> 
             continue;
         }
 
+        // Baseline hygiene applies to every crate, like layering: any
+        // crate can publish metrics, and `report --check` compares
+        // counters and gauges exactly, so a wall-clock read feeding one
+        // breaks the committed baseline on the next machine.
+        if METRIC_WRITE_TOKENS
+            .iter()
+            .any(|t| find_token(code, t).is_some())
+        {
+            if let Some(w) = WALLCLOCK_TOKENS
+                .iter()
+                .find(|t| find_token(code, t).is_some())
+            {
+                push(
+                    n,
+                    "det.metric_wallclock",
+                    format!(
+                        "`{w}` feeding a counter/gauge — those are baseline-checked exactly \
+                         (`report --check`); record wall-clock in a histogram instead"
+                    ),
+                );
+            }
+        }
+
         if cfg.families.contains(&Family::Panic) {
             for (token, rule, why) in PANIC_TOKENS {
                 if find_token(code, token).is_some() {
@@ -582,6 +623,40 @@ mod tests {
         let src = "use std::collections::BTreeMap;\nfn f() { let _m: BTreeMap<u8, u8> = BTreeMap::new(); }\n";
         let f = lint_source(cfg("fleet"), "t.rs", src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    // -- baseline hygiene (all crates) --
+
+    #[test]
+    fn metric_wallclock_positive_counter_and_gauge() {
+        let src = "fn f(t: std::time::Instant) {\n    \
+             pds_obs::counter(\"x.ticks\").add(t.elapsed().as_millis() as u64);\n    \
+             pds_obs::gauge(\"x.last\").set(t.elapsed().as_nanos() as u64);\n}\n";
+        // Applies even in crates with no determinism family (bench).
+        let f = lint_source(cfg("bench"), "t.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "det.metric_wallclock"));
+    }
+
+    #[test]
+    fn metric_wallclock_negative_histogram_and_causal_counters() {
+        // Histograms may absorb timing (baselines compare counts only),
+        // and counters fed causal values are the intended pattern.
+        let src = "fn f(t: std::time::Instant, ticks: u64) {\n    \
+             pds_obs::histogram(\"x.op_ns\").observe(t.elapsed().as_nanos() as u64);\n    \
+             pds_obs::counter(\"x.ticks\").add(ticks);\n}\n";
+        let f = lint_source(cfg("bench"), "t.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn metric_wallclock_waivable() {
+        let src = "fn f(t: std::time::Instant) {\n    \
+             // pds-lint: allow(det.metric_wallclock) — demo gauge, not baseline-checked\n    \
+             pds_obs::gauge(\"x.demo\").set(t.elapsed().as_millis() as u64);\n}\n";
+        let f = lint_source(cfg("bench"), "t.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
     }
 
     // -- ram family --

@@ -28,7 +28,10 @@ pub mod rng;
 pub mod trace;
 
 pub use metrics::{counter, event, gauge, histogram, Counter, Gauge, Histogram, Registry};
-pub use trace::{take_last_root, AttrValue, BudgetCheck, FinishedSpan, QueryTrace, SpanGuard};
+pub use trace::{
+    take_last_root, AttrValue, BudgetCheck, CriticalHop, FinishedSpan, FleetTrace, QueryTrace,
+    SpanGuard, TraceContext,
+};
 
 /// Resource budgets claimed by the tutorial's slides, used by
 /// [`trace::QueryTrace::check_budgets`] callers and the runtime

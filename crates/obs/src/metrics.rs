@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::ObjWriter;
@@ -143,6 +143,48 @@ impl Histogram {
         }
     }
 
+    /// Quantile estimate interpolated from the log2 buckets: the value at
+    /// rank `ceil(q·count)`, placed linearly inside its bucket's
+    /// `[2^(i-1), 2^i)` range. Exact for bucket boundaries, within one
+    /// bucket's width otherwise — good enough for the order-of-magnitude
+    /// latencies the repo reports. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = if i == 0 {
+                    (0u64, 1u64)
+                } else {
+                    (1u64 << (i - 1), 1u64 << i.min(63))
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                // Never report beyond the observed maximum.
+                return est.min(self.max() as f64);
+            }
+            seen += c;
+        }
+        self.max() as f64
+    }
+
+    /// `(p50, p95, p99)` interpolated estimates.
+    pub fn quantiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
     /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -178,8 +220,13 @@ pub struct Registry {
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     events: Mutex<VecDeque<Event>>,
     event_seq: AtomicU64,
-    event_cap: usize,
+    event_cap: AtomicUsize,
+    events_dropped: AtomicU64,
 }
+
+/// Default event-ring capacity (overridable per registry with
+/// [`Registry::set_event_capacity`]).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
 impl Registry {
     fn new() -> Self {
@@ -189,8 +236,34 @@ impl Registry {
             histograms: Mutex::new(BTreeMap::new()),
             events: Mutex::new(VecDeque::new()),
             event_seq: AtomicU64::new(0),
-            event_cap: 1024,
+            event_cap: AtomicUsize::new(DEFAULT_EVENT_CAPACITY),
+            events_dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Resize the event ring. Shrinking drops (and counts) the oldest
+    /// entries; a capacity of 0 keeps nothing and counts every event as
+    /// dropped.
+    pub fn set_event_capacity(&self, cap: usize) {
+        self.event_cap.store(cap, Ordering::Relaxed);
+        let mut ring = self.events.lock().unwrap();
+        while ring.len() > cap {
+            ring.pop_front();
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current event-ring capacity.
+    pub fn event_capacity(&self) -> usize {
+        self.event_cap.load(Ordering::Relaxed)
+    }
+
+    /// Events silently evicted from the ring so far — nonzero means
+    /// [`Registry::recent_events`] and the JSONL export are *incomplete*
+    /// views of the event stream (also exported as the
+    /// `obs.events_dropped` counter line).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
     }
 
     /// The counter named `name`, created on first use.
@@ -211,12 +284,20 @@ impl Registry {
         m.entry(name.to_string()).or_default().clone()
     }
 
-    /// Append an event to the ring buffer (oldest dropped at capacity).
+    /// Append an event to the ring buffer. At capacity the oldest entry
+    /// is evicted and the eviction is *counted* (`obs.events_dropped`),
+    /// so a truncated export can never masquerade as complete.
     pub fn event(&self, name: &str, fields: &[(&str, u64)]) {
         let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
+        let cap = self.event_cap.load(Ordering::Relaxed);
         let mut ring = self.events.lock().unwrap();
-        if ring.len() == self.event_cap {
+        while ring.len() >= cap.max(1) {
             ring.pop_front();
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if cap == 0 {
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
         }
         ring.push_back(Event {
             seq,
@@ -249,6 +330,7 @@ impl Registry {
             }
         }
         self.events.lock().unwrap().clear();
+        self.events_dropped.store(0, Ordering::Relaxed);
     }
 
     /// Export every instrument and recent event as JSON lines — the one
@@ -265,6 +347,16 @@ impl Registry {
             );
             out.push('\n');
         }
+        // The drop count rides along as a synthetic counter so truncated
+        // event exports are self-describing.
+        out.push_str(
+            &ObjWriter::new()
+                .str("type", "counter")
+                .str("name", "obs.events_dropped")
+                .u64("value", self.events_dropped())
+                .finish(),
+        );
+        out.push('\n');
         for (name, g) in self.gauges.lock().unwrap().iter() {
             out.push_str(
                 &ObjWriter::new()
@@ -284,6 +376,7 @@ impl Registry {
                 buckets.push_str(&format!("[{hi},{c}]"));
             }
             buckets.push(']');
+            let (p50, p95, p99) = h.quantiles();
             out.push_str(
                 &ObjWriter::new()
                     .str("type", "histogram")
@@ -291,6 +384,9 @@ impl Registry {
                     .u64("count", h.count())
                     .u64("sum", h.sum())
                     .u64("max", h.max())
+                    .f64("p50", p50)
+                    .f64("p95", p95)
+                    .f64("p99", p99)
                     .raw("buckets", &buckets)
                     .finish(),
             );
@@ -404,7 +500,55 @@ mod tests {
                     .to_string(),
             );
         }
-        assert_eq!(kinds, ["counter", "gauge", "histogram", "event"]);
+        // The synthetic obs.events_dropped counter rides after the real ones.
+        assert_eq!(kinds, ["counter", "counter", "gauge", "histogram", "event"]);
+        let hist_line = jsonl
+            .lines()
+            .find(|l| l.contains("\"histogram\""))
+            .expect("histogram line");
+        let j = json::parse(hist_line).unwrap();
+        for q in ["p50", "p95", "p99"] {
+            assert!(j.get(q).and_then(json::Json::as_f64).is_some(), "{q}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let (p50, p95, p99) = h.quantiles();
+        // Log2 buckets bound the error by one bucket width.
+        assert!((32.0..=64.0).contains(&p50), "p50={p50}");
+        assert!((64.0..=100.0).contains(&p95), "p95={p95}");
+        assert!(p99 >= p95, "p99={p99} >= p95={p95}");
+        assert!(p99 <= 100.0, "clamped to observed max");
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        let one = Histogram::default();
+        one.observe(7);
+        assert_eq!(one.quantile(0.99), 7.0, "single sample clamps to max");
+    }
+
+    #[test]
+    fn event_ring_counts_drops_and_resizes() {
+        let r = Registry::new();
+        for i in 0..10u64 {
+            r.event("e", &[("i", i)]);
+        }
+        assert_eq!(r.events_dropped(), 0);
+        r.set_event_capacity(4);
+        assert_eq!(r.events_dropped(), 6, "shrink evictions are counted");
+        assert_eq!(r.recent_events().len(), 4);
+        for i in 0..3u64 {
+            r.event("e2", &[("i", i)]);
+        }
+        assert_eq!(r.events_dropped(), 9);
+        assert!(r.export_jsonl().contains("obs.events_dropped"));
+        r.reset();
+        assert_eq!(r.events_dropped(), 0);
+        assert_eq!(r.event_capacity(), 4, "reset keeps the capacity");
     }
 
     #[test]

@@ -7,11 +7,21 @@
 //! [`QueryTrace`] then renders a finished tree as the per-query "explain"
 //! report the tutorial's cost claims are checked against.
 //!
-//! The embedded stack is single-threaded (one secure MCU), so thread-local
-//! state is exact, not approximate.
+//! The embedded stack is single-threaded (one secure MCU), so the
+//! thread-local path is exact, not approximate — and it is kept intact.
+//! For *fleet* runs, where one causal protocol round spans many worker
+//! threads, a second collection path exists: a thread that sets a
+//! [`TraceContext`] (trace id + parent span id) has its finished root
+//! spans routed into a per-worker buffer, drained into a process-wide
+//! sink keyed by trace id. The fleet driver then stitches the per-token
+//! trees into one [`FleetTrace`] per aggregation/sync round. Stitched
+//! trees are timing-stripped ([`FinishedSpan::strip_timing`]) so the
+//! assembled trace is bit-identical at any worker count; causal time is
+//! measured in bus ticks, not wall-clock.
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::{write_f64, write_str};
@@ -160,6 +170,17 @@ impl FinishedSpan {
         out
     }
 
+    /// Zero every wall-clock duration in the tree, recursively. Stitched
+    /// fleet traces are assembled from spans produced on arbitrary worker
+    /// threads; stripping timing makes the assembled tree a pure function
+    /// of the seed (causal time lives in `bus.*` tick attributes instead).
+    pub fn strip_timing(&mut self) {
+        self.duration_ns = 0;
+        for c in &mut self.children {
+            c.strip_timing();
+        }
+    }
+
     fn write_json(&self, out: &mut String) {
         out.push_str("{\"span\":");
         write_str(out, &self.name);
@@ -190,9 +211,76 @@ impl FinishedSpan {
 
 const ROOT_RING_CAP: usize = 16;
 
+/// Per-worker contribution buffers flush to the shared sink once they
+/// hold this many spans (and always at [`flush_contributions`]).
+const CONTRIB_BUF_CAP: usize = 32;
+
 thread_local! {
     static STACK: RefCell<Vec<ActiveSpan>> = const { RefCell::new(Vec::new()) };
     static ROOTS: RefCell<VecDeque<FinishedSpan>> = const { RefCell::new(VecDeque::new()) };
+    static CONTEXT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+    static CONTRIB: RefCell<Vec<(TraceContext, FinishedSpan)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Identity of the distributed trace a piece of work belongs to: which
+/// fleet trace, and which span of it is the causal parent. Carried in
+/// every `MailboxBus` envelope and set by `TokenPool` workers for the
+/// duration of a phase job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceContext {
+    /// Fleet-trace id (derived from the run seed, stable across runs).
+    pub trace_id: u64,
+    /// Span id of the causal parent (the fleet driver's phase span).
+    pub parent_span: u64,
+}
+
+/// Contributed spans of one trace: `(parent span id, finished root)`.
+type TraceSink = BTreeMap<u64, Vec<(u64, FinishedSpan)>>;
+
+/// The process-wide sink of contributed spans: trace id → every
+/// `(parent span id, finished root)` any worker produced under that
+/// trace's context. Drained by the fleet driver at phase barriers.
+fn sink() -> &'static Mutex<TraceSink> {
+    static SINK: OnceLock<Mutex<TraceSink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Set (or clear) this thread's distributed-trace context. While a
+/// context is set, finished *root* spans are contributed to the shared
+/// sink instead of the thread-local ring — the single-MCU embedded path
+/// (no context) is untouched.
+pub fn set_context(ctx: Option<TraceContext>) {
+    CONTEXT.with(|c| c.set(ctx));
+}
+
+/// This thread's distributed-trace context, if any.
+pub fn context() -> Option<TraceContext> {
+    CONTEXT.with(Cell::get)
+}
+
+/// Drain this thread's contribution buffer into the shared sink. Worker
+/// threads call this at the end of each phase job, so by the time the
+/// phase barrier releases the driver, every span is visible.
+pub fn flush_contributions() {
+    let batch: Vec<(TraceContext, FinishedSpan)> =
+        CONTRIB.with(|b| std::mem::take(&mut *b.borrow_mut()));
+    if batch.is_empty() {
+        return;
+    }
+    let mut sink = sink().lock().unwrap();
+    for (ctx, span) in batch {
+        sink.entry(ctx.trace_id)
+            .or_default()
+            .push((ctx.parent_span, span));
+    }
+}
+
+/// Remove and return everything contributed under `trace_id`, as
+/// `(parent span id, span)` pairs in arbitrary arrival order — the
+/// stitcher must sort by a deterministic key (parent span id plus a
+/// caller-set attribute like `token`), never by arrival.
+pub fn drain_trace(trace_id: u64) -> Vec<(u64, FinishedSpan)> {
+    sink().lock().unwrap().remove(&trace_id).unwrap_or_default()
 }
 
 /// RAII guard for one span. Dropping the guard finishes the span; if
@@ -263,6 +351,14 @@ impl Drop for SpanGuard {
                 };
                 if let Some(parent) = s.last_mut() {
                     parent.children.push(finished);
+                } else if let Some(ctx) = context() {
+                    // Flush *before* pushing so the freshest root is
+                    // always still in the local buffer (trace() relies
+                    // on that to hand the span back to its caller).
+                    if CONTRIB.with(|b| b.borrow().len() + 1 >= CONTRIB_BUF_CAP) {
+                        flush_contributions();
+                    }
+                    CONTRIB.with(|b| b.borrow_mut().push((ctx, finished)));
                 } else {
                     ROOTS.with(|r| {
                         let mut r = r.borrow_mut();
@@ -297,7 +393,15 @@ pub fn trace<T>(name: &str, f: impl FnOnce() -> T) -> (T, FinishedSpan) {
     let out = f();
     drop(guard);
     let finished = if was_root {
-        take_last_root().expect("span just finished")
+        if context().is_some() {
+            // The root was contributed to the distributed sink; hand the
+            // caller a clone without un-contributing it.
+            CONTRIB
+                .with(|b| b.borrow().last().map(|(_, s)| s.clone()))
+                .expect("span just contributed")
+        } else {
+            take_last_root().expect("span just finished")
+        }
     } else {
         STACK.with(|s| {
             s.borrow()
@@ -413,6 +517,190 @@ impl QueryTrace {
     }
 }
 
+/// One phase's slowest delivery chain, in bus ticks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Phase span name (`phase.collect`, `phase.reduce.0`, …).
+    pub phase: String,
+    /// Bus ticks the phase consumed (`bus.ticks`).
+    pub ticks: u64,
+    /// Message id of the straggler hop (the last delivery of the phase),
+    /// if the phase moved any message.
+    pub msg: Option<u64>,
+    /// Tick the straggler was finally delivered at.
+    pub deliver_tick: u64,
+    /// Transmission attempts the straggler burned across its hops.
+    pub attempts: u64,
+    /// Duplicate re-deliveries of the straggler absorbed by dedup.
+    pub redeliveries: u64,
+}
+
+/// A stitched causal trace of one fleet protocol round: the "explain"
+/// report of a distributed run, sibling of [`QueryTrace`].
+///
+/// Conventions (produced by the fleet stitcher): the root's children are
+/// phase spans named `phase.*`, each carrying `bus.tick.start` /
+/// `bus.tick.end` / `bus.ticks`. A phase's children are per-token work
+/// spans named `token.N` (attribute `token`) — whose own subtrees are the
+/// per-token spans the instrumented layers produced — and per-message
+/// hop spans named `hop.N` (attributes `msg`, `from`, `to`, `send_tick`,
+/// `deliver_tick`, `attempts`, `redeliveries`, `expired`). All timing is
+/// stripped: causal time is bus ticks, so the whole tree is bit-identical
+/// at any worker count.
+#[derive(Debug, Clone)]
+pub struct FleetTrace {
+    /// The stitched root span of the round.
+    pub root: FinishedSpan,
+}
+
+impl FleetTrace {
+    /// Wrap a stitched root span.
+    pub fn new(root: FinishedSpan) -> Self {
+        FleetTrace { root }
+    }
+
+    /// The phase spans, in protocol order.
+    pub fn phases(&self) -> Vec<&FinishedSpan> {
+        self.root
+            .children
+            .iter()
+            .filter(|c| c.name.starts_with("phase."))
+            .collect()
+    }
+
+    /// Total bus ticks across every phase.
+    pub fn total_ticks(&self) -> u64 {
+        self.phases()
+            .iter()
+            .map(|p| p.attr_u64("bus.ticks").unwrap_or(0))
+            .sum()
+    }
+
+    /// The critical path through the round: per phase, the hop whose
+    /// delivery landed last (ties broken by lowest message id). The sum
+    /// of phase ticks *is* the round's causal length — phases are
+    /// barriers, so no work overlaps them.
+    pub fn critical_path(&self) -> Vec<CriticalHop> {
+        self.phases()
+            .iter()
+            .map(|p| {
+                let mut worst: Option<&FinishedSpan> = None;
+                for h in p.children.iter().filter(|c| c.name.starts_with("hop.")) {
+                    if h.attr_u64("expired") == Some(1) {
+                        continue;
+                    }
+                    let better = match worst {
+                        None => true,
+                        Some(w) => {
+                            let (ht, wt) = (
+                                h.attr_u64("deliver_tick").unwrap_or(0),
+                                w.attr_u64("deliver_tick").unwrap_or(0),
+                            );
+                            ht > wt
+                                || (ht == wt
+                                    && h.attr_u64("msg").unwrap_or(u64::MAX)
+                                        < w.attr_u64("msg").unwrap_or(u64::MAX))
+                        }
+                    };
+                    if better {
+                        worst = Some(h);
+                    }
+                }
+                CriticalHop {
+                    phase: p.name.clone(),
+                    ticks: p.attr_u64("bus.ticks").unwrap_or(0),
+                    msg: worst.and_then(|h| h.attr_u64("msg")),
+                    deliver_tick: worst.and_then(|h| h.attr_u64("deliver_tick")).unwrap_or(0),
+                    attempts: worst.and_then(|h| h.attr_u64("attempts")).unwrap_or(0),
+                    redeliveries: worst.and_then(|h| h.attr_u64("redeliveries")).unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Attribute an integer cost over the round: token → summed `key`
+    /// over every phase's `token.N` span (e.g. `flash.page_reads`,
+    /// `mcu.ram.peak_bytes`). Tokens that carried no such cost are absent.
+    pub fn per_token(&self, key: &str) -> std::collections::BTreeMap<u64, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for p in self.phases() {
+            for t in p.children.iter().filter(|c| c.name.starts_with("token.")) {
+                let Some(id) = t.attr_u64("token") else {
+                    continue;
+                };
+                let v = t.total(key);
+                if v > 0 {
+                    *out.entry(id).or_insert(0) += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Same attribution restricted to one phase.
+    pub fn per_token_in_phase(
+        &self,
+        phase: &str,
+        key: &str,
+    ) -> std::collections::BTreeMap<u64, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for p in self.phases().into_iter().filter(|p| p.name == phase) {
+            for t in p.children.iter().filter(|c| c.name.starts_with("token.")) {
+                if let Some(id) = t.attr_u64("token") {
+                    out.insert(id, t.total(key));
+                }
+            }
+        }
+        out
+    }
+
+    fn render_span(out: &mut String, s: &FinishedSpan, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&s.name);
+        for (k, v) in &s.attrs {
+            match v {
+                AttrValue::U64(n) => out.push_str(&format!(" {k}={n}")),
+                AttrValue::F64(f) => out.push_str(&format!(" {k}={f:.3}")),
+                AttrValue::Str(t) => out.push_str(&format!(" {k}={t}")),
+            }
+        }
+        out.push('\n');
+        for c in &s.children {
+            Self::render_span(out, c, depth + 1);
+        }
+    }
+
+    /// Deterministic human-readable report: the stitched tree (no
+    /// wall-clock anywhere), then the critical path in bus ticks.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        Self::render_span(&mut out, &self.root, 0);
+        out.push_str("critical path:\n");
+        for h in self.critical_path() {
+            match h.msg {
+                Some(m) => out.push_str(&format!(
+                    "  {} ticks={} straggler=msg.{} deliver_tick={} attempts={} redeliveries={}\n",
+                    h.phase, h.ticks, m, h.deliver_tick, h.attempts, h.redeliveries
+                )),
+                None => out.push_str(&format!(
+                    "  {} ticks={} (no bus traffic)\n",
+                    h.phase, h.ticks
+                )),
+            }
+        }
+        out.push_str(&format!("total bus ticks: {}\n", self.total_ticks()));
+        out
+    }
+
+    /// The stitched trace as one JSON line (parseable by
+    /// [`crate::json::parse`]).
+    pub fn to_json(&self) -> String {
+        self.root.to_json()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +786,136 @@ mod tests {
         assert_eq!(
             j.get("span").and_then(json::Json::as_str),
             Some("pds.select")
+        );
+    }
+
+    #[test]
+    fn context_routes_roots_to_shared_sink() {
+        let ctx = TraceContext {
+            trace_id: 0xC0FFEE,
+            parent_span: 7,
+        };
+        set_context(Some(ctx));
+        for i in 0..3u64 {
+            let g = span("token.work");
+            g.set("token", i);
+            {
+                let inner = span("db.select");
+                inner.set("flash.page_reads", 2u64);
+            }
+        }
+        set_context(None);
+        flush_contributions();
+        // The thread-local ring saw nothing; the sink got all three.
+        assert!(take_last_root().is_none());
+        let mut got = drain_trace(0xC0FFEE);
+        assert_eq!(got.len(), 3);
+        got.sort_by_key(|(p, s)| (*p, s.attr_u64("token")));
+        assert_eq!(got[0].0, 7, "parent span id travels with the span");
+        assert_eq!(got[2].1.total("flash.page_reads"), 2);
+        assert!(drain_trace(0xC0FFEE).is_empty(), "drain removes");
+    }
+
+    #[test]
+    fn trace_under_context_returns_and_contributes() {
+        let ctx = TraceContext {
+            trace_id: 0xBEEF01,
+            parent_span: 1,
+        };
+        set_context(Some(ctx));
+        let (v, spn) = trace("work", || 5);
+        set_context(None);
+        flush_contributions();
+        assert_eq!(v, 5);
+        assert_eq!(spn.name, "work");
+        assert_eq!(drain_trace(0xBEEF01).len(), 1);
+    }
+
+    #[test]
+    fn contribution_buffer_flushes_at_capacity() {
+        let ctx = TraceContext {
+            trace_id: 0xFADE02,
+            parent_span: 0,
+        };
+        set_context(Some(ctx));
+        for i in 0..100u64 {
+            let g = span("s");
+            g.set("i", i);
+        }
+        set_context(None);
+        flush_contributions();
+        assert_eq!(drain_trace(0xFADE02).len(), 100, "nothing truncated");
+    }
+
+    #[test]
+    fn strip_timing_zeroes_recursively() {
+        let (_, mut root) = trace("a", || {
+            let _b = span("b");
+        });
+        root.strip_timing();
+        assert_eq!(root.duration_ns, 0);
+        assert_eq!(root.children[0].duration_ns, 0);
+    }
+
+    fn hop(msg: u64, deliver: u64, attempts: u64, redeliveries: u64) -> FinishedSpan {
+        FinishedSpan {
+            name: format!("hop.{msg}"),
+            duration_ns: 0,
+            attrs: vec![
+                ("msg".into(), AttrValue::U64(msg)),
+                ("deliver_tick".into(), AttrValue::U64(deliver)),
+                ("attempts".into(), AttrValue::U64(attempts)),
+                ("redeliveries".into(), AttrValue::U64(redeliveries)),
+            ],
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fleet_trace_critical_path_and_attribution() {
+        let mut tok = FinishedSpan {
+            name: "token.1".into(),
+            duration_ns: 0,
+            attrs: vec![("token".into(), AttrValue::U64(1))],
+            children: Vec::new(),
+        };
+        tok.children.push(FinishedSpan {
+            name: "db.select".into(),
+            duration_ns: 0,
+            attrs: vec![("flash.page_reads".into(), AttrValue::U64(9))],
+            children: Vec::new(),
+        });
+        let phase1 = FinishedSpan {
+            name: "phase.collect".into(),
+            duration_ns: 0,
+            attrs: vec![("bus.ticks".into(), AttrValue::U64(12))],
+            children: vec![tok, hop(4, 11, 3, 1), hop(2, 11, 1, 0)],
+        };
+        let phase2 = FinishedSpan {
+            name: "phase.reduce.0".into(),
+            duration_ns: 0,
+            attrs: vec![("bus.ticks".into(), AttrValue::U64(5))],
+            children: vec![hop(9, 17, 1, 0)],
+        };
+        let ft = FleetTrace::new(FinishedSpan {
+            name: "fleet.agg".into(),
+            duration_ns: 0,
+            attrs: Vec::new(),
+            children: vec![phase1, phase2],
+        });
+        assert_eq!(ft.total_ticks(), 17);
+        let cp = ft.critical_path();
+        assert_eq!(cp.len(), 2);
+        assert_eq!(cp[0].msg, Some(2), "tie on tick 11 → lowest msg id");
+        assert_eq!(cp[1].deliver_tick, 17);
+        assert_eq!(ft.per_token("flash.page_reads").get(&1), Some(&9));
+        let text = ft.render();
+        assert!(text.contains("critical path"));
+        assert!(text.contains("total bus ticks: 17"));
+        let j = crate::json::parse(&ft.to_json()).expect("fleet trace json parses");
+        assert_eq!(
+            j.get("span").and_then(crate::json::Json::as_str),
+            Some("fleet.agg")
         );
     }
 

@@ -40,5 +40,6 @@ pub use pds_flash as flash;
 pub use pds_fleet as fleet;
 pub use pds_global as global;
 pub use pds_mcu as mcu;
+pub use pds_obs as obs;
 pub use pds_search as search;
 pub use pds_sync as sync;

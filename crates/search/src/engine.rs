@@ -267,18 +267,19 @@ impl SearchEngine {
     /// without re-appending their content.
     fn index_text(&mut self, doc: DocId, text: &str) -> Result<(), SearchError> {
         // Per-document term-frequency aggregation: transient RAM
-        // proportional to the document's distinct terms.
+        // proportional to the document's distinct terms. BTreeMap, not
+        // HashMap: triples must reach the bucket buffers in a stable
+        // order, or the buffer-full flush point — and with it the page
+        // packing and the flash IO counters — would vary per process
+        // with the hash seed, breaking `report --check` baselines.
         let tokens = tokenize(text);
-        let mut tf: HashMap<u64, u16> = HashMap::new();
+        let mut tf: std::collections::BTreeMap<u64, u16> = std::collections::BTreeMap::new();
         let _tf_guard = self
             .ram
             .reserve(tokens.len().min(1024) * DICT_ENTRY_BYTES)?;
         for tok in &tokens {
-            *tf.entry(term_hash(tok)).or_insert(0) = tf
-                .get(&term_hash(tok))
-                .copied()
-                .unwrap_or(0)
-                .saturating_add(1);
+            let e = tf.entry(term_hash(tok)).or_insert(0);
+            *e = e.saturating_add(1);
         }
         for (term, count) in tf {
             if self.df_strategy == DfStrategy::RamDictionary {

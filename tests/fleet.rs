@@ -47,6 +47,50 @@ fn aggregation_is_identical_at_1_2_and_8_workers() {
 }
 
 #[test]
+fn stitched_trace_is_bit_identical_at_1_2_and_8_workers() {
+    let run = |workers: usize| {
+        let mut cfg = FleetConfig::new(32, workers, 0x7ACE);
+        cfg.partition_size = 8;
+        cfg.trace = true;
+        let query = GroupByQuery::bank_by_category();
+        let pool = build_fleet(&cfg, &query);
+        let rep = fleet_secure_aggregation(
+            &cfg,
+            &query,
+            &pool,
+            SsiThreat::HonestButCurious,
+            OnTamper::Abort,
+        )
+        .unwrap();
+        rep.trace.expect("trace requested")
+    };
+    let one = run(1);
+    // The rendered report and the JSON line are both byte-exact — the
+    // worker count and thread scheduling are unobservable in the trace.
+    assert_eq!(one.render(), run(2).render(), "2 workers");
+    assert_eq!(one.to_json(), run(8).to_json(), "8 workers");
+
+    // And the trace is meaningful: phased, with a critical path whose
+    // straggler hops explain the round's causal length in bus ticks.
+    assert!(one.phases().len() >= 3);
+    assert_eq!(one.phases()[0].name, "phase.collect");
+    let cp = one.critical_path();
+    assert_eq!(cp.len(), one.phases().len());
+    assert!(cp[0].msg.is_some(), "collection moved messages");
+    assert!(one.total_ticks() > 0);
+    assert!(
+        !one.per_token("mcu.ram.peak_bytes").is_empty(),
+        "per-token RAM attribution rode along"
+    );
+    // Every exported trace line round-trips through the JSON parser.
+    let parsed = pds::obs::json::parse(&one.to_json()).expect("trace JSON parses");
+    assert_eq!(
+        parsed.get("span").and_then(pds::obs::json::Json::as_str),
+        Some("fleet.agg")
+    );
+}
+
+#[test]
 fn covert_adversary_verdicts_are_thread_count_independent() {
     // A weakly-malicious SSI decides drops per message id, so even the
     // *damage* it does is reproducible at any worker count.
