@@ -28,6 +28,8 @@ pub const ENV_KNOBS: &[&str] = &[
     "PDS_E14_TOKENS",
     "PDS_E14_MAX_THREADS",
     "PDS_E14_LATENCY_US",
+    "PDS_E16_TOKENS",
+    "PDS_E16_MAX_THREADS",
 ];
 
 /// Is this metric name safe to compare exactly across machines?

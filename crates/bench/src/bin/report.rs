@@ -13,6 +13,10 @@
 //! * `--check FILE` — replay the scope and env knobs recorded in
 //!   `FILE`, then compare the fresh deterministic metrics against it.
 //!   Exits 1 naming every drifted metric; CI runs this on every push.
+//! * `--fleet-health` — after the experiments, snapshot the registry as
+//!   a metrics delta, evaluate the standard fleet SLO set against it,
+//!   and print the `fleet status` rendering plus its JSON line. Exits 1
+//!   when any rule fails.
 
 use pds_bench::baseline::{self, Baseline};
 use pds_bench::*;
@@ -33,6 +37,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics = args.iter().any(|a| a == "--metrics");
     args.retain(|a| a != "--metrics");
+    let fleet_health = args.iter().any(|a| a == "--fleet-health");
+    args.retain(|a| a != "--fleet-health");
     let write_path = take_opt(&mut args, "--baseline");
     let check_path = take_opt(&mut args, "--check");
 
@@ -74,6 +80,7 @@ fn main() {
         ("e13", e13_recovery::run),
         ("e14", e14_fleet::run),
         ("e15", e15_fleet_trace::run),
+        ("e16", e16_telemetry::run),
         ("a1", ablations::a1_bloom_budget),
         ("a2", ablations::a2_partition_size),
         ("a3", ablations::a3_codesign),
@@ -91,7 +98,7 @@ fn main() {
         }
     }
 
-    if metrics || write_path.is_some() || checked.is_some() {
+    if metrics || fleet_health || write_path.is_some() || checked.is_some() {
         // Fold the static-analysis posture into the same registry dump:
         // lint.findings / lint.waivers / lint.files_scanned sit next to
         // the runtime counters, so one run captures both.
@@ -108,6 +115,29 @@ fn main() {
     if metrics {
         println!("-- pds-obs registry (JSONL) --");
         print!("{}", pds_obs::metrics::global().export_jsonl());
+    }
+    // An overflowed event ring means the JSONL export above (and any
+    // later one) is an *incomplete* view of the event stream — say so
+    // loudly instead of letting a truncated export pass as complete.
+    let dropped = pds_obs::metrics::global().events_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "WARNING: obs.events_dropped = {dropped} — the event ring overflowed; \
+             the exported event stream is incomplete (raise the ring capacity \
+             with Registry::set_event_capacity)"
+        );
+    }
+
+    let mut unhealthy = false;
+    if fleet_health {
+        // The registry snapshot *is* a one-bucket rollup: the same
+        // delta/merge vocabulary the in-band collector folds, so the
+        // standard SLO set reads identically here and fleet-side.
+        let rollup = pds_obs::metrics::global().snapshot_delta();
+        let verdict = pds_fleet::HealthEngine::standard().evaluate(&rollup);
+        println!("{}", verdict.render());
+        println!("{}", verdict.to_json());
+        unhealthy = !verdict.healthy;
     }
 
     if let Some(path) = write_path {
@@ -135,5 +165,8 @@ fn main() {
             }
             std::process::exit(1);
         }
+    }
+    if unhealthy {
+        std::process::exit(1);
     }
 }

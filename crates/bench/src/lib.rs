@@ -13,6 +13,7 @@ pub mod e12_folkis;
 pub mod e13_recovery;
 pub mod e14_fleet;
 pub mod e15_fleet_trace;
+pub mod e16_telemetry;
 pub mod e1_pbfilter;
 pub mod e2_reorg;
 pub mod e3_search;

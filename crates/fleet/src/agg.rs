@@ -41,10 +41,13 @@ use pds_global::tuple::{ProtocolTuple, TupleKind};
 use pds_global::{GlobalError, GroupByQuery, ProtocolStats};
 use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
-use pds_obs::FleetTrace;
+use pds_obs::{FleetTrace, MetricsDelta};
 
 use crate::bus::{mix, Addr, BusConfig, BusStats, MailboxBus};
 use crate::pool::TokenPool;
+use crate::telemetry::{
+    Collector, CollectorStats, FleetHealth, HealthEngine, TelemetryConfig, TelemetryMsg,
+};
 use crate::trace::FleetTraceBuilder;
 pub use pds_global::secure_agg::OnTamper;
 
@@ -80,6 +83,12 @@ pub struct FleetConfig {
     /// Stitch a causal [`FleetTrace`] of the run (per-token spans, per
     /// message hop histories, critical path in bus ticks).
     pub trace: bool,
+    /// Run the in-band telemetry plane: every token mails its metric
+    /// deltas over this same bus to the collector role, which folds
+    /// them into tick-indexed rollups and a [`FleetHealth`] verdict
+    /// (see [`crate::telemetry`]). `None` leaves the bus schedule
+    /// exactly as it would be without telemetry.
+    pub telemetry: Option<TelemetryConfig>,
     /// Fabric profile.
     pub bus: BusConfig,
 }
@@ -95,6 +104,7 @@ impl FleetConfig {
             link_latency_us: 0,
             max_bus_ticks: 1_000_000,
             trace: false,
+            telemetry: None,
             bus: BusConfig {
                 seed,
                 ..BusConfig::default()
@@ -156,9 +166,88 @@ pub struct FleetAggReport {
     pub result_coverage: usize,
     /// The stitched causal trace of the run ([`FleetConfig::trace`]).
     pub trace: Option<FleetTrace>,
+    /// What the in-band telemetry plane observed
+    /// ([`FleetConfig::telemetry`]).
+    pub telemetry: Option<TelemetrySummary>,
     /// Wall-clock of the timed protocol phases (collection + reduction
     /// + distribution; excludes pool construction).
     pub elapsed: Duration,
+}
+
+/// What one run's telemetry plane collected — every field a pure
+/// function of the seed and config, bit-identical at any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// The collector's cumulative rollup (evicted history + live ring).
+    pub rollup: MetricsDelta,
+    /// The standard SLO set evaluated over the rollup.
+    pub health: FleetHealth,
+    /// Bus ticks the final telemetry flush took to converge (the lag
+    /// between the last protocol phase and a complete rollup).
+    pub convergence_ticks: u64,
+    /// Telemetry envelopes mailed over the bus.
+    pub msgs: u64,
+    /// Telemetry payload bytes mailed over the bus.
+    pub bytes: u64,
+    /// Live tick buckets in the collector's ring.
+    pub buckets: usize,
+    /// Distinct endpoints that reported.
+    pub sources: usize,
+    /// Collector fold accounting.
+    pub stats: CollectorStats,
+}
+
+/// Driver-side half of the telemetry plane: cuts per-token deltas into
+/// bus envelopes and folds the driver's own bus-stats observations
+/// (SSI-side, collector co-located — no bus hop for those).
+struct TelemetryDriver {
+    collector: Collector,
+    msgs: u64,
+    bytes: u64,
+    last_bus: BusStats,
+}
+
+impl TelemetryDriver {
+    fn new(cfg: TelemetryConfig) -> Self {
+        TelemetryDriver {
+            collector: Collector::new(cfg),
+            msgs: 0,
+            bytes: 0,
+            last_bus: BusStats::default(),
+        }
+    }
+
+    /// Mail one endpoint's delta to the collector (skips empty deltas).
+    fn emit(&mut self, bus: &mut MailboxBus, source: Addr, delta: MetricsDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        let payload = TelemetryMsg {
+            source: source.code(),
+            tick: bus.now(),
+            delta,
+        }
+        .encode();
+        self.msgs += 1;
+        self.bytes += payload.len() as u64;
+        bus.send(source, Addr::Collector, payload);
+    }
+
+    /// Drain delivered envelopes and fold the bus's own counters since
+    /// the previous fold (so the rollup sees the fabric itself).
+    fn observe_phase(&mut self, bus: &mut MailboxBus) {
+        self.collector.drain_bus(bus);
+        let cur = bus.stats();
+        let delta = cur.since(&self.last_bus).as_delta();
+        self.last_bus = cur;
+        if !delta.is_empty() {
+            self.collector.fold(&TelemetryMsg {
+                source: Addr::Ssi.code(),
+                tick: bus.now(),
+                delta,
+            });
+        }
+    }
 }
 
 impl FleetAggReport {
@@ -248,6 +337,7 @@ pub fn fleet_secure_aggregation(
     let key = cfg.protocol_key();
     let ssi = Ssi::new(threat, cfg.seed);
     let mut bus = MailboxBus::new(cfg.bus);
+    let mut tele = cfg.telemetry.map(TelemetryDriver::new);
     let mut stats = ProtocolStats::default();
     let mut ftb = cfg.trace.then(|| {
         let mut b = FleetTraceBuilder::new("fleet.agg");
@@ -302,11 +392,25 @@ pub fn fleet_secure_aggregation(
     for (i, r) in wire.into_iter().enumerate() {
         let (cts, ops) = r?;
         stats.token_crypto_ops += ops;
+        let mut delta = tele.as_ref().map(|_| MetricsDelta::new());
         for ct in cts {
+            if let Some(d) = delta.as_mut() {
+                d.add("tok.contributions", 1);
+                d.observe("tok.payload_bytes", ct.len() as u64);
+            }
             bus.send_in(Addr::Token(i), Addr::Ssi, ct, ctx);
+        }
+        if let (Some(td), Some(mut d)) = (tele.as_mut(), delta) {
+            if ops > 0 {
+                d.add("tok.crypto_ops", ops);
+            }
+            td.emit(&mut bus, Addr::Token(i), d);
         }
     }
     bus.run_until_quiet(cfg.max_bus_ticks);
+    if let Some(td) = tele.as_mut() {
+        td.observe_phase(&mut bus);
+    }
     if let Some(b) = ftb.as_mut() {
         b.end_phase(&mut bus);
     }
@@ -429,6 +533,19 @@ pub fn fleet_secure_aggregation(
             let r = r?;
             stats.token_tuples += r.tuples;
             stats.token_crypto_ops += r.crypto_ops;
+            if let Some(td) = tele.as_mut() {
+                // The serving token reports its reduction work before
+                // the round's outcome moves — so even the final round
+                // (which breaks out below) is observed.
+                let mut d = MetricsDelta::new();
+                if r.tuples > 0 {
+                    d.add("tok.tuples_served", r.tuples);
+                }
+                if r.crypto_ops > 0 {
+                    d.add("tok.crypto_ops", r.crypto_ops);
+                }
+                td.emit(&mut bus, Addr::Token(t), d);
+            }
             for (pi, o) in r.parts {
                 merged.push((pi, t, o));
             }
@@ -453,6 +570,9 @@ pub fn fleet_secure_aggregation(
         bus.run_until_quiet(cfg.max_bus_ticks);
         if let Some(b) = ftb.as_mut() {
             b.end_phase(&mut bus);
+        }
+        if let Some(td) = tele.as_mut() {
+            td.observe_phase(&mut bus);
         }
         // Reduction partials bypass `collect_tagged` (parity with the
         // reference implementation: the threat behavior applies to the
@@ -514,6 +634,54 @@ pub fn fleet_secure_aggregation(
     }
     pds_obs::histogram("fleet.phase.distribute_us").observe(phase0.elapsed().as_micros() as u64);
 
+    // Final telemetry flush: every token that downloaded the result
+    // confirms it in-band, the last envelopes converge on the collector,
+    // and the standard SLO set is evaluated over the rollup.
+    let mut telemetry = None;
+    if let Some(mut td) = tele.take() {
+        for (i, got) in downloads.iter().enumerate() {
+            if *got {
+                let mut d = MetricsDelta::new();
+                d.add("tok.result_received", 1);
+                td.emit(&mut bus, Addr::Token(i), d);
+            }
+        }
+        let convergence_ticks = bus.run_until_quiet(cfg.max_bus_ticks);
+        td.observe_phase(&mut bus);
+        let mut selfd = MetricsDelta::new();
+        selfd.add("telemetry.msgs", td.msgs);
+        selfd.add("telemetry.bytes", td.bytes);
+        if td.collector.stats().decode_errors > 0 {
+            selfd.add(
+                "telemetry.decode_errors",
+                td.collector.stats().decode_errors,
+            );
+        }
+        td.collector.fold(&TelemetryMsg {
+            source: Addr::Collector.code(),
+            tick: bus.now(),
+            delta: selfd,
+        });
+        let rollup = td.collector.total();
+        let health = HealthEngine::standard().evaluate(&rollup);
+        pds_obs::counter("telemetry.msgs").add(td.msgs);
+        pds_obs::counter("telemetry.bytes").add(td.bytes);
+        pds_obs::counter("telemetry.deltas_folded").add(td.collector.stats().deltas_folded);
+        pds_obs::counter("telemetry.convergence_ticks").add(convergence_ticks);
+        pds_obs::gauge("telemetry.sources").record_max(td.collector.sources() as u64);
+        pds_obs::gauge("telemetry.healthy").set(u64::from(health.healthy));
+        telemetry = Some(TelemetrySummary {
+            rollup,
+            health,
+            convergence_ticks,
+            msgs: td.msgs,
+            bytes: td.bytes,
+            buckets: td.collector.buckets().len(),
+            sources: td.collector.sources(),
+            stats: td.collector.stats(),
+        });
+    }
+
     let elapsed = t0.elapsed();
     stats.publish("fleet_secure_aggregation");
     bus.publish();
@@ -530,6 +698,7 @@ pub fn fleet_secure_aggregation(
         leakage: ssi.leakage(),
         result_coverage,
         trace: ftb.map(FleetTraceBuilder::finish),
+        telemetry,
         elapsed,
     })
 }

@@ -55,23 +55,39 @@ pub(crate) fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-/// A bus endpoint: the SSI store or one token.
+/// A bus endpoint: the SSI store, one token, or the telemetry collector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Addr {
     /// The always-online SSI store.
     Ssi,
     /// Token (or trusted cell) number `i`.
     Token(usize),
+    /// The telemetry collector role — SSI-hosted (always online, like
+    /// the store itself) but with its own inbox, so telemetry envelopes
+    /// never interleave with protocol traffic
+    /// (see [`telemetry`](crate::telemetry)).
+    Collector,
 }
 
+/// [`Addr::Collector`]'s numeric code: reserved far above any realistic
+/// token count, below `2^24` so message ids keep their
+/// `code << 24 | seq` shape.
+pub(crate) const COLLECTOR_CODE: u64 = 0x00F0_0000;
+
 impl Addr {
-    /// Stable numeric code (SSI = 0, token i = i + 1), used in message
-    /// ids and connectivity hashes.
+    /// Stable numeric code (SSI = 0, token i = i + 1, collector a
+    /// reserved high code), used in message ids and connectivity hashes.
     pub fn code(self) -> u64 {
         match self {
             Addr::Ssi => 0,
             Addr::Token(i) => i as u64 + 1,
+            Addr::Collector => COLLECTOR_CODE,
         }
+    }
+
+    /// Endpoints hosted at the SSI (always online, no upload hop).
+    fn ssi_hosted(self) -> bool {
+        matches!(self, Addr::Ssi | Addr::Collector)
     }
 }
 
@@ -184,8 +200,9 @@ struct Flight {
     next_try: u64,
 }
 
-/// Delivery counters of one bus (also mirrored into `fleet.bus.*`
-/// metrics by [`MailboxBus::publish`]).
+/// Delivery counters of one bus (exported uniformly as `bus.*` metrics
+/// by [`MailboxBus::publish`] / [`BusStats::as_delta`], so rollups and
+/// the health engine see the bus itself).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BusStats {
     /// Messages accepted from senders.
@@ -200,6 +217,56 @@ pub struct BusStats {
     pub expired: u64,
     /// Virtual ticks elapsed.
     pub ticks: u64,
+    /// Ack losses that scheduled a re-delivery from the store.
+    pub redeliveries: u64,
+    /// Lost attempts that were rescheduled with exponential backoff.
+    pub backoff_events: u64,
+    /// Payload bytes accepted from senders.
+    pub payload_bytes: u64,
+}
+
+impl BusStats {
+    /// Canonical `(name, value)` export of every counter — the single
+    /// source of the uniform `bus.*` metric names.
+    pub fn named(&self) -> [(&'static str, u64); 9] {
+        [
+            ("bus.sent", self.sent),
+            ("bus.deliveries", self.delivered),
+            ("bus.losses", self.retries),
+            ("bus.dedup_hits", self.duplicates),
+            ("bus.expired", self.expired),
+            ("bus.ticks", self.ticks),
+            ("bus.redeliveries", self.redeliveries),
+            ("bus.backoff_events", self.backoff_events),
+            ("bus.payload_bytes", self.payload_bytes),
+        ]
+    }
+
+    /// These counters as a mergeable [`MetricsDelta`].
+    pub fn as_delta(&self) -> pds_obs::MetricsDelta {
+        let mut d = pds_obs::MetricsDelta::new();
+        for (name, v) in self.named() {
+            if v > 0 {
+                d.add(name, v);
+            }
+        }
+        d
+    }
+
+    /// Field-wise `self - earlier` (both snapshots of the same bus).
+    pub fn since(&self, earlier: &BusStats) -> BusStats {
+        BusStats {
+            sent: self.sent - earlier.sent,
+            delivered: self.delivered - earlier.delivered,
+            retries: self.retries - earlier.retries,
+            duplicates: self.duplicates - earlier.duplicates,
+            expired: self.expired - earlier.expired,
+            ticks: self.ticks - earlier.ticks,
+            redeliveries: self.redeliveries - earlier.redeliveries,
+            backoff_events: self.backoff_events - earlier.backoff_events,
+            payload_bytes: self.payload_bytes - earlier.payload_bytes,
+        }
+    }
 }
 
 /// The store-and-forward fabric between one fleet and its SSI.
@@ -261,7 +328,7 @@ impl MailboxBus {
     /// Is `addr` reachable at tick `tick`? Pure in `(seed, addr, tick)`.
     pub fn online(&self, addr: Addr, tick: u64) -> bool {
         match addr {
-            Addr::Ssi => true,
+            Addr::Ssi | Addr::Collector => true,
             Addr::Token(i) => {
                 !self.forced_offline.contains(&i)
                     && unit(mix(self.cfg.seed, TAG_ONLINE, addr.code(), tick))
@@ -290,6 +357,7 @@ impl MailboxBus {
         let id = (from.code() << 24) | *seq;
         *seq += 1;
         self.stats.sent += 1;
+        self.stats.payload_bytes += payload.len() as u64;
         if let Some(ctx) = ctx {
             self.hops.insert(
                 id,
@@ -306,7 +374,7 @@ impl MailboxBus {
                 },
             );
         }
-        let hop = if from == Addr::Ssi {
+        let hop = if from.ssi_hosted() {
             Hop::Download
         } else {
             Hop::Upload
@@ -376,6 +444,7 @@ impl MailboxBus {
                     }
                     continue;
                 }
+                self.stats.backoff_events += 1;
                 f.next_try = tick + self.backoff(f.attempts);
                 still.push(f);
                 continue;
@@ -410,6 +479,7 @@ impl MailboxBus {
                     if f.hop == Hop::Download
                         && unit(mix(self.cfg.seed, TAG_ACK, f.msg.id, 0)) < self.cfg.dup_rate
                     {
+                        self.stats.redeliveries += 1;
                         f.hop = Hop::Redeliver;
                         f.attempts = 0;
                         f.next_try = tick + self.backoff(1);
@@ -447,14 +517,13 @@ impl MailboxBus {
         std::mem::take(&mut self.hops).into_values().collect()
     }
 
-    /// Mirror the counters into the `fleet.bus.*` metrics registry.
+    /// Mirror the counters into the global registry under the uniform
+    /// `bus.*` names (the same names [`BusStats::as_delta`] uses, so the
+    /// health engine reads one vocabulary everywhere).
     pub fn publish(&self) {
-        pds_obs::counter("fleet.bus.sent").add(self.stats.sent);
-        pds_obs::counter("fleet.bus.delivered").add(self.stats.delivered);
-        pds_obs::counter("fleet.bus.retries").add(self.stats.retries);
-        pds_obs::counter("fleet.bus.duplicates").add(self.stats.duplicates);
-        pds_obs::counter("fleet.bus.expired").add(self.stats.expired);
-        pds_obs::counter("fleet.bus.ticks").add(self.stats.ticks);
+        for (name, v) in self.stats.named() {
+            pds_obs::counter(name).add(v);
+        }
     }
 }
 
@@ -578,6 +647,31 @@ mod tests {
         assert!(hops.iter().all(|h| h.ctx == ctx && h.deliver_tick > 0));
         assert!(hops.iter().map(|h| h.redeliveries).sum::<u64>() > 0);
         assert!(bus.take_hops().is_empty(), "drain removes");
+    }
+
+    #[test]
+    fn collector_is_always_online_with_its_own_inbox() {
+        let mut bus = MailboxBus::new(BusConfig {
+            seed: 4,
+            connectivity: 0.2,
+            ..Default::default()
+        });
+        assert!((0..10_000u64).all(|t| bus.online(Addr::Collector, t)));
+        bus.send(Addr::Token(0), Addr::Ssi, vec![1; 8]);
+        bus.send(Addr::Token(0), Addr::Collector, vec![2; 16]);
+        bus.send(Addr::Collector, Addr::Token(0), vec![3; 4]);
+        bus.run_until_quiet(100_000);
+        assert_eq!(bus.drain_inbox(Addr::Ssi).len(), 1);
+        assert_eq!(
+            bus.drain_inbox(Addr::Collector).len(),
+            1,
+            "telemetry never lands in the protocol inbox"
+        );
+        assert_eq!(bus.drain_inbox(Addr::Token(0)).len(), 1);
+        let s = bus.stats();
+        assert_eq!(s.payload_bytes, 28);
+        assert_eq!(s.as_delta().counter("bus.deliveries"), 3);
+        assert_eq!(s.since(&s), BusStats::default());
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   global-query protocols and the Trusted-Cells sync pass re-hosted as
 //!   **phased fleet jobs** (collection → SSI shuffle/compute → result
 //!   distribution) on top of the two.
+//! * [`telemetry`] — the **in-band telemetry plane**: per-token metric
+//!   deltas ride the same bus as the protocols (envelopes to an
+//!   always-online collector role), fold into tick-indexed rollups with
+//!   bounded memory, and feed a declarative health engine whose
+//!   [`FleetHealth`](telemetry::FleetHealth) verdict is bit-identical
+//!   at any worker count.
 //! * [`trace`] — the **fleet-trace stitcher**: with `FleetConfig::trace`
 //!   on, every worker's per-token span trees and every bus message's
 //!   hop history are stitched into one causal
@@ -45,13 +51,17 @@ pub mod agg;
 pub mod bus;
 pub mod cellnet;
 pub mod pool;
+pub mod telemetry;
 pub mod trace;
 
 pub use agg::{
     build_fleet, build_token, derived_rng, fleet_secure_aggregation, FleetAggReport, FleetConfig,
-    OnTamper,
+    OnTamper, TelemetrySummary,
 };
 pub use bus::{Addr, BusConfig, BusMsg, BusStats, HopRecord, MailboxBus};
 pub use cellnet::{CellNet, CellNetConfig};
 pub use pool::TokenPool;
+pub use telemetry::{
+    Collector, CollectorStats, FleetHealth, HealthEngine, HealthRule, TelemetryConfig, TelemetryMsg,
+};
 pub use trace::FleetTraceBuilder;

@@ -1,0 +1,627 @@
+//! The in-band fleet telemetry plane: delta envelopes, tick-indexed
+//! rollups, and the declarative fleet health engine.
+//!
+//! The tutorial's fleet is "millions" of weakly-connected tokens behind
+//! an untrusted SSI — at that scale nothing can scrape per-token JSONL
+//! out-of-band, so observability has to ride the same fabric the
+//! protocols do. Each token (and the driver, for the bus itself)
+//! periodically snapshots its metric increments as a
+//! [`MetricsDelta`](pds_obs::MetricsDelta) and mails it as a
+//! [`TelemetryMsg`] envelope to the [`Addr::Collector`] role — an
+//! SSI-hosted inbox that is always online, like the store itself. The
+//! [`Collector`] folds every envelope into a **tick-indexed time
+//! series**: a bounded ring of per-bucket rollups (bucket = virtual bus
+//! tick / [`TelemetryConfig::granularity`]) whose oldest buckets fold
+//! into a cumulative total when the ring is full — bounded memory,
+//! nothing lost. Because delta merge is associative and commutative,
+//! the rollups are bit-identical no matter how the bus reordered,
+//! duplicated, or delayed the envelopes, and no matter how many worker
+//! threads produced them.
+//!
+//! On top sits the [`HealthEngine`]: declarative SLO/invariant rules
+//! (`bus.redeliveries / bus.deliveries < 0.25`,
+//! `recovery.pages_lost == 0`, `p99(tok.payload_bytes) < 4096` — all in
+//! counters and virtual ticks, never wall-clock) evaluated against a
+//! rollup to produce a deterministic [`FleetHealth`] verdict with a
+//! `fleet status` rendering and a JSON export.
+//!
+//! ## Rule grammar
+//!
+//! ```text
+//! rule  := expr cmp bound
+//! expr  := pNN '(' name ')'      quantile of histogram `name` (NN/100)
+//!        | name '/' name         ratio of two scalar metrics
+//!        | name                  scalar metric (counter, else gauge,
+//!                                else histogram count; missing = 0)
+//! cmp   := '<' | '<=' | '=='
+//! bound := floating point literal
+//! ```
+//!
+//! A ratio with a zero denominator evaluates to 0 (vacuously healthy:
+//! no traffic means no violated traffic SLO).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pds_obs::json::{write_f64, write_str, ObjWriter};
+use pds_obs::MetricsDelta;
+
+use crate::bus::{Addr, MailboxBus};
+
+/// Shape of the telemetry plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Virtual bus ticks per rollup bucket.
+    pub granularity: u64,
+    /// Live buckets kept in the ring; older buckets fold into the
+    /// cumulative total (bounded memory, nothing lost).
+    pub ring: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            granularity: 64,
+            ring: 16,
+        }
+    }
+}
+
+/// One telemetry envelope: who observed what, as of which virtual tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryMsg {
+    /// [`Addr::code`] of the emitting endpoint.
+    pub source: u64,
+    /// Virtual bus tick the delta was cut at.
+    pub tick: u64,
+    /// The increments since the source's previous envelope.
+    pub delta: MetricsDelta,
+}
+
+const MAGIC: &[u8] = b"PDT1";
+
+impl TelemetryMsg {
+    /// Bus payload form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.source.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.extend_from_slice(&self.delta.encode());
+        out
+    }
+
+    /// Parse a bus payload; `None` if it is not a telemetry envelope.
+    pub fn decode(bytes: &[u8]) -> Option<TelemetryMsg> {
+        let rest = bytes.strip_prefix(MAGIC)?;
+        let source = u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?);
+        let tick = u64::from_le_bytes(rest.get(8..16)?.try_into().ok()?);
+        Some(TelemetryMsg {
+            source,
+            tick,
+            delta: MetricsDelta::decode(rest.get(16..)?)?,
+        })
+    }
+}
+
+/// What the collector itself counted while folding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Envelopes folded into the time series.
+    pub deltas_folded: u64,
+    /// Envelope payload bytes ingested.
+    pub bytes_ingested: u64,
+    /// Payloads that failed to decode (dropped, counted, never folded).
+    pub decode_errors: u64,
+    /// Ring buckets folded into the cumulative total.
+    pub buckets_evicted: u64,
+}
+
+/// The collector role: folds telemetry envelopes into a tick-indexed
+/// fleet time series with bounded memory.
+#[derive(Debug, Default)]
+pub struct Collector {
+    cfg: TelemetryConfig,
+    ring: BTreeMap<u64, MetricsDelta>,
+    evicted: MetricsDelta,
+    sources: BTreeSet<u64>,
+    stats: CollectorStats,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Collector {
+            cfg,
+            ..Collector::default()
+        }
+    }
+
+    /// Fold one envelope into its tick bucket.
+    pub fn fold(&mut self, msg: &TelemetryMsg) {
+        self.stats.deltas_folded += 1;
+        self.sources.insert(msg.source);
+        let bucket = msg.tick / self.cfg.granularity.max(1);
+        self.ring.entry(bucket).or_default().merge(&msg.delta);
+        while self.ring.len() > self.cfg.ring.max(1) {
+            if let Some((_, old)) = self.ring.pop_first() {
+                self.evicted.merge(&old);
+                self.stats.buckets_evicted += 1;
+            }
+        }
+    }
+
+    /// Ingest a raw bus payload; returns false (and counts a decode
+    /// error) when it is not a telemetry envelope.
+    pub fn ingest(&mut self, payload: &[u8]) -> bool {
+        self.stats.bytes_ingested += payload.len() as u64;
+        match TelemetryMsg::decode(payload) {
+            Some(msg) => {
+                self.fold(&msg);
+                true
+            }
+            None => {
+                self.stats.decode_errors += 1;
+                false
+            }
+        }
+    }
+
+    /// Drain the collector's bus inbox ([`Addr::Collector`]) and ingest
+    /// every delivered envelope. Inbox order is message-id order, but
+    /// merge commutativity makes the fold order-independent anyway.
+    pub fn drain_bus(&mut self, bus: &mut MailboxBus) {
+        for msg in bus.drain_inbox(Addr::Collector) {
+            self.ingest(&msg.payload);
+        }
+    }
+
+    /// The cumulative rollup: evicted history plus every live bucket.
+    pub fn total(&self) -> MetricsDelta {
+        let mut t = self.evicted.clone();
+        for d in self.ring.values() {
+            t.merge(d);
+        }
+        t
+    }
+
+    /// The live time series: `bucket index → rollup` (bucket =
+    /// tick / granularity).
+    pub fn buckets(&self) -> &BTreeMap<u64, MetricsDelta> {
+        &self.ring
+    }
+
+    /// Distinct endpoints that reported at least once.
+    pub fn sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Fold accounting.
+    pub fn stats(&self) -> CollectorStats {
+        self.stats
+    }
+
+    /// Evaluate `engine` over the cumulative rollup.
+    pub fn health(&self, engine: &HealthEngine) -> FleetHealth {
+        engine.evaluate(&self.total())
+    }
+
+    /// Evaluate `engine` per live tick bucket: `(bucket, verdict)`.
+    pub fn health_per_bucket(&self, engine: &HealthEngine) -> Vec<(u64, FleetHealth)> {
+        self.ring
+            .iter()
+            .map(|(b, d)| (*b, engine.evaluate(d)))
+            .collect()
+    }
+}
+
+/// The left-hand side of one health rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthExpr {
+    /// A scalar metric: counter, else gauge, else histogram count;
+    /// missing evaluates to 0.
+    Metric(String),
+    /// Ratio of two scalar metrics (0 when the denominator is 0).
+    Ratio(String, String),
+    /// Quantile of a histogram, `q` in `[0, 1]`.
+    Quantile(String, f64),
+}
+
+/// Rule comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Strictly below the bound.
+    Lt,
+    /// At most the bound.
+    Le,
+    /// Exactly the bound (invariants like `recovery.pages_lost == 0`).
+    Eq,
+}
+
+/// One declarative SLO/invariant rule. See the module docs for the
+/// grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRule {
+    /// The rule's source text (also its display name).
+    pub text: String,
+    /// Parsed left-hand side.
+    pub expr: HealthExpr,
+    /// Comparator.
+    pub cmp: Cmp,
+    /// Right-hand bound.
+    pub bound: f64,
+}
+
+impl HealthRule {
+    /// Parse `expr cmp bound`; `None` on any grammar violation.
+    pub fn parse(text: &str) -> Option<HealthRule> {
+        let (lhs, cmp, rhs) = if let Some((l, r)) = text.split_once("<=") {
+            (l, Cmp::Le, r)
+        } else if let Some((l, r)) = text.split_once("==") {
+            (l, Cmp::Eq, r)
+        } else if let Some((l, r)) = text.split_once('<') {
+            (l, Cmp::Lt, r)
+        } else {
+            return None;
+        };
+        let bound: f64 = rhs.trim().parse().ok()?;
+        let lhs = lhs.trim();
+        let expr = if let Some(rest) = lhs.strip_prefix('p') {
+            if let Some((pct, name)) = rest.split_once('(') {
+                let pct: u32 = pct.parse().ok()?;
+                let name = name.strip_suffix(')')?;
+                if pct > 100 {
+                    return None;
+                }
+                HealthExpr::Quantile(name.trim().to_string(), f64::from(pct) / 100.0)
+            } else {
+                HealthExpr::Metric(lhs.to_string())
+            }
+        } else if let Some((a, b)) = lhs.split_once('/') {
+            HealthExpr::Ratio(a.trim().to_string(), b.trim().to_string())
+        } else if lhs.is_empty() {
+            return None;
+        } else {
+            HealthExpr::Metric(lhs.to_string())
+        };
+        Some(HealthRule {
+            text: text.trim().to_string(),
+            expr,
+            cmp,
+            bound,
+        })
+    }
+
+    fn scalar(d: &MetricsDelta, name: &str) -> f64 {
+        if let Some(v) = d.counters.get(name) {
+            *v as f64
+        } else if d.gauges.contains_key(name) {
+            d.gauge(name) as f64
+        } else if let Some(h) = d.hist(name) {
+            h.count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Evaluate the left-hand side against a rollup.
+    pub fn value(&self, d: &MetricsDelta) -> f64 {
+        match &self.expr {
+            HealthExpr::Metric(n) => Self::scalar(d, n),
+            HealthExpr::Ratio(a, b) => {
+                let den = Self::scalar(d, b);
+                if den == 0.0 {
+                    0.0
+                } else {
+                    Self::scalar(d, a) / den
+                }
+            }
+            HealthExpr::Quantile(n, q) => d.hist(n).map_or(0.0, |h| h.quantile(*q)),
+        }
+    }
+
+    /// Does `d` satisfy the rule?
+    pub fn pass(&self, d: &MetricsDelta) -> bool {
+        let v = self.value(d);
+        match self.cmp {
+            Cmp::Lt => v < self.bound,
+            Cmp::Le => v <= self.bound,
+            Cmp::Eq => v == self.bound,
+        }
+    }
+}
+
+/// One rule's outcome against one rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleVerdict {
+    /// The rule's source text.
+    pub rule: String,
+    /// The evaluated left-hand side.
+    pub value: f64,
+    /// Whether the rule held.
+    pub pass: bool,
+}
+
+/// A deterministic fleet health verdict: every rule's outcome, in rule
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetHealth {
+    /// True when every rule held.
+    pub healthy: bool,
+    /// Per-rule outcomes.
+    pub verdicts: Vec<RuleVerdict>,
+}
+
+impl FleetHealth {
+    /// The `fleet status` rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet status: {} ({} rules)\n",
+            if self.healthy { "HEALTHY" } else { "UNHEALTHY" },
+            self.verdicts.len()
+        );
+        let width = self
+            .verdicts
+            .iter()
+            .map(|v| v.rule.len())
+            .max()
+            .unwrap_or(0);
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "  {} {:width$}  [{}]\n",
+                if v.pass { "ok  " } else { "FAIL" },
+                v.rule,
+                v.value,
+            ));
+        }
+        out
+    }
+
+    /// One-line JSON export.
+    pub fn to_json(&self) -> String {
+        let mut rules = String::from("[");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                rules.push(',');
+            }
+            rules.push_str("{\"rule\":");
+            write_str(&mut rules, &v.rule);
+            rules.push_str(",\"value\":");
+            write_f64(&mut rules, v.value);
+            rules.push_str(&format!(",\"pass\":{}}}", v.pass));
+        }
+        rules.push(']');
+        ObjWriter::new()
+            .bool("healthy", self.healthy)
+            .raw("rules", &rules)
+            .finish()
+    }
+}
+
+/// An ordered set of health rules evaluated together.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthEngine {
+    rules: Vec<HealthRule>,
+}
+
+impl HealthEngine {
+    /// An engine with no rules (vacuously healthy).
+    pub fn new() -> Self {
+        HealthEngine::default()
+    }
+
+    /// Add a rule from its source text; `Err` echoes the bad text.
+    pub fn rule(&mut self, text: &str) -> Result<(), String> {
+        match HealthRule::parse(text) {
+            Some(r) => {
+                self.rules.push(r);
+                Ok(())
+            }
+            None => Err(format!("unparseable health rule: {text:?}")),
+        }
+    }
+
+    /// The rules, in evaluation order.
+    pub fn rules(&self) -> &[HealthRule] {
+        &self.rules
+    }
+
+    /// The standard fleet SLO set: bus-fabric ratios and the
+    /// must-never-happen invariants. Every rule is in counters and
+    /// virtual ticks — wall-clock never decides health.
+    pub fn standard() -> Self {
+        let mut e = HealthEngine::new();
+        for text in [
+            // The fabric may be weak, but messages must not die.
+            "bus.expired == 0",
+            // Ack losses are tolerable noise, not the common case.
+            "bus.redeliveries / bus.deliveries < 0.25",
+            // Dedup hits track redeliveries; a surge means ack loss.
+            "bus.dedup_hits / bus.deliveries < 0.25",
+            // Crash recovery must never lose a committed page.
+            "recovery.pages_lost == 0",
+            // The observability plane itself must not drop telemetry.
+            "telemetry.decode_errors == 0",
+        ] {
+            e.rule(text).expect("standard rule parses");
+        }
+        e
+    }
+
+    /// Evaluate every rule against one rollup.
+    pub fn evaluate(&self, d: &MetricsDelta) -> FleetHealth {
+        let verdicts: Vec<RuleVerdict> = self
+            .rules
+            .iter()
+            .map(|r| RuleVerdict {
+                rule: r.text.clone(),
+                value: r.value(d),
+                pass: r.pass(d),
+            })
+            .collect();
+        FleetHealth {
+            healthy: verdicts.iter().all(|v| v.pass),
+            verdicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{BusConfig, BusStats};
+
+    fn msg(source: u64, tick: u64, n: u64) -> TelemetryMsg {
+        let mut delta = MetricsDelta::new();
+        delta.add("tok.contributions", n);
+        delta.observe("tok.payload_bytes", 100 * n);
+        TelemetryMsg {
+            source,
+            tick,
+            delta,
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_and_rejects_junk() {
+        let m = msg(7, 129, 3);
+        assert_eq!(TelemetryMsg::decode(&m.encode()), Some(m.clone()));
+        assert_eq!(TelemetryMsg::decode(b"PDT1"), None);
+        assert_eq!(TelemetryMsg::decode(b"protocol payload"), None);
+        assert_eq!(TelemetryMsg::decode(&[]), None);
+    }
+
+    #[test]
+    fn collector_buckets_by_tick_and_bounds_memory() {
+        let mut c = Collector::new(TelemetryConfig {
+            granularity: 10,
+            ring: 3,
+        });
+        for tick in [5, 15, 25, 35, 45] {
+            c.fold(&msg(1, tick, 1));
+        }
+        assert_eq!(c.buckets().len(), 3, "ring bounded");
+        assert_eq!(c.stats().buckets_evicted, 2);
+        assert_eq!(
+            c.total().counter("tok.contributions"),
+            5,
+            "evicted buckets fold into the total — nothing lost"
+        );
+        assert_eq!(c.sources(), 1);
+    }
+
+    #[test]
+    fn fold_is_order_independent() {
+        let msgs: Vec<TelemetryMsg> = (0..8).map(|i| msg(i, i * 7, i + 1)).collect();
+        let fold = |order: &[usize]| {
+            let mut c = Collector::new(TelemetryConfig::default());
+            for &i in order {
+                c.fold(&msgs[i]);
+            }
+            (c.total(), c.buckets().clone())
+        };
+        let a = fold(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = fold(&[7, 3, 5, 1, 6, 0, 2, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collector_counts_junk_instead_of_folding_it() {
+        let mut c = Collector::new(TelemetryConfig::default());
+        assert!(!c.ingest(b"not telemetry"));
+        assert!(c.ingest(&msg(1, 1, 1).encode()));
+        assert_eq!(c.stats().decode_errors, 1);
+        assert_eq!(c.stats().deltas_folded, 1);
+    }
+
+    #[test]
+    fn collector_drains_its_bus_inbox() {
+        let mut bus = MailboxBus::new(BusConfig::reliable(3));
+        bus.send(Addr::Token(0), Addr::Collector, msg(1, 0, 2).encode());
+        bus.send(Addr::Token(1), Addr::Collector, msg(2, 0, 3).encode());
+        bus.run_until_quiet(1000);
+        let mut c = Collector::new(TelemetryConfig::default());
+        c.drain_bus(&mut bus);
+        assert_eq!(c.total().counter("tok.contributions"), 5);
+        assert_eq!(c.sources(), 2);
+    }
+
+    #[test]
+    fn rule_grammar_parses_and_rejects() {
+        let r = HealthRule::parse("bus.redeliveries / bus.deliveries < 0.25").unwrap();
+        assert_eq!(
+            r.expr,
+            HealthExpr::Ratio("bus.redeliveries".into(), "bus.deliveries".into())
+        );
+        assert_eq!((r.cmp, r.bound), (Cmp::Lt, 0.25));
+
+        let r = HealthRule::parse("recovery.pages_lost == 0").unwrap();
+        assert_eq!(r.expr, HealthExpr::Metric("recovery.pages_lost".into()));
+        assert_eq!(r.cmp, Cmp::Eq);
+
+        let r = HealthRule::parse("p99(tok.payload_bytes) <= 4096").unwrap();
+        assert_eq!(
+            r.expr,
+            HealthExpr::Quantile("tok.payload_bytes".into(), 0.99)
+        );
+        assert_eq!(r.cmp, Cmp::Le);
+
+        // A metric that merely starts with `p` is still a metric.
+        let r = HealthRule::parse("pool.workers < 9").unwrap();
+        assert_eq!(r.expr, HealthExpr::Metric("pool.workers".into()));
+
+        for bad in ["", "no comparator", "x <", "< 3", "p200(h) < 1", "x < z"] {
+            assert!(HealthRule::parse(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn engine_verdicts_are_deterministic_and_explicit() {
+        let mut d = MetricsDelta::new();
+        d.add("bus.deliveries", 100);
+        d.add("bus.redeliveries", 40); // 40% > 25% bound
+        d.observe("ticks_hist", 8);
+        let mut e = HealthEngine::new();
+        e.rule("bus.redeliveries / bus.deliveries < 0.25").unwrap();
+        e.rule("bus.expired == 0").unwrap();
+        e.rule("p99(ticks_hist) <= 8").unwrap();
+        let h = e.evaluate(&d);
+        assert!(!h.healthy);
+        assert_eq!(h.verdicts.len(), 3);
+        assert!(!h.verdicts[0].pass);
+        assert_eq!(h.verdicts[0].value, 0.4);
+        assert!(h.verdicts[1].pass, "missing metric is 0, invariant holds");
+        assert!(h.verdicts[2].pass, "quantile clamps to observed max");
+        assert_eq!(h, e.evaluate(&d), "re-evaluation is bit-identical");
+        assert!(h.render().contains("UNHEALTHY"));
+        assert!(h.render().contains("FAIL bus.redeliveries"));
+        let parsed = pds_obs::json::parse(&h.to_json()).expect("health JSON parses");
+        assert_eq!(
+            parsed.get("healthy").and_then(pds_obs::json::Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn standard_rules_pass_on_a_healthy_bus() {
+        let stats = BusStats {
+            sent: 100,
+            delivered: 100,
+            retries: 5,
+            duplicates: 3,
+            redeliveries: 3,
+            backoff_events: 5,
+            payload_bytes: 4000,
+            expired: 0,
+            ticks: 50,
+        };
+        let h = HealthEngine::standard().evaluate(&stats.as_delta());
+        assert!(h.healthy, "{}", h.render());
+    }
+
+    #[test]
+    fn zero_denominator_is_vacuously_healthy() {
+        let mut e = HealthEngine::new();
+        e.rule("bus.redeliveries / bus.deliveries < 0.25").unwrap();
+        assert!(e.evaluate(&MetricsDelta::new()).healthy);
+    }
+}

@@ -87,6 +87,12 @@ pub struct CrateConfig {
     pub lib: &'static str,
     /// Rule families enforced in this crate.
     pub families: &'static [Family],
+    /// Files (suffix-matched against the workspace-relative path) where
+    /// the [`Family::Determinism`] rules apply even though the crate as
+    /// a whole does not opt in — for modules that feed the fleet's
+    /// deterministic rollup paths from an otherwise-unconstrained crate
+    /// (e.g. `pds-obs`'s mergeable delta snapshots).
+    pub det_files: &'static [&'static str],
     /// `pds_*` library names this crate may reference (its own name is
     /// implicitly allowed). Mirrors the Cargo dependency graph so a new
     /// cross-layer `use` shows up here even after someone edits
@@ -120,42 +126,52 @@ pub const CRATES: &[CrateConfig] = &[
         dir: "obs",
         lib: "pds_obs",
         families: &[],
+        // The mergeable-delta module is a fleet rollup path: its merge
+        // and encode orders must be BTreeMap-deterministic, wall-clock
+        // free, even though the rest of pds-obs is unconstrained.
+        det_files: &["obs/src/delta.rs"],
         allowed_deps: &[],
     },
     CrateConfig {
         dir: "flash",
         lib: "pds_flash",
         families: &[Family::Panic],
+        det_files: &[],
         allowed_deps: &["pds_obs"],
     },
     CrateConfig {
         dir: "mcu",
         lib: "pds_mcu",
         families: &[Family::Panic, Family::RamBudget],
+        det_files: &[],
         allowed_deps: &["pds_obs", "pds_flash"],
     },
     CrateConfig {
         dir: "crypto",
         lib: "pds_crypto",
         families: &[],
+        det_files: &[],
         allowed_deps: &["pds_obs"],
     },
     CrateConfig {
         dir: "search",
         lib: "pds_search",
         families: &[Family::Panic],
+        det_files: &[],
         allowed_deps: &["pds_obs", "pds_flash", "pds_mcu", "pds_crypto"],
     },
     CrateConfig {
         dir: "embedded-db",
         lib: "pds_db",
         families: &[Family::Panic],
+        det_files: &[],
         allowed_deps: &["pds_obs", "pds_flash", "pds_mcu", "pds_crypto"],
     },
     CrateConfig {
         dir: "core",
         lib: "pds_core",
         families: &[Family::Panic],
+        det_files: &[],
         allowed_deps: &[
             "pds_obs",
             "pds_flash",
@@ -169,18 +185,21 @@ pub const CRATES: &[CrateConfig] = &[
         dir: "global",
         lib: "pds_global",
         families: &[Family::Determinism],
+        det_files: &[],
         allowed_deps: &["pds_obs", "pds_core", "pds_crypto", "pds_db", "pds_mcu"],
     },
     CrateConfig {
         dir: "sync",
         lib: "pds_sync",
         families: &[Family::Determinism],
+        det_files: &[],
         allowed_deps: &["pds_obs", "pds_core", "pds_crypto"],
     },
     CrateConfig {
         dir: "fleet",
         lib: "pds_fleet",
         families: &[Family::Determinism],
+        det_files: &[],
         allowed_deps: &[
             "pds_obs",
             "pds_crypto",
@@ -193,18 +212,21 @@ pub const CRATES: &[CrateConfig] = &[
         dir: "pds",
         lib: "pds",
         families: &[],
+        det_files: &[],
         allowed_deps: ALL,
     },
     CrateConfig {
         dir: "bench",
         lib: "pds_bench",
         families: &[],
+        det_files: &[],
         allowed_deps: ALL,
     },
     CrateConfig {
         dir: "lint",
         lib: "pds_lint",
         families: &[],
+        det_files: &[],
         allowed_deps: &["pds_obs"],
     },
 ];
@@ -541,7 +563,9 @@ pub fn lint_source(cfg: &CrateConfig, file: &str, source: &str) -> Vec<Finding> 
                 }
             }
         }
-        if cfg.families.contains(&Family::Determinism) {
+        if cfg.families.contains(&Family::Determinism)
+            || cfg.det_files.iter().any(|f| file.ends_with(f))
+        {
             for (token, rule, why) in DET_TOKENS {
                 if find_token(code, token).is_some() {
                     push(n, rule, format!("`{token}`: {why}"));
@@ -616,6 +640,20 @@ mod tests {
         let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
         assert!(rules.contains(&"det.hash_collections"));
         assert!(rules.contains(&"det.time"));
+    }
+
+    #[test]
+    fn determinism_applies_to_listed_files_in_unconstrained_crates() {
+        // pds-obs as a crate has no determinism family, but the delta
+        // module is a fleet rollup path and is listed in det_files.
+        let src =
+            "use std::collections::HashMap;\nfn f() { let _t = std::time::Instant::now(); }\n";
+        let f = lint_source(cfg("obs"), "obs/src/delta.rs", src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"det.hash_collections"), "{f:?}");
+        assert!(rules.contains(&"det.time"), "{f:?}");
+        // The same source elsewhere in the crate stays unconstrained.
+        assert!(lint_source(cfg("obs"), "obs/src/metrics.rs", src).is_empty());
     }
 
     #[test]

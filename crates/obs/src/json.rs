@@ -39,6 +39,14 @@ impl Json {
         }
     }
 
+    /// Boolean content, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Numeric content as u64, if a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -127,6 +135,13 @@ impl ObjWriter {
     pub fn u64(mut self, k: &str, v: u64) -> Self {
         self.key(k);
         let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add `"k":true` / `"k":false`.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
         self
     }
 

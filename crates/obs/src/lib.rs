@@ -13,6 +13,10 @@
 //!   [`span!`]) that instrumented layers annotate with I/O deltas, RAM
 //!   peaks and policy decisions, and [`trace::QueryTrace`], the per-query
 //!   "explain" report checked against the paper's claimed budgets.
+//! * [`delta`] — mergeable metric snapshots ([`delta::MetricsDelta`])
+//!   with an associative/commutative `merge`, the unit of the fleet's
+//!   in-band telemetry plane: per-shard registries are snapshotted,
+//!   shipped over the bus, and folded into deterministic rollups.
 //! * [`json`] — the minimal JSON writer/parser behind the exporter, so
 //!   exports round-trip without external crates.
 //! * [`rng`] — deterministic SplitMix64 / xoshiro256++ generators with a
@@ -22,11 +26,13 @@
 //! sits below every other crate of the workspace, including the flash
 //! simulator.
 
+pub mod delta;
 pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod trace;
 
+pub use delta::{DeltaTracker, GaugePolicy, HistDelta, MetricsDelta};
 pub use metrics::{counter, event, gauge, histogram, Counter, Gauge, Histogram, Registry};
 pub use trace::{
     take_last_root, AttrValue, BudgetCheck, CriticalHop, FinishedSpan, FleetTrace, QueryTrace,

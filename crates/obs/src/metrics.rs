@@ -185,6 +185,20 @@ impl Histogram {
         )
     }
 
+    /// Non-empty buckets as `(bucket index, count)` pairs — the lossless
+    /// form a [`MetricsDelta`](crate::delta::MetricsDelta) snapshots, so
+    /// merged histograms land in exactly the same buckets.
+    pub fn bucket_counts(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c != 0).then_some((i as u8, c))
+            })
+            .collect()
+    }
+
     /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -228,8 +242,19 @@ pub struct Registry {
 /// [`Registry::set_event_capacity`]).
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
 impl Registry {
-    fn new() -> Self {
+    /// An empty, private registry. The process-wide one is [`global`];
+    /// additional instances act as *shards* — per-worker or per-token
+    /// telemetry scopes whose contents are snapshotted as a
+    /// [`MetricsDelta`](crate::delta::MetricsDelta) and merged
+    /// downstream instead of contending on one lock.
+    pub fn new() -> Self {
         Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
@@ -282,6 +307,36 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut m = self.histograms.lock().unwrap();
         m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Every counter as `(name, value)`, name-ordered.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Every gauge as `(name, value)`, name-ordered.
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// Every histogram handle as `(name, Arc)`, name-ordered.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect()
     }
 
     /// Append an event to the ring buffer. At capacity the oldest entry

@@ -20,11 +20,18 @@ PDS_CRASH_SEEDS=256 cargo test -p pds-flash -q seeded_crash_recovery_sweep
 # the fleet.* counters are visible in the gate log.
 PDS_E14_TOKENS=64 PDS_E14_MAX_THREADS=4 \
   cargo run --release -q -p pds-bench --bin report -- --metrics e14
+# Telemetry-plane smoke: the E16 rollup-convergence sweep at CI scale,
+# then the standard fleet SLO set evaluated over the run's own metrics
+# (`fleet status` rendering + JSON). Exits nonzero on an UNHEALTHY
+# verdict, so a redelivery-ratio or pages-lost regression fails the
+# gate, not just a dashboard.
+PDS_E16_TOKENS=64 PDS_E16_MAX_THREADS=4 \
+  cargo run --release -q -p pds-bench --bin report -- --fleet-health e16
 # Deterministic cost baseline: replay the scope and env knobs recorded
 # in BENCH_BASELINE.json and compare every deterministic metric (flash
 # IO, bus delivery, recovery, RAM high-water, lint posture) exactly.
 # Fails naming each drifted metric; regenerate intentionally with
 #   cargo run --release -p pds-bench --bin report -- \
-#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15
+#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15 e16
 # (env knobs as recorded) and commit the diff.
 cargo run --release -q -p pds-bench --bin report -- --check BENCH_BASELINE.json

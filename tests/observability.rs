@@ -168,6 +168,44 @@ fn registry_export_round_trips_through_the_json_parser() {
 }
 
 #[test]
+fn saturated_event_ring_counts_drops_instead_of_silently_truncating() {
+    // Regression: when the bounded event ring overflows, the registry
+    // must say so — `obs.events_dropped` climbs and the export carries
+    // the counter — rather than quietly exporting a truncated stream.
+    let reg = pds_obs::metrics::Registry::new();
+    reg.set_event_capacity(8);
+    for i in 0..20u64 {
+        reg.event("obs.flood", &[("i", i)]);
+    }
+    assert_eq!(reg.events_dropped(), 12, "20 events into an 8-slot ring");
+
+    let jsonl = reg.export_jsonl();
+    let events = jsonl
+        .lines()
+        .filter(|l| l.contains("\"event\"") && l.contains("obs.flood"))
+        .count();
+    assert_eq!(events, 8, "the ring keeps the newest events");
+    let dropped_line = jsonl
+        .lines()
+        .find(|l| l.contains("obs.events_dropped"))
+        .expect("the drop counter must appear in the export");
+    let doc = pds_obs::json::parse(dropped_line).unwrap();
+    assert_eq!(doc.get("value").and_then(|v| v.as_u64()), Some(12));
+
+    // The surviving window is the *tail* of the stream, in order.
+    let newest: Vec<u64> = jsonl
+        .lines()
+        .filter(|l| l.contains("obs.flood"))
+        .map(|l| {
+            pds_obs::json::parse(l)
+                .and_then(|d| d.get("i").and_then(|v| v.as_u64()))
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(newest, (12..20).collect::<Vec<_>>());
+}
+
+#[test]
 fn query_trace_serializes_as_json() {
     let mut pds = populated(6, 50);
     let me = AccessContext::new("alice", Purpose::PersonalUse);
