@@ -30,6 +30,9 @@ pub const ENV_KNOBS: &[&str] = &[
     "PDS_E14_LATENCY_US",
     "PDS_E16_TOKENS",
     "PDS_E16_MAX_THREADS",
+    "PDS_E17_TOKENS",
+    "PDS_E17_MAX_THREADS",
+    "PDS_E17_CAP",
 ];
 
 /// Is this metric name safe to compare exactly across machines?

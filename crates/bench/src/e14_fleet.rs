@@ -64,11 +64,11 @@ pub fn measure(tokens: usize, workers: usize, connectivity: f64, latency_us: u64
     cfg.link_latency_us = latency_us;
     cfg.bus.connectivity = connectivity;
     let query = GroupByQuery::bank_by_category();
-    let pool = build_fleet(&cfg, &query);
+    let mut fleet = build_fleet(&cfg, &query).expect("fleet build");
     let rep = fleet_secure_aggregation(
         &cfg,
         &query,
-        &pool,
+        &mut fleet,
         SsiThreat::HonestButCurious,
         OnTamper::Abort,
     )

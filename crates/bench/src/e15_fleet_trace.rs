@@ -42,11 +42,11 @@ pub fn measure(connectivity: f64) -> E15Point {
     cfg.trace = true;
     cfg.bus.connectivity = connectivity;
     let query = GroupByQuery::bank_by_category();
-    let pool = build_fleet(&cfg, &query);
+    let mut fleet = build_fleet(&cfg, &query).expect("fleet build");
     let rep = fleet_secure_aggregation(
         &cfg,
         &query,
-        &pool,
+        &mut fleet,
         SsiThreat::HonestButCurious,
         OnTamper::Abort,
     )

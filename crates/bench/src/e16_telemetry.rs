@@ -65,11 +65,11 @@ pub fn measure(tokens: usize, workers: usize, connectivity: f64) -> E16Point {
     cfg.bus.connectivity = connectivity;
     cfg.telemetry = Some(TelemetryConfig::default());
     let query = GroupByQuery::bank_by_category();
-    let pool = build_fleet(&cfg, &query);
+    let mut fleet = build_fleet(&cfg, &query).expect("fleet build");
     let rep = fleet_secure_aggregation(
         &cfg,
         &query,
-        &pool,
+        &mut fleet,
         SsiThreat::HonestButCurious,
         OnTamper::Abort,
     )
@@ -175,6 +175,8 @@ mod tests {
         assert!(a.exact && a.healthy, "{}", a.summary.health.render());
         assert_eq!(a.summary, b.summary);
         assert!(a.tele_msgs > 0 && a.tele_msgs < a.bus_msgs);
-        assert!(a.convergence_ticks > 0);
+        // Envelopes now drain inside the phases' own tick loops, so the
+        // final flush converges (near-)instantly.
+        assert!(a.convergence_ticks < 100);
     }
 }

@@ -14,6 +14,7 @@ pub mod e13_recovery;
 pub mod e14_fleet;
 pub mod e15_fleet_trace;
 pub mod e16_telemetry;
+pub mod e17_sched;
 pub mod e1_pbfilter;
 pub mod e2_reorg;
 pub mod e3_search;

@@ -35,7 +35,7 @@ pub mod error;
 pub mod pds;
 pub mod policy;
 
-pub use crate::pds::{AccessContext, Pds, ReopenReport};
+pub use crate::pds::{AccessContext, Pds, PdsHibernation, ReopenReport};
 pub use archive::{CloudStore, EncryptedArchive};
 pub use audit::{AuditEntry, AuditLog, Decision};
 pub use credentials::{Credential, HandshakeOutcome, Issuer, Role, VerificationKey};

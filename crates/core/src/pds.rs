@@ -9,9 +9,9 @@
 
 use pds_crypto::SymmetricKey;
 use pds_db::value::Value;
-use pds_db::{Database, Predicate, Row};
-use pds_mcu::{Token, TokenId};
-use pds_search::{DfStrategy, SearchEngine, SearchHit};
+use pds_db::{Database, DatabaseManifest, Predicate, Row};
+use pds_mcu::{Token, TokenId, TokenSleep};
+use pds_search::{DfStrategy, EngineManifest, SearchEngine, SearchHit};
 
 use crate::audit::{AuditLog, Decision};
 
@@ -30,6 +30,36 @@ pub struct ReopenReport {
 use crate::data::{
     bank_schema, email_schema, health_schema, BANK_TABLE, EMAIL_TABLE, HEALTH_TABLE,
 };
+
+/// A powered-down PDS: the token's persistent silicon plus the recovery
+/// manifests and RAM-carried metadata [`Pds::hibernate`] captured. Holds
+/// no `Rc` flash handle and no live engine state — plain data a
+/// scheduler can park by the hundred thousand and revive with
+/// [`Pds::wake`].
+pub struct PdsHibernation {
+    sleep: TokenSleep,
+    owner: String,
+    engine_manifest: EngineManifest,
+    db_manifest: DatabaseManifest,
+    policy: PolicySet,
+    audit: AuditLog,
+    owner_key: SymmetricKey,
+    protocol_key: Option<SymmetricKey>,
+    clock_day: u64,
+}
+
+impl PdsHibernation {
+    /// The hibernated token's identity.
+    pub fn id(&self) -> TokenId {
+        self.sleep.id()
+    }
+
+    /// Approximate parked footprint: bytes of the sparse chip snapshot
+    /// (the manifests and metadata are small next to it).
+    pub fn resident_bytes(&self) -> usize {
+        self.sleep.resident_bytes()
+    }
+}
 use crate::error::PdsError;
 use crate::policy::{Action, Collection, PolicySet, Purpose, Rule};
 
@@ -205,6 +235,61 @@ impl Pds {
                 owner_key: self.owner_key,
                 protocol_key: self.protocol_key,
                 clock_day: self.clock_day,
+            },
+            report,
+        ))
+    }
+
+    /// Power this PDS down to its persistent state: flush every buffered
+    /// structure to flash, then capture the token's silicon plus the
+    /// recovery manifests and the RAM-carried metadata (policy, audit,
+    /// keys, clock). The returned [`PdsHibernation`] is a fraction of the
+    /// live footprint — no search engine, no table buffers, no flash
+    /// handle — which is what lets a fleet scheduler keep hundreds of
+    /// thousands of idle tokens parked. [`Pds::wake`] is the inverse;
+    /// because [`Pds::sync`] ran first, the wake is lossless.
+    pub fn hibernate(mut self) -> Result<PdsHibernation, PdsError> {
+        self.sync()?;
+        Ok(PdsHibernation {
+            sleep: self.token.hibernate(),
+            owner: self.owner,
+            engine_manifest: self.engine.manifest(),
+            db_manifest: self.db.manifest(),
+            policy: self.policy,
+            audit: self.audit,
+            owner_key: self.owner_key,
+            protocol_key: self.protocol_key,
+            clock_day: self.clock_day,
+        })
+    }
+
+    /// Boot a PDS back from hibernation: the token wakes from its chip
+    /// snapshot and every durable structure recovers exactly as after a
+    /// power cycle ([`Pds::reopen`]). A clean hibernation reports zero
+    /// losses.
+    pub fn wake(h: PdsHibernation) -> Result<(Pds, ReopenReport), PdsError> {
+        let token = Token::wake(h.sleep);
+        let flash = token.flash().clone();
+        let ram = token.ram().clone();
+        let (engine, er) = SearchEngine::recover(&flash, &ram, &h.engine_manifest)?;
+        let (db, rows_lost) = Database::recover(&flash, &ram, &h.db_manifest)?;
+        let report = ReopenReport {
+            docs_recovered: er.docs_recovered,
+            docs_lost: er.docs_lost,
+            tombstones_applied: er.tombstones_applied,
+            rows_lost,
+        };
+        Ok((
+            Pds {
+                token,
+                owner: h.owner,
+                engine,
+                db,
+                policy: h.policy,
+                audit: h.audit,
+                owner_key: h.owner_key,
+                protocol_key: h.protocol_key,
+                clock_day: h.clock_day,
             },
             report,
         ))

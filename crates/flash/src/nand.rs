@@ -94,6 +94,17 @@ impl ChipSnapshot {
             Some(bytes) => bytes.iter().all(|&b| b == 0xFF),
         }
     }
+
+    /// Bytes this snapshot actually holds: blocks are lazily allocated,
+    /// so a mostly-erased chip snapshots to a small fraction of its
+    /// capacity — the number a scheduler parking hibernated tokens
+    /// budgets against.
+    pub fn resident_bytes(&self) -> usize {
+        self.data
+            .iter()
+            .map(|b| b.as_ref().map_or(0, Vec::len))
+            .sum()
+    }
 }
 
 impl NandFlash {

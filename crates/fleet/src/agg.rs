@@ -1,39 +1,47 @@
-//! [TNP14] secure aggregation re-hosted as a phased fleet job.
+//! [TNP14] secure aggregation re-hosted as an event-driven fleet job.
 //!
 //! The single-threaded reference (`pds_global::secure_agg`) iterates a
 //! `Population` in one loop. Here the same protocol runs the way the
-//! tutorial describes the ecosystem: N tokens sharded over a worker
-//! pool, every token↔SSI exchange carried by the store-and-forward
+//! tutorial describes the ecosystem: N tokens sharded over the
+//! event-driven [`FleetScheduler`](crate::sched::FleetScheduler), every
+//! token↔SSI exchange carried by the store-and-forward
 //! [`MailboxBus`](crate::bus::MailboxBus), and the run organized as
-//! three phases with barriers between them:
+//! three phases driven by one logical tick loop:
 //!
-//! 1. **Collection** — every token computes its policy-gated
-//!    contributions, encrypts them probabilistically and uploads the
-//!    ciphertexts (one bus message per tuple). The SSI ingests whatever
-//!    arrives through `Ssi::collect_tagged`, keyed by the bus message
-//!    ids, so a weakly-malicious SSI's drop verdicts are per-message
-//!    and thread-count independent.
+//! 1. **Collection** — a whole-fleet phase obligation: every token is
+//!    woken (in bounded waves under the resident cap), computes its
+//!    policy-gated contributions, encrypts them probabilistically and
+//!    uploads the ciphertexts (one bus message per tuple). The SSI
+//!    ingests whatever arrives through `Ssi::collect_tagged`, keyed by
+//!    the bus message ids, so a weakly-malicious SSI's drop verdicts
+//!    are per-message and thread-count independent.
 //! 2. **Reduction** — the SSI partitions the opaque ciphertext set and
 //!    mails each partition to whichever token the round-robin schedule
-//!    picks ("whichever token happens to connect"); serving tokens
-//!    decrypt, partially aggregate, re-encrypt and mail the partials
-//!    back, shrinking the set geometrically until one partition remains.
-//! 3. **Distribution** — the final token's released result is mailed to
-//!    every token in the fleet.
+//!    picks ("whichever token happens to connect"); the tick loop wakes
+//!    *only* the serving tokens, each as its partition mail lands —
+//!    decrypt, partially aggregate, re-encrypt, mail the partials back
+//!    within the same loop — shrinking the set geometrically until one
+//!    partition remains.
+//! 3. **Distribution** — the final released result is mailed to every
+//!    token; tokens wake batch-by-batch as the weak fabric delivers.
+//!
+//! Between wakes a token's state can be evicted to a sparse flash
+//! snapshot (or dropped and deterministically rebuilt), so resident RAM
+//! is bounded by [`FleetConfig::resident_cap`], not by fleet size.
 //!
 //! Determinism: all randomness is derived by hashing `(seed, domain
 //! tag, index)` — per-token encryption streams, per-partition
-//! re-encryption streams, bus delivery schedule, SSI verdicts. Workers
-//! only ever compute pure per-token functions between barriers and the
-//! driver merges their outputs in token/partition order, so a run's
-//! every observable (result, leakage ledger, bus stats) is identical at
-//! any worker count.
+//! re-encryption streams, bus delivery schedule, SSI verdicts. The tick
+//! loop, batch boundaries and eviction schedule live on the
+//! single-threaded driver, and workers only ever compute pure per-token
+//! functions on dispatched batches merged in token order — so a run's
+//! every observable (result, leakage ledger, bus and scheduler stats)
+//! is identical at any worker or shard count.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use pds_core::Pds;
+use pds_core::{Pds, PdsHibernation};
 use pds_crypto::{Ciphertext, SymmetricKey};
 use pds_global::query::Measure;
 use pds_global::ssi::{Leakage, Ssi, SsiThreat};
@@ -44,7 +52,7 @@ use pds_obs::rng::{Rng, SeedableRng, StdRng};
 use pds_obs::{FleetTrace, MetricsDelta};
 
 use crate::bus::{mix, Addr, BusConfig, BusStats, MailboxBus};
-use crate::pool::TokenPool;
+use crate::sched::{pump, FleetError, FleetScheduler, SchedStats, TokenHost};
 use crate::telemetry::{
     Collector, CollectorStats, FleetHealth, HealthEngine, TelemetryConfig, TelemetryMsg,
 };
@@ -59,6 +67,20 @@ const TAG_REDUCE: u64 = 0x464C_5452_4544_5503; // per-partition re-encryption
 /// independent per index, identical across runs and worker counts.
 pub fn derived_rng(seed: u64, tag: u64, index: u64) -> StdRng {
     StdRng::seed_from_u64(mix(seed, tag, index, 0))
+}
+
+/// What happens to a token's state when the scheduler evicts it to stay
+/// under [`FleetConfig::resident_cap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictPolicy {
+    /// Hibernate to persistent state (sparse flash snapshot + recovery
+    /// manifests) and revive losslessly on the next wake.
+    Hibernate,
+    /// Drop entirely and rebuild from the deterministic factory on the
+    /// next wake — sound because every fleet token is a pure function
+    /// of `(seed, index)`, and the cheapest way to park 100k+ idle
+    /// tokens.
+    Rebuild,
 }
 
 /// Shape of one fleet run.
@@ -80,6 +102,18 @@ pub struct FleetConfig {
     pub link_latency_us: u64,
     /// Safety valve for bus draining (virtual ticks per phase).
     pub max_bus_ticks: u64,
+    /// Most tokens live at once; `None` keeps the whole fleet resident
+    /// (the pool-era behavior). A bounded cap is what lets a 100k–1M
+    /// fleet run in bounded RAM — watch the `fleet.resident_tokens`
+    /// gauge and `sched.*` counters.
+    pub resident_cap: Option<usize>,
+    /// What eviction does to a token's state (ignored while the fleet
+    /// fits under the cap).
+    pub evict: EvictPolicy,
+    /// Ticks the event loop accumulates deliveries before dispatching a
+    /// wake batch (1 = wake the moment mail lands; larger values
+    /// amortize shard round-trips on a slow fabric).
+    pub batch_ticks: u64,
     /// Stitch a causal [`FleetTrace`] of the run (per-token spans, per
     /// message hop histories, critical path in bus ticks).
     pub trace: bool,
@@ -103,6 +137,9 @@ impl FleetConfig {
             partition_size: 64,
             link_latency_us: 0,
             max_bus_ticks: 1_000_000,
+            resident_cap: None,
+            evict: EvictPolicy::Hibernate,
+            batch_ticks: 4,
             trace: false,
             telemetry: None,
             bus: BusConfig {
@@ -116,6 +153,11 @@ impl FleetConfig {
     /// derived here from the seed so every run agrees on it).
     pub fn protocol_key(&self) -> SymmetricKey {
         SymmetricKey::from_seed(&self.seed.to_le_bytes())
+    }
+
+    /// The effective resident-token ceiling.
+    pub fn cap(&self) -> usize {
+        self.resident_cap.unwrap_or(self.tokens).max(1)
     }
 }
 
@@ -137,15 +179,58 @@ pub fn build_token(cfg: &FleetConfig, domain: &[String], i: usize) -> Pds {
     pds
 }
 
-/// Build the fleet's worker pool (setup cost — excluded from protocol
+/// The [`TokenHost`] of a [TNP14] fleet: builds tokens from the derived
+/// per-index streams and parks evicted ones according to
+/// [`FleetConfig::evict`].
+#[derive(Clone)]
+pub struct PdsHost {
+    cfg: FleetConfig,
+    domain: Vec<String>,
+}
+
+impl TokenHost for PdsHost {
+    type Token = Pds;
+    type Sleep = PdsHibernation;
+
+    fn create(&self, i: usize) -> Pds {
+        build_token(&self.cfg, &self.domain, i)
+    }
+
+    fn hibernate(&self, _i: usize, token: Pds) -> Option<PdsHibernation> {
+        match self.cfg.evict {
+            EvictPolicy::Rebuild => None,
+            EvictPolicy::Hibernate => token.hibernate().ok(),
+        }
+    }
+
+    fn wake(&self, i: usize, sleep: PdsHibernation) -> Pds {
+        // A clean hibernation always wakes; a corrupt one degrades to a
+        // deterministic factory rebuild rather than sinking the run.
+        match Pds::wake(sleep) {
+            Ok((pds, _)) => pds,
+            Err(_) => self.create(i),
+        }
+    }
+}
+
+/// The scheduler hosting one [TNP14] fleet.
+pub type Fleet = FleetScheduler<PdsHost>;
+
+/// Build the fleet's scheduler (setup cost — excluded from protocol
 /// timing, exactly like manufacturing tokens is excluded from query
-/// latency).
-pub fn build_fleet(cfg: &FleetConfig, query: &GroupByQuery) -> TokenPool<Pds> {
-    let cfg = cfg.clone();
-    let domain = query.domain.clone();
-    TokenPool::build(cfg.tokens, cfg.workers, move |i| {
-        build_token(&cfg, &domain, i)
-    })
+/// latency). With an unbounded cap the fleet is manufactured up-front;
+/// under a bounded cap tokens materialize lazily on first wake.
+pub fn build_fleet(cfg: &FleetConfig, query: &GroupByQuery) -> Result<Fleet, FleetError> {
+    let host = PdsHost {
+        cfg: cfg.clone(),
+        domain: query.domain.clone(),
+    };
+    let cap = cfg.cap();
+    let mut fleet = FleetScheduler::build(cfg.tokens, cfg.workers, cap, host)?;
+    if cap >= cfg.tokens {
+        fleet.warm();
+    }
+    Ok(fleet)
 }
 
 /// Everything one fleet aggregation run produced.
@@ -154,12 +239,20 @@ pub struct FleetAggReport {
     /// The released `(group, aggregate)` result.
     pub result: Vec<(String, u64)>,
     /// Plaintext reference over the same fleet (what a trusted
-    /// centralized server would have computed).
+    /// centralized server would have computed), folded from the same
+    /// collection-phase contributions the tokens encrypt.
     pub expected: Vec<(String, u64)>,
     /// Protocol work/traffic accounting.
     pub stats: ProtocolStats,
     /// Bus delivery counters.
     pub bus: BusStats,
+    /// Scheduler accounting for this run (wakes, evictions, rebuilds,
+    /// peak residency).
+    pub sched: SchedStats,
+    /// Bus ticks each protocol phase took (`collect`, `reduce.N`…,
+    /// `distribute`) — the causal length of the run on the virtual
+    /// fabric, cheap to record at any scale (unlike a full trace).
+    pub phase_ticks: Vec<(String, u64)>,
     /// What the SSI observed.
     pub leakage: Leakage,
     /// Tokens that received the final result in the distribution phase.
@@ -170,7 +263,7 @@ pub struct FleetAggReport {
     /// ([`FleetConfig::telemetry`]).
     pub telemetry: Option<TelemetrySummary>,
     /// Wall-clock of the timed protocol phases (collection + reduction
-    /// + distribution; excludes pool construction).
+    /// + distribution; excludes scheduler construction).
     pub elapsed: Duration,
 }
 
@@ -182,8 +275,8 @@ pub struct TelemetrySummary {
     pub rollup: MetricsDelta,
     /// The standard SLO set evaluated over the rollup.
     pub health: FleetHealth,
-    /// Bus ticks the final telemetry flush took to converge (the lag
-    /// between the last protocol phase and a complete rollup).
+    /// Bus ticks the final telemetry flush took to converge (near zero
+    /// now that envelopes drain inside the phases' own tick loops).
     pub convergence_ticks: u64,
     /// Telemetry envelopes mailed over the bus.
     pub msgs: u64,
@@ -255,13 +348,17 @@ impl FleetAggReport {
     pub fn tokens_per_sec(&self, tokens: usize) -> f64 {
         tokens as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+
+    /// Total bus ticks across the protocol phases (the run's causal
+    /// length on the virtual fabric).
+    pub fn causal_ticks(&self) -> u64 {
+        self.phase_ticks.iter().map(|(_, t)| *t).sum()
+    }
 }
 
-/// One token's collection-phase output: `(ciphertexts, crypto ops)`.
-type CollectOut = Result<(Vec<Vec<u8>>, u64), GlobalError>;
-
-/// Reduction work shipped per serving token: `(partition idx, chunks)`.
-type PartitionWork = BTreeMap<usize, Vec<(u32, Vec<Vec<u8>>)>>;
+/// One token's collection-phase output:
+/// `(plaintext contributions, ciphertexts, crypto ops)`.
+type CollectOut = Result<(Vec<(String, u64)>, Vec<Vec<u8>>, u64), GlobalError>;
 
 fn sleep_link(us: u64) {
     if us > 0 {
@@ -323,22 +420,24 @@ fn decode_partition(bytes: &[u8]) -> Option<(u32, u32, Vec<Vec<u8>>)> {
 }
 
 /// Run the [TNP14] secure aggregation protocol over an already-built
-/// fleet. The pool must have been built by [`build_fleet`] with the
-/// same `cfg` and `query`.
+/// fleet. The scheduler must have been built by [`build_fleet`] with
+/// the same `cfg` and `query`.
 pub fn fleet_secure_aggregation(
     cfg: &FleetConfig,
     query: &GroupByQuery,
-    pool: &TokenPool<Pds>,
+    fleet: &mut Fleet,
     threat: SsiThreat,
     on_tamper: OnTamper,
 ) -> Result<FleetAggReport, GlobalError> {
     assert!(cfg.partition_size >= 2);
-    assert_eq!(pool.len(), cfg.tokens);
+    assert_eq!(fleet.len(), cfg.tokens);
     let key = cfg.protocol_key();
     let ssi = Ssi::new(threat, cfg.seed);
     let mut bus = MailboxBus::new(cfg.bus);
     let mut tele = cfg.telemetry.map(TelemetryDriver::new);
     let mut stats = ProtocolStats::default();
+    let sched0 = fleet.stats();
+    let mut phase_ticks: Vec<(String, u64)> = Vec::new();
     let mut ftb = cfg.trace.then(|| {
         let mut b = FleetTraceBuilder::new("fleet.agg");
         // No worker-count attribute: the stitched trace must be
@@ -348,49 +447,44 @@ pub fn fleet_secure_aggregation(
         b
     });
 
-    // Plaintext reference over the same fleet (untimed; used by tests
-    // and E14 to check exactness).
-    let q = query.clone();
-    let expected: Vec<(String, u64)> = {
-        let per_token = pool.map(move |_, pds| contributions_of(pds, &q));
-        let mut groups: BTreeMap<String, u64> = BTreeMap::new();
-        for r in per_token {
-            for (g, v) in r? {
-                *groups.entry(g).or_insert(0) += v;
-            }
-        }
-        groups.into_iter().collect()
-    };
-
     // pds-lint: allow(det.time) — wall-clock feeds only the reported
     // throughput stat; no protocol value derives from it
     let t0 = Instant::now();
 
-    // Phase 1: collection. Each token encrypts its contributions with
-    // its own derived stream; sequence numbers are (token << 24 | k),
-    // unique fleet-wide without any shared counter.
+    // Phase 1: collection — the whole-fleet obligation, dispatched in
+    // bounded waves under the resident cap. Each token encrypts its
+    // contributions with its own derived stream; sequence numbers are
+    // (token << 24 | k), unique fleet-wide without any shared counter.
+    // The plaintext reference is folded from the very same per-token
+    // contributions (no second pass over the fleet).
     // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
+    let tick0 = bus.now();
     let ctx = ftb.as_mut().map(|b| b.begin_phase("phase.collect", &bus));
     let q = query.clone();
     let latency = cfg.link_latency_us;
     let enc_key = key.clone();
     let seed = cfg.seed;
-    let wire: Vec<CollectOut> = pool.map_in_trace(ctx, move |i, pds| {
+    let collected: Vec<(usize, CollectOut)> = fleet.dispatch_all(ctx, move |i, pds, _mail| {
         let _span = token_span(i);
         sleep_link(latency);
         let mut rng = derived_rng(seed, TAG_ENC, i as u64);
-        let mut cts = Vec::new();
+        let groups = contributions_of(pds, &q)?;
+        let mut cts = Vec::with_capacity(groups.len());
         let mut ops = 0u64;
-        for (k, (g, v)) in contributions_of(pds, &q)?.into_iter().enumerate() {
-            let t = ProtocolTuple::real(&g, v, ((i as u64) << 24) | k as u64);
+        for (k, (g, v)) in groups.iter().enumerate() {
+            let t = ProtocolTuple::real(g, *v, ((i as u64) << 24) | k as u64);
             cts.push(enc_key.encrypt_prob(&t.encode(), &mut rng).0);
             ops += 1;
         }
-        Ok((cts, ops))
+        Ok((groups, cts, ops))
     });
-    for (i, r) in wire.into_iter().enumerate() {
-        let (cts, ops) = r?;
+    let mut reference: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, r) in collected {
+        let (groups, cts, ops) = r?;
+        for (g, v) in groups {
+            *reference.entry(g).or_insert(0) += v;
+        }
         stats.token_crypto_ops += ops;
         let mut delta = tele.as_ref().map(|_| MetricsDelta::new());
         for ct in cts {
@@ -407,6 +501,7 @@ pub fn fleet_secure_aggregation(
             td.emit(&mut bus, Addr::Token(i), d);
         }
     }
+    let expected: Vec<(String, u64)> = reference.into_iter().collect();
     bus.run_until_quiet(cfg.max_bus_ticks);
     if let Some(td) = tele.as_mut() {
         td.observe_phase(&mut bus);
@@ -414,6 +509,7 @@ pub fn fleet_secure_aggregation(
     if let Some(b) = ftb.as_mut() {
         b.end_phase(&mut bus);
     }
+    phase_ticks.push(("collect".to_string(), bus.now() - tick0));
     let arrived: Vec<(u64, Vec<u8>)> = bus
         .drain_inbox(Addr::Ssi)
         .into_iter()
@@ -424,9 +520,11 @@ pub fn fleet_secure_aggregation(
     pds_obs::histogram("fleet.phase.collect_us").observe(phase0.elapsed().as_micros() as u64);
 
     // Phase 2: reduction tree, partitions mailed to round-robin serving
-    // tokens. Same convergence guard as the reference implementation:
-    // when a round fails to shrink the set, the SSI doubles the
-    // partition size.
+    // tokens. The tick loop wakes each serving token as its partition
+    // mail lands and its partials re-enter the bus inside the same
+    // loop; a round ends when nothing is in flight. Same convergence
+    // guard as the reference implementation: when a round fails to
+    // shrink the set, the SSI doubles the partition size.
     // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
     let mut partition_size = cfg.partition_size;
@@ -438,14 +536,13 @@ pub fn fleet_secure_aggregation(
         if parts.is_empty() {
             break Vec::new(); // population contributed nothing at all
         }
+        let tick0 = bus.now();
         let ctx = ftb
             .as_mut()
             .map(|b| b.begin_phase(&format!("phase.reduce.{round}"), &bus));
         let last_round = parts.len() <= 1;
-        let mut serving: Vec<usize> = Vec::with_capacity(parts.len());
         for (pi, part) in parts.iter().enumerate() {
             next_token = (next_token + 1) % cfg.tokens.max(1);
-            serving.push(next_token);
             stats.rounds += 1;
             bus.send_in(
                 Addr::Ssi,
@@ -454,35 +551,29 @@ pub fn fleet_secure_aggregation(
                 ctx,
             );
         }
-        bus.run_until_quiet(cfg.max_bus_ticks);
-        let mut work: PartitionWork = BTreeMap::new();
-        for &t in serving.iter().collect::<BTreeSet<_>>() {
-            for m in bus.drain_inbox(Addr::Token(t)) {
-                if let Some((r, pi, chunks)) = decode_partition(&m.payload) {
-                    if r == round {
-                        work.entry(t).or_default().push((pi, chunks));
-                    }
-                }
-            }
-        }
-        let work = Arc::new(work);
         let red_key = key.clone();
         let seed = cfg.seed;
         let this_round = round;
-        let reduced: Vec<Result<TokenReduce, GlobalError>> = pool.map_in_trace(ctx, move |i, _| {
+        let reduce_f = move |i: usize,
+                             _pds: &mut Pds,
+                             mail: Vec<crate::bus::BusMsg>|
+              -> Result<TokenReduce, GlobalError> {
             let _span = token_span(i);
             let mut out = TokenReduce {
                 parts: Vec::new(),
                 tuples: 0,
                 crypto_ops: 0,
             };
-            let Some(mine) = work.get(&i) else {
-                return Ok(out);
-            };
-            for (pi, chunks) in mine {
+            for m in mail {
+                let Some((r, pi, chunks)) = decode_partition(&m.payload) else {
+                    continue;
+                };
+                if r != this_round {
+                    continue;
+                }
                 sleep_link(latency); // one connection per served partition
                 let mut groups: BTreeMap<String, u64> = BTreeMap::new();
-                for ct in chunks {
+                for ct in &chunks {
                     out.tuples += 1;
                     out.crypto_ops += 1;
                     let Some(plain) = red_key.decrypt(&Ciphertext(ct.clone())) else {
@@ -503,76 +594,91 @@ pub fn fleet_secure_aggregation(
                 }
                 if last_round {
                     out.parts
-                        .push((*pi, ReduceOut::Final(groups.into_iter().collect())));
+                        .push((pi, ReduceOut::Final(groups.into_iter().collect())));
                 } else {
                     let mut rng = derived_rng(
                         seed,
                         TAG_REDUCE,
-                        (u64::from(this_round) << 32) | u64::from(*pi),
+                        (u64::from(this_round) << 32) | u64::from(pi),
                     );
                     let mut partials = Vec::with_capacity(groups.len());
                     for (k, (g, v)) in groups.into_iter().enumerate() {
                         let seq = (1u64 << 60)
                             | (u64::from(this_round) << 40)
-                            | (u64::from(*pi) << 20)
+                            | (u64::from(pi) << 20)
                             | k as u64;
                         let t = ProtocolTuple::real(&g, v, seq);
                         out.crypto_ops += 1;
                         partials.push(red_key.encrypt_prob(&t.encode(), &mut rng).0);
                     }
-                    out.parts.push((*pi, ReduceOut::Partials(partials)));
+                    out.parts.push((pi, ReduceOut::Partials(partials)));
                 }
             }
             Ok(out)
-        });
-        // Ordered merge: partial results re-enter the SSI store in
-        // partition order, so the next round's tuple list is identical
-        // at any worker count.
-        let mut merged: Vec<(u32, usize, ReduceOut)> = Vec::new();
-        for (t, r) in reduced.into_iter().enumerate() {
-            let r = r?;
-            stats.token_tuples += r.tuples;
-            stats.token_crypto_ops += r.crypto_ops;
-            if let Some(td) = tele.as_mut() {
-                // The serving token reports its reduction work before
-                // the round's outcome moves — so even the final round
-                // (which breaks out below) is observed.
-                let mut d = MetricsDelta::new();
-                if r.tuples > 0 {
-                    d.add("tok.tuples_served", r.tuples);
-                }
-                if r.crypto_ops > 0 {
-                    d.add("tok.crypto_ops", r.crypto_ops);
-                }
-                td.emit(&mut bus, Addr::Token(t), d);
-            }
-            for (pi, o) in r.parts {
-                merged.push((pi, t, o));
-            }
-        }
-        merged.sort_by_key(|(pi, _, _)| *pi);
-        for (_, t, o) in merged {
-            match o {
-                ReduceOut::Final(groups) => {
-                    if let Some(b) = ftb.as_mut() {
-                        b.end_phase(&mut bus);
+        };
+        // Ordered merge per wake batch: a batch's partial results
+        // re-enter the SSI store in partition order, and batch
+        // boundaries are a pure function of the seeded bus schedule —
+        // identical at any worker count.
+        let mut final_groups: Option<Vec<(String, u64)>> = None;
+        pump(
+            &mut bus,
+            fleet,
+            ctx,
+            cfg.max_bus_ticks,
+            cfg.batch_ticks,
+            reduce_f,
+            |bus,
+             outs: Vec<(usize, Result<TokenReduce, GlobalError>)>|
+             -> Result<(), GlobalError> {
+                let mut merged: Vec<(u32, usize, ReduceOut)> = Vec::new();
+                for (t, r) in outs {
+                    let r = r?;
+                    stats.token_tuples += r.tuples;
+                    stats.token_crypto_ops += r.crypto_ops;
+                    if let Some(td) = tele.as_mut() {
+                        // The serving token reports its reduction work
+                        // in-band, inside the same tick loop — so even
+                        // the final round is observed.
+                        let mut d = MetricsDelta::new();
+                        if r.tuples > 0 {
+                            d.add("tok.tuples_served", r.tuples);
+                        }
+                        if r.crypto_ops > 0 {
+                            d.add("tok.crypto_ops", r.crypto_ops);
+                        }
+                        td.emit(bus, Addr::Token(t), d);
                     }
-                    break 'reduce groups;
-                }
-                ReduceOut::Partials(cts) => {
-                    for ct in cts {
-                        stats.ssi_bytes += ct.len() as u64;
-                        bus.send_in(Addr::Token(t), Addr::Ssi, ct, ctx);
+                    for (pi, o) in r.parts {
+                        merged.push((pi, t, o));
                     }
                 }
-            }
-        }
-        bus.run_until_quiet(cfg.max_bus_ticks);
+                merged.sort_by_key(|(pi, _, _)| *pi);
+                for (_, t, o) in merged {
+                    match o {
+                        ReduceOut::Final(groups) => {
+                            final_groups = Some(groups);
+                        }
+                        ReduceOut::Partials(cts) => {
+                            for ct in cts {
+                                stats.ssi_bytes += ct.len() as u64;
+                                bus.send_in(Addr::Token(t), Addr::Ssi, ct, ctx);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )?;
         if let Some(b) = ftb.as_mut() {
             b.end_phase(&mut bus);
         }
         if let Some(td) = tele.as_mut() {
             td.observe_phase(&mut bus);
+        }
+        phase_ticks.push((format!("reduce.{round}"), bus.now() - tick0));
+        if let Some(groups) = final_groups {
+            break 'reduce groups;
         }
         // Reduction partials bypass `collect_tagged` (parity with the
         // reference implementation: the threat behavior applies to the
@@ -594,9 +700,11 @@ pub fn fleet_secure_aggregation(
     pds_obs::histogram("fleet.phase.reduce_us").observe(phase0.elapsed().as_micros() as u64);
 
     // Phase 3: result distribution — the released aggregate is mailed
-    // to every token.
+    // to every token; tokens wake batch-by-batch as the weak fabric
+    // delivers, confirm the download in-band, and go back to sleep.
     // pds-lint: allow(det.time) — stats-only phase timing (pds-obs histogram)
     let phase0 = Instant::now();
+    let tick0 = bus.now();
     let ctx = ftb
         .as_mut()
         .map(|b| b.begin_phase("phase.distribute", &bus));
@@ -612,40 +720,47 @@ pub fn fleet_secure_aggregation(
     for i in 0..cfg.tokens {
         bus.send_in(Addr::Ssi, Addr::Token(i), result_wire.clone(), ctx);
     }
-    bus.run_until_quiet(cfg.max_bus_ticks);
-    let mut got_result: Vec<bool> = Vec::with_capacity(cfg.tokens);
-    for i in 0..cfg.tokens {
-        got_result.push(!bus.drain_inbox(Addr::Token(i)).is_empty());
-    }
-    let got = Arc::new(got_result);
-    let got2 = got.clone();
-    let downloads: Vec<bool> = pool.map_in_trace(ctx, move |i, _| {
-        let _span = token_span(i);
-        if got2[i] {
-            sleep_link(latency); // the download connection
-            true
-        } else {
-            false
-        }
-    });
-    let result_coverage = downloads.iter().filter(|b| **b).count();
+    let mut result_coverage = 0usize;
+    pump(
+        &mut bus,
+        fleet,
+        ctx,
+        cfg.max_bus_ticks,
+        cfg.batch_ticks,
+        move |i, _pds: &mut Pds, mail: Vec<crate::bus::BusMsg>| {
+            let _span = token_span(i);
+            if mail.is_empty() {
+                false
+            } else {
+                sleep_link(latency); // the download connection
+                true
+            }
+        },
+        |bus, outs: Vec<(usize, bool)>| -> Result<(), GlobalError> {
+            for (i, got) in outs {
+                if got {
+                    result_coverage += 1;
+                    if let Some(td) = tele.as_mut() {
+                        let mut d = MetricsDelta::new();
+                        d.add("tok.result_received", 1);
+                        td.emit(bus, Addr::Token(i), d);
+                    }
+                }
+            }
+            Ok(())
+        },
+    )?;
     if let Some(b) = ftb.as_mut() {
         b.end_phase(&mut bus);
     }
+    phase_ticks.push(("distribute".to_string(), bus.now() - tick0));
     pds_obs::histogram("fleet.phase.distribute_us").observe(phase0.elapsed().as_micros() as u64);
 
-    // Final telemetry flush: every token that downloaded the result
-    // confirms it in-band, the last envelopes converge on the collector,
-    // and the standard SLO set is evaluated over the rollup.
+    // Final telemetry flush: the last envelopes (download confirmations
+    // already rode the distribution loop) converge on the collector and
+    // the standard SLO set is evaluated over the rollup.
     let mut telemetry = None;
     if let Some(mut td) = tele.take() {
-        for (i, got) in downloads.iter().enumerate() {
-            if *got {
-                let mut d = MetricsDelta::new();
-                d.add("tok.result_received", 1);
-                td.emit(&mut bus, Addr::Token(i), d);
-            }
-        }
         let convergence_ticks = bus.run_until_quiet(cfg.max_bus_ticks);
         td.observe_phase(&mut bus);
         let mut selfd = MetricsDelta::new();
@@ -683,8 +798,10 @@ pub fn fleet_secure_aggregation(
     }
 
     let elapsed = t0.elapsed();
+    let sched = fleet.stats().since(&sched0);
     stats.publish("fleet_secure_aggregation");
     bus.publish();
+    sched.publish();
     pds_obs::counter("fleet.runs").inc();
     pds_obs::gauge("fleet.tokens").set(cfg.tokens as u64);
     pds_obs::gauge("fleet.workers").set(cfg.workers as u64);
@@ -695,6 +812,8 @@ pub fn fleet_secure_aggregation(
         expected,
         stats,
         bus: bus.stats(),
+        sched,
+        phase_ticks,
         leakage: ssi.leakage(),
         result_coverage,
         trace: ftb.map(FleetTraceBuilder::finish),
@@ -731,38 +850,57 @@ mod tests {
         (cfg, GroupByQuery::bank_by_category())
     }
 
-    #[test]
-    fn fleet_result_matches_plaintext_reference() {
-        let (cfg, q) = small_cfg(3);
-        let pool = build_fleet(&cfg, &q);
-        let rep = fleet_secure_aggregation(
-            &cfg,
-            &q,
-            &pool,
+    fn run(cfg: &FleetConfig, q: &GroupByQuery) -> FleetAggReport {
+        let mut fleet = build_fleet(cfg, q).unwrap();
+        fleet_secure_aggregation(
+            cfg,
+            q,
+            &mut fleet,
             SsiThreat::HonestButCurious,
             OnTamper::Abort,
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_result_matches_plaintext_reference() {
+        let (cfg, q) = small_cfg(3);
+        let rep = run(&cfg, &q);
         assert_eq!(rep.result, rep.expected);
         assert!(!rep.result.is_empty());
         assert!(rep.stats.rounds >= 2, "reduction tree has depth");
         assert_eq!(rep.result_coverage, 24, "everyone got the result");
         assert_eq!(rep.bus.expired, 0);
+        assert!(rep.causal_ticks() > 0);
+        assert_eq!(rep.sched.peak_resident, 24, "unbounded cap: all live");
+        assert_eq!(rep.sched.evictions, 0);
+    }
+
+    #[test]
+    fn bounded_cap_evicts_and_still_agrees() {
+        let (mut cfg, q) = small_cfg(3);
+        let unbounded = run(&cfg, &q);
+        cfg.resident_cap = Some(6);
+        for policy in [EvictPolicy::Hibernate, EvictPolicy::Rebuild] {
+            cfg.evict = policy;
+            let rep = run(&cfg, &q);
+            assert_eq!(rep.result, unbounded.result, "{policy:?} result drifted");
+            assert_eq!(rep.expected, unbounded.expected);
+            assert_eq!(rep.result_coverage, unbounded.result_coverage);
+            assert!(rep.sched.evictions > 0, "{policy:?}: cap never bit");
+            assert!(rep.sched.peak_resident <= 6, "{policy:?}: cap exceeded");
+            match policy {
+                EvictPolicy::Hibernate => assert!(rep.sched.sleep_wakes > 0),
+                EvictPolicy::Rebuild => assert!(rep.sched.rebuilds > 0),
+            }
+        }
     }
 
     #[test]
     fn traced_run_stitches_phases_and_keeps_the_result() {
         let (mut cfg, q) = small_cfg(3);
         cfg.trace = true;
-        let pool = build_fleet(&cfg, &q);
-        let rep = fleet_secure_aggregation(
-            &cfg,
-            &q,
-            &pool,
-            SsiThreat::HonestButCurious,
-            OnTamper::Abort,
-        )
-        .unwrap();
+        let rep = run(&cfg, &q);
         assert_eq!(rep.result, rep.expected);
         let t = rep.trace.expect("trace requested");
         let phases = t.phases();
@@ -783,15 +921,7 @@ mod tests {
     #[test]
     fn probabilistic_encryption_leaks_no_equality_classes() {
         let (cfg, q) = small_cfg(2);
-        let pool = build_fleet(&cfg, &q);
-        let rep = fleet_secure_aggregation(
-            &cfg,
-            &q,
-            &pool,
-            SsiThreat::HonestButCurious,
-            OnTamper::Abort,
-        )
-        .unwrap();
+        let rep = run(&cfg, &q);
         assert!(rep.leakage.equality_class_sizes.is_empty());
         assert!(rep.leakage.tuples_seen > 0);
     }
@@ -799,11 +929,11 @@ mod tests {
     #[test]
     fn forged_ciphertexts_abort_loudly() {
         let (cfg, q) = small_cfg(2);
-        let pool = build_fleet(&cfg, &q);
+        let mut fleet = build_fleet(&cfg, &q).unwrap();
         let err = fleet_secure_aggregation(
             &cfg,
             &q,
-            &pool,
+            &mut fleet,
             SsiThreat::WeaklyMalicious {
                 drop_rate: 0.0,
                 forge_rate: 0.2,
@@ -819,11 +949,11 @@ mod tests {
         let mut cfg = FleetConfig::new(48, 2, 7);
         cfg.partition_size = 8;
         let q = GroupByQuery::bank_by_category();
-        let pool = build_fleet(&cfg, &q);
+        let mut fleet = build_fleet(&cfg, &q).unwrap();
         let rep = fleet_secure_aggregation(
             &cfg,
             &q,
-            &pool,
+            &mut fleet,
             SsiThreat::WeaklyMalicious {
                 drop_rate: 0.5,
                 forge_rate: 0.0,

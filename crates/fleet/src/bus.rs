@@ -254,17 +254,19 @@ impl BusStats {
     }
 
     /// Field-wise `self - earlier` (both snapshots of the same bus).
+    /// Saturating: an out-of-order or post-reset snapshot pair yields
+    /// zeros for the fields that moved backwards instead of panicking.
     pub fn since(&self, earlier: &BusStats) -> BusStats {
         BusStats {
-            sent: self.sent - earlier.sent,
-            delivered: self.delivered - earlier.delivered,
-            retries: self.retries - earlier.retries,
-            duplicates: self.duplicates - earlier.duplicates,
-            expired: self.expired - earlier.expired,
-            ticks: self.ticks - earlier.ticks,
-            redeliveries: self.redeliveries - earlier.redeliveries,
-            backoff_events: self.backoff_events - earlier.backoff_events,
-            payload_bytes: self.payload_bytes - earlier.payload_bytes,
+            sent: self.sent.saturating_sub(earlier.sent),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            retries: self.retries.saturating_sub(earlier.retries),
+            duplicates: self.duplicates.saturating_sub(earlier.duplicates),
+            expired: self.expired.saturating_sub(earlier.expired),
+            ticks: self.ticks.saturating_sub(earlier.ticks),
+            redeliveries: self.redeliveries.saturating_sub(earlier.redeliveries),
+            backoff_events: self.backoff_events.saturating_sub(earlier.backoff_events),
+            payload_bytes: self.payload_bytes.saturating_sub(earlier.payload_bytes),
         }
     }
 }
@@ -395,7 +397,16 @@ impl MailboxBus {
     }
 
     fn backoff(&self, attempts: u32) -> u64 {
-        (self.cfg.backoff_base << attempts.min(16)).min(self.cfg.backoff_cap.max(1))
+        // The doubling must saturate to the cap, not overflow: with a
+        // large configured base, `base << attempts` wraps (debug panic,
+        // release wrap-to-tiny-delay). The shift amount is clamped to
+        // 16 so `1 << shift` is always valid; the multiply is what can
+        // overflow, and an overflowed delay is by definition ≥ the cap.
+        let cap = self.cfg.backoff_cap.max(1);
+        match self.cfg.backoff_base.checked_mul(1u64 << attempts.min(16)) {
+            Some(delay) => delay.min(cap),
+            None => cap,
+        }
     }
 
     /// Advance one virtual tick: every due flight whose gating endpoint
@@ -499,6 +510,26 @@ impl MailboxBus {
             self.tick();
         }
         self.tick - start
+    }
+
+    /// Take everything delivered to *token* endpoints since the last
+    /// drain, as `(token index, messages)` batches ordered by token
+    /// index, each batch ordered by message id. The SSI and collector
+    /// inboxes are untouched — this is the event-driven scheduler's
+    /// "who has mail" poll, and those endpoints are driver-drained.
+    pub fn take_token_mail(&mut self) -> Vec<(usize, Vec<BusMsg>)> {
+        let token_codes: Vec<u64> = self
+            .inboxes
+            .range(1..COLLECTOR_CODE)
+            .map(|(code, _)| *code)
+            .collect();
+        let mut out = Vec::with_capacity(token_codes.len());
+        for code in token_codes {
+            let mut msgs = self.inboxes.remove(&code).unwrap_or_default();
+            msgs.sort_by_key(|m| m.id);
+            out.push(((code - 1) as usize, msgs));
+        }
+        out
     }
 
     /// Take everything delivered to `addr`, ordered by message id (a
@@ -672,6 +703,71 @@ mod tests {
         assert_eq!(s.payload_bytes, 28);
         assert_eq!(s.as_delta().counter("bus.deliveries"), 3);
         assert_eq!(s.since(&s), BusStats::default());
+    }
+
+    #[test]
+    fn huge_backoff_base_saturates_to_the_cap() {
+        // Regression: `backoff_base << attempts` used to overflow for
+        // large bases (debug panic, release wrap to a tiny delay).
+        let mut bus = MailboxBus::new(BusConfig {
+            seed: 11,
+            connectivity: 1.0,
+            loss_rate: 0.5,
+            dup_rate: 0.0,
+            backoff_base: u64::MAX / 2,
+            backoff_cap: 8,
+            max_attempts: 64,
+        });
+        for i in 0..20usize {
+            bus.send(Addr::Token(i), Addr::Ssi, vec![i as u8]);
+        }
+        bus.run_until_quiet(100_000);
+        let s = bus.stats();
+        assert_eq!(s.delivered, 20, "every message still converges");
+        assert!(s.retries > 0, "losses exercised the backoff path");
+        assert_eq!(s.expired, 0);
+        // Direct check at every attempt count, including the clamp.
+        for attempts in 0..40u32 {
+            let d = bus.backoff(attempts);
+            assert!((1..=8).contains(&d), "attempt {attempts} gave delay {d}");
+        }
+    }
+
+    #[test]
+    fn since_saturates_on_out_of_order_snapshots() {
+        let mut bus = MailboxBus::new(BusConfig::reliable(6));
+        let early = bus.stats();
+        for i in 0..5usize {
+            bus.send(Addr::Token(i), Addr::Ssi, vec![0; 4]);
+        }
+        bus.run_until_quiet(1_000);
+        let late = bus.stats();
+        // Snapshots subtracted in the wrong order must yield zeros, not
+        // a debug-build underflow panic.
+        let wrong = early.since(&late);
+        assert_eq!(wrong, BusStats::default());
+        // The right order still reports the real movement.
+        let right = late.since(&early);
+        assert_eq!(right.sent, 5);
+        assert_eq!(right.delivered, 5);
+    }
+
+    #[test]
+    fn take_token_mail_batches_by_token_and_skips_ssi() {
+        let mut bus = MailboxBus::new(BusConfig::reliable(8));
+        bus.send(Addr::Ssi, Addr::Token(7), vec![1]);
+        bus.send(Addr::Ssi, Addr::Token(2), vec![2]);
+        bus.send(Addr::Ssi, Addr::Token(7), vec![3]);
+        bus.send(Addr::Token(1), Addr::Ssi, vec![4]);
+        bus.send(Addr::Ssi, Addr::Collector, vec![5]);
+        bus.run_until_quiet(1_000);
+        let mail = bus.take_token_mail();
+        let shape: Vec<(usize, usize)> = mail.iter().map(|(i, m)| (*i, m.len())).collect();
+        assert_eq!(shape, vec![(2, 1), (7, 2)]);
+        assert!(mail[1].1.windows(2).all(|w| w[0].id < w[1].id));
+        assert!(bus.take_token_mail().is_empty(), "drained");
+        assert_eq!(bus.drain_inbox(Addr::Ssi).len(), 1, "SSI inbox intact");
+        assert_eq!(bus.drain_inbox(Addr::Collector).len(), 1);
     }
 
     #[test]

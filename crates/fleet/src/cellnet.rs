@@ -92,13 +92,13 @@ pub struct CellNet {
 impl CellNet {
     /// Build the network; the factory constructs cell `i` inside its
     /// owning worker.
-    pub fn build<F>(cfg: CellNetConfig, factory: F) -> Self
+    pub fn build<F>(cfg: CellNetConfig, factory: F) -> Result<Self, crate::sched::FleetError>
     where
         F: Fn(usize) -> TrustedCell + Send + Clone + 'static,
     {
-        let pool = TokenPool::build(cfg.cells, cfg.workers, factory);
+        let pool = TokenPool::build(cfg.cells, cfg.workers, factory)?;
         let bus = MailboxBus::new(cfg.bus);
-        CellNet {
+        Ok(CellNet {
             cfg,
             pool,
             bus,
@@ -106,7 +106,7 @@ impl CellNet {
             directory: Vec::new(),
             round: 0,
             report: CellSyncReport::default(),
-        }
+        })
     }
 
     /// Number of cells.
@@ -328,7 +328,7 @@ mod tests {
 
     fn net(cells: usize, workers: usize, seed: u64) -> CellNet {
         let cfg = CellNetConfig::new(cells, workers, seed);
-        CellNet::build(cfg, |i| TrustedCell::new(&format!("cell-{i}"), b"owner-x"))
+        CellNet::build(cfg, |i| TrustedCell::new(&format!("cell-{i}"), b"owner-x")).unwrap()
     }
 
     #[test]

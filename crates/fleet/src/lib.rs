@@ -15,11 +15,16 @@
 //!   fraction of ticks), at-least-once delivery with retry/backoff,
 //!   duplicate re-deliveries absorbed by per-receiver dedup sets, and a
 //!   delivery schedule that is a pure function of the seed.
-//! * [`pool`] — the **token worker pool**: a `Pds` is `!Send` (it *is*
-//!   a secure microcontroller), so each long-lived worker thread builds
-//!   and owns a shard of tokens; phases run as parallel maps with
-//!   barriers, merged in token order so results are identical at any
-//!   worker count.
+//! * [`sched`] — the **event-driven fleet scheduler**: a `Pds` is
+//!   `!Send` (it *is* a secure microcontroller), so each long-lived
+//!   shard thread builds and owns its tokens' slots; the driver runs
+//!   one logical tick loop that drains bus deliveries into per-shard
+//!   batches and wakes only the tokens that have mail or a phase
+//!   obligation, evicting least-recently-woken state to flash
+//!   snapshots so resident RAM stays bounded at 100k+ tokens.
+//! * [`pool`] — the simpler **token worker pool** (phase barriers over
+//!   an always-resident fleet), still hosting the Trusted-Cells sync
+//!   network.
 //! * [`agg`] / [`cellnet`] — the [TNP14] secure-aggregation /
 //!   global-query protocols and the Trusted-Cells sync pass re-hosted as
 //!   **phased fleet jobs** (collection → SSI shuffle/compute → result
@@ -51,16 +56,18 @@ pub mod agg;
 pub mod bus;
 pub mod cellnet;
 pub mod pool;
+pub mod sched;
 pub mod telemetry;
 pub mod trace;
 
 pub use agg::{
-    build_fleet, build_token, derived_rng, fleet_secure_aggregation, FleetAggReport, FleetConfig,
-    OnTamper, TelemetrySummary,
+    build_fleet, build_token, derived_rng, fleet_secure_aggregation, EvictPolicy, Fleet,
+    FleetAggReport, FleetConfig, OnTamper, PdsHost, TelemetrySummary,
 };
 pub use bus::{Addr, BusConfig, BusMsg, BusStats, HopRecord, MailboxBus};
 pub use cellnet::{CellNet, CellNetConfig};
 pub use pool::TokenPool;
+pub use sched::{FleetError, FleetScheduler, SchedStats, TokenHost};
 pub use telemetry::{
     Collector, CollectorStats, FleetHealth, HealthEngine, HealthRule, TelemetryConfig, TelemetryMsg,
 };

@@ -18,6 +18,8 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
+use crate::sched::FleetError;
+
 type Job<T> = Box<dyn FnOnce(&mut Vec<(usize, T)>) + Send>;
 
 /// A pool of worker threads, each owning one shard of tokens.
@@ -33,36 +35,50 @@ impl<T: 'static> TokenPool<T> {
     /// shards are contiguous index ranges, but since every per-token
     /// computation is a pure function of the token index, the shard
     /// layout is unobservable in any result.
-    pub fn build<F>(n_tokens: usize, workers: usize, factory: F) -> Self
+    ///
+    /// A refused thread spawn (rlimits on a big fleet) surfaces as
+    /// [`FleetError::SpawnFailed`] instead of aborting the process; the
+    /// workers already started are hung up and joined before returning.
+    pub fn build<F>(n_tokens: usize, workers: usize, factory: F) -> Result<Self, FleetError>
     where
         F: Fn(usize) -> T + Send + Clone + 'static,
     {
         let workers = workers.max(1).min(n_tokens.max(1));
         let mut txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
         let chunk = n_tokens.div_ceil(workers);
         for w in 0..workers {
             let lo = w * chunk;
             let hi = ((w + 1) * chunk).min(n_tokens);
             let factory = factory.clone();
             let (tx, rx): (Sender<Job<T>>, Receiver<Job<T>>) = channel();
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("fleet-worker-{w}"))
                 .spawn(move || {
                     let mut shard: Vec<(usize, T)> = (lo..hi).map(|i| (i, factory(i))).collect();
                     for job in rx {
                         job(&mut shard);
                     }
-                })
-                .expect("spawn fleet worker");
-            txs.push(tx);
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => {
+                    txs.push(tx);
+                    handles.push(handle);
+                }
+                Err(source) => {
+                    txs.clear();
+                    for h in handles.drain(..) {
+                        let _ = h.join();
+                    }
+                    return Err(FleetError::SpawnFailed { worker: w, source });
+                }
+            }
         }
-        TokenPool {
+        Ok(TokenPool {
             txs,
             handles,
             n_tokens,
-        }
+        })
     }
 
     /// Number of tokens hosted.
@@ -161,7 +177,7 @@ mod tests {
 
     #[test]
     fn map_returns_token_index_order() {
-        let pool = TokenPool::build(17, 4, factory);
+        let pool = TokenPool::build(17, 4, factory).unwrap();
         let out = pool.map(|i, t| {
             assert_eq!(i, t.idx);
             *t.state.borrow_mut() += 1;
@@ -175,7 +191,7 @@ mod tests {
 
     #[test]
     fn state_persists_across_phases() {
-        let pool = TokenPool::build(8, 3, factory);
+        let pool = TokenPool::build(8, 3, factory).unwrap();
         pool.map(|_, t| *t.state.borrow_mut() += 5);
         let out = pool.map(|_, t| *t.state.borrow());
         assert_eq!(out[2], 25);
@@ -184,7 +200,7 @@ mod tests {
     #[test]
     fn result_is_identical_across_worker_counts() {
         let run = |workers| {
-            let pool = TokenPool::build(23, workers, factory);
+            let pool = TokenPool::build(23, workers, factory).unwrap();
             pool.map(|i, _| i as u64 * 3 + 1)
         };
         assert_eq!(run(1), run(2));
@@ -197,7 +213,7 @@ mod tests {
             trace_id: 0x9000_0001,
             parent_span: 3,
         };
-        let pool = TokenPool::build(6, 3, factory);
+        let pool = TokenPool::build(6, 3, factory).unwrap();
         let out = pool.map_in_trace(Some(ctx), |i, _| {
             let g = pds_obs::trace::span("token.work");
             g.set("token", i);
@@ -214,7 +230,7 @@ mod tests {
 
     #[test]
     fn more_workers_than_tokens_is_fine() {
-        let pool = TokenPool::build(2, 16, factory);
+        let pool = TokenPool::build(2, 16, factory).unwrap();
         assert_eq!(pool.workers(), 2);
         assert_eq!(pool.map(|i, _| i).len(), 2);
     }

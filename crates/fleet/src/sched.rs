@@ -1,0 +1,729 @@
+//! The event-driven fleet scheduler: bounded-residency token hosting.
+//!
+//! [`TokenPool`](crate::pool::TokenPool) keeps every token alive for the
+//! whole run and touches all of them at every phase barrier — fine for a
+//! 64-token demo, impossible for the tutorial's "millions of users": a
+//! live [`pds_core::Pds`] carries a search engine, table buffers and a
+//! flash handle, and most of the fleet is idle at any given moment (on a
+//! weakly-connected fabric, *almost all* of it). This module hosts the
+//! fleet the way the paper describes it:
+//!
+//! * **Sharded ownership** — tokens are `!Send`, so each long-lived
+//!   worker thread owns the slots of a contiguous index range and builds
+//!   or wakes tokens in place. Work is shipped to shards as batches and
+//!   merged back in token-index order.
+//! * **Wake on mail or obligation** — the driver runs the single logical
+//!   tick loop ([`pump`]): it ticks the [`MailboxBus`], drains newly
+//!   delivered messages into per-token batches, and dispatches *only the
+//!   tokens that have mail* (plus whole-fleet phase obligations, which
+//!   [`FleetScheduler::dispatch_all`] runs as bounded waves).
+//! * **Idle-state eviction** — the driver keeps a deterministic LRU over
+//!   resident tokens; beyond [`FleetScheduler::resident_cap`] the oldest
+//!   are evicted down to persistent state via the [`TokenHost`]: either
+//!   hibernated to a sparse flash snapshot (`pds-flash`'s
+//!   `ChipSnapshot`) or dropped entirely and rebuilt from the factory on
+//!   the next wake (sound whenever a token is a pure function of its
+//!   index, as every fleet token is).
+//!
+//! Determinism: the residency model — stamps, LRU order, eviction
+//! victims, wave boundaries — lives entirely on the single-threaded
+//! driver and is a pure function of the dispatch sequence, never of
+//! shard layout or thread timing. Workers only ever execute pure
+//! per-token closures on the slots the driver names. So every observable
+//! (results, `sched.*` counters, the `fleet.resident_tokens` gauge) is
+//! bit-identical at any worker count, exactly like the pool it replaces.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use pds_obs::TraceContext;
+
+use crate::bus::{BusMsg, MailboxBus};
+
+/// A typed fleet-runtime failure. Thread exhaustion on a big fleet
+/// degrades into an error the caller can handle instead of a panic.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The OS refused to spawn a fleet worker thread.
+    SpawnFailed {
+        /// Worker index that failed to start.
+        worker: usize,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::SpawnFailed { worker, source } => {
+                write!(f, "spawning fleet worker {worker} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::SpawnFailed { source, .. } => Some(source),
+        }
+    }
+}
+
+/// How a shard materializes, parks and revives one token. The host is
+/// cloned into every worker thread; the tokens and sleep states it
+/// produces never leave their shard (tokens may be `!Send`).
+pub trait TokenHost: Send + Clone + 'static {
+    /// The live (possibly `!Send`) token.
+    type Token;
+    /// The parked idle-state (a fraction of the live footprint).
+    type Sleep;
+
+    /// Build token `i` from scratch — a pure function of the index.
+    fn create(&self, i: usize) -> Self::Token;
+
+    /// Park token `i`: return its persistent state, or `None` to drop it
+    /// entirely (it will be re-`create`d on the next wake).
+    fn hibernate(&self, i: usize, token: Self::Token) -> Option<Self::Sleep>;
+
+    /// Revive token `i` from its parked state.
+    fn wake(&self, i: usize, sleep: Self::Sleep) -> Self::Token;
+}
+
+/// Deterministic scheduler accounting — driver-side model plus summed
+/// worker reports, bit-identical at any worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tokens dispatched (mail batches + obligation waves).
+    pub wakes: u64,
+    /// First-ever materializations of a token.
+    pub cold_builds: u64,
+    /// Re-materializations of a token that was evicted without sleep
+    /// state (drop-and-rebuild policy).
+    pub rebuilds: u64,
+    /// Revivals from hibernated sleep state.
+    pub sleep_wakes: u64,
+    /// Residents parked to make room under the cap.
+    pub evictions: u64,
+    /// Dispatch waves shipped (driver-side count, independent of how
+    /// many shards each wave touched).
+    pub batches: u64,
+    /// High-water mark of simultaneously live tokens.
+    pub peak_resident: u64,
+}
+
+impl SchedStats {
+    /// Canonical `(name, value)` export (the `sched.*` vocabulary).
+    pub fn named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("sched.wakes", self.wakes),
+            ("sched.cold_builds", self.cold_builds),
+            ("sched.rebuilds", self.rebuilds),
+            ("sched.sleep_wakes", self.sleep_wakes),
+            ("sched.evictions", self.evictions),
+            ("sched.batches", self.batches),
+        ]
+    }
+
+    /// Counters accrued since `earlier` (field-wise saturating).
+    /// `peak_resident` is a monotone high-water mark, not a counter, so
+    /// the current peak is carried through unchanged.
+    pub fn since(&self, earlier: &SchedStats) -> SchedStats {
+        SchedStats {
+            wakes: self.wakes.saturating_sub(earlier.wakes),
+            cold_builds: self.cold_builds.saturating_sub(earlier.cold_builds),
+            rebuilds: self.rebuilds.saturating_sub(earlier.rebuilds),
+            sleep_wakes: self.sleep_wakes.saturating_sub(earlier.sleep_wakes),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            batches: self.batches.saturating_sub(earlier.batches),
+            peak_resident: self.peak_resident,
+        }
+    }
+
+    /// Mirror the counters into the global registry under the uniform
+    /// `sched.*` names, plus the `fleet.resident_tokens` high-water
+    /// gauge — the observable that proves eviction kept residency
+    /// bounded.
+    pub fn publish(&self) {
+        for (name, v) in self.named() {
+            pds_obs::counter(name).add(v);
+        }
+        pds_obs::gauge("fleet.resident_tokens").record_max(self.peak_resident);
+    }
+}
+
+/// One shard slot: a live token or its parked state.
+enum Slot<H: TokenHost> {
+    Live(H::Token),
+    Asleep(H::Sleep),
+}
+
+/// Worker-thread state: the host plus this shard's slots.
+struct Shard<H: TokenHost> {
+    host: H,
+    slots: BTreeMap<usize, Slot<H>>,
+}
+
+type Job<H> = Box<dyn FnOnce(&mut Shard<H>) + Send>;
+
+/// The event-driven fleet scheduler (see module docs).
+pub struct FleetScheduler<H: TokenHost> {
+    txs: Vec<Sender<Job<H>>>,
+    handles: Vec<JoinHandle<()>>,
+    n_tokens: usize,
+    chunk: usize,
+    cap: usize,
+    /// Driver-side residency model: resident token → last-wake stamp.
+    resident: BTreeMap<usize, u64>,
+    /// Inverse index for LRU eviction: stamp → token.
+    lru: BTreeMap<u64, usize>,
+    ever_built: Vec<bool>,
+    stamp: u64,
+    stats: SchedStats,
+}
+
+impl<H: TokenHost> FleetScheduler<H> {
+    /// Spawn `workers` shard threads hosting `n_tokens` slots with at
+    /// most `resident_cap` tokens live at once. Nothing is built yet:
+    /// tokens materialize lazily on their first dispatch.
+    pub fn build(
+        n_tokens: usize,
+        workers: usize,
+        resident_cap: usize,
+        host: H,
+    ) -> Result<Self, FleetError> {
+        let workers = workers.max(1).min(n_tokens.max(1));
+        let chunk = n_tokens.max(1).div_ceil(workers);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let host = host.clone();
+            let (tx, rx): (Sender<Job<H>>, Receiver<Job<H>>) = channel();
+            let spawned = std::thread::Builder::new()
+                .name(format!("fleet-shard-{w}"))
+                .spawn(move || {
+                    let mut shard = Shard {
+                        host,
+                        slots: BTreeMap::new(),
+                    };
+                    for job in rx {
+                        job(&mut shard);
+                    }
+                });
+            match spawned {
+                Ok(handle) => {
+                    txs.push(tx);
+                    handles.push(handle);
+                }
+                Err(source) => {
+                    // Hang up the shards we did start so they exit.
+                    txs.clear();
+                    for h in handles.drain(..) {
+                        let _ = h.join();
+                    }
+                    return Err(FleetError::SpawnFailed { worker: w, source });
+                }
+            }
+        }
+        Ok(FleetScheduler {
+            txs,
+            handles,
+            n_tokens,
+            chunk,
+            cap: resident_cap.max(1),
+            resident: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            ever_built: vec![false; n_tokens],
+            stamp: 0,
+            stats: SchedStats::default(),
+        })
+    }
+
+    /// Number of token slots hosted.
+    pub fn len(&self) -> usize {
+        self.n_tokens
+    }
+
+    /// True when the scheduler hosts no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.n_tokens == 0
+    }
+
+    /// Number of shard worker threads.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The resident-token ceiling.
+    pub fn resident_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Tokens currently live across all shards (driver model).
+    pub fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Scheduler accounting so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Mirror the lifetime counters into the global registry (see
+    /// [`SchedStats::publish`]).
+    pub fn publish(&self) {
+        self.stats.publish();
+    }
+
+    fn shard_of(&self, token: usize) -> usize {
+        token / self.chunk.max(1)
+    }
+
+    /// Evict `victim` from the driver model and queue the park job on
+    /// its shard.
+    fn evict(&mut self, victim: usize) {
+        let Some(stamp) = self.resident.remove(&victim) else {
+            return;
+        };
+        self.lru.remove(&stamp);
+        self.stats.evictions += 1;
+        let job: Job<H> = Box::new(move |shard| {
+            if let Some(Slot::Live(t)) = shard.slots.remove(&victim) {
+                if let Some(sleep) = shard.host.hibernate(victim, t) {
+                    shard.slots.insert(victim, Slot::Asleep(sleep));
+                }
+            }
+        });
+        // A dead worker already fails the run's phase dispatch loudly;
+        // an eviction racing that teardown can only be dropped.
+        let _ = self.txs[self.shard_of(victim)].send(job);
+    }
+
+    /// Dispatch `f` over `items` — `(token, mail)` pairs ordered by
+    /// token index — waking each named token (build / revive as needed)
+    /// and returning the outputs merged back in token-index order.
+    ///
+    /// The item list is processed in waves of at most `resident_cap`
+    /// tokens; before each wave, least-recently-woken residents outside
+    /// the wave are evicted so residency never exceeds the cap.
+    pub fn dispatch<R, F>(
+        &mut self,
+        ctx: Option<TraceContext>,
+        items: Vec<(usize, Vec<BusMsg>)>,
+        f: F,
+    ) -> Vec<(usize, R)>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &mut H::Token, Vec<BusMsg>) -> R + Send + Clone + 'static,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(self.cap));
+            let wave = std::mem::replace(&mut items, rest);
+            out.extend(self.run_wave(ctx, wave, f.clone()));
+        }
+        out
+    }
+
+    /// Whole-fleet phase obligation: every token, no mail.
+    pub fn dispatch_all<R, F>(&mut self, ctx: Option<TraceContext>, f: F) -> Vec<(usize, R)>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &mut H::Token, Vec<BusMsg>) -> R + Send + Clone + 'static,
+    {
+        let items = (0..self.n_tokens).map(|i| (i, Vec::new())).collect();
+        self.dispatch(ctx, items, f)
+    }
+
+    /// Materialize every token once (manufacture up-front). Only useful
+    /// when the cap covers the fleet; with a tight cap tokens would just
+    /// be evicted again before use.
+    pub fn warm(&mut self) {
+        let _ = self.dispatch_all(None, |_, _, _| ());
+    }
+
+    fn run_wave<R, F>(
+        &mut self,
+        ctx: Option<TraceContext>,
+        wave: Vec<(usize, Vec<BusMsg>)>,
+        f: F,
+    ) -> Vec<(usize, R)>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &mut H::Token, Vec<BusMsg>) -> R + Send + Clone + 'static,
+    {
+        if wave.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(wave.len() <= self.cap);
+        let wave_set: BTreeSet<usize> = wave.iter().map(|(i, _)| *i).collect();
+        // Bump already-resident wave members to most-recently-woken, so
+        // the LRU front can only hold evictable outsiders.
+        for &i in &wave_set {
+            if let Some(stamp) = self.resident.get_mut(&i) {
+                self.lru.remove(stamp);
+                self.stamp += 1;
+                *stamp = self.stamp;
+                self.lru.insert(self.stamp, i);
+            }
+        }
+        let newcomers: Vec<usize> = wave_set
+            .iter()
+            .copied()
+            .filter(|i| !self.resident.contains_key(i))
+            .collect();
+        while self.resident.len() + newcomers.len() > self.cap {
+            let Some((_, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            if wave_set.contains(&victim) {
+                break; // only wave members left resident; wave ≤ cap fits
+            }
+            self.evict(victim);
+        }
+        let mut cold = 0u64;
+        for &i in &newcomers {
+            self.stamp += 1;
+            self.resident.insert(i, self.stamp);
+            self.lru.insert(self.stamp, i);
+            if !self.ever_built[i] {
+                self.ever_built[i] = true;
+                cold += 1;
+            }
+        }
+        self.stats.wakes += wave.len() as u64;
+        self.stats.cold_builds += cold;
+        self.stats.peak_resident = self.stats.peak_resident.max(self.resident.len() as u64);
+        pds_obs::gauge("fleet.resident_tokens").record_max(self.resident.len() as u64);
+
+        // Partition the wave by owning shard and ship one batch per
+        // shard touched.
+        let mut per_shard: BTreeMap<usize, Vec<(usize, Vec<BusMsg>)>> = BTreeMap::new();
+        for (i, mail) in wave {
+            per_shard
+                .entry(self.shard_of(i))
+                .or_default()
+                .push((i, mail));
+        }
+        let (out_tx, out_rx) = channel::<(Vec<(usize, R)>, u64, u64)>();
+        let mut expect = 0usize;
+        for (shard_idx, batch) in per_shard {
+            expect += batch.len();
+            let f = f.clone();
+            let out_tx = out_tx.clone();
+            let job: Job<H> = Box::new(move |shard| {
+                // Residency fix-up first, outside the trace context, so
+                // build/revive spans never pollute a phase's trace.
+                let mut created = 0u64;
+                let mut woke = 0u64;
+                for (i, _) in &batch {
+                    if !matches!(shard.slots.get(i), Some(Slot::Live(_))) {
+                        let token = match shard.slots.remove(i) {
+                            Some(Slot::Asleep(s)) => {
+                                woke += 1;
+                                shard.host.wake(*i, s)
+                            }
+                            _ => {
+                                created += 1;
+                                shard.host.create(*i)
+                            }
+                        };
+                        shard.slots.insert(*i, Slot::Live(token));
+                    }
+                }
+                if ctx.is_some() {
+                    pds_obs::trace::set_context(ctx);
+                }
+                let mut results = Vec::with_capacity(batch.len());
+                for (i, mail) in batch {
+                    if let Some(Slot::Live(t)) = shard.slots.get_mut(&i) {
+                        results.push((i, f(i, t, mail)));
+                    }
+                }
+                if ctx.is_some() {
+                    pds_obs::trace::set_context(None);
+                    pds_obs::trace::flush_contributions();
+                }
+                // The driver only hangs up after every send; ignore its
+                // early death (a panic elsewhere already unwinds us).
+                let _ = out_tx.send((results, created, woke));
+            });
+            self.txs[shard_idx].send(job).expect("fleet shard alive");
+        }
+        drop(out_tx);
+        self.stats.batches += 1;
+        let mut merged: Vec<(usize, R)> = Vec::with_capacity(expect);
+        let mut created_total = 0u64;
+        for (results, created, woke) in &out_rx {
+            created_total += created;
+            self.stats.sleep_wakes += woke;
+            merged.extend(results);
+        }
+        // `created` covers both first-ever builds and rebuilds after a
+        // drop-eviction; the driver's model knows which were cold.
+        self.stats.rebuilds += created_total.saturating_sub(cold);
+        assert_eq!(merged.len(), expect, "a fleet shard panicked");
+        merged.sort_by_key(|(i, _)| *i);
+        merged
+    }
+}
+
+impl<H: TokenHost> Drop for FleetScheduler<H> {
+    fn drop(&mut self) {
+        self.txs.clear(); // hang up: shards drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drive the bus until quiet, waking tokens as mail lands — the single
+/// logical tick loop of an event-driven phase.
+///
+/// Each iteration ticks the bus once and accumulates newly delivered
+/// token mail; batches are dispatched to the shards when `batch_ticks`
+/// have elapsed since the last dispatch (or immediately once the bus is
+/// quiet), and `on_batch` runs on the driver with bus access so handler
+/// outputs can send follow-up messages inside the same loop. Returns the
+/// ticks spent once no message is in flight and no mail is pending, or
+/// after `max_ticks`.
+///
+/// Determinism: single-threaded over a seed-deterministic bus — the
+/// batch boundaries, wake order and everything downstream are pure
+/// functions of the seed and the send sequence.
+pub fn pump<H, R, F, G, E>(
+    bus: &mut MailboxBus,
+    sched: &mut FleetScheduler<H>,
+    ctx: Option<TraceContext>,
+    max_ticks: u64,
+    batch_ticks: u64,
+    f: F,
+    mut on_batch: G,
+) -> Result<u64, E>
+where
+    H: TokenHost,
+    R: Send + 'static,
+    F: Fn(usize, &mut H::Token, Vec<BusMsg>) -> R + Send + Clone + 'static,
+    G: FnMut(&mut MailboxBus, Vec<(usize, R)>) -> Result<(), E>,
+{
+    let start = bus.now();
+    let batch_ticks = batch_ticks.max(1);
+    let mut pending: BTreeMap<usize, Vec<BusMsg>> = BTreeMap::new();
+    for (i, msgs) in bus.take_token_mail() {
+        pending.insert(i, msgs);
+    }
+    let mut last_dispatch = bus.now();
+    loop {
+        let quiet = bus.in_flight() == 0;
+        if !pending.is_empty() && (quiet || bus.now() - last_dispatch >= batch_ticks) {
+            let items: Vec<(usize, Vec<BusMsg>)> =
+                std::mem::take(&mut pending).into_iter().collect();
+            let outs = sched.dispatch(ctx, items, f.clone());
+            on_batch(bus, outs)?;
+            last_dispatch = bus.now();
+            continue; // the replies may already be deliverable
+        }
+        if quiet && pending.is_empty() {
+            break;
+        }
+        if bus.now() - start >= max_ticks {
+            break;
+        }
+        bus.tick();
+        for (i, mut msgs) in bus.take_token_mail() {
+            pending.entry(i).or_default().append(&mut msgs);
+        }
+    }
+    Ok(bus.now() - start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{Addr, BusConfig};
+
+    /// A deliberately `!Send` token stand-in whose sleep state is its
+    /// counter value.
+    struct CounterToken {
+        idx: usize,
+        hits: std::rc::Rc<std::cell::RefCell<u64>>,
+    }
+
+    #[derive(Clone)]
+    struct CounterHost {
+        drop_on_evict: bool,
+    }
+
+    impl TokenHost for CounterHost {
+        type Token = CounterToken;
+        type Sleep = u64;
+
+        fn create(&self, i: usize) -> CounterToken {
+            CounterToken {
+                idx: i,
+                hits: std::rc::Rc::new(std::cell::RefCell::new(0)),
+            }
+        }
+
+        fn hibernate(&self, _i: usize, t: CounterToken) -> Option<u64> {
+            (!self.drop_on_evict).then(|| *t.hits.borrow())
+        }
+
+        fn wake(&self, i: usize, sleep: u64) -> CounterToken {
+            let t = self.create(i);
+            *t.hits.borrow_mut() = sleep;
+            t
+        }
+    }
+
+    fn sched(
+        n: usize,
+        workers: usize,
+        cap: usize,
+        drop_on_evict: bool,
+    ) -> FleetScheduler<CounterHost> {
+        FleetScheduler::build(n, workers, cap, CounterHost { drop_on_evict }).unwrap()
+    }
+
+    fn touch_all(s: &mut FleetScheduler<CounterHost>) -> Vec<u64> {
+        s.dispatch_all(None, |i, t, _| {
+            assert_eq!(i, t.idx);
+            *t.hits.borrow_mut() += 1;
+            *t.hits.borrow()
+        })
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
+    }
+
+    #[test]
+    fn dispatch_merges_in_token_order() {
+        let mut s = sched(17, 4, 64, false);
+        let out = touch_all(&mut s);
+        assert_eq!(out, vec![1; 17]);
+        assert_eq!(s.stats().cold_builds, 17);
+        assert_eq!(s.stats().evictions, 0);
+        assert_eq!(s.resident(), 17);
+    }
+
+    #[test]
+    fn hibernation_preserves_state_under_a_tight_cap() {
+        let mut s = sched(12, 3, 4, false);
+        touch_all(&mut s);
+        let out = touch_all(&mut s);
+        // Every token remembered its first hit through eviction.
+        assert_eq!(out, vec![2; 12]);
+        let st = s.stats();
+        assert!(st.evictions > 0, "the cap forced evictions");
+        assert!(st.sleep_wakes > 0, "state came back from sleep");
+        assert_eq!(st.rebuilds, 0);
+        assert!(st.peak_resident <= 4);
+        assert!(s.resident() <= 4);
+    }
+
+    #[test]
+    fn drop_policy_rebuilds_from_the_factory() {
+        let mut s = sched(12, 3, 4, true);
+        touch_all(&mut s);
+        let out = touch_all(&mut s);
+        // Dropped tokens restarted from zero: pure-function rebuild.
+        assert!(out.iter().filter(|v| **v == 1).count() >= 8);
+        let st = s.stats();
+        assert!(st.rebuilds > 0);
+        assert_eq!(st.sleep_wakes, 0);
+        assert!(st.peak_resident <= 4);
+    }
+
+    #[test]
+    fn stats_and_results_are_shard_count_independent() {
+        let run = |workers: usize| {
+            let mut s = sched(23, workers, 7, false);
+            let a = touch_all(&mut s);
+            let b = s
+                .dispatch(None, vec![(3, Vec::new()), (19, Vec::new())], |_, t, _| {
+                    *t.hits.borrow()
+                })
+                .into_iter()
+                .collect::<Vec<_>>();
+            (a, b, s.stats())
+        };
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn mail_reaches_the_woken_token() {
+        let mut s = sched(8, 2, 8, false);
+        let mut bus = MailboxBus::new(BusConfig::reliable(3));
+        bus.send(Addr::Ssi, Addr::Token(5), b"hello".to_vec());
+        bus.send(Addr::Ssi, Addr::Token(2), b"hi".to_vec());
+        let ticks = pump(
+            &mut bus,
+            &mut s,
+            None,
+            10_000,
+            1,
+            |i, t, mail| {
+                *t.hits.borrow_mut() += mail.len() as u64;
+                (i, mail.len())
+            },
+            |_, outs| -> Result<(), ()> {
+                for (i, (j, n)) in outs {
+                    assert_eq!(i, j);
+                    assert_eq!(n, 1);
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(ticks > 0);
+        // Only the two mailed tokens were ever woken.
+        assert_eq!(s.stats().wakes, 2);
+        assert_eq!(s.stats().cold_builds, 2);
+        assert_eq!(s.resident(), 2);
+    }
+
+    #[test]
+    fn pump_replies_keep_the_loop_running() {
+        // Token 0 receives a ping and replies; the driver forwards the
+        // reply to token 1 — all inside one pump call.
+        let mut s = sched(2, 1, 2, false);
+        let mut bus = MailboxBus::new(BusConfig::reliable(9));
+        bus.send(Addr::Ssi, Addr::Token(0), vec![1]);
+        let mut seen = Vec::new();
+        pump(
+            &mut bus,
+            &mut s,
+            None,
+            10_000,
+            1,
+            |i, _, mail| (i, mail.len()),
+            |bus, outs| -> Result<(), ()> {
+                for (i, _) in outs {
+                    seen.push(i);
+                    if i == 0 {
+                        bus.send(Addr::Ssi, Addr::Token(1), vec![2]);
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn spawn_failure_is_typed_not_a_panic() {
+        // Can't force thread exhaustion portably; exercise the Display
+        // plumbing of the typed error instead.
+        let e = FleetError::SpawnFailed {
+            worker: 3,
+            source: std::io::Error::other("rlimit"),
+        };
+        assert!(e.to_string().contains("worker 3"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

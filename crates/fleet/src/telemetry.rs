@@ -482,6 +482,94 @@ mod tests {
     }
 
     #[test]
+    fn single_bucket_ring_is_a_running_total() {
+        // ring = 1 is the degenerate boundary: every bucket change
+        // evicts the previous bucket, and the total must still see
+        // every fold exactly once.
+        let mut c = Collector::new(TelemetryConfig {
+            granularity: 10,
+            ring: 1,
+        });
+        for tick in 0..50 {
+            c.fold(&msg(1, tick, 1));
+        }
+        assert_eq!(c.buckets().len(), 1, "only the newest bucket lives");
+        assert_eq!(c.stats().buckets_evicted, 4, "buckets 0..=3 folded out");
+        assert_eq!(c.total().counter("tok.contributions"), 50);
+        // The live bucket holds exactly the last granularity's worth.
+        let live = c.buckets().values().next().unwrap();
+        assert_eq!(live.counter("tok.contributions"), 10);
+    }
+
+    #[test]
+    fn bucket_boundaries_split_on_exact_granularity_multiples() {
+        // tick = k·granularity belongs to bucket k, not k-1 — the
+        // half-open [k·g, (k+1)·g) convention, checked at the edges.
+        let mut c = Collector::new(TelemetryConfig {
+            granularity: 64,
+            ring: 8,
+        });
+        c.fold(&msg(1, 0, 1)); // first tick of bucket 0
+        c.fold(&msg(1, 63, 1)); // last tick of bucket 0
+        c.fold(&msg(1, 64, 1)); // first tick of bucket 1
+        c.fold(&msg(1, 128, 1)); // first tick of bucket 2
+        let buckets: Vec<u64> = c.buckets().keys().copied().collect();
+        assert_eq!(buckets, vec![0, 1, 2]);
+        assert_eq!(
+            c.buckets()[&0].counter("tok.contributions"),
+            2,
+            "ticks 0 and 63 share bucket 0"
+        );
+        assert_eq!(c.buckets()[&1].counter("tok.contributions"), 1);
+        assert_eq!(c.stats().buckets_evicted, 0);
+    }
+
+    #[test]
+    fn tail_fold_eviction_equals_the_unbounded_reference() {
+        // The eviction invariant the plane rests on: a tightly-bounded
+        // ring and an effectively-unbounded one agree on the cumulative
+        // rollup (counters, gauges, histograms) for the same fold
+        // stream — eviction relocates history, it never rewrites it.
+        let stream: Vec<TelemetryMsg> = (0..200)
+            .map(|k| {
+                let mut delta = MetricsDelta::new();
+                delta.add("tok.contributions", k % 7);
+                delta.observe("tok.payload_bytes", 10 + (k * 13) % 97);
+                delta.record_gauge(
+                    "mcu.ram.peak_bytes",
+                    1_000 + (k * 31) % 503,
+                    pds_obs::GaugePolicy::Max,
+                );
+                TelemetryMsg {
+                    source: k % 5,
+                    tick: k * 3,
+                    delta,
+                }
+            })
+            .collect();
+        let run = |ring: usize| {
+            let mut c = Collector::new(TelemetryConfig {
+                granularity: 16,
+                ring,
+            });
+            for m in &stream {
+                c.fold(m);
+            }
+            c
+        };
+        let tight = run(2);
+        let unbounded = run(usize::MAX);
+        assert_eq!(unbounded.stats().buckets_evicted, 0);
+        assert!(tight.stats().buckets_evicted > 0);
+        assert_eq!(tight.buckets().len(), 2);
+        assert_eq!(tight.total(), unbounded.total(), "tail-fold is lossless");
+        assert_eq!(tight.sources(), unbounded.sources());
+        // And the health verdict — a function of the total — agrees.
+        let engine = HealthEngine::standard();
+        assert_eq!(tight.health(&engine), unbounded.health(&engine));
+    }
+
+    #[test]
     fn envelope_round_trips_and_rejects_junk() {
         let m = msg(7, 129, 3);
         assert_eq!(TelemetryMsg::decode(&m.encode()), Some(m.clone()));

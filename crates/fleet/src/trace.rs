@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn builder_stitches_tokens_and_hops_per_phase() {
-        let pool = TokenPool::build(4, 2, |i| i);
+        let pool = TokenPool::build(4, 2, |i| i).unwrap();
         let mut bus = MailboxBus::new(BusConfig::reliable(11));
         let mut b = FleetTraceBuilder::new("fleet.test");
         b.set("tokens", 4u64);
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn stitched_trace_is_identical_across_worker_counts() {
         let run = |workers: usize| {
-            let pool = TokenPool::build(9, workers, |i| i);
+            let pool = TokenPool::build(9, workers, |i| i).unwrap();
             let mut bus = MailboxBus::new(BusConfig {
                 seed: 21,
                 connectivity: 0.5,

@@ -199,7 +199,11 @@ pub const CRATES: &[CrateConfig] = &[
         dir: "fleet",
         lib: "pds_fleet",
         families: &[Family::Determinism],
-        det_files: &[],
+        // The whole crate is already in the determinism family; the
+        // scheduler is listed explicitly too so the residency model
+        // stays covered even if the crate-wide opt-in is ever narrowed
+        // (its LRU/eviction decisions feed baseline-checked counters).
+        det_files: &["fleet/src/sched.rs"],
         allowed_deps: &[
             "pds_obs",
             "pds_crypto",

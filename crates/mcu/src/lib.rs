@@ -35,4 +35,4 @@ pub mod token;
 pub use bounded::{BoundedVec, TopN};
 pub use profile::HardwareProfile;
 pub use ram::{RamBudget, RamError, Reservation};
-pub use token::{TamperState, Token, TokenId};
+pub use token::{TamperState, Token, TokenId, TokenSleep};

@@ -37,9 +37,11 @@ struct Inner {
     capacity: usize,
     used: usize,
     high_water: usize,
-    /// Process-wide aggregate gauges/counters (`mcu.ram.*` namespace):
-    /// bytes reserved across every live budget, the high-water mark of
-    /// that aggregate, and reservations refused for want of RAM.
+    /// Process-wide gauges/counters (`mcu.ram.*` namespace): bytes
+    /// reserved across every live budget, the worst single-budget peak
+    /// (the per-*device* high-water mark — a max over budgets, so it is
+    /// independent of how concurrently-live budgets interleave across
+    /// threads), and reservations refused for want of RAM.
     obs_used: Arc<pds_obs::Gauge>,
     obs_high_water: Arc<pds_obs::Gauge>,
     obs_aborts: Arc<pds_obs::Counter>,
@@ -119,7 +121,7 @@ impl RamBudget {
         i.used += bytes;
         i.high_water = i.high_water.max(i.used);
         i.obs_used.add(bytes as u64);
-        i.obs_high_water.record_max(i.obs_used.get());
+        i.obs_high_water.record_max(i.high_water as u64);
         drop(i);
         Ok(Reservation {
             budget: self.clone(),

@@ -116,6 +116,55 @@ impl Token {
             tamper: self.tamper,
         }
     }
+
+    /// Power the token down to its persistent state: identity, hardware
+    /// class, tamper state, and a sparse [`ChipSnapshot`] of the NAND
+    /// cells. The returned [`TokenSleep`] is plain data (no `Rc` flash
+    /// handle), so a scheduler can park thousands of idle tokens in a
+    /// fraction of their live footprint. [`Token::wake`] is the inverse.
+    pub fn hibernate(&self) -> TokenSleep {
+        TokenSleep {
+            id: self.id,
+            profile: self.profile,
+            tamper: self.tamper,
+            chip: self.flash.snapshot(),
+        }
+    }
+
+    /// Boot a token back from hibernated silicon: the flash controller
+    /// rebuilds its state by cell scan and the RAM budget starts empty,
+    /// exactly like [`Token::reopen`] after a power cycle.
+    pub fn wake(sleep: TokenSleep) -> Token {
+        Token {
+            id: sleep.id,
+            profile: sleep.profile,
+            flash: Flash::reopen(sleep.chip),
+            ram: RamBudget::new(sleep.profile.ram_bytes),
+            tamper: sleep.tamper,
+        }
+    }
+}
+
+/// A powered-down token: everything that survives power loss, nothing
+/// that doesn't. Unlike a live [`Token`] this is `Send` plain data.
+pub struct TokenSleep {
+    id: TokenId,
+    profile: HardwareProfile,
+    tamper: TamperState,
+    chip: pds_flash::ChipSnapshot,
+}
+
+impl TokenSleep {
+    /// The hibernated token's identity.
+    pub fn id(&self) -> TokenId {
+        self.id
+    }
+
+    /// Approximate persistent footprint: bytes the sparse chip snapshot
+    /// holds (programmed blocks only).
+    pub fn resident_bytes(&self) -> usize {
+        self.chip.resident_bytes()
+    }
 }
 
 #[cfg(test)]

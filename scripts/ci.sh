@@ -27,11 +27,16 @@ PDS_E14_TOKENS=64 PDS_E14_MAX_THREADS=4 \
 # gate, not just a dashboard.
 PDS_E16_TOKENS=64 PDS_E16_MAX_THREADS=4 \
   cargo run --release -q -p pds-bench --bin report -- --fleet-health e16
+# Event-driven scheduler smoke: the full aggregation at 10k tokens under
+# a tight resident cap — peak residency must stay at the cap and every
+# cell re-proves bit-identical results against a 1-worker re-run.
+PDS_E17_TOKENS=10000 PDS_E17_MAX_THREADS=4 PDS_E17_CAP=2048 \
+  cargo run --release -q -p pds-bench --bin report -- e17
 # Deterministic cost baseline: replay the scope and env knobs recorded
 # in BENCH_BASELINE.json and compare every deterministic metric (flash
 # IO, bus delivery, recovery, RAM high-water, lint posture) exactly.
 # Fails naming each drifted metric; regenerate intentionally with
 #   cargo run --release -p pds-bench --bin report -- \
-#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15 e16
+#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15 e16 e17
 # (env knobs as recorded) and commit the diff.
 cargo run --release -q -p pds-bench --bin report -- --check BENCH_BASELINE.json

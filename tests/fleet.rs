@@ -21,8 +21,8 @@ fn run_fleet(workers: usize, threat: SsiThreat, on_tamper: OnTamper) -> FleetAgg
     let mut cfg = FleetConfig::new(64, workers, 0xF1EE7);
     cfg.partition_size = 16;
     let query = GroupByQuery::bank_by_category();
-    let pool = build_fleet(&cfg, &query);
-    fleet_secure_aggregation(&cfg, &query, &pool, threat, on_tamper).unwrap()
+    let mut fleet = build_fleet(&cfg, &query).unwrap();
+    fleet_secure_aggregation(&cfg, &query, &mut fleet, threat, on_tamper).unwrap()
 }
 
 #[test]
@@ -53,11 +53,11 @@ fn stitched_trace_is_bit_identical_at_1_2_and_8_workers() {
         cfg.partition_size = 8;
         cfg.trace = true;
         let query = GroupByQuery::bank_by_category();
-        let pool = build_fleet(&cfg, &query);
+        let mut fleet = build_fleet(&cfg, &query).unwrap();
         let rep = fleet_secure_aggregation(
             &cfg,
             &query,
-            &pool,
+            &mut fleet,
             SsiThreat::HonestButCurious,
             OnTamper::Abort,
         )
@@ -88,6 +88,58 @@ fn stitched_trace_is_bit_identical_at_1_2_and_8_workers() {
         parsed.get("span").and_then(pds::obs::json::Json::as_str),
         Some("fleet.agg")
     );
+}
+
+#[test]
+fn capped_residency_is_identical_at_1_2_and_8_workers() {
+    // The event-driven scheduler's contract: with eviction actually
+    // biting (cap 16 of 64 tokens), the run is still bit-identical at
+    // any shard count — results, bus schedule, and the scheduler's own
+    // accounting (wakes, evictions, rebuilds, peak residency).
+    let run = |workers: usize, evict: pds::fleet::EvictPolicy| {
+        let mut cfg = FleetConfig::new(64, workers, 0xF1EE7);
+        cfg.partition_size = 16;
+        cfg.resident_cap = Some(16);
+        cfg.evict = evict;
+        let query = GroupByQuery::bank_by_category();
+        let mut fleet = build_fleet(&cfg, &query).unwrap();
+        fleet_secure_aggregation(
+            &cfg,
+            &query,
+            &mut fleet,
+            SsiThreat::HonestButCurious,
+            OnTamper::Abort,
+        )
+        .unwrap()
+    };
+    let uncapped = run_fleet(4, SsiThreat::HonestButCurious, OnTamper::Abort);
+    for evict in [
+        pds::fleet::EvictPolicy::Hibernate,
+        pds::fleet::EvictPolicy::Rebuild,
+    ] {
+        let one = run(1, evict);
+        assert_eq!(one.result, one.expected, "{evict:?}: protocol is exact");
+        assert_eq!(
+            one.result, uncapped.result,
+            "{evict:?}: the cap is unobservable in the protocol result"
+        );
+        assert!(one.sched.evictions > 0, "{evict:?}: the cap bit");
+        assert!(
+            one.sched.peak_resident <= 16,
+            "{evict:?}: residency bounded, got {}",
+            one.sched.peak_resident
+        );
+        for workers in [2, 8] {
+            let many = run(workers, evict);
+            assert_eq!(one.result, many.result, "{evict:?} {workers}w: result");
+            assert_eq!(one.bus, many.bus, "{evict:?} {workers}w: bus schedule");
+            assert_eq!(one.sched, many.sched, "{evict:?} {workers}w: sched stats");
+            assert_eq!(
+                one.phase_ticks, many.phase_ticks,
+                "{evict:?} {workers}w: causal phase ticks"
+            );
+        }
+    }
 }
 
 #[test]
@@ -123,11 +175,11 @@ fn weak_connectivity_changes_schedule_but_not_result() {
     solid.bus.dup_rate = 0.0;
     let query = GroupByQuery::bank_by_category();
     let run = |cfg: &FleetConfig| {
-        let pool = build_fleet(cfg, &query);
+        let mut fleet = build_fleet(cfg, &query).unwrap();
         fleet_secure_aggregation(
             cfg,
             &query,
-            &pool,
+            &mut fleet,
             SsiThreat::HonestButCurious,
             OnTamper::Abort,
         )
@@ -146,6 +198,7 @@ fn cell_net(workers: usize, seed: u64) -> CellNet {
     CellNet::build(cfg, |i| {
         TrustedCell::new(&format!("cell-{i}"), b"owner-alice")
     })
+    .unwrap()
 }
 
 #[test]

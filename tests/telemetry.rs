@@ -23,11 +23,11 @@ fn run_fleet(workers: usize, connectivity: f64, telemetry: bool) -> FleetAggRepo
     cfg.bus.connectivity = connectivity;
     cfg.telemetry = telemetry.then(TelemetryConfig::default);
     let query = GroupByQuery::bank_by_category();
-    let pool = build_fleet(&cfg, &query);
+    let mut fleet = build_fleet(&cfg, &query).unwrap();
     fleet_secure_aggregation(
         &cfg,
         &query,
-        &pool,
+        &mut fleet,
         SsiThreat::HonestButCurious,
         OnTamper::Abort,
     )
