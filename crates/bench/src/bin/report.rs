@@ -82,6 +82,7 @@ fn main() {
         ("e15", e15_fleet_trace::run),
         ("e16", e16_telemetry::run),
         ("e17", e17_sched::run),
+        ("e18", e18_mvcc::run),
         ("a1", ablations::a1_bloom_budget),
         ("a2", ablations::a2_partition_size),
         ("a3", ablations::a3_codesign),

@@ -22,6 +22,8 @@ pub enum PdsError {
     Ram(pds_mcu::RamError),
     /// Archive integrity or authentication failure.
     ArchiveCorrupt(&'static str),
+    /// No subscription registered under this id.
+    UnknownSubscription(u32),
 }
 
 impl From<pds_db::DbError> for PdsError {
@@ -59,6 +61,7 @@ impl fmt::Display for PdsError {
             PdsError::Flash(e) => write!(f, "flash: {e}"),
             PdsError::Ram(e) => write!(f, "ram: {e}"),
             PdsError::ArchiveCorrupt(what) => write!(f, "archive corrupt: {what}"),
+            PdsError::UnknownSubscription(id) => write!(f, "unknown subscription id {id}"),
         }
     }
 }

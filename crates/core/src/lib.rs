@@ -35,10 +35,14 @@ pub mod error;
 pub mod pds;
 pub mod policy;
 
-pub use crate::pds::{AccessContext, Pds, PdsHibernation, ReopenReport};
+pub use crate::pds::{AccessContext, Pds, PdsHibernation, ReopenReport, Subscription};
 pub use archive::{CloudStore, EncryptedArchive};
 pub use audit::{AuditEntry, AuditLog, Decision};
 pub use credentials::{Credential, HandshakeOutcome, Issuer, Role, VerificationKey};
 pub use data::{BankCategory, HealthCategory};
 pub use error::PdsError;
 pub use policy::{Action, Collection, Policy, PolicySet, Purpose, Rule, SubjectPattern};
+// The gateway vocabulary, re-exported so upper layers (the fleet
+// runtime sits above pds-core, not above pds-db) can phrase snapshot
+// reads and standing predicates without crossing the layering matrix.
+pub use pds_db::{Hlc, Predicate, Row, RowId, Snapshot, Value};

@@ -7,9 +7,13 @@
 //! authorized result with the embedded engines — raw data never crosses
 //! the tamper-resistant boundary unevaluated.
 
+use std::collections::BTreeMap;
+
 use pds_crypto::SymmetricKey;
+use pds_db::mvcc::{kind, DOC_STORE};
 use pds_db::value::Value;
-use pds_db::{Database, DatabaseManifest, Predicate, Row};
+use pds_db::{Database, DatabaseManifest, GcReport, Hlc, Predicate, Row, RowId, Snapshot};
+use pds_flash::{ChangeRec, FlashError};
 use pds_mcu::{Token, TokenId, TokenSleep};
 use pds_search::{DfStrategy, EngineManifest, SearchEngine, SearchHit};
 
@@ -26,6 +30,23 @@ pub struct ReopenReport {
     pub tombstones_applied: u64,
     /// Per-table `(name, rows_lost)`.
     pub rows_lost: Vec<(String, u32)>,
+    /// Change records dropped from the HLC log because the rows they
+    /// stamped did not survive (`changes_since` never names an entity
+    /// the recovered stores cannot serve).
+    pub changes_dropped: u64,
+}
+
+/// A standing query on one table: its predicate is re-evaluated against
+/// every commit after `cursor`, so a poller observes each committed
+/// change exactly once.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// Watched table.
+    pub table: String,
+    /// The standing predicate.
+    pub pred: Predicate,
+    /// Stamp of the newest commit already delivered.
+    pub cursor: Hlc,
 }
 use crate::data::{
     bank_schema, email_schema, health_schema, BANK_TABLE, EMAIL_TABLE, HEALTH_TABLE,
@@ -46,6 +67,8 @@ pub struct PdsHibernation {
     owner_key: SymmetricKey,
     protocol_key: Option<SymmetricKey>,
     clock_day: u64,
+    subs: BTreeMap<u32, Subscription>,
+    next_sub: u32,
 }
 
 impl PdsHibernation {
@@ -94,6 +117,9 @@ pub struct Pds {
     protocol_key: Option<SymmetricKey>,
     /// Logical "today" in days, for retention checks.
     clock_day: u64,
+    /// Standing queries, by subscription id.
+    subs: BTreeMap<u32, Subscription>,
+    next_sub: u32,
 }
 
 impl Pds {
@@ -121,6 +147,9 @@ impl Pds {
         db.create_table(EMAIL_TABLE, email_schema())?;
         db.create_table(HEALTH_TABLE, health_schema())?;
         db.create_table(BANK_TABLE, bank_schema())?;
+        // Every PDS is versioned: commits stamp with the token id as the
+        // HLC node, so stamps from different tokens never collide.
+        db.enable_mvcc(token.id().0 as u32);
         let owner_key =
             SymmetricKey::from_seed(format!("owner-key:{owner}:{}", token.id().0).as_bytes());
         Ok(Pds {
@@ -133,6 +162,8 @@ impl Pds {
             owner_key,
             protocol_key: None,
             clock_day: 0,
+            subs: BTreeMap::new(),
+            next_sub: 0,
         })
     }
 
@@ -217,13 +248,16 @@ impl Pds {
         let flash = token.flash().clone();
         let ram = token.ram().clone();
         let (engine, er) = SearchEngine::recover(&flash, &ram, &engine_manifest)?;
-        let (db, rows_lost) = Database::recover(&flash, &ram, &db_manifest)?;
+        let (db, rows_lost, mr) =
+            Database::recover(&flash, &ram, &db_manifest, Some(er.docs_recovered))?;
         let report = ReopenReport {
             docs_recovered: er.docs_recovered,
             docs_lost: er.docs_lost,
             tombstones_applied: er.tombstones_applied,
             rows_lost,
+            changes_dropped: mr.as_ref().map_or(0, |r| r.changes_dropped),
         };
+        let subs = clamp_cursors(self.subs, &db);
         Ok((
             Pds {
                 token,
@@ -235,6 +269,8 @@ impl Pds {
                 owner_key: self.owner_key,
                 protocol_key: self.protocol_key,
                 clock_day: self.clock_day,
+                subs,
+                next_sub: self.next_sub,
             },
             report,
         ))
@@ -260,6 +296,8 @@ impl Pds {
             owner_key: self.owner_key,
             protocol_key: self.protocol_key,
             clock_day: self.clock_day,
+            subs: self.subs,
+            next_sub: self.next_sub,
         })
     }
 
@@ -272,13 +310,16 @@ impl Pds {
         let flash = token.flash().clone();
         let ram = token.ram().clone();
         let (engine, er) = SearchEngine::recover(&flash, &ram, &h.engine_manifest)?;
-        let (db, rows_lost) = Database::recover(&flash, &ram, &h.db_manifest)?;
+        let (db, rows_lost, mr) =
+            Database::recover(&flash, &ram, &h.db_manifest, Some(er.docs_recovered))?;
         let report = ReopenReport {
             docs_recovered: er.docs_recovered,
             docs_lost: er.docs_lost,
             tombstones_applied: er.tombstones_applied,
             rows_lost,
+            changes_dropped: mr.as_ref().map_or(0, |r| r.changes_dropped),
         };
+        let subs = clamp_cursors(h.subs, &db);
         Ok((
             Pds {
                 token,
@@ -290,6 +331,8 @@ impl Pds {
                 owner_key: h.owner_key,
                 protocol_key: h.protocol_key,
                 clock_day: h.clock_day,
+                subs,
+                next_sub: h.next_sub,
             },
             report,
         ))
@@ -694,6 +737,202 @@ impl Pds {
         }
         Ok(pds)
     }
+
+    // ---- versions, snapshots & subscriptions ---------------------------
+
+    /// Stamp everything ingested since the last commit with one HLC and
+    /// append the change records to the durable log. Returns the stamp,
+    /// or `None` if nothing changed. Ingestion between two commits forms
+    /// one atomic unit in version space: snapshots and subscribers see
+    /// all of it or none of it.
+    pub fn commit(&mut self) -> Result<Option<Hlc>, PdsError> {
+        let docs = self.engine.num_docs();
+        let stamp = self.db.commit_with_docs(docs)?;
+        if stamp.is_some() {
+            pds_obs::counter("mvcc.commits").inc();
+        }
+        Ok(stamp)
+    }
+
+    /// Pin a read snapshot at the current commit frontier. Queries run
+    /// through [`select_at`](Self::select_at) / [`search_at`](Self::search_at)
+    /// against this snapshot never observe later commits. Must be paired
+    /// with [`release_snapshot`](Self::release_snapshot) so version GC
+    /// can reclaim history.
+    pub fn open_snapshot(&mut self) -> Result<Snapshot, PdsError> {
+        Ok(self.db.snapshot()?)
+    }
+
+    /// Release a snapshot pin taken by [`open_snapshot`](Self::open_snapshot).
+    pub fn release_snapshot(&mut self, snap: &Snapshot) {
+        self.db.release(snap);
+    }
+
+    /// [`select`](Self::select) pinned to a snapshot: rows committed
+    /// after `snap` was opened are invisible, on top of the same policy
+    /// gate and per-row retention filter.
+    pub fn select_at(
+        &mut self,
+        ctx: &AccessContext,
+        snap: &Snapshot,
+        table: &str,
+        pred: &Predicate,
+    ) -> Result<Vec<Row>, PdsError> {
+        self.traced_request("select_at", |pds| {
+            pds.check(ctx, Collection::Table(table.to_string()), Action::Read, 0)?;
+            let rows = pds.db.select_at(snap, table, pred)?;
+            let clock = pds.clock_day;
+            let policy = &pds.policy;
+            let coll = Collection::Table(table.to_string());
+            Ok(rows
+                .into_iter()
+                .map(|(_, row)| row)
+                .filter(|row| {
+                    let day = row[0].as_u64().unwrap_or(0);
+                    let age = clock.saturating_sub(day) as u32;
+                    policy.permits(&ctx.subject, &coll, Action::Read, ctx.purpose, age)
+                })
+                .collect())
+        })
+    }
+
+    /// [`search`](Self::search) pinned to a snapshot: only documents
+    /// committed at or before `snap` are candidates. Ranking weights stay
+    /// live-corpus (IDF is not versioned) but membership is pinned.
+    pub fn search_at(
+        &mut self,
+        ctx: &AccessContext,
+        snap: &Snapshot,
+        keywords: &[&str],
+        n: usize,
+    ) -> Result<Vec<SearchHit>, PdsError> {
+        self.traced_request("search_at", |pds| {
+            pds.check(ctx, Collection::Documents, Action::Search, 0)?;
+            let mvcc = pds.db.mvcc().ok_or(pds_db::DbError::MvccDisabled)?;
+            let visible = mvcc.visible_at(snap, DOC_STORE);
+            Ok(pds.engine.search_visible(keywords, n, visible)?)
+        })
+    }
+
+    /// [`get_document`](Self::get_document) pinned to a snapshot: a
+    /// docid committed after `snap` answers exactly like one that never
+    /// existed.
+    pub fn get_document_at(
+        &mut self,
+        ctx: &AccessContext,
+        snap: &Snapshot,
+        docid: u32,
+    ) -> Result<Vec<u8>, PdsError> {
+        self.traced_request("get_document_at", |pds| {
+            pds.check(ctx, Collection::Documents, Action::Read, 0)?;
+            let mvcc = pds.db.mvcc().ok_or(pds_db::DbError::MvccDisabled)?;
+            if docid >= mvcc.visible_at(snap, DOC_STORE) {
+                return Err(PdsError::Flash(FlashError::BadRecordAddr));
+            }
+            Ok(pds.engine.get_document(docid)?)
+        })
+    }
+
+    /// Change records strictly after `since`, from the durable HLC log —
+    /// the primitive delta sync and continuous queries are built on.
+    pub fn changes_since(&self, since: Hlc) -> Result<Vec<ChangeRec>, PdsError> {
+        Ok(self.db.changes_since(since)?)
+    }
+
+    /// Register a standing query: `pred` over `table`, starting at the
+    /// current commit frontier. Returns the subscription id for
+    /// [`poll_subscription`](Self::poll_subscription).
+    pub fn subscribe(&mut self, table: &str, pred: Predicate) -> Result<u32, PdsError> {
+        self.db.store_id(table)?;
+        let cursor = self.db.mvcc().ok_or(pds_db::DbError::MvccDisabled)?.now();
+        let id = self.next_sub;
+        self.next_sub += 1;
+        self.subs.insert(
+            id,
+            Subscription {
+                table: table.to_string(),
+                pred,
+                cursor,
+            },
+        );
+        pds_obs::counter("sub.registered").inc();
+        Ok(id)
+    }
+
+    /// Deliver the subscription's delta: matching rows from every commit
+    /// after its cursor, then advance the cursor past them. Each
+    /// committed change is observed exactly once across polls — the
+    /// cursor moves in whole commits, never mid-commit.
+    pub fn poll_subscription(&mut self, id: u32) -> Result<Vec<(RowId, Row)>, PdsError> {
+        let sub = self
+            .subs
+            .get(&id)
+            .ok_or(PdsError::UnknownSubscription(id))?;
+        let (table, pred, cursor) = (sub.table.clone(), sub.pred.clone(), sub.cursor);
+        pds_obs::counter("sub.polls").inc();
+        let recs = self.db.changes_since(cursor)?;
+        let last = match recs.last() {
+            Some(r) => Hlc::new(r.hlc, r.node),
+            None => return Ok(Vec::new()),
+        };
+        let store = self.db.store_id(&table)?;
+        let t = self.db.table(&table)?;
+        let c = t.schema().column_index(pred.column()).ok_or_else(|| {
+            pds_db::DbError::UnknownColumn {
+                table: table.clone(),
+                column: pred.column().to_string(),
+            }
+        })?;
+        let mut out = Vec::new();
+        for rec in recs {
+            if rec.store != store || rec.kind != kind::ROW_INSERT {
+                continue;
+            }
+            let row = t.get(rec.entity)?;
+            if pred.matches(&row[c]) {
+                out.push((rec.entity, row));
+            }
+        }
+        if let Some(s) = self.subs.get_mut(&id) {
+            s.cursor = last;
+        }
+        if !out.is_empty() {
+            pds_obs::counter("sub.deltas").inc();
+        }
+        pds_obs::counter("sub.rows_delivered").add(out.len() as u64);
+        Ok(out)
+    }
+
+    /// The registered subscriptions, by id.
+    pub fn subscriptions(&self) -> &BTreeMap<u32, Subscription> {
+        &self.subs
+    }
+
+    /// Reclaim version history: collapse marks and compact the change
+    /// log up to the oldest open snapshot, never past the slowest
+    /// subscription cursor (a subscriber must still be able to read
+    /// every change it has not yet observed).
+    pub fn gc_versions(&mut self) -> Result<GcReport, PdsError> {
+        let keep = self.subs.values().map(|s| s.cursor).min();
+        Ok(self.db.gc_versions(keep)?)
+    }
+}
+
+/// After a power loss the HLC log recovers its durable prefix; a cursor
+/// stamped beyond that prefix points at history that no longer exists.
+/// Clamp it to the recovered frontier so the subscription resumes from
+/// what actually survived.
+fn clamp_cursors(
+    mut subs: BTreeMap<u32, Subscription>,
+    db: &Database,
+) -> BTreeMap<u32, Subscription> {
+    let now = db.mvcc().map_or(Hlc::ZERO, |m| m.now());
+    for s in subs.values_mut() {
+        if s.cursor > now {
+            s.cursor = now;
+        }
+    }
+    subs
 }
 
 #[cfg(test)]
@@ -859,5 +1098,94 @@ mod tests {
         let mut pds = populated_pds();
         let ctx = AccessContext::new("mallory", Purpose::Marketing);
         assert!(pds.snapshot(&ctx).is_err());
+    }
+
+    #[test]
+    fn snapshot_pins_selects_and_search() {
+        let mut pds = populated_pds();
+        pds.commit().unwrap();
+        let ctx = AccessContext::new("alice", Purpose::PersonalUse);
+        let snap = pds.open_snapshot().unwrap();
+        // Writes after the snapshot: a new salary row and a new "blood" doc.
+        pds.ingest_bank(14, "salary", 300_000, "employer").unwrap();
+        pds.ingest_email(14, "dr.martin", "blood follow-up", "second blood panel")
+            .unwrap();
+        pds.commit().unwrap();
+        let pred = Predicate::eq("category", Value::str("salary"));
+        let live = pds.select(&ctx, BANK_TABLE, &pred).unwrap();
+        assert_eq!(live.len(), 2, "live read sees the new commit");
+        let pinned = pds.select_at(&ctx, &snap, BANK_TABLE, &pred).unwrap();
+        assert_eq!(pinned.len(), 1, "snapshot read does not");
+        let live_hits = pds.search(&ctx, &["blood"], 10).unwrap();
+        let pinned_hits = pds.search_at(&ctx, &snap, &["blood"], 10).unwrap();
+        assert!(pinned_hits.len() < live_hits.len());
+        // The post-snapshot document is unreadable through the snapshot.
+        let new_doc = live_hits.iter().map(|h| h.doc).max().unwrap();
+        assert!(pds.get_document_at(&ctx, &snap, new_doc).is_err());
+        assert!(pds.get_document(&ctx, new_doc).is_ok());
+        pds.release_snapshot(&snap);
+    }
+
+    #[test]
+    fn subscription_observes_each_commit_exactly_once() {
+        let mut pds = populated_pds();
+        pds.commit().unwrap();
+        let id = pds
+            .subscribe(BANK_TABLE, Predicate::eq("category", Value::str("salary")))
+            .unwrap();
+        // Pre-subscription history is not replayed.
+        assert!(pds.poll_subscription(id).unwrap().is_empty());
+        pds.ingest_bank(20, "salary", 260_000, "employer").unwrap();
+        pds.ingest_bank(20, "groceries", 3_000, "shop-2").unwrap();
+        pds.commit().unwrap();
+        let delta = pds.poll_subscription(id).unwrap();
+        assert_eq!(delta.len(), 1, "only the matching row is delivered");
+        assert_eq!(delta[0].1[2], Value::U64(260_000));
+        assert!(
+            pds.poll_subscription(id).unwrap().is_empty(),
+            "no re-delivery"
+        );
+        assert!(matches!(
+            pds.poll_subscription(99),
+            Err(PdsError::UnknownSubscription(99))
+        ));
+    }
+
+    #[test]
+    fn subscription_survives_hibernate_wake() {
+        let mut pds = populated_pds();
+        pds.commit().unwrap();
+        let id = pds
+            .subscribe(BANK_TABLE, Predicate::eq("category", Value::str("salary")))
+            .unwrap();
+        pds.ingest_bank(21, "salary", 270_000, "employer").unwrap();
+        pds.commit().unwrap();
+        let h = pds.hibernate().unwrap();
+        let (mut pds, report) = Pds::wake(h).unwrap();
+        assert_eq!(report.changes_dropped, 0);
+        let delta = pds.poll_subscription(id).unwrap();
+        assert_eq!(
+            delta.len(),
+            1,
+            "commit from before the power-down is delivered once"
+        );
+        assert!(pds.poll_subscription(id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gc_never_outruns_a_subscription_cursor() {
+        let mut pds = populated_pds();
+        pds.commit().unwrap();
+        let id = pds
+            .subscribe(BANK_TABLE, Predicate::eq("category", Value::str("salary")))
+            .unwrap();
+        pds.ingest_bank(22, "salary", 280_000, "employer").unwrap();
+        pds.commit().unwrap();
+        pds.ingest_bank(23, "salary", 290_000, "employer").unwrap();
+        pds.commit().unwrap();
+        // GC with an unpolled subscriber must keep its unread changes.
+        pds.gc_versions().unwrap();
+        let delta = pds.poll_subscription(id).unwrap();
+        assert_eq!(delta.len(), 2, "GC kept every unobserved change");
     }
 }

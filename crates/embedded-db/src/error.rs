@@ -26,6 +26,9 @@ pub enum DbError {
         /// The offending (older) timestamp.
         got: u64,
     },
+    /// A versioned-read or change-log operation was called on a database
+    /// whose MVCC layer was never enabled.
+    MvccDisabled,
     /// Stored bytes failed to decode.
     Corrupt(&'static str),
 }
@@ -58,6 +61,7 @@ impl fmt::Display for DbError {
                     "timestamps must be non-decreasing: got {got} after {last}"
                 )
             }
+            DbError::MvccDisabled => write!(f, "MVCC is not enabled on this database"),
             DbError::Corrupt(what) => write!(f, "corrupt {what}"),
         }
     }

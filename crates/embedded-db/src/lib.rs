@@ -36,6 +36,11 @@
 //! be extended "to other data models: … time series, noSQL & key-value
 //! stores"; both are built here with the same recipe:
 //!
+//! * [`hlc`] / [`mvcc`] — snapshot isolation over the append-only
+//!   stores: hybrid-logical-clock commit stamps, prefix-length version
+//!   marks, epoch-based GC, and a durable change log answering
+//!   "changes since HLC h" (the primitive continuous queries and
+//!   delta-based Trusted-Cells sync build on).
 //! * [`timeseries`] — a log-structured time series with pre-aggregated
 //!   page summaries (range aggregates at summary-scan cost).
 //! * [`kv`] — a log-structured key-value store with Bloom page summaries,
@@ -45,7 +50,9 @@
 
 pub mod climbing;
 pub mod error;
+pub mod hlc;
 pub mod kv;
+pub mod mvcc;
 pub mod pbfilter;
 pub mod query;
 pub mod reorg;
@@ -59,7 +66,9 @@ pub mod value;
 
 pub use climbing::{SchemaTree, TjoinIndex, TselectIndex};
 pub use error::DbError;
+pub use hlc::{Hlc, HlcClock};
 pub use kv::KvStore;
+pub use mvcc::{GcReport, MvccManifest, MvccRecovery, MvccState, Snapshot, DOC_STORE};
 pub use pbfilter::PBFilter;
 pub use query::{Database, DatabaseManifest, Predicate, QueryPlan};
 pub use sort::external_sort;

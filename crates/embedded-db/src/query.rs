@@ -9,10 +9,12 @@
 
 use std::collections::HashMap;
 
-use pds_flash::{BlockId, Flash};
+use pds_flash::{BlockId, ChangeRec, Flash};
 use pds_mcu::RamBudget;
 
 use crate::error::DbError;
+use crate::hlc::Hlc;
+use crate::mvcc::{kind, GcReport, MvccManifest, MvccRecovery, MvccState, Snapshot, DOC_STORE};
 use crate::pbfilter::PBFilter;
 use crate::reorg;
 use crate::table::{RowId, Table, TableManifest};
@@ -33,7 +35,14 @@ pub struct DatabaseManifest {
     pub tables: Vec<TableManifest>,
     /// Blocks of every PBFilter and tree index, freed on recovery.
     pub index_blocks: Vec<BlockId>,
+    /// Version-state manifest, when MVCC is enabled.
+    pub mvcc: Option<MvccManifest>,
 }
+
+/// What [`Database::recover`] hands back: the rebuilt database,
+/// per-table `(name, rows_lost)`, and the MVCC recovery report when
+/// MVCC was enabled.
+pub type DbRecovery = (Database, Vec<(String, u32)>, Option<MvccRecovery>);
 
 /// A selection predicate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,13 +83,16 @@ impl Predicate {
         }
     }
 
-    fn column(&self) -> &str {
+    /// The column the predicate constrains.
+    pub fn column(&self) -> &str {
         match self {
             Predicate::Eq { column, .. } | Predicate::Between { column, .. } => column,
         }
     }
 
-    fn matches(&self, v: &Value) -> bool {
+    /// Whether a column value satisfies the predicate (the evaluation
+    /// primitive standing queries re-run over change-log deltas).
+    pub fn matches(&self, v: &Value) -> bool {
         match self {
             Predicate::Eq { value, .. } => v == value,
             Predicate::Between { lo, hi, .. } => v >= lo && v <= hi,
@@ -123,6 +135,8 @@ pub struct Database {
     by_name: HashMap<String, usize>,
     /// (table, column) → index.
     indexes: HashMap<(usize, usize), ColumnIndex>,
+    /// Version state (snapshots + change log), when enabled.
+    mvcc: Option<MvccState>,
 }
 
 impl Database {
@@ -134,6 +148,7 @@ impl Database {
             tables: Vec::new(),
             by_name: HashMap::new(),
             indexes: HashMap::new(),
+            mvcc: None,
         }
     }
 
@@ -174,17 +189,128 @@ impl Database {
         Ok(&self.tables[self.table_idx(name)?])
     }
 
+    /// The change-record store id of `table` (its catalog index).
+    pub fn store_id(&self, name: &str) -> Result<u16, DbError> {
+        Ok(self.table_idx(name)? as u16)
+    }
+
     /// All tables (for schema-tree construction).
     pub fn tables(&self) -> Vec<&Table> {
         self.tables.iter().collect()
     }
 
-    /// Flush every table's buffered rows to flash.
+    /// Flush every table's buffered rows (and buffered change records)
+    /// to flash.
     pub fn flush(&mut self) -> Result<(), DbError> {
         for t in &mut self.tables {
             t.flush()?;
         }
+        if let Some(mvcc) = &mut self.mvcc {
+            mvcc.flush()?;
+        }
         Ok(())
+    }
+
+    // ---- MVCC: versioned reads and the change log -----------------------
+
+    /// Turn on snapshot isolation: commits get HLC stamps (issued as
+    /// `node`), snapshots pin versions, and every commit is appended to
+    /// the durable change log. Enabling twice is a no-op.
+    pub fn enable_mvcc(&mut self, node: u32) {
+        if self.mvcc.is_none() {
+            self.mvcc = Some(MvccState::new(&self.flash, node));
+        }
+    }
+
+    /// The version state, when enabled.
+    pub fn mvcc(&self) -> Option<&MvccState> {
+        self.mvcc.as_ref()
+    }
+
+    /// Mutable version state, when enabled (causal merges, GC tuning).
+    pub fn mvcc_mut(&mut self) -> Option<&mut MvccState> {
+        self.mvcc.as_mut()
+    }
+
+    fn mvcc_ref(&self) -> Result<&MvccState, DbError> {
+        self.mvcc.as_ref().ok_or(DbError::MvccDisabled)
+    }
+
+    /// Commit everything inserted since the last commit under one fresh
+    /// HLC stamp: each grown table gets a version mark and one change
+    /// record per new row. `Ok(None)` when nothing grew.
+    pub fn commit(&mut self) -> Result<Option<Hlc>, DbError> {
+        self.commit_with_docs(0)
+    }
+
+    /// [`commit`](Self::commit), additionally stamping the document
+    /// store at length `docs` (the search engine rides the same change
+    /// log under the reserved [`DOC_STORE`] id).
+    pub fn commit_with_docs(&mut self, docs: u32) -> Result<Option<Hlc>, DbError> {
+        let mut stores: Vec<(u16, u8, u32)> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u16, kind::ROW_INSERT, t.num_rows()))
+            .collect();
+        stores.push((DOC_STORE, kind::DOC_APPEND, docs));
+        self.mvcc
+            .as_mut()
+            .ok_or(DbError::MvccDisabled)?
+            .commit(&stores)
+    }
+
+    /// Open a snapshot pinned to the current HLC: reads through it never
+    /// observe later commits. Pair with [`release`](Self::release).
+    pub fn snapshot(&mut self) -> Result<Snapshot, DbError> {
+        Ok(self.mvcc.as_mut().ok_or(DbError::MvccDisabled)?.snapshot())
+    }
+
+    /// Release a snapshot's GC pin.
+    pub fn release(&mut self, snap: &Snapshot) {
+        if let Some(mvcc) = &mut self.mvcc {
+            mvcc.release(snap);
+        }
+    }
+
+    /// [`select`](Self::select) against a pinned snapshot: rows
+    /// committed after the snapshot's HLC are invisible, whatever the
+    /// access method. (Appends only grow the stores, so visibility is a
+    /// rowid-prefix check on the snapshot's version mark.)
+    pub fn select_at(
+        &self,
+        snap: &Snapshot,
+        table: &str,
+        pred: &Predicate,
+    ) -> Result<Vec<(RowId, Row)>, DbError> {
+        let t = self.table_idx(table)?;
+        let visible = self.mvcc_ref()?.visible_at(snap, t as u16);
+        let mut rows = self.select(table, pred)?;
+        rows.retain(|&(rowid, _)| rowid < visible);
+        Ok(rows)
+    }
+
+    /// The visible prefix length of `table` under `snap`.
+    pub fn visible_rows(&self, snap: &Snapshot, table: &str) -> Result<u32, DbError> {
+        let t = self.table_idx(table)?;
+        Ok(self.mvcc_ref()?.visible_at(snap, t as u16))
+    }
+
+    /// Every change record committed strictly after `since`, in stamp
+    /// order (table stores carry their catalog index, documents the
+    /// reserved [`DOC_STORE`] id).
+    pub fn changes_since(&self, since: Hlc) -> Result<Vec<ChangeRec>, DbError> {
+        Ok(self.mvcc_ref()?.changes_since(since))
+    }
+
+    /// Collapse version history nothing can address anymore: marks and
+    /// change records below the oldest open snapshot — capped by
+    /// `keep_since`, the oldest consumer cursor still outstanding.
+    pub fn gc_versions(&mut self, keep_since: Option<Hlc>) -> Result<GcReport, DbError> {
+        self.mvcc
+            .as_mut()
+            .ok_or(DbError::MvccDisabled)?
+            .gc(keep_since)
     }
 
     /// The database's durable identity, for [`recover`](Self::recover)
@@ -200,18 +326,24 @@ impl Database {
         DatabaseManifest {
             tables: self.tables.iter().map(Table::manifest).collect(),
             index_blocks,
+            mvcc: self.mvcc.as_ref().map(MvccState::manifest),
         }
     }
 
     /// Rebuild a database after a power loss: every table recovers its
     /// durable row prefix; every selection index is dropped (its blocks
     /// return to the pool) and must be re-created from the recovered
-    /// tables. Returns the database and per-table `(name, rows_lost)`.
+    /// tables; the version state recovers its change log clamped to
+    /// what the stores actually hold (`docs_recovered` supplies the
+    /// document store's durable length, recovered by the layer above).
+    /// Returns the database, per-table `(name, rows_lost)`, and the
+    /// MVCC recovery report when MVCC was enabled.
     pub fn recover(
         flash: &Flash,
         ram: &RamBudget,
         m: &DatabaseManifest,
-    ) -> Result<(Self, Vec<(String, u32)>), DbError> {
+        docs_recovered: Option<u32>,
+    ) -> Result<DbRecovery, DbError> {
         let mut tables = Vec::new();
         let mut by_name = HashMap::new();
         let mut losses = Vec::new();
@@ -227,6 +359,21 @@ impl Database {
             let _ = flash.claim_block(*b);
             flash.free_block(*b);
         }
+        let mut mvcc = None;
+        let mut mvcc_report = None;
+        if let Some(mm) = &m.mvcc {
+            let mut lens: Vec<(u16, u8, u32)> = tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as u16, kind::ROW_INSERT, t.num_rows()))
+                .collect();
+            if let Some(docs) = docs_recovered {
+                lens.push((DOC_STORE, kind::DOC_APPEND, docs));
+            }
+            let (state, report) = MvccState::recover(flash, mm, &lens)?;
+            mvcc = Some(state);
+            mvcc_report = Some(report);
+        }
         Ok((
             Database {
                 flash: flash.clone(),
@@ -234,8 +381,10 @@ impl Database {
                 tables,
                 by_name,
                 indexes: HashMap::new(),
+                mvcc,
             },
             losses,
+            mvcc_report,
         ))
     }
 
@@ -522,8 +671,10 @@ mod tests {
         let rebooted = db.flash.reboot();
         let free_after_reboot = rebooted.free_blocks();
         let ram = RamBudget::new(64 * 1024);
-        let (mut rec, losses) = Database::recover(&rebooted, &ram, &manifest).unwrap();
+        let (mut rec, losses, mvcc_rep) =
+            Database::recover(&rebooted, &ram, &manifest, None).unwrap();
         assert_eq!(losses, vec![("CUSTOMER".to_string(), 0)]);
+        assert!(mvcc_rep.is_none(), "MVCC was never enabled");
         // Indexes are gone (their programmed blocks, orphaned by the
         // reboot scan, are back in the pool) but the planner ladder
         // climbs again from a scan.
@@ -542,6 +693,86 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rec.table("CUSTOMER").unwrap().num_rows(), 301);
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits_on_every_plan() {
+        let mut db = db_with_customers(200);
+        db.enable_mvcc(9);
+        db.commit().unwrap();
+        let snap = db.snapshot().unwrap();
+        let pred = Predicate::eq("city", Value::str("Lyon"));
+        let at_snap = db.select_at(&snap, "CUSTOMER", &pred).unwrap();
+        assert_eq!(at_snap.len(), 50);
+
+        // 100 more Lyon rows land and commit; the snapshot is blind to
+        // them under scan, summary and tree plans alike.
+        for i in 200..300u64 {
+            db.insert(
+                "CUSTOMER",
+                vec![Value::U64(i), Value::str("Lyon"), Value::str("AUTO")],
+            )
+            .unwrap();
+        }
+        db.commit().unwrap();
+        assert_eq!(db.select_at(&snap, "CUSTOMER", &pred).unwrap(), at_snap);
+        db.create_index("CUSTOMER", "city").unwrap();
+        assert_eq!(db.select_at(&snap, "CUSTOMER", &pred).unwrap(), at_snap);
+        db.reorganize_index("CUSTOMER", "city").unwrap();
+        assert_eq!(db.select_at(&snap, "CUSTOMER", &pred).unwrap(), at_snap);
+        // A fresh snapshot sees everything.
+        let now = db.snapshot().unwrap();
+        assert_eq!(db.select_at(&now, "CUSTOMER", &pred).unwrap().len(), 150);
+        db.release(&snap);
+        db.release(&now);
+    }
+
+    #[test]
+    fn mvcc_state_survives_recovery() {
+        let mut db = db_with_customers(100);
+        db.enable_mvcc(4);
+        let c1 = db.commit().unwrap().unwrap();
+        db.insert(
+            "CUSTOMER",
+            vec![Value::U64(100), Value::str("Lyon"), Value::str("AUTO")],
+        )
+        .unwrap();
+        let c2 = db.commit().unwrap().unwrap();
+        db.flush().unwrap();
+        let manifest = db.manifest();
+
+        let rebooted = db.flash.reboot();
+        let ram = RamBudget::new(64 * 1024);
+        let (mut rec, losses, mvcc_rep) =
+            Database::recover(&rebooted, &ram, &manifest, None).unwrap();
+        assert_eq!(losses, vec![("CUSTOMER".to_string(), 0)]);
+        let rep = mvcc_rep.unwrap();
+        assert_eq!(rep.changes_recovered, 101);
+        assert_eq!(rep.changes_dropped, 0);
+        // The change cursor picks up exactly where it left off.
+        let after_c1 = rec.changes_since(c1).unwrap();
+        assert_eq!(after_c1.len(), 1);
+        assert_eq!(after_c1[0].entity, 100);
+        assert_eq!(rec.changes_since(c2).unwrap(), vec![]);
+        // And the next commit stamps strictly after the recovered history.
+        rec.insert(
+            "CUSTOMER",
+            vec![Value::U64(101), Value::str("Nice"), Value::str("AUTO")],
+        )
+        .unwrap();
+        let c3 = rec.commit().unwrap().unwrap();
+        assert!(c3 > c2);
+    }
+
+    #[test]
+    fn mvcc_calls_error_when_disabled() {
+        let mut db = db_with_customers(5);
+        assert!(matches!(db.commit(), Err(DbError::MvccDisabled)));
+        assert!(matches!(db.snapshot(), Err(DbError::MvccDisabled)));
+        assert!(matches!(
+            db.changes_since(Hlc::ZERO),
+            Err(DbError::MvccDisabled)
+        ));
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub enum FlashError {
     /// The block's erase no longer completes (worn out / stuck cells).
     /// The allocator retires such blocks from the pool.
     StuckBlock(BlockId),
+    /// A change record was appended with an HLC stamp below the log's
+    /// newest stamp. The change log is the fleet's causal history:
+    /// it must be monotone by construction, so a non-monotone append is
+    /// a caller bug surfaced as a typed error, never silently reordered.
+    OutOfOrderChange,
 }
 
 impl fmt::Display for FlashError {
@@ -85,6 +90,9 @@ impl fmt::Display for FlashError {
             FlashError::BadRecordAddr => write!(f, "record address outside log"),
             FlashError::PowerLoss => write!(f, "power lost: chip offline until reboot"),
             FlashError::StuckBlock(b) => write!(f, "block {} is stuck (erase failed)", b.0),
+            FlashError::OutOfOrderChange => {
+                write!(f, "non-monotone HLC stamp appended to the change log")
+            }
         }
     }
 }

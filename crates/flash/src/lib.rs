@@ -31,6 +31,7 @@
 //! token of the tutorial is a single-user, single-MCU device.
 
 pub mod alloc;
+pub mod changelog;
 pub mod cost;
 pub mod error;
 pub mod fault;
@@ -41,6 +42,7 @@ mod proptests;
 pub mod stats;
 
 pub use alloc::BlockAllocator;
+pub use changelog::{ChangeLog, ChangeLogRecovery, ChangeRec};
 pub use cost::CostModel;
 pub use error::{FlashError, Result};
 pub use fault::{FaultPlan, ProgramFault};

@@ -58,6 +58,12 @@ pub struct CellNetConfig {
     pub ticks_per_phase: u64,
     /// Fabric profile.
     pub bus: BusConfig,
+    /// Delta reconcile: cells ask "changes since version v"
+    /// ([`CellMsg::PullSince`]) instead of pulling full snapshots, so an
+    /// in-sync slice costs a [`CellMsg::NotModified`] header rather than
+    /// a full ciphertext. Off by default — both modes converge to the
+    /// same [`CellNet::versions`] witness.
+    pub delta: bool,
 }
 
 impl CellNetConfig {
@@ -72,7 +78,14 @@ impl CellNetConfig {
                 seed,
                 ..BusConfig::default()
             },
+            delta: false,
         }
+    }
+
+    /// Same network, delta reconcile on.
+    pub fn with_delta(mut self) -> Self {
+        self.delta = true;
+        self
     }
 }
 
@@ -180,12 +193,15 @@ impl CellNet {
             .as_mut()
             .map(|b| b.begin_phase("phase.request", &self.bus));
         let directory = self.directory.clone();
+        let use_delta = self.cfg.delta;
         let requests: Vec<Vec<Vec<u8>>> = self.pool.map_in_trace(ctx, move |i, c| {
             let _span = cell_span(i);
-            c.sync_requests(&directory)
-                .iter()
-                .map(CellMsg::to_bytes)
-                .collect()
+            let reqs = if use_delta {
+                c.sync_requests_since(&directory)
+            } else {
+                c.sync_requests(&directory)
+            };
+            reqs.iter().map(CellMsg::to_bytes).collect()
         });
         for (i, reqs) in requests.into_iter().enumerate() {
             for r in reqs {
@@ -365,6 +381,45 @@ mod tests {
             .phases()
             .iter()
             .any(|p| p.children.iter().any(|c| c.name.starts_with("hop."))));
+    }
+
+    #[test]
+    fn delta_mode_converges_to_the_same_witness() {
+        let run = |delta: bool| {
+            let cfg = CellNetConfig::new(5, 2, 7);
+            let cfg = if delta { cfg.with_delta() } else { cfg };
+            let mut n = CellNet::build(cfg, |i| TrustedCell::new(&format!("cell-{i}"), b"owner-x"))
+                .unwrap();
+            n.write(0, "prefs", b"dark-mode");
+            n.write(3, "notes", b"hello");
+            n.sync_until_quiet(40).unwrap();
+            assert!(n.converged(), "versions: {:?}", n.versions());
+            n.versions()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn delta_mode_moves_fewer_payload_bytes_once_converged() {
+        let build = |delta: bool| {
+            let cfg = CellNetConfig::new(6, 2, 11);
+            let cfg = if delta { cfg.with_delta() } else { cfg };
+            let mut n = CellNet::build(cfg, |i| TrustedCell::new(&format!("cell-{i}"), b"owner-x"))
+                .unwrap();
+            n.write(0, "profile", &[7u8; 512]);
+            n.sync_until_quiet(40).unwrap();
+            assert!(n.converged());
+            // Converged fleet: measure one idle reconcile round.
+            let before = n.bus_stats().payload_bytes;
+            n.sync_round().unwrap();
+            n.bus_stats().payload_bytes - before
+        };
+        let full = build(false);
+        let delta = build(true);
+        assert!(
+            delta * 5 <= full,
+            "idle round: delta moved {delta} B, full moved {full} B"
+        );
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //!   global-query protocols and the Trusted-Cells sync pass re-hosted as
 //!   **phased fleet jobs** (collection → SSI shuffle/compute → result
 //!   distribution) on top of the two.
+//! * [`subs`] — **continuous queries as a fleet workload**: every token
+//!   holds a standing predicate on its own PDS (MVCC change-log
+//!   cursors), polls it after each commit round and mails the result
+//!   delta to the SSI collector, whose `(token, rowid)` ledger measures
+//!   the exactly-once property instead of assuming it.
 //! * [`telemetry`] — the **in-band telemetry plane**: per-token metric
 //!   deltas ride the same bus as the protocols (envelopes to an
 //!   always-online collector role), fold into tick-indexed rollups with
@@ -57,6 +62,7 @@ pub mod bus;
 pub mod cellnet;
 pub mod pool;
 pub mod sched;
+pub mod subs;
 pub mod telemetry;
 pub mod trace;
 
@@ -68,6 +74,7 @@ pub use bus::{Addr, BusConfig, BusMsg, BusStats, HopRecord, MailboxBus};
 pub use cellnet::{CellNet, CellNetConfig};
 pub use pool::TokenPool;
 pub use sched::{FleetError, FleetScheduler, SchedStats, TokenHost};
+pub use subs::{SubNet, SubNetConfig, SubRoundReport};
 pub use telemetry::{
     Collector, CollectorStats, FleetHealth, HealthEngine, HealthRule, TelemetryConfig, TelemetryMsg,
 };

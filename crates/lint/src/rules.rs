@@ -136,7 +136,10 @@ pub const CRATES: &[CrateConfig] = &[
         dir: "flash",
         lib: "pds_flash",
         families: &[Family::Panic],
-        det_files: &[],
+        // The change log is the fleet's causal history: its stamp
+        // ordering and recovery cuts feed baseline-checked counters and
+        // must replay identically on every machine.
+        det_files: &["flash/src/changelog.rs"],
         allowed_deps: &["pds_obs"],
     },
     CrateConfig {
@@ -164,7 +167,10 @@ pub const CRATES: &[CrateConfig] = &[
         dir: "embedded-db",
         lib: "pds_db",
         families: &[Family::Panic],
-        det_files: &[],
+        // HLC stamps and MVCC version marks are replayed byte-for-byte
+        // from the durable change log at recovery: any wall-clock or
+        // hash-order dependence would fork the fleet's causal history.
+        det_files: &["embedded-db/src/hlc.rs", "embedded-db/src/mvcc.rs"],
         allowed_deps: &["pds_obs", "pds_flash", "pds_mcu", "pds_crypto"],
     },
     CrateConfig {

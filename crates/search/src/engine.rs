@@ -373,6 +373,23 @@ impl SearchEngine {
         self.search_mode(keywords, n, SearchMode::Any)
     }
 
+    /// [`search`](Self::search) restricted to the docid prefix below
+    /// `visible` — the snapshot-pinned read of the MVCC layer (docids
+    /// are dense and increasing, so a snapshot's view of the corpus is
+    /// a prefix). Ranking weights (IDF) still reflect the live corpus;
+    /// only *membership* is pinned, which keeps the query at identical
+    /// I/O cost. A top-`n` cannot be post-filtered from an unbounded
+    /// search (later documents would evict visible ones from the heap),
+    /// so the bound applies inside the merge.
+    pub fn search_visible(
+        &self,
+        keywords: &[&str],
+        n: usize,
+        visible: DocId,
+    ) -> Result<Vec<SearchHit>, SearchError> {
+        self.search_bounded(keywords, n, SearchMode::Any, Some(visible))
+    }
+
     /// TF-IDF top-`n` search with explicit match semantics. The pipeline
     /// is identical for both modes — conjunctive filtering happens for
     /// free at the merge point, where all of a document's triples are in
@@ -382,6 +399,16 @@ impl SearchEngine {
         keywords: &[&str],
         n: usize,
         mode: SearchMode,
+    ) -> Result<Vec<SearchHit>, SearchError> {
+        self.search_bounded(keywords, n, mode, None)
+    }
+
+    fn search_bounded(
+        &self,
+        keywords: &[&str],
+        n: usize,
+        mode: SearchMode,
+        visible: Option<DocId>,
     ) -> Result<Vec<SearchHit>, SearchError> {
         let span = pds_obs::span!(
             "search.query",
@@ -467,7 +494,8 @@ impl SearchEngine {
                     matched_terms += 1;
                 }
             }
-            if mode == SearchMode::Any || matched_terms == cursors.len() {
+            let in_view = visible.is_none_or(|v| doc < v);
+            if in_view && (mode == SearchMode::Any || matched_terms == cursors.len()) {
                 top.offer(Scored { score, doc });
             }
         }
@@ -788,6 +816,31 @@ mod tests {
         // Doc 0 and doc 7 contain both terms; they must outrank
         // single-term matches.
         assert!(hits[0].doc == 0 || hits[0].doc == 7);
+    }
+
+    #[test]
+    fn search_visible_pins_the_docid_prefix() {
+        let (_f, _r, e) = engine_with_corpus(DfStrategy::TwoPass);
+        // Docs 0, 2, 4, 7 contain "blood"; a snapshot over the first
+        // three documents only sees docs 0 and 2.
+        let hits = e.search_visible(&["blood"], 10, 3).unwrap();
+        let mut docs: Vec<_> = hits.iter().map(|h| h.doc).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![0, 2]);
+        // A top-1 under the bound must come from the prefix even though
+        // a later document scores at least as high unbounded.
+        let top1 = e.search_visible(&["blood"], 1, 3).unwrap();
+        assert_eq!(top1.len(), 1);
+        assert!(top1[0].doc < 3);
+        // Bound at the full corpus = unbounded search.
+        let all = e.search(&["blood"], 10).unwrap();
+        let bounded = e.search_visible(&["blood"], 10, 8).unwrap();
+        assert_eq!(
+            all.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            bounded.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+        // An empty view sees nothing.
+        assert!(e.search_visible(&["blood"], 10, 0).unwrap().is_empty());
     }
 
     #[test]

@@ -54,19 +54,41 @@ pub enum CellMsg {
         /// `version || ciphertext`.
         blob: Vec<u8>,
     },
+    /// Delta reconcile: "send `slice` only if the cloud holds something
+    /// newer than version `since`" — the cell states what it already
+    /// has, so an in-sync slice costs a handful of bytes instead of a
+    /// full ciphertext round trip.
+    PullSince {
+        /// Slice name.
+        slice: String,
+        /// Newest version the requesting cell already holds.
+        since: u64,
+    },
+    /// Cloud's delta reply when the cell is already current: no blob,
+    /// just the version the cloud holds.
+    NotModified {
+        /// Slice name.
+        slice: String,
+        /// Version stored at the cloud (0 when it holds nothing).
+        version: u64,
+    },
 }
 
 impl CellMsg {
     const TAG_PULL_REQ: u8 = 1;
     const TAG_PULL_RESP: u8 = 2;
     const TAG_PUSH: u8 = 3;
+    const TAG_PULL_SINCE: u8 = 4;
+    const TAG_NOT_MODIFIED: u8 = 5;
 
     /// Slice this message is about.
     pub fn slice(&self) -> &str {
         match self {
             CellMsg::PullReq { slice }
             | CellMsg::PullResp { slice, .. }
-            | CellMsg::Push { slice, .. } => slice,
+            | CellMsg::Push { slice, .. }
+            | CellMsg::PullSince { slice, .. }
+            | CellMsg::NotModified { slice, .. } => slice,
         }
     }
 
@@ -95,7 +117,18 @@ impl CellMsg {
                 put(&mut out, slice.as_bytes());
                 put(&mut out, blob);
             }
+            CellMsg::PullSince { slice, since } => {
+                out.push(Self::TAG_PULL_SINCE);
+                put(&mut out, slice.as_bytes());
+                out.extend_from_slice(&since.to_le_bytes());
+            }
+            CellMsg::NotModified { slice, version } => {
+                out.push(Self::TAG_NOT_MODIFIED);
+                put(&mut out, slice.as_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+            }
         }
+        pds_obs::counter("sync.bytes_sent").add(out.len() as u64);
         out
     }
 
@@ -113,9 +146,14 @@ impl CellMsg {
             *bytes = &bytes[4 + len..];
             Some(out)
         }
+        fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
+            let v = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+            *bytes = &bytes[8..];
+            Some(v)
+        }
         let (&tag, mut rest) = bytes.split_first()?;
         let slice = String::from_utf8(take(&mut rest)?.to_vec()).ok()?;
-        match tag {
+        let msg = match tag {
             Self::TAG_PULL_REQ => Some(CellMsg::PullReq { slice }),
             Self::TAG_PULL_RESP => {
                 let (&present, mut rest2) = rest.split_first()?;
@@ -130,8 +168,20 @@ impl CellMsg {
                 slice,
                 blob: take(&mut rest)?.to_vec(),
             }),
+            Self::TAG_PULL_SINCE => Some(CellMsg::PullSince {
+                slice,
+                since: take_u64(&mut rest)?,
+            }),
+            Self::TAG_NOT_MODIFIED => Some(CellMsg::NotModified {
+                slice,
+                version: take_u64(&mut rest)?,
+            }),
             _ => None,
+        };
+        if msg.is_some() {
+            pds_obs::counter("sync.bytes_received").add(bytes.len() as u64);
         }
+        msg
     }
 }
 
@@ -150,7 +200,11 @@ pub enum CellSyncOutcome {
 /// route back, if the request calls for one. The cloud never decrypts:
 /// it compares the 8-byte plaintext version prefix so a stale or
 /// duplicated [`CellMsg::Push`] (the bus is at-least-once) can never
-/// regress a newer snapshot.
+/// regress a newer snapshot. A push carrying the *stored* version but
+/// different bytes is a write/write conflict (two cells bumped the same
+/// slice to the same number): the cloud deterministically keeps what it
+/// has and counts `sync.conflicts` — first-writer-wins at equal
+/// version, so every replica converges on the copy that landed first.
 pub fn serve_cloud(cloud: &mut CloudStore, msg: &CellMsg) -> Option<CellMsg> {
     match msg {
         CellMsg::PullReq { slice } => {
@@ -162,19 +216,36 @@ pub fn serve_cloud(cloud: &mut CloudStore, msg: &CellMsg) -> Option<CellMsg> {
                 blob,
             })
         }
+        CellMsg::PullSince { slice, since } => {
+            let stored = cloud
+                .get(&TrustedCell::blob_name(slice))
+                .and_then(|chunks| chunks.first().cloned());
+            let version = stored.as_deref().map_or(0, blob_version);
+            if version > *since {
+                Some(CellMsg::PullResp {
+                    slice: slice.clone(),
+                    blob: stored,
+                })
+            } else {
+                Some(CellMsg::NotModified {
+                    slice: slice.clone(),
+                    version,
+                })
+            }
+        }
         CellMsg::Push { slice, blob } => {
             let name = TrustedCell::blob_name(slice);
             let incoming = blob_version(blob);
-            let stored = cloud
-                .get(&name)
-                .and_then(|chunks| chunks.first())
-                .map_or(0, |b| blob_version(b));
-            if incoming >= stored {
+            let stored = cloud.get(&name).and_then(|chunks| chunks.first().cloned());
+            let stored_v = stored.as_deref().map_or(0, blob_version);
+            if incoming > stored_v {
                 cloud.put(&name, vec![blob.clone()]);
+            } else if incoming == stored_v && stored.as_deref() != Some(blob.as_slice()) {
+                pds_obs::counter("sync.conflicts").inc();
             }
             None
         }
-        CellMsg::PullResp { .. } => None,
+        CellMsg::PullResp { .. } | CellMsg::NotModified { .. } => None,
     }
 }
 
@@ -271,6 +342,28 @@ impl TrustedCell {
             .collect()
     }
 
+    /// Delta form of [`sync_requests`](Self::sync_requests): one
+    /// [`CellMsg::PullSince`] per slice, carrying the version this cell
+    /// already holds. An in-sync slice then costs a
+    /// [`CellMsg::NotModified`] instead of a full ciphertext — the
+    /// version number is already public cloud metadata, so stating it in
+    /// the request leaks nothing new.
+    pub fn sync_requests_since(&self, extra: &[String]) -> Vec<CellMsg> {
+        let mut names = self.slice_names();
+        for e in extra {
+            if !names.contains(e) {
+                names.push(e.clone());
+            }
+        }
+        names
+            .into_iter()
+            .map(|slice| {
+                let since = self.version(&slice);
+                CellMsg::PullSince { slice, since }
+            })
+            .collect()
+    }
+
     /// Apply one [`CellMsg::PullResp`]: adopt the remote snapshot when the
     /// cloud is ahead, emit a [`CellMsg::Push`] when this cell is ahead.
     /// Duplicated responses (the bus is at-least-once) are harmless: a
@@ -281,6 +374,26 @@ impl TrustedCell {
         resp: &CellMsg,
         rng: &mut impl RngCore,
     ) -> Result<(Option<CellMsg>, CellSyncOutcome), PdsError> {
+        if let CellMsg::NotModified { slice, version } = resp {
+            // Delta reply: the cloud holds nothing newer. If it is
+            // *behind*, push; otherwise nothing moved (a version ahead of
+            // ours would have come as a full PullResp — treat a
+            // misrouted one as unchanged rather than guessing).
+            let local_v = self.version(slice);
+            if *version < local_v {
+                if let Some((v, data)) = self.slices.get(slice) {
+                    let blob = Self::encode_blob(&self.key, *v, data, rng);
+                    return Ok((
+                        Some(CellMsg::Push {
+                            slice: slice.clone(),
+                            blob,
+                        }),
+                        CellSyncOutcome::Pushed,
+                    ));
+                }
+            }
+            return Ok((None, CellSyncOutcome::Unchanged));
+        }
         let CellMsg::PullResp { slice, blob } = resp else {
             return Err(PdsError::ArchiveCorrupt("cell expected a pull response"));
         };
@@ -511,6 +624,99 @@ mod tests {
             assert_eq!(outcome, CellSyncOutcome::Pulled);
         }
         assert_eq!(phone.read("slice").unwrap(), b"from-home");
+    }
+
+    #[test]
+    fn delta_variants_round_trip_the_wire_form() {
+        let msgs = vec![
+            CellMsg::PullSince {
+                slice: "prefs".into(),
+                since: 7,
+            },
+            CellMsg::NotModified {
+                slice: "prefs".into(),
+                version: u64::MAX,
+            },
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(CellMsg::from_bytes(&bytes), Some(m.clone()));
+            assert_eq!(CellMsg::from_bytes(&bytes[..bytes.len() - 2]), None);
+        }
+    }
+
+    #[test]
+    fn delta_reconcile_reaches_the_same_state_as_full_pulls() {
+        let (mut home, mut phone, mut cloud, mut rng) = setup();
+        home.write("prefs", b"v1");
+        home.sync(&mut cloud, &mut rng).unwrap();
+        // Phone reconciles via PullSince: behind → full blob arrives.
+        for req in phone.sync_requests_since(&["prefs".into()]) {
+            let resp = serve_cloud(&mut cloud, &req).unwrap();
+            assert!(matches!(resp, CellMsg::PullResp { .. }));
+            let (push, outcome) = phone.handle_response(&resp, &mut rng).unwrap();
+            assert!(push.is_none());
+            assert_eq!(outcome, CellSyncOutcome::Pulled);
+        }
+        assert_eq!(phone.read("prefs").unwrap(), b"v1");
+        // Second round: in sync → a byte-cheap NotModified, nothing moves.
+        for req in phone.sync_requests_since(&[]) {
+            let resp = serve_cloud(&mut cloud, &req).unwrap();
+            assert!(matches!(resp, CellMsg::NotModified { version: 1, .. }));
+            let (push, outcome) = phone.handle_response(&resp, &mut rng).unwrap();
+            assert!(push.is_none());
+            assert_eq!(outcome, CellSyncOutcome::Unchanged);
+        }
+        // Phone writes: ahead → NotModified answers the PullSince, and
+        // the cell responds by pushing.
+        phone.write("prefs", b"v2-from-phone");
+        for req in phone.sync_requests_since(&[]) {
+            let resp = serve_cloud(&mut cloud, &req).unwrap();
+            assert!(matches!(resp, CellMsg::NotModified { .. }));
+            let (push, outcome) = phone.handle_response(&resp, &mut rng).unwrap();
+            assert_eq!(outcome, CellSyncOutcome::Pushed);
+            serve_cloud(&mut cloud, &push.unwrap());
+        }
+        let report = home.sync(&mut cloud, &mut rng).unwrap();
+        assert_eq!(report.pulled, 1);
+        assert_eq!(home.read("prefs").unwrap(), b"v2-from-phone");
+    }
+
+    #[test]
+    fn equal_version_different_bytes_is_a_conflict_not_a_clobber() {
+        // Two cells bump the same slice to the same version number and
+        // race their pushes: the cloud must keep the first arrival, not
+        // silently clobber it with the second.
+        let (home, _, mut cloud, mut rng) = setup();
+        let first = TrustedCell::encode_blob(&home.key, 2, b"from-home", &mut rng);
+        let second = TrustedCell::encode_blob(&home.key, 2, b"from-phone", &mut rng);
+        assert_ne!(first, second);
+        serve_cloud(
+            &mut cloud,
+            &CellMsg::Push {
+                slice: "s".into(),
+                blob: first.clone(),
+            },
+        );
+        serve_cloud(
+            &mut cloud,
+            &CellMsg::Push {
+                slice: "s".into(),
+                blob: second,
+            },
+        );
+        let stored = cloud.get("cell-slice:s").unwrap().first().unwrap().clone();
+        assert_eq!(stored, first, "first writer wins at equal version");
+        // A byte-identical duplicate (at-least-once bus) is no conflict.
+        serve_cloud(
+            &mut cloud,
+            &CellMsg::Push {
+                slice: "s".into(),
+                blob: first.clone(),
+            },
+        );
+        let stored = cloud.get("cell-slice:s").unwrap().first().unwrap().clone();
+        assert_eq!(stored, first);
     }
 
     #[test]

@@ -32,11 +32,17 @@ PDS_E16_TOKENS=64 PDS_E16_MAX_THREADS=4 \
 # cell re-proves bit-identical results against a 1-worker re-run.
 PDS_E17_TOKENS=10000 PDS_E17_MAX_THREADS=4 PDS_E17_CAP=2048 \
   cargo run --release -q -p pds-bench --bin report -- e17
+# MVCC change-log smoke: delta cell reconcile must reach the full-sync
+# witness bit-identically (checked at 1/2/8 workers) while moving ≥5×
+# fewer idle-round payload bytes, and the subscription fleet must stay
+# exactly-once with tokens power-cycled between rounds.
+PDS_E18_CELLS=128 PDS_E18_MAX_THREADS=4 \
+  cargo run --release -q -p pds-bench --bin report -- e18
 # Deterministic cost baseline: replay the scope and env knobs recorded
 # in BENCH_BASELINE.json and compare every deterministic metric (flash
 # IO, bus delivery, recovery, RAM high-water, lint posture) exactly.
 # Fails naming each drifted metric; regenerate intentionally with
 #   cargo run --release -p pds-bench --bin report -- \
-#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15 e16 e17
+#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15 e16 e17 e18
 # (env knobs as recorded) and commit the diff.
 cargo run --release -q -p pds-bench --bin report -- --check BENCH_BASELINE.json

@@ -8,7 +8,8 @@
 //! corruption.
 
 use pds::core::{AccessContext, Pds, Purpose};
-use pds::db::{Predicate, Value};
+use pds::db::mvcc::kind;
+use pds::db::{Hlc, Predicate, Value, DOC_STORE};
 use pds::flash::FaultPlan;
 use pds_obs::rng::{Rng, SeedableRng, StdRng};
 
@@ -94,6 +95,145 @@ fn power_loss_mid_ingest_is_survivable() {
         );
         assert!(
             pds_obs::counter("recovery.records_recovered").get() > 0,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn power_loss_over_the_change_log_keeps_the_causal_prefix() {
+    // Store ids follow `Pds::with_token`'s create order: EMAIL=0,
+    // HEALTH=1, BANK=2; the document store is `DOC_STORE`.
+    const TABLES: [&str; 3] = ["EMAIL", "HEALTH", "BANK"];
+    const BANK_STORE: u16 = 2;
+    let all_days = Predicate::between("day", Value::U64(0), Value::U64(1_000_000));
+
+    for case in 0..6u64 {
+        let seed = 0xC1A_0E18 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pds = Pds::for_tests(2, "erin").unwrap();
+        let me = AccessContext::new("erin", Purpose::PersonalUse);
+
+        // A standing subscription registered before any data exists, and
+        // a durable, committed prefix the crash must never touch.
+        let sub = pds
+            .subscribe("BANK", Predicate::eq("category", Value::str("groceries")))
+            .unwrap();
+        for day in 0..8 {
+            ingest_day(&mut pds, day).unwrap();
+            pds.commit().unwrap();
+        }
+        pds.sync().unwrap();
+        let pre_crash = pds.changes_since(Hlc::ZERO).unwrap();
+        assert!(!pre_crash.is_empty(), "case {case}: empty durable log");
+
+        // Drain the subscription up to the durable frontier: everything
+        // delivered from here on must be a post-sync commit.
+        let delivered_pre = pds.poll_subscription(sub).unwrap().len();
+        let bank_pre = pre_crash
+            .iter()
+            .filter(|r| r.kind == kind::ROW_INSERT && r.store == BANK_STORE)
+            .count();
+        assert_eq!(delivered_pre, bank_pre, "case {case}: prefix delivery");
+
+        // Cut the power while further days are ingested, committed and
+        // flushed — the change log itself is in the fault window.
+        let cut_after = rng.gen_range(1u64..60);
+        pds.token()
+            .flash()
+            .inject_faults(FaultPlan::new(seed).power_loss_after(cut_after));
+        let mut day = 8u64;
+        let crashed = loop {
+            if day == 200 {
+                break false;
+            }
+            let r = ingest_day(&mut pds, day)
+                .and_then(|()| pds.commit().map(|_| ()))
+                .and_then(|()| pds.sync());
+            match r {
+                Ok(()) => day += 1,
+                Err(_) => break true,
+            }
+        };
+        assert!(crashed, "case {case}: cut never fired");
+
+        let (mut rec, report) = pds.reopen().unwrap();
+        let recs = rec.changes_since(Hlc::ZERO).unwrap();
+
+        // 1. The torn tail truncates to the durable prefix: every
+        //    pre-sync record survives, verbatim and in order.
+        assert!(recs.len() >= pre_crash.len(), "case {case}: prefix lost");
+        assert_eq!(
+            &recs[..pre_crash.len()],
+            &pre_crash[..],
+            "case {case}: durable log prefix rewritten"
+        );
+
+        // 2. Stamps stay non-decreasing across the recovery boundary —
+        //    including any synthetic restamp of durable-but-unstamped rows.
+        assert!(
+            recs.windows(2)
+                .all(|w| (w[0].hlc, w[0].node) <= (w[1].hlc, w[1].node)),
+            "case {case}: recovered log is not causally ordered"
+        );
+
+        // 3. No phantom: `changes_since` never names an entity the
+        //    recovered stores cannot serve.
+        for (store, table) in TABLES.iter().enumerate() {
+            let rows = rec.select(&me, table, &all_days).unwrap().len() as u32;
+            for r in recs.iter().filter(|r| r.store == store as u16) {
+                assert!(
+                    r.entity < rows,
+                    "case {case}: {table} change names phantom row {} (have {rows})",
+                    r.entity
+                );
+            }
+        }
+        for r in recs.iter().filter(|r| r.store == DOC_STORE) {
+            assert!(
+                r.entity < report.docs_recovered,
+                "case {case}: change log names phantom doc {} (have {})",
+                r.entity,
+                report.docs_recovered
+            );
+        }
+
+        // 4. The pre-crash subscription delivers each surviving commit
+        //    exactly once: prefix + post-recovery deliveries add up to
+        //    the recovered log's BANK inserts, and a re-poll is empty.
+        let delivered_post = rec.poll_subscription(sub).unwrap().len();
+        let bank_total = recs
+            .iter()
+            .filter(|r| r.kind == kind::ROW_INSERT && r.store == BANK_STORE)
+            .count();
+        assert_eq!(
+            delivered_pre + delivered_post,
+            bank_total,
+            "case {case}: subscription missed or re-delivered a commit"
+        );
+        assert!(
+            rec.poll_subscription(sub).unwrap().is_empty(),
+            "case {case}: drained subscription re-delivered"
+        );
+
+        // 5. The recovered token keeps streaming: one more committed day
+        //    yields exactly one more BANK delivery.
+        ingest_day(&mut rec, 300).unwrap();
+        rec.commit().unwrap();
+        assert_eq!(
+            rec.poll_subscription(sub).unwrap().len(),
+            1,
+            "case {case}: post-recovery commit not delivered"
+        );
+
+        // The change-log recovery counters the report tooling exports
+        // are live.
+        assert!(
+            pds_obs::counter("recovery.changes_recovered").get() > 0,
+            "case {case}"
+        );
+        assert!(
+            pds_obs::counter("mvcc.changes_logged").get() > 0,
             "case {case}"
         );
     }

@@ -1,0 +1,196 @@
+//! MVCC end to end: snapshot isolation through the PDS gateway, version
+//! GC, the equal-version conflict gate in the cell protocol, and the two
+//! change-log consumers (delta cell sync, continuous queries) running as
+//! fleets.
+
+use pds::core::{AccessContext, CloudStore, Pds, Purpose};
+use pds::db::{Predicate, Value};
+use pds::fleet::{CellNet, CellNetConfig, SubNet, SubNetConfig};
+use pds::sync::{serve_cloud, CellMsg, TrustedCell};
+use pds_obs::rng::{SeedableRng, StdRng};
+
+/// Ingest one synthetic day across all three collections.
+fn ingest_day(pds: &mut Pds, day: u64) -> Result<(), pds::core::PdsError> {
+    pds.ingest_email(
+        day,
+        "dr.martin",
+        &format!("subject day {day}"),
+        &format!("results for day {day} marker m{}", day % 7),
+    )?;
+    pds.ingest_health(day, "blood-pressure", 110 + day % 30, "routine check")?;
+    pds.ingest_bank(day, "groceries", 1_000 + day * 3, "shop-1")?;
+    Ok(())
+}
+
+#[test]
+fn snapshot_reads_stay_pinned_while_the_live_head_moves() {
+    let mut pds = Pds::for_tests(31, "erin").unwrap();
+    let me = AccessContext::new("erin", Purpose::PersonalUse);
+    let groceries = Predicate::eq("category", Value::str("groceries"));
+
+    for day in 0..5 {
+        ingest_day(&mut pds, day).unwrap();
+    }
+    pds.commit().unwrap();
+    let snap = pds.open_snapshot().unwrap();
+    let pinned_hits = pds.search_at(&me, &snap, &["marker"], 50).unwrap().len();
+
+    // The head moves on: five more committed days.
+    for day in 5..10 {
+        ingest_day(&mut pds, day).unwrap();
+    }
+    pds.commit().unwrap();
+
+    // Live reads see all ten days; the snapshot still sees five.
+    assert_eq!(pds.select(&me, "BANK", &groceries).unwrap().len(), 10);
+    assert_eq!(
+        pds.select_at(&me, &snap, "BANK", &groceries).unwrap().len(),
+        5
+    );
+    assert_eq!(
+        pds.search_at(&me, &snap, &["marker"], 50).unwrap().len(),
+        pinned_hits
+    );
+    assert!(pds.search(&me, &["marker"], 50).unwrap().len() > pinned_hits);
+
+    // A document committed after the snapshot answers like one that
+    // never existed — while the live read serves it.
+    let unseen_doc = 2 * 5; // two docs per day, day five's email is first
+    assert!(pds.get_document_at(&me, &snap, unseen_doc).is_err());
+    assert!(pds.get_document(&me, unseen_doc).is_ok());
+
+    // Release the pin; GC may now collapse the pinned history.
+    pds.release_snapshot(&snap);
+    let report = pds.gc_versions().unwrap();
+    assert!(report.versions_collapsed > 0, "{report:?}");
+    assert_eq!(pds.select(&me, "BANK", &groceries).unwrap().len(), 10);
+}
+
+#[test]
+fn gc_never_collapses_under_an_open_snapshot() {
+    let mut pds = Pds::for_tests(32, "frank").unwrap();
+    let me = AccessContext::new("frank", Purpose::PersonalUse);
+    let groceries = Predicate::eq("category", Value::str("groceries"));
+
+    ingest_day(&mut pds, 0).unwrap();
+    pds.commit().unwrap();
+    let snap = pds.open_snapshot().unwrap();
+    for day in 1..4 {
+        ingest_day(&mut pds, day).unwrap();
+        pds.commit().unwrap();
+    }
+
+    // The pin holds the floor: the snapshot view survives a GC pass.
+    pds.gc_versions().unwrap();
+    assert_eq!(
+        pds.select_at(&me, &snap, "BANK", &groceries).unwrap().len(),
+        1
+    );
+    pds.release_snapshot(&snap);
+}
+
+#[test]
+fn equal_version_racing_pushes_keep_the_first_writer() {
+    // Two cells of the same owner race a push for the same slice at the
+    // same version: the cloud must keep the first arrival and count a
+    // conflict, never silently clobber ciphertext.
+    let mut rng = StdRng::seed_from_u64(0xE18_C0F);
+    let mut home = TrustedCell::new("home", b"erin-owner");
+    let mut phone = TrustedCell::new("phone", b"erin-owner");
+    let mut cloud = CloudStore::new();
+    let mut side = CloudStore::new();
+
+    home.write("prefs", b"dark-mode");
+    home.sync(&mut cloud, &mut rng).unwrap();
+    let stored = cloud
+        .get("cell-slice:prefs")
+        .unwrap()
+        .first()
+        .unwrap()
+        .clone();
+
+    // The phone, offline since before the write, produces its own v1
+    // blob (captured by syncing it against an empty side store).
+    phone.write("prefs", b"light-mode");
+    phone.sync(&mut side, &mut rng).unwrap();
+    let raced = side
+        .get("cell-slice:prefs")
+        .unwrap()
+        .first()
+        .unwrap()
+        .clone();
+    assert_ne!(stored, raced);
+
+    let conflicts = pds_obs::counter("sync.conflicts").get();
+    serve_cloud(
+        &mut cloud,
+        &CellMsg::Push {
+            slice: "prefs".into(),
+            blob: raced,
+        },
+    );
+    assert_eq!(pds_obs::counter("sync.conflicts").get(), conflicts + 1);
+    assert_eq!(
+        cloud.get("cell-slice:prefs").unwrap().first().unwrap(),
+        &stored,
+        "first writer wins at equal version"
+    );
+
+    // A fresh cell pulling from the cloud decrypts the surviving write.
+    let mut car = TrustedCell::new("car", b"erin-owner");
+    assert!(car.pull_new(&cloud, "prefs").unwrap());
+    assert_eq!(car.read("prefs"), Some(&b"dark-mode"[..]));
+}
+
+#[test]
+fn delta_and_full_cell_fleets_converge_to_the_same_witness() {
+    let bytes_sent = pds_obs::counter("sync.bytes_sent").get();
+    let bytes_received = pds_obs::counter("sync.bytes_received").get();
+
+    let run = |delta: bool| {
+        let cfg = CellNetConfig::new(24, 2, 0xE18);
+        let cfg = if delta { cfg.with_delta() } else { cfg };
+        let mut n = CellNet::build(cfg, |i| {
+            TrustedCell::new(&format!("cell-{i}"), b"owner-mvcc")
+        })
+        .unwrap();
+        n.write(0, "energy", &[0x11; 200]);
+        n.write(12, "prefs", &[0x22; 100]);
+        n.sync_until_quiet(60).unwrap();
+        assert!(n.converged());
+        let before = n.bus_stats().payload_bytes;
+        n.sync_round().unwrap();
+        (n.versions(), n.bus_stats().payload_bytes - before)
+    };
+    let (full_witness, full_idle) = run(false);
+    let (delta_witness, delta_idle) = run(true);
+
+    assert_eq!(full_witness, delta_witness, "reconcile modes diverged");
+    assert!(
+        delta_idle * 5 <= full_idle,
+        "idle round: delta {delta_idle} B vs full {full_idle} B"
+    );
+
+    // The wire accounting satellites: every encoded and decoded cell
+    // message was metered while the fleets ran.
+    assert!(pds_obs::counter("sync.bytes_sent").get() > bytes_sent);
+    assert!(pds_obs::counter("sync.bytes_received").get() > bytes_received);
+}
+
+#[test]
+fn subscription_fleet_stays_exactly_once_across_power_cycles() {
+    let mut n = SubNet::build(SubNetConfig::new(6, 0xE18)).unwrap();
+    for r in 0..3u32 {
+        n.round().unwrap();
+        n.power_cycle((r as usize) % 6).unwrap();
+    }
+    n.settle(20_000);
+    assert!(!n.delivered().is_empty());
+    assert!(
+        n.exactly_once(),
+        "collector ledger {} vs ground truth {} ({} duplicates)",
+        n.delivered().len(),
+        n.expected().len(),
+        n.duplicates()
+    );
+}
