@@ -25,7 +25,11 @@ pub struct BloomFilter {
 impl BloomFilter {
     /// A filter with `num_bits` bits and `num_hashes` hash functions.
     pub fn new(num_bits: usize, num_hashes: u32) -> Self {
-        assert!(num_bits > 0 && num_hashes > 0);
+        // Degenerate shapes are clamped rather than rejected: this
+        // constructor runs on the unattended token (PBFilter page
+        // flushes), where a panic is unrecoverable.
+        let num_bits = num_bits.max(1);
+        let num_hashes = num_hashes.max(1);
         BloomFilter {
             bits: vec![0; num_bits.div_ceil(8)],
             num_bits,
@@ -43,8 +47,8 @@ impl BloomFilter {
 
     fn bit_positions(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
         let digest = sha256(key);
-        let h1 = u64::from_le_bytes(digest[0..8].try_into().unwrap());
-        let h2 = u64::from_le_bytes(digest[8..16].try_into().unwrap()) | 1;
+        let h1 = u64::from_le_bytes(digest[0..8].try_into().unwrap_or([0; 8]));
+        let h2 = u64::from_le_bytes(digest[8..16].try_into().unwrap_or([0; 8])) | 1;
         let m = self.num_bits as u64;
         (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
     }

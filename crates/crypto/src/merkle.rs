@@ -53,20 +53,18 @@ impl MerkleTree {
                 levels: vec![vec![sha256(b"")]],
             };
         }
-        let mut levels = vec![items
-            .iter()
-            .map(|i| leaf_hash(i.as_ref()))
-            .collect::<Vec<_>>()];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
+        let mut cur: Vec<[u8; 32]> = items.iter().map(|i| leaf_hash(i.as_ref())).collect();
+        let mut levels = Vec::new();
+        while cur.len() > 1 {
+            let mut next = Vec::with_capacity(cur.len().div_ceil(2));
+            for pair in cur.chunks(2) {
                 let l = &pair[0];
                 let r = pair.get(1).unwrap_or(l);
                 next.push(node_hash(l, r));
             }
-            levels.push(next);
+            levels.push(std::mem::replace(&mut cur, next));
         }
+        levels.push(cur);
         MerkleTree { levels }
     }
 

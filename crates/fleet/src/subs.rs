@@ -27,6 +27,8 @@ use pds_core::{Pds, PdsError, Predicate, ReopenReport, Row, Value};
 use pds_obs::rng::RngCore;
 use pds_obs::FleetTrace;
 
+use pds_crypto::{Ciphertext, SymmetricKey};
+
 use crate::agg::derived_rng;
 use crate::bus::{Addr, BusConfig, BusStats, MailboxBus};
 use crate::trace::FleetTraceBuilder;
@@ -48,6 +50,13 @@ pub struct SubNetConfig {
 }
 
 impl SubNetConfig {
+    /// The fleet's manufacturer-issued protocol key. Tokens and the
+    /// collector both hold it; the store-and-forward fabric between
+    /// them only ever carries ciphertext.
+    pub fn protocol_key(&self) -> SymmetricKey {
+        SymmetricKey::from_seed(&self.seed.to_le_bytes())
+    }
+
     /// A subscription network over the default weak-connectivity fabric.
     pub fn new(tokens: usize, seed: u64) -> Self {
         SubNetConfig {
@@ -84,6 +93,8 @@ pub struct SubNet {
     /// Rows inserted into each token's BANK table so far (= next rowid).
     bank_rows: Vec<u32>,
     bus: MailboxBus,
+    /// Shared protocol key sealing every delta on the wire.
+    key: SymmetricKey,
     round: u32,
     /// Collector ledger: `(token, rowid) → amount`, first arrival only.
     delivered: BTreeMap<(u32, u32), u64>,
@@ -107,6 +118,7 @@ impl SubNet {
         let bus = MailboxBus::new(cfg.bus);
         Ok(SubNet {
             bank_rows: vec![0; cfg.tokens],
+            key: cfg.protocol_key(),
             cfg,
             pds,
             sub_ids,
@@ -198,7 +210,9 @@ impl SubNet {
                 continue;
             }
             rep.deltas_mailed += 1;
-            let payload = encode_delta(i as u32, &delta);
+            // The fabric is untrusted: deltas travel sealed under the
+            // protocol key (deterministic SIV keeps rounds replayable).
+            let payload = self.key.encrypt_det(&encode_delta(i as u32, &delta)).0;
             self.bus
                 .send_in(Addr::Token(i), Addr::Collector, payload, ctx);
         }
@@ -224,7 +238,10 @@ impl SubNet {
     fn fold_collector(&mut self) -> u32 {
         let mut folded = 0;
         for m in self.bus.drain_inbox(Addr::Collector) {
-            let Some((token, rows)) = decode_delta(&m.payload) else {
+            let Some(plain) = self.key.decrypt(&Ciphertext(m.payload)) else {
+                continue;
+            };
+            let Some((token, rows)) = decode_delta(&plain) else {
                 continue;
             };
             for (rowid, amount) in rows {

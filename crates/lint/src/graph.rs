@@ -1,0 +1,766 @@
+//! Workspace-wide function index, call resolution, and the
+//! `panic.transitive` reachability pass.
+//!
+//! Resolution is deliberately under-approximate: a call edge is added
+//! only when the callee can be pinned to workspace functions — a typed
+//! receiver, a `Type::method` path, a crate-qualified or locally unique
+//! free function, or a workspace-unique method name. Unknown calls get
+//! no edge (std/external calls never panic *our* invariants; missed
+//! workspace edges are a documented soundness gap, not noise).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::Tok;
+use crate::rules::{crate_config, dep_allowed, Family, CRATES};
+use crate::syntax::{panic_sites, Callee, FileSyntax, PanicKind, Recv};
+
+/// (file index, fn index) — stable id of one function in the workspace.
+pub type FnId = (usize, usize);
+
+/// One parsed workspace file with its crate attribution.
+pub struct WsFile {
+    /// Crate directory under `crates/` (e.g. `flash`).
+    pub crate_dir: String,
+    /// Display path (e.g. `crates/flash/src/log.rs`).
+    pub path: String,
+    pub syntax: FileSyntax,
+}
+
+/// The analyzed workspace: files plus resolution indexes.
+pub struct Workspace {
+    pub files: Vec<WsFile>,
+    by_type_method: BTreeMap<(String, String), Vec<FnId>>,
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+    free_by_name: BTreeMap<String, Vec<FnId>>,
+    struct_fields: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    lib_to_dir: BTreeMap<String, String>,
+}
+
+/// Per-function variable typing environment (params + inferred lets).
+#[derive(Default, Clone)]
+pub struct FnEnv {
+    /// var name -> type tokens
+    pub vars: BTreeMap<String, Vec<String>>,
+}
+
+impl Workspace {
+    pub fn build(files: Vec<WsFile>) -> Workspace {
+        let mut ws = Workspace {
+            files,
+            by_type_method: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            free_by_name: BTreeMap::new(),
+            struct_fields: BTreeMap::new(),
+            lib_to_dir: CRATES
+                .iter()
+                .map(|c| (c.lib.to_string(), c.dir.to_string()))
+                .collect(),
+        };
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (gi, f) in file.syntax.fns.iter().enumerate() {
+                if f.is_test || f.body.is_none() {
+                    continue;
+                }
+                let id = (fi, gi);
+                match &f.self_ty {
+                    Some(ty) => {
+                        ws.by_type_method
+                            .entry((ty.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                        ws.methods_by_name
+                            .entry(f.name.clone())
+                            .or_default()
+                            .push(id);
+                    }
+                    None => {
+                        ws.free_by_name.entry(f.name.clone()).or_default().push(id);
+                    }
+                }
+            }
+            for (sname, fields) in &file.syntax.structs {
+                let entry = ws.struct_fields.entry(sname.clone()).or_default();
+                for (fname, ty) in fields {
+                    entry.insert(fname.clone(), ty.clone());
+                }
+            }
+        }
+        ws
+    }
+
+    pub fn fn_ids(&self) -> Vec<FnId> {
+        let mut ids = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            for (gi, f) in file.syntax.fns.iter().enumerate() {
+                if !f.is_test && f.body.is_some() {
+                    ids.push((fi, gi));
+                }
+            }
+        }
+        ids
+    }
+
+    pub fn fn_item(&self, id: FnId) -> &crate::syntax::FnItem {
+        &self.files[id.0].syntax.fns[id.1]
+    }
+
+    /// `Type::name (crates/x/src/y.rs:NN)` — one chain step.
+    pub fn fn_step(&self, id: FnId) -> String {
+        let f = self.fn_item(id);
+        format!("{} ({}:{})", f.qname(), self.files[id.0].path, f.line)
+    }
+
+    /// Calls whose callee token is owned by `id`'s body, in source order.
+    pub fn calls_of(&self, id: FnId) -> Vec<usize> {
+        let syn = &self.files[id.0].syntax;
+        syn.calls
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| syn.owner.get(c.name_idx) == Some(&id.1))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Contiguous token runs owned by `id` (nested fn bodies excluded).
+    pub fn owned_runs(&self, id: FnId) -> Vec<(usize, usize)> {
+        let syn = &self.files[id.0].syntax;
+        let Some((s, e)) = syn.fns[id.1].body else {
+            return Vec::new();
+        };
+        let mut runs = Vec::new();
+        let mut start = None;
+        for i in s..e {
+            if syn.owner[i] == id.1 {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            } else if let Some(st) = start.take() {
+                runs.push((st, i));
+            }
+        }
+        if let Some(st) = start {
+            runs.push((st, e));
+        }
+        runs
+    }
+
+    /// Build the typing environment for one function: parameter types,
+    /// then two passes of `let` inference so call-result types can feed
+    /// later bindings.
+    pub fn build_env(&self, id: FnId) -> FnEnv {
+        let f = self.fn_item(id);
+        let mut env = FnEnv::default();
+        for p in &f.params {
+            for n in &p.names {
+                env.vars.insert(n.clone(), p.ty.clone());
+            }
+        }
+        for _ in 0..2 {
+            self.infer_lets(id, &mut env);
+        }
+        env
+    }
+
+    fn infer_lets(&self, id: FnId, env: &mut FnEnv) {
+        let syn = &self.files[id.0].syntax;
+        for (s, e) in self.owned_runs(id) {
+            let toks = &syn.toks;
+            let mut i = s;
+            while i < e {
+                if !toks[i].is_ident("let") {
+                    i += 1;
+                    continue;
+                }
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                // `let Some(x) = rhs` / `let Ok(x) = rhs`: bind the inner
+                // ident to the unwrapped type.
+                let mut unwrap_one = false;
+                if toks
+                    .get(j)
+                    .is_some_and(|t| t.is_ident("Some") || t.is_ident("Ok"))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct("("))
+                {
+                    unwrap_one = true;
+                    j += 2;
+                    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                        j += 1;
+                    }
+                }
+                let name = match toks.get(j) {
+                    Some(t) if t.is_name() && !t.text.starts_with(char::is_uppercase) => {
+                        t.text.clone()
+                    }
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let mut k = j + 1;
+                if unwrap_one && toks.get(k).is_some_and(|t| t.is_punct(")")) {
+                    k += 1;
+                }
+                let ty = if toks.get(k).is_some_and(|t| t.is_punct(":")) {
+                    // Explicit annotation: tokens up to the top-level `=`.
+                    let mut angle = 0i32;
+                    let mut ty = Vec::new();
+                    let mut m = k + 1;
+                    while m < e {
+                        let t = &toks[m];
+                        if angle == 0 && (t.is_punct("=") || t.is_punct(";")) {
+                            break;
+                        }
+                        if t.is_punct("<") {
+                            angle += 1;
+                        } else if t.is_punct(">") {
+                            angle -= 1;
+                        }
+                        ty.push(t.text.clone());
+                        m += 1;
+                    }
+                    Some(ty)
+                } else if toks.get(k).is_some_and(|t| t.is_punct("=")) {
+                    // `let x = call(...)`: take the resolved return type
+                    // of the first call right after `=`.
+                    syn.calls
+                        .iter()
+                        .position(|c| c.name_idx == k + 1 || c.name_idx == k + 2)
+                        .and_then(|ci| self.call_ret_type(id, env, ci, 0))
+                        .map(|ty| {
+                            if unwrap_one {
+                                inner_type_tokens(&ty).unwrap_or(ty)
+                            } else {
+                                ty
+                            }
+                        })
+                } else {
+                    None
+                };
+                if let Some(ty) = ty {
+                    if !ty.is_empty() {
+                        env.vars.entry(name).or_insert(ty);
+                    }
+                }
+                i = k + 1;
+            }
+        }
+    }
+
+    /// Return-type tokens of the (unique) resolution of call `ci`.
+    fn call_ret_type(&self, id: FnId, env: &FnEnv, ci: usize, depth: usize) -> Option<Vec<String>> {
+        if depth > 3 {
+            return None;
+        }
+        let call = &self.files[id.0].syntax.calls[ci];
+        // `Type::new`-style constructors of workspace or std container
+        // types resolve to the type itself even without a known fn.
+        if let Callee::Path { segs } = &call.callee {
+            if segs.len() >= 2 {
+                let ty = &segs[segs.len() - 2];
+                let m = &segs[segs.len() - 1];
+                if ty.starts_with(char::is_uppercase)
+                    && matches!(
+                        m.as_str(),
+                        "new" | "default" | "with_capacity" | "from_seed" | "open" | "build"
+                    )
+                {
+                    return Some(vec![ty.clone()]);
+                }
+            }
+        }
+        let targets = self.resolve_with_env(id, env, ci, depth);
+        let mut rets: BTreeSet<Vec<String>> = BTreeSet::new();
+        for t in &targets {
+            let ret = &self.fn_item(*t).ret;
+            if !ret.is_empty() {
+                let mut r = ret.clone();
+                if r.first().is_some_and(|t| t == "Self") {
+                    if let Some(st) = &self.fn_item(*t).self_ty {
+                        r = vec![st.clone()];
+                    }
+                }
+                rets.insert(r);
+            }
+        }
+        if rets.len() == 1 {
+            rets.into_iter().next()
+        } else {
+            None
+        }
+    }
+
+    /// Resolve call `ci` in function `id` to workspace functions.
+    pub fn resolve(&self, id: FnId, env: &FnEnv, ci: usize) -> Vec<FnId> {
+        self.resolve_with_env(id, env, ci, 0)
+    }
+
+    /// Can `caller`'s crate reach `target`'s crate per the layering
+    /// matrix? Name-only candidates in unreachable crates are noise
+    /// (e.g. `f64::round` misresolving to a fleet method). Crates
+    /// without a matrix row (test fixtures) are never filtered.
+    fn dep_ok(&self, caller: usize, target: usize) -> bool {
+        let cdir = &self.files[caller].crate_dir;
+        let tdir = &self.files[target].crate_dir;
+        if cdir == tdir {
+            return true;
+        }
+        match (crate_config(cdir), crate_config(tdir)) {
+            (Some(c), Some(t)) => dep_allowed(c, t.lib),
+            _ => true,
+        }
+    }
+
+    fn resolve_with_env(&self, id: FnId, env: &FnEnv, ci: usize, depth: usize) -> Vec<FnId> {
+        let file = &self.files[id.0];
+        let call = &file.syntax.calls[ci];
+        match &call.callee {
+            Callee::Macro { .. } => Vec::new(),
+            Callee::Path { segs } => self.resolve_path(id, segs),
+            Callee::Method { recv, name } => {
+                if let Some(ty) = self.recv_type(id, env, recv, depth) {
+                    let mut ids = self
+                        .by_type_method
+                        .get(&(ty, name.clone()))
+                        .cloned()
+                        .unwrap_or_default();
+                    ids.retain(|t| self.dep_ok(id.0, t.0));
+                    return ids;
+                }
+                let mut ids = self.methods_by_name.get(name).cloned().unwrap_or_default();
+                ids.retain(|t| self.dep_ok(id.0, t.0));
+                if ids.len() == 1 {
+                    ids
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn resolve_path(&self, id: FnId, segs: &[String]) -> Vec<FnId> {
+        let file = &self.files[id.0];
+        let mut segs: Vec<String> = segs.to_vec();
+        if segs.first().is_some_and(|s| s == "Self") {
+            if let Some(ty) = &file.syntax.fns[id.1].self_ty {
+                segs[0] = ty.clone();
+            }
+        }
+        let last = segs.last().cloned().unwrap_or_default();
+        if segs.len() >= 2 {
+            let head = &segs[segs.len() - 2];
+            if head.starts_with(char::is_uppercase) {
+                let mut ids = self
+                    .by_type_method
+                    .get(&(head.clone(), last))
+                    .cloned()
+                    .unwrap_or_default();
+                ids.retain(|t| self.dep_ok(id.0, t.0));
+                return ids;
+            }
+            // Module/crate-qualified free function.
+            let mut cands = self.free_by_name.get(&last).cloned().unwrap_or_default();
+            cands.retain(|t| self.dep_ok(id.0, t.0));
+            let dir = if head == "crate" || head == "super" || head == "self" {
+                Some(file.crate_dir.clone())
+            } else {
+                self.lib_to_dir.get(head.as_str()).cloned()
+            };
+            if let Some(dir) = dir {
+                let filtered: Vec<FnId> = cands
+                    .iter()
+                    .copied()
+                    .filter(|t| self.files[t.0].crate_dir == dir)
+                    .collect();
+                if !filtered.is_empty() {
+                    return filtered;
+                }
+            }
+            return cands;
+        }
+        if last.starts_with(char::is_uppercase) {
+            return Vec::new(); // tuple-struct / enum-variant construction
+        }
+        let mut cands = self.free_by_name.get(&last).cloned().unwrap_or_default();
+        cands.retain(|t| self.dep_ok(id.0, t.0));
+        let same_file: Vec<FnId> = cands.iter().copied().filter(|t| t.0 == id.0).collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let same_crate: Vec<FnId> = cands
+            .iter()
+            .copied()
+            .filter(|t| self.files[t.0].crate_dir == file.crate_dir)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        if cands.len() == 1 {
+            return cands;
+        }
+        Vec::new()
+    }
+
+    /// Infer the receiver's type name for a method call.
+    pub fn recv_type(&self, id: FnId, env: &FnEnv, recv: &Recv, depth: usize) -> Option<String> {
+        let f = self.fn_item(id);
+        match recv {
+            Recv::Chain(chain) => {
+                let ty_toks = self.chain_type_tokens(f, env, chain)?;
+                core_type_name(&ty_toks)
+            }
+            Recv::Indexed(chain) => {
+                let ty_toks = self.chain_type_tokens(f, env, chain)?;
+                let elem = element_type_tokens(&ty_toks)?;
+                core_type_name(&elem)
+            }
+            Recv::Construction(name) => Some(name.clone()),
+            Recv::Call(ci) => {
+                let ty = self.call_ret_type(id, env, *ci, depth + 1)?;
+                core_type_name(&ty)
+            }
+            Recv::Unknown => None,
+        }
+    }
+
+    /// Full type tokens of an `a.b.c` chain, walking struct fields.
+    fn chain_type_tokens(
+        &self,
+        f: &crate::syntax::FnItem,
+        env: &FnEnv,
+        chain: &[String],
+    ) -> Option<Vec<String>> {
+        let head = chain.first()?;
+        let mut ty: Vec<String> = if head == "self" {
+            vec![f.self_ty.clone()?]
+        } else {
+            env.vars.get(head)?.clone()
+        };
+        for field in &chain[1..] {
+            let owner = core_type_name(&ty)?;
+            ty = self.struct_fields.get(&owner)?.get(field)?.clone();
+        }
+        Some(ty)
+    }
+
+    /// All resolved call edges of `id`, deduped, in source order.
+    pub fn edges(&self, id: FnId, env: &FnEnv) -> Vec<(FnId, usize)> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for ci in self.calls_of(id) {
+            let line = self.files[id.0].syntax.calls[ci].line;
+            for target in self.resolve(id, env, ci) {
+                if seen.insert(target) {
+                    out.push((target, line));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// First identifier at angle depth 0 that names a type (uppercase
+/// initial): `&mut MailboxBus` -> `MailboxBus`, `Vec<Pds>` -> `Vec`.
+pub fn core_type_name(ty: &[String]) -> Option<String> {
+    let mut angle = 0i32;
+    for t in ty {
+        match t.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "dyn" | "impl" => {}
+            s if angle == 0 && s.starts_with(char::is_uppercase) => return Some(s.to_string()),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Element type of an indexable container: `Vec<Pds>` -> `Pds`,
+/// `&[Tuple]` -> `Tuple`.
+fn element_type_tokens(ty: &[String]) -> Option<Vec<String>> {
+    if let Some(open) = ty.iter().position(|t| t == "[") {
+        let close = ty.iter().rposition(|t| t == "]")?;
+        let inner: Vec<String> = ty[open + 1..close]
+            .iter()
+            .take_while(|t| *t != ";")
+            .cloned()
+            .collect();
+        return Some(inner);
+    }
+    inner_type_tokens(ty)
+}
+
+/// First generic argument: `Option<CellMsg>` -> `CellMsg`.
+fn inner_type_tokens(ty: &[String]) -> Option<Vec<String>> {
+    let open = ty.iter().position(|t| t == "<")?;
+    let mut angle = 0i32;
+    let mut inner = Vec::new();
+    for t in &ty[open..] {
+        match t.as_str() {
+            "<" => {
+                angle += 1;
+                if angle == 1 {
+                    continue;
+                }
+            }
+            ">" => {
+                angle -= 1;
+                if angle == 0 {
+                    break;
+                }
+            }
+            "," if angle == 1 => break,
+            _ => {}
+        }
+        inner.push(t.clone());
+    }
+    if inner.is_empty() {
+        None
+    } else {
+        Some(inner)
+    }
+}
+
+/// A transitive-panic result: the panic site plus the entry-point chain
+/// proving reachability.
+pub struct TransPanic {
+    pub file: usize,
+    pub line: usize,
+    pub kind: PanicKind,
+    pub desc: String,
+    /// Call chain from an embedded entry point to the panicking fn.
+    pub chain: Vec<String>,
+}
+
+/// Functions reachable from public entry points of panic-family crates
+/// that contain enabled panicking constructs in *non*-panic-family
+/// crates (direct rules own the family crates themselves).
+pub fn panic_transitive(ws: &Workspace, enabled: &BTreeSet<PanicKind>) -> Vec<TransPanic> {
+    if enabled.is_empty() {
+        return Vec::new();
+    }
+    let family_dirs: BTreeSet<&str> = CRATES
+        .iter()
+        .filter(|c| c.families.contains(&Family::Panic))
+        .map(|c| c.dir)
+        .collect();
+
+    let ids = ws.fn_ids();
+    let envs: BTreeMap<FnId, FnEnv> = ids.iter().map(|&id| (id, ws.build_env(id))).collect();
+
+    // Multi-source BFS with parent tracking for chains.
+    let mut parent: BTreeMap<FnId, Option<FnId>> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    for &id in &ids {
+        let f = ws.fn_item(id);
+        if f.is_pub && family_dirs.contains(ws.files[id.0].crate_dir.as_str()) {
+            parent.insert(id, None);
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for (target, _line) in ws.edges(id, &envs[&id]) {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(target) {
+                e.insert(Some(id));
+                queue.push_back(target);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen_sites: BTreeSet<(usize, usize, PanicKind)> = BTreeSet::new();
+    for &id in &ids {
+        if !parent.contains_key(&id) || family_dirs.contains(ws.files[id.0].crate_dir.as_str()) {
+            continue;
+        }
+        let syn = &ws.files[id.0].syntax;
+        for (s, e) in ws.owned_runs(id) {
+            for (kind, line, desc) in panic_sites(&syn.toks, s, e) {
+                if !enabled.contains(&kind) || !seen_sites.insert((id.0, line, kind)) {
+                    continue;
+                }
+                let mut chain = Vec::new();
+                let mut cur = Some(id);
+                while let Some(c) = cur {
+                    chain.push(ws.fn_step(c));
+                    cur = parent.get(&c).copied().flatten();
+                }
+                chain.reverse();
+                out.push(TransPanic {
+                    file: id.0,
+                    line,
+                    kind,
+                    desc,
+                    chain,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|a| (a.file, a.line, a.kind));
+    out
+}
+
+/// Helper shared by analyses: does the token at `idx` start a
+/// `.len()`-style declassified measurement of a tainted value?
+pub fn is_declassified_use(toks: &[Tok], idx: usize) -> bool {
+    toks.get(idx + 1).is_some_and(|t| t.is_punct("."))
+        && toks.get(idx + 2).is_some_and(|t| {
+            t.is_ident("len")
+                || t.is_ident("is_empty")
+                || t.is_ident("capacity")
+                || t.is_ident("count")
+        })
+        && toks.get(idx + 3).is_some_and(|t| t.is_punct("("))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::scan;
+    use crate::syntax::parse_file;
+
+    fn ws_one(dir: &str, src: &str) -> Workspace {
+        Workspace::build(vec![WsFile {
+            crate_dir: dir.to_string(),
+            path: format!("crates/{dir}/src/lib.rs"),
+            syntax: parse_file(lex(&scan(src))),
+        }])
+    }
+
+    fn fn_id(ws: &Workspace, name: &str) -> FnId {
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (gi, f) in file.syntax.fns.iter().enumerate() {
+                if f.name == name {
+                    return (fi, gi);
+                }
+            }
+        }
+        panic!("no fn {name}");
+    }
+
+    #[test]
+    fn resolves_typed_method_receiver() {
+        let ws = ws_one(
+            "fleet",
+            "pub struct Bus; impl Bus { pub fn send(&mut self) {} }\n\
+             pub fn go(bus: &mut Bus) { bus.send(); }",
+        );
+        let go = fn_id(&ws, "go");
+        let env = ws.build_env(go);
+        let edges = ws.edges(go, &env);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(ws.fn_item(edges[0].0).qname(), "Bus::send");
+    }
+
+    #[test]
+    fn resolves_field_and_indexed_receivers() {
+        let ws = ws_one(
+            "fleet",
+            "pub struct Pds; impl Pds { pub fn poll(&mut self) {} }\n\
+             pub struct Net { pds: Vec<Pds> }\n\
+             impl Net { pub fn round(&mut self, i: usize) { self.pds[i].poll(); } }",
+        );
+        let round = fn_id(&ws, "round");
+        let env = ws.build_env(round);
+        let edges = ws.edges(round, &env);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(ws.fn_item(edges[0].0).qname(), "Pds::poll");
+    }
+
+    #[test]
+    fn let_inference_through_constructor() {
+        let ws = ws_one(
+            "core",
+            "pub struct Store; impl Store { pub fn open() -> Store { Store } pub fn get(&self) {} }\n\
+             pub fn f() { let s = Store::open(); s.get(); }",
+        );
+        let f = fn_id(&ws, "f");
+        let env = ws.build_env(f);
+        let names: Vec<String> = ws
+            .edges(f, &env)
+            .iter()
+            .map(|(t, _)| ws.fn_item(*t).qname())
+            .collect();
+        assert!(names.contains(&"Store::open".to_string()));
+        assert!(names.contains(&"Store::get".to_string()));
+    }
+
+    #[test]
+    fn unknown_receiver_with_ambiguous_method_gets_no_edge() {
+        let ws = ws_one(
+            "core",
+            "pub struct A; impl A { pub fn go(&self) {} }\n\
+             pub struct B; impl B { pub fn go(&self) {} }\n\
+             pub fn f(x: &UnknownExternal) { x.go(); }",
+        );
+        let f = fn_id(&ws, "f");
+        let env = ws.build_env(f);
+        assert!(ws.edges(f, &env).is_empty());
+    }
+
+    #[test]
+    fn transitive_panic_found_across_crates() {
+        let core = "pub fn api(s: &Helper) { s.step(); }";
+        let other = "pub struct Helper; impl Helper {\n\
+                     pub fn step(&self) { self.deep(); }\n\
+                     fn deep(&self) { let v: Vec<u8> = Vec::new(); v.first().unwrap(); }\n}";
+        let ws = Workspace::build(vec![
+            WsFile {
+                crate_dir: "core".into(),
+                path: "crates/core/src/lib.rs".into(),
+                syntax: parse_file(lex(&scan(core))),
+            },
+            WsFile {
+                crate_dir: "obs".into(),
+                path: "crates/obs/src/lib.rs".into(),
+                syntax: parse_file(lex(&scan(other))),
+            },
+        ]);
+        let enabled: BTreeSet<PanicKind> = [PanicKind::Unwrap].into_iter().collect();
+        let hits = panic_transitive(&ws, &enabled);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].chain.len(), 3);
+        assert!(hits[0].chain[0].starts_with("api"));
+        assert!(hits[0].chain[2].starts_with("Helper::deep"));
+    }
+
+    #[test]
+    fn panic_in_family_crate_is_left_to_direct_rules() {
+        let ws = ws_one(
+            "flash",
+            "pub fn api() { helper(); } fn helper() { panic!(\"x\"); }",
+        );
+        let enabled: BTreeSet<PanicKind> = [PanicKind::Macro].into_iter().collect();
+        assert!(panic_transitive(&ws, &enabled).is_empty());
+    }
+
+    #[test]
+    fn index_and_arith_kinds_detected_when_enabled() {
+        let core = "pub fn api(h: &H) { h.idx(); h.add(); }";
+        let obs = "pub struct H; impl H {\n\
+                   pub fn idx(&self) { let v = [1u8]; let i = 0; let _ = v[i]; }\n\
+                   pub fn add(&self) { let a = 1u32; let b = 2u32; let _ = a + b; }\n}";
+        let ws = Workspace::build(vec![
+            WsFile {
+                crate_dir: "core".into(),
+                path: "crates/core/src/lib.rs".into(),
+                syntax: parse_file(lex(&scan(core))),
+            },
+            WsFile {
+                crate_dir: "obs".into(),
+                path: "crates/obs/src/lib.rs".into(),
+                syntax: parse_file(lex(&scan(obs))),
+            },
+        ]);
+        let both: BTreeSet<PanicKind> = [PanicKind::Index, PanicKind::Arith].into_iter().collect();
+        let hits = panic_transitive(&ws, &both);
+        let kinds: BTreeSet<PanicKind> = hits.iter().map(|h| h.kind).collect();
+        assert!(kinds.contains(&PanicKind::Index));
+        assert!(kinds.contains(&PanicKind::Arith));
+        // Disabled kinds stay silent.
+        let none: BTreeSet<PanicKind> = BTreeSet::new();
+        assert!(panic_transitive(&ws, &none).is_empty());
+    }
+}

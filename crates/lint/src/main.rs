@@ -1,9 +1,12 @@
-//! CLI gate: `cargo run -p pds-lint [-- --root <dir>] [--metrics] [--list-rules]`
+//! CLI gate: `cargo run -p pds-lint [-- --root <dir>] [--json] [--metrics] [--list-rules]`
 //!
 //! Walks the workspace, prints every finding as `file:line rule —
-//! rationale`, then a one-line summary, and exits nonzero when any
-//! unwaived finding remains. `--metrics` additionally dumps the
-//! `pds-obs` registry (the `lint.*` counters) as JSON lines.
+//! rationale` (call-graph findings append their source→sink or
+//! entry→panic chain), then a one-line summary, and exits nonzero when
+//! any unwaived finding remains. `--json` prints the machine-readable
+//! report instead (the CI findings artifact); the exit code is the
+//! same. `--metrics` additionally dumps the `pds-obs` registry (the
+//! `lint.*` counters) as JSON lines.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,7 +14,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: pds-lint [--root <dir>] [--metrics] [--list-rules]");
+        println!("usage: pds-lint [--root <dir>] [--json] [--metrics] [--list-rules]");
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--list-rules") {
@@ -41,11 +44,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for f in &report.findings {
-        println!("{}", f.render());
-    }
-    println!("{}", report.summary());
     report.publish();
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        println!("{}", report.summary());
+    }
     if args.iter().any(|a| a == "--metrics") {
         print!("{}", pds_obs::metrics::global().export_jsonl());
     }

@@ -39,16 +39,25 @@ pub struct Finding {
     pub message: String,
     /// True when an inline waiver suppressed the finding.
     pub waived: bool,
+    /// For call-graph rules (`flow.plaintext_egress`,
+    /// `panic.transitive`): the full sourceâ†’sink / entryâ†’panic chain.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
-    /// `file:line rule message` â€” the one-line gate-log form.
+    /// `file:line rule message` â€” the one-line gate-log form, with the
+    /// call chain on continuation lines when present.
     pub fn render(&self) -> String {
         let mark = if self.waived { " (waived)" } else { "" };
-        format!(
+        let mut out = format!(
             "{}:{} {}{} â€” {}",
             self.file, self.line, self.rule, mark, self.message
-        )
+        );
+        for (i, step) in self.chain.iter().enumerate() {
+            let arrow = if i == 0 { "chain:" } else { "    â†’" };
+            out.push_str(&format!("\n        {arrow} {step}"));
+        }
+        out
     }
 }
 
@@ -64,8 +73,11 @@ pub const RULE_IDS: &[&str] = &[
     "ram.raw_alloc",
     "layer.dependency",
     "layer.module",
+    "flow.plaintext_egress",
+    "panic.transitive",
     "waiver.missing_reason",
     "waiver.unknown_rule",
+    "waiver.unused",
 ];
 
 /// Rule families a crate can opt into (layering always applies).
@@ -246,6 +258,14 @@ pub fn crate_config(dir: &str) -> Option<&'static CrateConfig> {
     CRATES.iter().find(|c| c.dir == dir)
 }
 
+/// True when crate `cfg` may reference the crate whose library name is
+/// `lib` â€” itself or a declared dependency. The call-graph resolver uses
+/// this to reject name-only candidate edges that the layering matrix
+/// makes impossible.
+pub fn dep_allowed(cfg: &CrateConfig, lib: &str) -> bool {
+    lib == cfg.lib || cfg.allowed_deps.contains(&lib)
+}
+
 /// Module paths that may only be referenced inside their owning crate:
 /// `(token, owning dir, rationale)`.
 const SEALED_MODULES: &[(&str, &str, &str)] = &[
@@ -388,11 +408,13 @@ const RAM_RATIONALE: &str = "raw heap growth bypasses the â‰¤128 KB RAM budget â
 
 /// A parsed waiver comment.
 #[derive(Debug, Clone)]
-struct Waiver {
+pub struct Waiver {
     /// Line the waiver applies to (the waivered code line).
-    line: usize,
-    rules: Vec<String>,
-    has_reason: bool,
+    pub line: usize,
+    /// Line the waiver comment itself sits on.
+    pub comment_line: usize,
+    pub rules: Vec<String>,
+    pub has_reason: bool,
 }
 
 /// Parse a waiver out of a comment, if present. The marker must open
@@ -437,6 +459,7 @@ fn collect_waivers(lines: &[Line], file: &str, findings: &mut Vec<Finding>) -> V
                     rule: "waiver.unknown_rule",
                     message: format!("waiver names unknown rule `{r}` â€” see --list-rules"),
                     waived: false,
+                    chain: Vec::new(),
                 });
             }
         }
@@ -448,6 +471,7 @@ fn collect_waivers(lines: &[Line], file: &str, findings: &mut Vec<Finding>) -> V
                 message: "waiver without a written reason â€” every escape hatch must say why"
                     .to_string(),
                 waived: false,
+                chain: Vec::new(),
             });
             continue;
         }
@@ -465,6 +489,7 @@ fn collect_waivers(lines: &[Line], file: &str, findings: &mut Vec<Finding>) -> V
         };
         out.push(Waiver {
             line: target,
+            comment_line: i + 1,
             rules,
             has_reason,
         });
@@ -475,6 +500,17 @@ fn collect_waivers(lines: &[Line], file: &str, findings: &mut Vec<Finding>) -> V
 /// Lint one file's source under `cfg`'s rule sets. `file` is the
 /// workspace-relative path used in findings.
 pub fn lint_source(cfg: &CrateConfig, file: &str, source: &str) -> Vec<Finding> {
+    lint_source_full(cfg, file, source).0
+}
+
+/// Like [`lint_source`], but also returns the parsed waivers so the
+/// workspace driver can apply them to call-graph findings and detect
+/// stale waivers.
+pub fn lint_source_full(
+    cfg: &CrateConfig,
+    file: &str,
+    source: &str,
+) -> (Vec<Finding>, Vec<Waiver>) {
     let lines = scan(source);
     let mut findings = Vec::new();
     let waivers = collect_waivers(&lines, file, &mut findings);
@@ -492,6 +528,7 @@ pub fn lint_source(cfg: &CrateConfig, file: &str, source: &str) -> Vec<Finding> 
             rule,
             message,
             waived,
+            chain: Vec::new(),
         });
     };
 
@@ -590,7 +627,7 @@ pub fn lint_source(cfg: &CrateConfig, file: &str, source: &str) -> Vec<Finding> 
             }
         }
     }
-    findings
+    (findings, waivers)
 }
 
 #[cfg(test)]

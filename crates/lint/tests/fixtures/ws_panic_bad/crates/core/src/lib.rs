@@ -1,0 +1,18 @@
+//! Entry crate of the `panic.transitive` violation fixture: the public
+//! gateway API calls into a helper crate that panics. The direct panic
+//! rules don't see it (the site is outside the panic-family crates) —
+//! only the call-graph pass closes the gap.
+
+pub fn checksum_first(data: &[u8]) -> u8 {
+    pds_fixture_crypto_first_byte(data)
+}
+
+fn pds_fixture_crypto_first_byte(data: &[u8]) -> u8 {
+    crate_boundary_hop(data)
+}
+
+/// Stand-in for a cross-crate call: resolution links this to the crypto
+/// fixture crate's unique free function.
+fn crate_boundary_hop(data: &[u8]) -> u8 {
+    first_byte_or_panic(data)
+}

@@ -1,0 +1,7 @@
+//! Helper crate of the `panic.transitive` violation fixture: the panic
+//! lives here, outside the panic-family crates, reachable from the
+//! entry crate's public API.
+
+pub fn first_byte_or_panic(data: &[u8]) -> u8 {
+    data.first().copied().expect("fixture: empty input")
+}

@@ -1,0 +1,11 @@
+//! Twin of `ws_panic_bad`: same shape, no unwaived finding. One path
+//! returns a typed default instead of panicking; the other keeps its
+//! assert under a reasoned waiver.
+
+pub fn checksum_first(data: &[u8]) -> u8 {
+    first_byte_checked(data)
+}
+
+pub fn checksum_first_asserted(data: &[u8]) -> u8 {
+    first_byte_asserted(data)
+}

@@ -1,0 +1,12 @@
+//! Helper crate of the `ws_panic_ok` twin: the checked variant panics
+//! nowhere; the asserted variant carries a reasoned waiver.
+
+pub fn first_byte_checked(data: &[u8]) -> u8 {
+    data.first().copied().unwrap_or(0)
+}
+
+pub fn first_byte_asserted(data: &[u8]) -> u8 {
+    // pds-lint: allow(panic.transitive) — fixture: caller pads input to at least one byte
+    assert!(!data.is_empty());
+    data.first().copied().unwrap_or(0)
+}

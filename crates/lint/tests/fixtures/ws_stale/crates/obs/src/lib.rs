@@ -1,0 +1,7 @@
+//! Stale-waiver fixture: the waiver below names a rule that produces no
+//! finding on its target line, so `waiver.unused` must flag it.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    // pds-lint: allow(det.time) — legacy timing shim, since removed
+    a.saturating_add(b)
+}

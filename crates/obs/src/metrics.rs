@@ -271,7 +271,10 @@ impl Registry {
     /// dropped.
     pub fn set_event_capacity(&self, cap: usize) {
         self.event_cap.store(cap, Ordering::Relaxed);
-        let mut ring = self.events.lock().unwrap();
+        let mut ring = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while ring.len() > cap {
             ring.pop_front();
             self.events_dropped.fetch_add(1, Ordering::Relaxed);
@@ -293,19 +296,28 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut m = self.counters.lock().unwrap();
+        let mut m = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         m.entry(name.to_string()).or_default().clone()
     }
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut m = self.gauges.lock().unwrap();
+        let mut m = self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         m.entry(name.to_string()).or_default().clone()
     }
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut m = self.histograms.lock().unwrap();
+        let mut m = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         m.entry(name.to_string()).or_default().clone()
     }
 
@@ -345,7 +357,10 @@ impl Registry {
     pub fn event(&self, name: &str, fields: &[(&str, u64)]) {
         let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
         let cap = self.event_cap.load(Ordering::Relaxed);
-        let mut ring = self.events.lock().unwrap();
+        let mut ring = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while ring.len() >= cap.max(1) {
             ring.pop_front();
             self.events_dropped.fetch_add(1, Ordering::Relaxed);
@@ -363,20 +378,40 @@ impl Registry {
 
     /// Snapshot of the event ring, oldest first.
     pub fn recent_events(&self) -> Vec<Event> {
-        self.events.lock().unwrap().iter().cloned().collect()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Reset every registered instrument to zero and clear the event ring.
     /// Existing `Arc` handles stay valid. Intended for tests and for
     /// scoping a measurement window.
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             c.v.store(0, Ordering::Relaxed);
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             g.v.store(0, Ordering::Relaxed);
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             h.count.store(0, Ordering::Relaxed);
             h.sum.store(0, Ordering::Relaxed);
             h.max.store(0, Ordering::Relaxed);
@@ -384,7 +419,10 @@ impl Registry {
                 b.store(0, Ordering::Relaxed);
             }
         }
-        self.events.lock().unwrap().clear();
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
         self.events_dropped.store(0, Ordering::Relaxed);
     }
 
@@ -392,7 +430,12 @@ impl Registry {
     /// data path shared by live observability and experiment regeneration.
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
-        for (name, c) in self.counters.lock().unwrap().iter() {
+        for (name, c) in self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             out.push_str(
                 &ObjWriter::new()
                     .str("type", "counter")
@@ -412,7 +455,12 @@ impl Registry {
                 .finish(),
         );
         out.push('\n');
-        for (name, g) in self.gauges.lock().unwrap().iter() {
+        for (name, g) in self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             out.push_str(
                 &ObjWriter::new()
                     .str("type", "gauge")
@@ -422,7 +470,12 @@ impl Registry {
             );
             out.push('\n');
         }
-        for (name, h) in self.histograms.lock().unwrap().iter() {
+        for (name, h) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             let mut buckets = String::from("[");
             for (i, (hi, c)) in h.nonzero_buckets().iter().enumerate() {
                 if i > 0 {

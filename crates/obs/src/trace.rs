@@ -267,7 +267,9 @@ pub fn flush_contributions() {
     if batch.is_empty() {
         return;
     }
-    let mut sink = sink().lock().unwrap();
+    let mut sink = sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     for (ctx, span) in batch {
         sink.entry(ctx.trace_id)
             .or_default()
@@ -280,7 +282,11 @@ pub fn flush_contributions() {
 /// stitcher must sort by a deterministic key (parent span id plus a
 /// caller-set attribute like `token`), never by arrival.
 pub fn drain_trace(trace_id: u64) -> Vec<(u64, FinishedSpan)> {
-    sink().lock().unwrap().remove(&trace_id).unwrap_or_default()
+    sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .remove(&trace_id)
+        .unwrap_or_default()
 }
 
 /// RAII guard for one span. Dropping the guard finishes the span; if
@@ -392,22 +398,32 @@ pub fn trace<T>(name: &str, f: impl FnOnce() -> T) -> (T, FinishedSpan) {
     let guard = span(name);
     let out = f();
     drop(guard);
+    // Each arm re-reads the span the dropped guard just deposited. If
+    // another thread corrupted the shared state that deposit is absent;
+    // degrade to an empty span of the right name — tracing must never
+    // take the engine down with it.
+    let fallback = || FinishedSpan {
+        name: name.to_string(),
+        duration_ns: 0,
+        attrs: Vec::new(),
+        children: Vec::new(),
+    };
     let finished = if was_root {
         if context().is_some() {
             // The root was contributed to the distributed sink; hand the
             // caller a clone without un-contributing it.
             CONTRIB
                 .with(|b| b.borrow().last().map(|(_, s)| s.clone()))
-                .expect("span just contributed")
+                .unwrap_or_else(fallback)
         } else {
-            take_last_root().expect("span just finished")
+            take_last_root().unwrap_or_else(fallback)
         }
     } else {
         STACK.with(|s| {
             s.borrow()
                 .last()
                 .and_then(|p| p.children.last().cloned())
-                .expect("span just attached to parent")
+                .unwrap_or_else(fallback)
         })
     };
     (out, finished)

@@ -6,10 +6,16 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
-# Project-specific static analysis: panic-freedom, determinism,
-# RAM-budget and layering contracts (see DESIGN.md "Static guarantees").
-# Exits nonzero on any unwaived finding.
-cargo run --release -q -p pds-lint
+# Project-specific static analysis: panic-freedom (direct and
+# call-graph-transitive), plaintext-egress information flow,
+# determinism, RAM-budget and layering contracts (see DESIGN.md
+# "Static guarantees"). Exits nonzero on any unwaived finding; the
+# machine-readable findings report is kept as a build artifact.
+mkdir -p target/lint
+cargo run --release -q -p pds-lint -- --json > target/lint/findings.json || {
+  cat target/lint/findings.json
+  exit 1
+}
 cargo build --workspace --release
 cargo test --workspace -q
 # Widened seeded crash-recovery sweep: a fixed, larger seed set than the
