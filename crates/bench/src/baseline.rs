@@ -35,6 +35,8 @@ pub const ENV_KNOBS: &[&str] = &[
     "PDS_E17_CAP",
     "PDS_E18_CELLS",
     "PDS_E18_MAX_THREADS",
+    "PDS_E19_TOKENS",
+    "PDS_E19_MAX_THREADS",
 ];
 
 /// Is this metric name safe to compare exactly across machines?

@@ -17,6 +17,9 @@
 //!   a metrics delta, evaluate the standard fleet SLO set against it,
 //!   and print the `fleet status` rendering plus its JSON line. Exits 1
 //!   when any rule fails.
+//! * `--forensics-json FILE` — crash one seeded token mid-round, reopen
+//!   it, and write its [`ForensicsReport`](pds_core::ForensicsReport)
+//!   JSON to `FILE`; CI uploads the file as the post-mortem artifact.
 
 use pds_bench::baseline::{self, Baseline};
 use pds_bench::*;
@@ -41,6 +44,7 @@ fn main() {
     args.retain(|a| a != "--fleet-health");
     let write_path = take_opt(&mut args, "--baseline");
     let check_path = take_opt(&mut args, "--check");
+    let forensics_path = take_opt(&mut args, "--forensics-json");
 
     let checked: Option<Baseline> = check_path.map(|p| {
         let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
@@ -83,6 +87,7 @@ fn main() {
         ("e16", e16_telemetry::run),
         ("e17", e17_sched::run),
         ("e18", e18_mvcc::run),
+        ("e19", e19_crash::run),
         ("a1", ablations::a1_bloom_budget),
         ("a2", ablations::a2_partition_size),
         ("a3", ablations::a3_codesign),
@@ -142,6 +147,14 @@ fn main() {
         unhealthy = !verdict.healthy;
     }
 
+    if let Some(path) = forensics_path {
+        let json = e19_crash::forensics_json();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("--forensics-json: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("forensics: wrote seeded post-mortem JSON to {path}");
+    }
     if let Some(path) = write_path {
         let base = baseline::capture(&scope);
         if let Err(e) = std::fs::write(&path, base.to_json()) {

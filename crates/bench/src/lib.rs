@@ -16,6 +16,7 @@ pub mod e15_fleet_trace;
 pub mod e16_telemetry;
 pub mod e17_sched;
 pub mod e18_mvcc;
+pub mod e19_crash;
 pub mod e1_pbfilter;
 pub mod e2_reorg;
 pub mod e3_search;

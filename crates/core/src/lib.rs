@@ -32,9 +32,11 @@ pub mod audit;
 pub mod credentials;
 pub mod data;
 pub mod error;
+pub mod forensics;
 pub mod pds;
 pub mod policy;
 
+pub use crate::forensics::{CrashCause, ForensicsReport};
 pub use crate::pds::{AccessContext, Pds, PdsHibernation, ReopenReport, Subscription};
 pub use archive::{CloudStore, EncryptedArchive};
 pub use audit::{AuditEntry, AuditLog, Decision};

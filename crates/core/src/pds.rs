@@ -13,11 +13,13 @@ use pds_crypto::SymmetricKey;
 use pds_db::mvcc::{kind, DOC_STORE};
 use pds_db::value::Value;
 use pds_db::{Database, DatabaseManifest, GcReport, Hlc, Predicate, Row, RowId, Snapshot};
-use pds_flash::{ChangeRec, FlashError};
+use pds_flash::{BlackBox, BlockId, ChangeRec, FlashError, DEFAULT_FRAME_CAP};
 use pds_mcu::{Token, TokenId, TokenSleep};
+use pds_obs::flight::{self, code, subsystem, Severity};
 use pds_search::{DfStrategy, EngineManifest, SearchEngine, SearchHit};
 
 use crate::audit::{AuditLog, Decision};
+use crate::forensics::ForensicsReport;
 
 /// What [`Pds::reopen`] recovered after a power loss.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +71,10 @@ pub struct PdsHibernation {
     clock_day: u64,
     subs: BTreeMap<u32, Subscription>,
     next_sub: u32,
+    /// The flight-recorder ring's durable identity (a hibernation holds
+    /// no flash handle; the ring is recovered from its blocks on wake).
+    blackbox_blocks: Vec<BlockId>,
+    blackbox_cap: usize,
 }
 
 impl PdsHibernation {
@@ -120,6 +126,10 @@ pub struct Pds {
     /// Standing queries, by subscription id.
     subs: BTreeMap<u32, Subscription>,
     next_sub: u32,
+    /// The durable flight-recorder ring (black box) of this token.
+    blackbox: BlackBox,
+    /// Post-mortem of the most recent reopen/wake, if any.
+    last_forensics: Option<ForensicsReport>,
 }
 
 impl Pds {
@@ -152,6 +162,7 @@ impl Pds {
         db.enable_mvcc(token.id().0 as u32);
         let owner_key =
             SymmetricKey::from_seed(format!("owner-key:{owner}:{}", token.id().0).as_bytes());
+        let blackbox = BlackBox::new(&flash, DEFAULT_FRAME_CAP);
         Ok(Pds {
             token,
             owner: owner.to_string(),
@@ -164,7 +175,35 @@ impl Pds {
             clock_day: 0,
             subs: BTreeMap::new(),
             next_sub: 0,
+            blackbox,
+            last_forensics: None,
         })
+    }
+
+    /// Record one structured event and absorb the staged frames into
+    /// the durable black box.
+    fn note(&mut self, severity: Severity, code: u16, args: [u64; 2]) {
+        flight::record(severity, subsystem::CORE, code, args);
+        self.absorb_flight();
+    }
+
+    /// Drain the thread-local staging buffer into this token's ring.
+    /// Errors are deliberately ignored: the recorder must never fail
+    /// the data path, and an append that dies mid-power-loss is exactly
+    /// the torn tail recovery truncates.
+    fn absorb_flight(&mut self) {
+        let _ = self.blackbox.absorb(flight::drain());
+    }
+
+    /// The durable flight recorder of this token.
+    pub fn blackbox(&self) -> &BlackBox {
+        &self.blackbox
+    }
+
+    /// Post-mortem of the most recent [`Pds::reopen`] / [`Pds::wake`],
+    /// if one has happened.
+    pub fn forensics(&self) -> Option<&ForensicsReport> {
+        self.last_forensics.as_ref()
     }
 
     /// Token identity.
@@ -228,6 +267,8 @@ impl Pds {
     pub fn sync(&mut self) -> Result<(), PdsError> {
         self.engine.flush()?;
         self.db.flush()?;
+        self.note(Severity::Info, code::CORE_SYNC, [0, 0]);
+        self.blackbox.flush()?;
         Ok(())
     }
 
@@ -242,14 +283,21 @@ impl Pds {
     /// as the data logs.
     pub fn reopen(self) -> Result<(Pds, ReopenReport), PdsError> {
         let _span = pds_obs::span!("pds.reopen", "pds.owner" => self.owner.as_str());
+        // Frames staged by the operation the power loss killed never
+        // reached flash — discard them so the rebuilt ring cannot
+        // contain phantom events the durable timeline never saw.
+        let _ = flight::drain();
         let engine_manifest = self.engine.manifest();
         let db_manifest = self.db.manifest();
+        let bb_blocks = self.blackbox.blocks();
+        let bb_cap = self.blackbox.capacity();
         let token = self.token.reopen();
         let flash = token.flash().clone();
         let ram = token.ram().clone();
         let (engine, er) = SearchEngine::recover(&flash, &ram, &engine_manifest)?;
         let (db, rows_lost, mr) =
             Database::recover(&flash, &ram, &db_manifest, Some(er.docs_recovered))?;
+        let (mut blackbox, scan) = BlackBox::recover(&flash, &bb_blocks, bb_cap)?;
         let report = ReopenReport {
             docs_recovered: er.docs_recovered,
             docs_lost: er.docs_lost,
@@ -257,6 +305,21 @@ impl Pds {
             rows_lost,
             changes_dropped: mr.as_ref().map_or(0, |r| r.changes_dropped),
         };
+        // The pre-crash timeline is captured before any new frame is
+        // absorbed: it is exactly what the durable ring preserved.
+        let forensics = ForensicsReport::correlate(
+            token.id().0,
+            blackbox.frames().to_vec(),
+            &scan,
+            report.clone(),
+        );
+        flight::record(
+            Severity::Info,
+            subsystem::RECOVERY,
+            code::RECOVERY_REOPEN,
+            [u64::from(report.docs_recovered), report.changes_dropped],
+        );
+        let _ = blackbox.absorb(flight::drain());
         let subs = clamp_cursors(self.subs, &db);
         Ok((
             Pds {
@@ -271,6 +334,8 @@ impl Pds {
                 clock_day: self.clock_day,
                 subs,
                 next_sub: self.next_sub,
+                blackbox,
+                last_forensics: Some(forensics),
             },
             report,
         ))
@@ -285,6 +350,7 @@ impl Pds {
     /// thousands of idle tokens parked. [`Pds::wake`] is the inverse;
     /// because [`Pds::sync`] ran first, the wake is lossless.
     pub fn hibernate(mut self) -> Result<PdsHibernation, PdsError> {
+        self.note(Severity::Info, code::CORE_HIBERNATE, [0, 0]);
         self.sync()?;
         Ok(PdsHibernation {
             sleep: self.token.hibernate(),
@@ -298,6 +364,8 @@ impl Pds {
             clock_day: self.clock_day,
             subs: self.subs,
             next_sub: self.next_sub,
+            blackbox_blocks: self.blackbox.blocks(),
+            blackbox_cap: self.blackbox.capacity(),
         })
     }
 
@@ -306,12 +374,14 @@ impl Pds {
     /// power cycle ([`Pds::reopen`]). A clean hibernation reports zero
     /// losses.
     pub fn wake(h: PdsHibernation) -> Result<(Pds, ReopenReport), PdsError> {
+        let _ = flight::drain();
         let token = Token::wake(h.sleep);
         let flash = token.flash().clone();
         let ram = token.ram().clone();
         let (engine, er) = SearchEngine::recover(&flash, &ram, &h.engine_manifest)?;
         let (db, rows_lost, mr) =
             Database::recover(&flash, &ram, &h.db_manifest, Some(er.docs_recovered))?;
+        let (mut blackbox, scan) = BlackBox::recover(&flash, &h.blackbox_blocks, h.blackbox_cap)?;
         let report = ReopenReport {
             docs_recovered: er.docs_recovered,
             docs_lost: er.docs_lost,
@@ -319,6 +389,19 @@ impl Pds {
             rows_lost,
             changes_dropped: mr.as_ref().map_or(0, |r| r.changes_dropped),
         };
+        let forensics = ForensicsReport::correlate(
+            token.id().0,
+            blackbox.frames().to_vec(),
+            &scan,
+            report.clone(),
+        );
+        flight::record(
+            Severity::Info,
+            subsystem::RECOVERY,
+            code::RECOVERY_REOPEN,
+            [u64::from(report.docs_recovered), report.changes_dropped],
+        );
+        let _ = blackbox.absorb(flight::drain());
         let subs = clamp_cursors(h.subs, &db);
         Ok((
             Pds {
@@ -333,6 +416,8 @@ impl Pds {
                 clock_day: h.clock_day,
                 subs,
                 next_sub: h.next_sub,
+                blackbox,
+                last_forensics: Some(forensics),
             },
             report,
         ))
@@ -359,6 +444,7 @@ impl Pds {
                 Value::U64(docid as u64),
             ],
         )?;
+        self.note(Severity::Info, code::CORE_INGEST, [0, day]);
         Ok(())
     }
 
@@ -380,6 +466,7 @@ impl Pds {
                 Value::U64(docid as u64),
             ],
         )?;
+        self.note(Severity::Info, code::CORE_INGEST, [1, day]);
         Ok(())
     }
 
@@ -400,6 +487,7 @@ impl Pds {
                 Value::str(counterparty),
             ],
         )?;
+        self.note(Severity::Info, code::CORE_INGEST, [2, day]);
         Ok(())
     }
 
@@ -637,6 +725,11 @@ impl Pds {
                 let key = row[g].to_string();
                 *groups.entry(key).or_insert(0) += row[m].as_u64().unwrap_or(0);
             })?;
+            pds.note(
+                Severity::Info,
+                code::CORE_CONTRIBUTION,
+                [groups.len() as u64, 0],
+            );
             Ok(groups.into_iter().collect())
         })
     }
@@ -667,6 +760,11 @@ impl Pds {
             t.scan(|_, row| {
                 *groups.entry(row[g].to_string()).or_insert(0) += 1;
             })?;
+            pds.note(
+                Severity::Info,
+                code::CORE_CONTRIBUTION,
+                [groups.len() as u64, 0],
+            );
             Ok(groups.into_iter().collect())
         })
     }
@@ -748,8 +846,9 @@ impl Pds {
     pub fn commit(&mut self) -> Result<Option<Hlc>, PdsError> {
         let docs = self.engine.num_docs();
         let stamp = self.db.commit_with_docs(docs)?;
-        if stamp.is_some() {
+        if let Some(s) = stamp {
             pds_obs::counter("mvcc.commits").inc();
+            self.note(Severity::Info, code::CORE_COMMIT, [s.counter, 0]);
         }
         Ok(stamp)
     }
@@ -1170,6 +1269,45 @@ mod tests {
             "commit from before the power-down is delivered once"
         );
         assert!(pds.poll_subscription(id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopen_reconstructs_the_precrash_timeline() {
+        let mut pds = populated_pds();
+        pds.commit().unwrap();
+        pds.sync().unwrap();
+        let n_durable = pds.blackbox().num_frames();
+        assert!(n_durable >= 6, "5 ingests + 1 commit + 1 sync recorded");
+        let (pds, report) = pds.reopen().unwrap();
+        assert_eq!(report.docs_lost, 0);
+        let f = pds.forensics().expect("reopen produces a post-mortem");
+        assert_eq!(f.cause, crate::forensics::CrashCause::CleanShutdown);
+        assert_eq!(f.frames_recovered, n_durable);
+        assert!(f
+            .timeline
+            .iter()
+            .any(|fr| fr.code == pds_obs::flight::code::CORE_COMMIT));
+        // The post-recovery ring carries the reopen marker after the
+        // pre-crash timeline.
+        assert!(pds
+            .blackbox()
+            .frames()
+            .iter()
+            .any(|fr| fr.code == pds_obs::flight::code::RECOVERY_REOPEN));
+    }
+
+    #[test]
+    fn hibernate_wake_round_trips_the_blackbox() {
+        let mut pds = populated_pds();
+        pds.commit().unwrap();
+        let h = pds.hibernate().unwrap();
+        let (pds, _) = Pds::wake(h).unwrap();
+        let f = pds.forensics().unwrap();
+        assert_eq!(f.cause, crate::forensics::CrashCause::CleanShutdown);
+        assert!(f
+            .timeline
+            .iter()
+            .any(|fr| fr.code == pds_obs::flight::code::CORE_HIBERNATE));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! token of the tutorial is a single-user, single-MCU device.
 
 pub mod alloc;
+pub mod blackbox;
 pub mod changelog;
 pub mod cost;
 pub mod error;
@@ -42,6 +43,7 @@ mod proptests;
 pub mod stats;
 
 pub use alloc::BlockAllocator;
+pub use blackbox::{BlackBox, BlackboxRecovery, DEFAULT_FRAME_CAP};
 pub use changelog::{ChangeLog, ChangeLogRecovery, ChangeRec};
 pub use cost::CostModel;
 pub use error::{FlashError, Result};
@@ -146,6 +148,12 @@ impl Flash {
                 Err(FlashError::StuckBlock(_)) => {
                     alloc.retire();
                     pds_obs::counter("flash.blocks_retired").inc();
+                    pds_obs::event!(
+                        pds_obs::Severity::Warn,
+                        pds_obs::flight::subsystem::FLASH,
+                        pds_obs::flight::code::FLASH_BLOCK_RETIRED,
+                        bid.0
+                    );
                 }
                 Err(e) => return Err(e),
             }
@@ -183,6 +191,11 @@ impl Flash {
 
     /// Install a scripted [`FaultPlan`] on the chip.
     pub fn inject_faults(&self, plan: FaultPlan) {
+        pds_obs::event!(
+            pds_obs::Severity::Info,
+            pds_obs::flight::subsystem::FLASH,
+            pds_obs::flight::code::FLASH_FAULTS_ARMED
+        );
         self.inner.borrow_mut().nand.inject_faults(plan);
     }
 

@@ -179,6 +179,9 @@ pub struct HopRecord {
     pub redeliveries: u64,
     /// True when the message ran out of attempts before delivery.
     pub expired: bool,
+    /// Payload size of the message, in bytes (each hop's share of
+    /// [`BusStats::payload_bytes`]).
+    pub payload_bytes: u64,
 }
 
 /// Delivery hop a message is currently waiting on.
@@ -373,6 +376,7 @@ impl MailboxBus {
                     attempts: 0,
                     redeliveries: 0,
                     expired: false,
+                    payload_bytes: payload.len() as u64,
                 },
             );
         }

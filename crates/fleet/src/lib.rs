@@ -76,6 +76,7 @@ pub use pool::TokenPool;
 pub use sched::{FleetError, FleetScheduler, SchedStats, TokenHost};
 pub use subs::{SubNet, SubNetConfig, SubRoundReport};
 pub use telemetry::{
-    Collector, CollectorStats, FleetHealth, HealthEngine, HealthRule, TelemetryConfig, TelemetryMsg,
+    mail_forensics, Collector, CollectorStats, FleetHealth, ForensicsDigest, HealthEngine,
+    HealthRule, TelemetryConfig, TelemetryMsg,
 };
 pub use trace::FleetTraceBuilder;

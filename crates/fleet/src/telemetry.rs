@@ -42,6 +42,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use pds_core::{CrashCause, ForensicsReport};
 use pds_obs::json::{write_f64, write_str, ObjWriter};
 use pds_obs::MetricsDelta;
 
@@ -103,6 +104,124 @@ impl TelemetryMsg {
     }
 }
 
+/// Compact crash post-mortem a recovered token mails to the collector:
+/// the `PDF1` sibling of the `PDT1` telemetry envelope. Carries only
+/// codes, ticks and counts — the full timeline stays on the token; the
+/// digest is what fleet-scale triage needs (who crashed, when, why).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForensicsDigest {
+    /// Id of the crashed token.
+    pub token: u64,
+    /// Virtual bus tick the digest was mailed at.
+    pub tick: u64,
+    /// Recorder tick of the last surviving frame — with `token`, the
+    /// collector's exactly-once identity for this crash.
+    pub crash_tick: u64,
+    /// [`CrashCause::code`] of the classified cause.
+    pub cause: u8,
+    /// Subsystem of the last surviving frame.
+    pub last_subsystem: u8,
+    /// Event code of the last surviving frame.
+    pub last_code: u16,
+    /// Frames the recorder scan salvaged.
+    pub frames_recovered: u64,
+    /// Torn recorder pages discarded at the CRC cut.
+    pub torn_pages: u64,
+}
+
+const DIGEST_MAGIC: &[u8] = b"PDF1";
+
+impl ForensicsDigest {
+    /// Distill a full [`ForensicsReport`] into its mailable digest.
+    pub fn from_report(report: &ForensicsReport, tick: u64) -> ForensicsDigest {
+        let last = report.last_frame();
+        ForensicsDigest {
+            token: report.token,
+            tick,
+            crash_tick: report.crash_tick(),
+            cause: report.cause.code(),
+            last_subsystem: last.map_or(0, |f| f.subsystem),
+            last_code: last.map_or(0, |f| f.code),
+            frames_recovered: report.frames_recovered,
+            torn_pages: report.torn_pages_discarded,
+        }
+    }
+
+    /// The classified cause.
+    pub fn crash_cause(&self) -> CrashCause {
+        CrashCause::from_code(self.cause)
+    }
+
+    /// Bus payload form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(DIGEST_MAGIC);
+        out.extend_from_slice(&self.token.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.extend_from_slice(&self.crash_tick.to_le_bytes());
+        out.push(self.cause);
+        out.push(self.last_subsystem);
+        out.extend_from_slice(&self.last_code.to_le_bytes());
+        out.extend_from_slice(&self.frames_recovered.to_le_bytes());
+        out.extend_from_slice(&self.torn_pages.to_le_bytes());
+        out
+    }
+
+    /// Parse a bus payload; `None` if it is not a forensics digest.
+    pub fn decode(bytes: &[u8]) -> Option<ForensicsDigest> {
+        let r = bytes.strip_prefix(DIGEST_MAGIC)?;
+        if r.len() != 44 {
+            return None;
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(r[o..o + 8].try_into().unwrap());
+        Some(ForensicsDigest {
+            token: u64_at(0),
+            tick: u64_at(8),
+            crash_tick: u64_at(16),
+            cause: r[24],
+            last_subsystem: r[25],
+            last_code: u16::from_le_bytes(r[26..28].try_into().unwrap()),
+            frames_recovered: u64_at(28),
+            torn_pages: u64_at(36),
+        })
+    }
+
+    /// The crash counters this digest contributes to the rollup the
+    /// health engine evaluates (`forensics.*`).
+    fn as_delta(&self) -> MetricsDelta {
+        let mut d = MetricsDelta::new();
+        d.add("forensics.crashes", 1);
+        d.add(&format!("forensics.cause.{}", self.crash_cause().name()), 1);
+        if self.torn_pages > 0 {
+            d.add("forensics.torn_tails", 1);
+        }
+        if self.crash_cause() == CrashCause::Unknown {
+            d.add("forensics.unexplained", 1);
+        }
+        d
+    }
+}
+
+/// Mail a recovered token's crash digest to the collector over the
+/// store-and-forward bus ([`Addr::Token`] keyed by fleet slot `slot`).
+/// Returns `false` only when the token has no post-mortem at all — it
+/// never reopened. A token calls this after an *observed* power loss,
+/// so even a `clean_shutdown`-cause digest carries signal: the power
+/// went out but recovery was lossless (the torn page held nothing
+/// acknowledged). Counted under `blackbox.digests_mailed`; the
+/// collector's `(token, crash_tick)` dedup makes delivery exactly-once
+/// even when the bus redelivers or the token re-mails after a power
+/// cycle mid-mail.
+pub fn mail_forensics(pds: &pds_core::Pds, slot: usize, bus: &mut MailboxBus) -> bool {
+    let Some(report) = pds.forensics() else {
+        return false;
+    };
+    let digest = ForensicsDigest::from_report(report, bus.now());
+    bus.send(Addr::Token(slot), Addr::Collector, digest.encode());
+    pds_obs::counter("blackbox.digests_mailed").inc();
+    true
+}
+
 /// What the collector itself counted while folding.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CollectorStats {
@@ -114,6 +233,11 @@ pub struct CollectorStats {
     pub decode_errors: u64,
     /// Ring buckets folded into the cumulative total.
     pub buckets_evicted: u64,
+    /// Forensics digests folded (each crash exactly once).
+    pub digests_folded: u64,
+    /// Duplicate digests dropped by the exactly-once gate (the bus may
+    /// redeliver; a crash must not be counted twice).
+    pub digests_deduped: u64,
 }
 
 /// The collector role: folds telemetry envelopes into a tick-indexed
@@ -125,6 +249,8 @@ pub struct Collector {
     evicted: MetricsDelta,
     sources: BTreeSet<u64>,
     stats: CollectorStats,
+    digests: Vec<ForensicsDigest>,
+    seen_crashes: BTreeSet<(u64, u64)>,
 }
 
 impl Collector {
@@ -150,19 +276,38 @@ impl Collector {
         }
     }
 
-    /// Ingest a raw bus payload; returns false (and counts a decode
-    /// error) when it is not a telemetry envelope.
+    /// Fold one crash digest, exactly once per `(token, crash_tick)`:
+    /// the bus may redeliver, a crash must not be double-counted. The
+    /// digest's crash counters land in the mailing tick's bucket, so
+    /// the health engine sees the crash in its time series.
+    pub fn fold_digest(&mut self, digest: &ForensicsDigest) {
+        if !self.seen_crashes.insert((digest.token, digest.crash_tick)) {
+            self.stats.digests_deduped += 1;
+            return;
+        }
+        self.stats.digests_folded += 1;
+        let bucket = digest.tick / self.cfg.granularity.max(1);
+        self.ring
+            .entry(bucket)
+            .or_default()
+            .merge(&digest.as_delta());
+        self.digests.push(*digest);
+    }
+
+    /// Ingest a raw bus payload — a `PDT1` telemetry envelope or a
+    /// `PDF1` forensics digest; returns false (and counts a decode
+    /// error) when it is neither.
     pub fn ingest(&mut self, payload: &[u8]) -> bool {
         self.stats.bytes_ingested += payload.len() as u64;
-        match TelemetryMsg::decode(payload) {
-            Some(msg) => {
-                self.fold(&msg);
-                true
-            }
-            None => {
-                self.stats.decode_errors += 1;
-                false
-            }
+        if let Some(msg) = TelemetryMsg::decode(payload) {
+            self.fold(&msg);
+            true
+        } else if let Some(digest) = ForensicsDigest::decode(payload) {
+            self.fold_digest(&digest);
+            true
+        } else {
+            self.stats.decode_errors += 1;
+            false
         }
     }
 
@@ -198,6 +343,37 @@ impl Collector {
     /// Fold accounting.
     pub fn stats(&self) -> CollectorStats {
         self.stats
+    }
+
+    /// Every distinct crash digest folded so far, in arrival order.
+    pub fn digests(&self) -> &[ForensicsDigest] {
+        &self.digests
+    }
+
+    /// Fleet-wide crash triage, grouped by cause: the `fleet status`
+    /// line that says "3 tokens crashed, all with torn changelog
+    /// tails".
+    pub fn crash_summary(&self) -> String {
+        if self.digests.is_empty() {
+            return "no crashes reported".to_string();
+        }
+        let mut by_cause: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        for d in &self.digests {
+            by_cause
+                .entry(d.crash_cause().name())
+                .or_default()
+                .push(d.token);
+        }
+        let mut out = format!("{} token(s) crashed:", self.digests.len());
+        for (cause, mut tokens) in by_cause {
+            tokens.sort_unstable();
+            tokens.dedup();
+            out.push_str(&format!(
+                "\n  {} × {cause} (tokens {tokens:?})",
+                tokens.len()
+            ));
+        }
+        out
     }
 
     /// Evaluate `engine` over the cumulative rollup.
@@ -441,6 +617,21 @@ impl HealthEngine {
             "recovery.pages_lost == 0",
             // The observability plane itself must not drop telemetry.
             "telemetry.decode_errors == 0",
+            // The scheduler may not thrash: at most one eviction per
+            // wake on average (vacuous when nothing ever woke).
+            "sched.evictions / sched.wakes <= 1.0",
+            // The flight recorder's own durability: most recorded
+            // frames must survive a power loss (vacuous when idle).
+            "blackbox.torn_tails_truncated / blackbox.frames_written <= 0.5",
+            // Exactly-once crash triage: the collector never counts
+            // more crashes than tokens mailed digests for.
+            "forensics.crashes / blackbox.digests_mailed <= 1.0",
+            // Crash-rate SLO: any crash flips the fleet unhealthy, so
+            // `fleet status` surfaces the triage summary.
+            "forensics.crashes == 0",
+            // Crash-cause SLO: every crash must classify — an
+            // unexplained post-mortem is its own alarm.
+            "forensics.unexplained == 0",
         ] {
             e.rule(text).expect("standard rule parses");
         }
@@ -711,5 +902,94 @@ mod tests {
         let mut e = HealthEngine::new();
         e.rule("bus.redeliveries / bus.deliveries < 0.25").unwrap();
         assert!(e.evaluate(&MetricsDelta::new()).healthy);
+    }
+
+    fn digest(token: u64, crash_tick: u64, cause: CrashCause) -> ForensicsDigest {
+        ForensicsDigest {
+            token,
+            tick: 100,
+            crash_tick,
+            cause: cause.code(),
+            last_subsystem: 4,
+            last_code: 0x0402,
+            frames_recovered: 12,
+            torn_pages: u64::from(cause != CrashCause::CleanShutdown),
+        }
+    }
+
+    #[test]
+    fn digest_round_trips_and_rejects_junk() {
+        let d = digest(3, 41, CrashCause::TornChangelogTail);
+        assert_eq!(ForensicsDigest::decode(&d.encode()), Some(d));
+        assert_eq!(ForensicsDigest::decode(b"PDF1"), None);
+        assert_eq!(ForensicsDigest::decode(b"PDT1 something"), None);
+        let mut truncated = d.encode();
+        truncated.pop();
+        assert_eq!(ForensicsDigest::decode(&truncated), None);
+    }
+
+    #[test]
+    fn collector_folds_each_crash_exactly_once() {
+        let mut c = Collector::new(TelemetryConfig::default());
+        let d = digest(3, 41, CrashCause::TornChangelogTail);
+        // The bus may redeliver the same digest many times.
+        assert!(c.ingest(&d.encode()));
+        assert!(c.ingest(&d.encode()));
+        assert!(c.ingest(&d.encode()));
+        assert_eq!(c.stats().digests_folded, 1);
+        assert_eq!(c.stats().digests_deduped, 2);
+        assert_eq!(c.digests().len(), 1);
+        assert_eq!(c.total().counter("forensics.crashes"), 1);
+        // A later crash of the same token has a new crash_tick.
+        c.fold_digest(&digest(3, 99, CrashCause::TornDataTail));
+        assert_eq!(c.total().counter("forensics.crashes"), 2);
+        assert_eq!(c.stats().decode_errors, 0);
+    }
+
+    #[test]
+    fn crash_digests_flip_the_standard_verdict_unhealthy() {
+        let mut c = Collector::new(TelemetryConfig::default());
+        for t in 0..3 {
+            c.fold_digest(&digest(t, 10 + t, CrashCause::TornChangelogTail));
+        }
+        let h = c.health(&HealthEngine::standard());
+        assert!(!h.healthy, "{}", h.render());
+        let failing: Vec<&str> = h
+            .verdicts
+            .iter()
+            .filter(|v| !v.pass)
+            .map(|v| v.rule.as_str())
+            .collect();
+        assert_eq!(failing, vec!["forensics.crashes == 0"]);
+        let summary = c.crash_summary();
+        assert!(summary.contains("3 token(s) crashed"), "{summary}");
+        assert!(summary.contains("torn_changelog_tail"), "{summary}");
+    }
+
+    #[test]
+    fn unknown_cause_trips_the_cause_slo() {
+        let mut c = Collector::new(TelemetryConfig::default());
+        c.fold_digest(&digest(5, 7, CrashCause::Unknown));
+        let h = c.health(&HealthEngine::standard());
+        assert!(h
+            .verdicts
+            .iter()
+            .any(|v| v.rule == "forensics.unexplained == 0" && !v.pass));
+    }
+
+    #[test]
+    fn new_standard_ratios_are_vacuous_at_zero_denominator() {
+        // An idle fleet — no wakes, no recorded frames, no digests —
+        // must be healthy: ratios with zero denominators evaluate to 0.
+        let h = HealthEngine::standard().evaluate(&MetricsDelta::new());
+        assert!(h.healthy, "{}", h.render());
+        // And a busy-but-clean fleet stays healthy too.
+        let mut d = MetricsDelta::new();
+        d.add("sched.wakes", 10);
+        d.add("sched.evictions", 4);
+        d.add("blackbox.frames_written", 1000);
+        d.add("blackbox.digests_mailed", 2);
+        let h = HealthEngine::standard().evaluate(&d);
+        assert!(h.healthy, "{}", h.render());
     }
 }

@@ -145,6 +145,7 @@ fn hop_span(h: &HopRecord) -> FinishedSpan {
             ("attempts".into(), AttrValue::U64(h.attempts)),
             ("redeliveries".into(), AttrValue::U64(h.redeliveries)),
             ("expired".into(), AttrValue::U64(u64::from(h.expired))),
+            ("payload_bytes".into(), AttrValue::U64(h.payload_bytes)),
         ],
         children: Vec::new(),
     }

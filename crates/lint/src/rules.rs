@@ -141,7 +141,7 @@ pub const CRATES: &[CrateConfig] = &[
         // The mergeable-delta module is a fleet rollup path: its merge
         // and encode orders must be BTreeMap-deterministic, wall-clock
         // free, even though the rest of pds-obs is unconstrained.
-        det_files: &["obs/src/delta.rs"],
+        det_files: &["obs/src/delta.rs", "obs/src/flight.rs"],
         allowed_deps: &[],
     },
     CrateConfig {
@@ -151,7 +151,7 @@ pub const CRATES: &[CrateConfig] = &[
         // The change log is the fleet's causal history: its stamp
         // ordering and recovery cuts feed baseline-checked counters and
         // must replay identically on every machine.
-        det_files: &["flash/src/changelog.rs"],
+        det_files: &["flash/src/changelog.rs", "flash/src/blackbox.rs"],
         allowed_deps: &["pds_obs"],
     },
     CrateConfig {

@@ -358,7 +358,19 @@ impl MetricsDelta {
                 hists.push(',');
             }
             write_str(&mut hists, k);
-            hists.push_str(&format!(":[{},{},{}]", h.count, h.sum, h.max));
+            // Every registered histogram answers its quantiles — the
+            // same p50/p95/p99 triple for all of them, never a
+            // hardwired subset (the live `Registry::export_jsonl` and
+            // this rollup form must agree on what a histogram exports).
+            hists.push_str(&format!(
+                ":[{},{},{},{},{},{}]",
+                h.count,
+                h.sum,
+                h.max,
+                h.quantile(0.50) as u64,
+                h.quantile(0.95) as u64,
+                h.quantile(0.99) as u64
+            ));
         }
         hists.push('}');
         ObjWriter::new()
@@ -700,5 +712,28 @@ mod tests {
                 .and_then(crate::json::Json::as_u64),
             Some(10)
         );
+    }
+
+    #[test]
+    fn json_export_quantiles_every_histogram_uniformly() {
+        // Regression: the rollup export used to render histograms as
+        // bare [count, sum, max] while the live registry exported
+        // p50/p95/p99 — quantiles existed only for whichever histograms
+        // a consumer re-derived by hand. Every registered histogram now
+        // carries the same [count, sum, max, p50, p95, p99] sextuple.
+        let mut d = sample(0);
+        for v in [1, 2, 3] {
+            d.observe("second_hist", v);
+        }
+        let j = crate::json::parse(&d.to_json()).expect("delta JSON parses");
+        let hists = j.get("hists").expect("hists object");
+        for name in ["deliver_ticks", "second_hist"] {
+            let row = hists.get(name).and_then(crate::json::Json::as_arr).unwrap();
+            assert_eq!(row.len(), 6, "{name}: uniform sextuple");
+            let h = d.hist(name).unwrap();
+            assert_eq!(row[3].as_u64(), Some(h.quantile(0.50) as u64), "{name} p50");
+            assert_eq!(row[4].as_u64(), Some(h.quantile(0.95) as u64), "{name} p95");
+            assert_eq!(row[5].as_u64(), Some(h.quantile(0.99) as u64), "{name} p99");
+        }
     }
 }

@@ -27,12 +27,14 @@
 //! simulator.
 
 pub mod delta;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod trace;
 
 pub use delta::{DeltaTracker, GaugePolicy, HistDelta, MetricsDelta};
+pub use flight::{EventFrame, Severity};
 pub use metrics::{counter, event, gauge, histogram, Counter, Gauge, Histogram, Registry};
 pub use trace::{
     take_last_root, AttrValue, BudgetCheck, CriticalHop, FinishedSpan, FleetTrace, QueryTrace,
@@ -52,6 +54,24 @@ pub mod budgets {
     pub const SUMMARY_SCAN_IOS: u64 = 17;
     /// "Table scan: 640 IOs" for the E1 selection workload.
     pub const TABLE_SCAN_IOS: u64 = 640;
+}
+
+/// Record a structured flight-recorder event (see [`flight`]):
+/// `event!(Severity::Warn, subsystem::FLASH, code::FLASH_BLOCK_RETIRED, block)`.
+/// Frames below the severity floor cost one atomic load; up to two
+/// `u64`-convertible args ride the frame. The owning token drains the
+/// staged frames into its durable black-box ring.
+#[macro_export]
+macro_rules! event {
+    ($sev:expr, $sub:expr, $code:expr) => {
+        $crate::flight::record($sev, $sub, $code, [0u64, 0u64])
+    };
+    ($sev:expr, $sub:expr, $code:expr, $a:expr) => {
+        $crate::flight::record($sev, $sub, $code, [$a as u64, 0u64])
+    };
+    ($sev:expr, $sub:expr, $code:expr, $a:expr, $b:expr) => {
+        $crate::flight::record($sev, $sub, $code, [$a as u64, $b as u64])
+    };
 }
 
 /// Open a span: `span!("db.select")`, optionally with initial attributes:

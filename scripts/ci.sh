@@ -44,11 +44,19 @@ PDS_E17_TOKENS=10000 PDS_E17_MAX_THREADS=4 PDS_E17_CAP=2048 \
 # exactly-once with tokens power-cycled between rounds.
 PDS_E18_CELLS=128 PDS_E18_MAX_THREADS=4 \
   cargo run --release -q -p pds-bench --bin report -- e18
+# Crash-storm forensics smoke: E19 at CI scale — seeded power losses
+# mid-aggregation-round, every victim reopened, triaged fleet-wide with
+# bit-identical forensics across worker counts — plus the seeded
+# post-mortem JSON kept as a build artifact.
+mkdir -p target/forensics
+PDS_E19_TOKENS=24 PDS_E19_MAX_THREADS=4 \
+  cargo run --release -q -p pds-bench --bin report -- \
+  --forensics-json target/forensics/postmortem.json e19
 # Deterministic cost baseline: replay the scope and env knobs recorded
 # in BENCH_BASELINE.json and compare every deterministic metric (flash
 # IO, bus delivery, recovery, RAM high-water, lint posture) exactly.
 # Fails naming each drifted metric; regenerate intentionally with
 #   cargo run --release -p pds-bench --bin report -- \
-#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15 e16 e17 e18
+#     --baseline BENCH_BASELINE.json e1 e3 e13 e14 e15 e16 e17 e18 e19
 # (env knobs as recorded) and commit the diff.
 cargo run --release -q -p pds-bench --bin report -- --check BENCH_BASELINE.json

@@ -310,3 +310,189 @@ fn hibernation_round_trip_loses_nothing() {
     ingest_day(&mut woken, 99).unwrap();
     assert!(woken.search(&me, &["marker"], 60).unwrap().len() >= after_hits.len());
 }
+
+#[test]
+fn power_loss_over_the_flight_recorder_keeps_the_durable_timeline() {
+    use pds::obs::flight::code;
+
+    for case in 0..6u64 {
+        let seed = 0xB1AC_B0C5 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pds = Pds::for_tests(4, "gene").unwrap();
+
+        // A durable timeline prefix: committed rounds, then a sync that
+        // flushes the recorder ring. Everything in the RAM mirror is on
+        // flash after this point.
+        for day in 0..8 {
+            ingest_day(&mut pds, day).unwrap();
+            pds.commit().unwrap();
+        }
+        pds.sync().unwrap();
+        let durable = pds.blackbox().frames().to_vec();
+        assert!(!durable.is_empty(), "case {case}: empty durable timeline");
+        assert!(pds.forensics().is_none(), "case {case}: never reopened");
+
+        // Cut the power while further rounds run — recorder pages are in
+        // the same fault window as data and changelog pages.
+        let cut_after = rng.gen_range(1u64..60);
+        pds.token()
+            .flash()
+            .inject_faults(FaultPlan::new(seed).power_loss_after(cut_after));
+        let mut day = 8u64;
+        let crashed = loop {
+            if day == 200 {
+                break false;
+            }
+            let r = ingest_day(&mut pds, day)
+                .and_then(|()| pds.commit().map(|_| ()))
+                .and_then(|()| pds.sync());
+            match r {
+                Ok(()) => day += 1,
+                Err(_) => break true,
+            }
+        };
+        assert!(crashed, "case {case}: cut never fired");
+        let last_attempted = day;
+
+        let (rec, _report) = pds.reopen().unwrap();
+        let f = rec.forensics().expect("forensics after reopen");
+
+        // 1. The durable prefix is recovered verbatim — same frames,
+        //    same order, bit for bit.
+        assert!(
+            f.timeline.len() >= durable.len(),
+            "case {case}: durable timeline prefix lost"
+        );
+        assert_eq!(
+            &f.timeline[..durable.len()],
+            &durable[..],
+            "case {case}: durable timeline prefix rewritten"
+        );
+
+        // 2. The torn tail is dropped at a frame boundary: ticks stay
+        //    strictly monotone across the whole recovered timeline.
+        assert!(
+            f.timeline.windows(2).all(|w| w[0].tick < w[1].tick),
+            "case {case}: recovered timeline is not strictly monotone"
+        );
+        assert_eq!(
+            f.frames_recovered,
+            f.timeline.len() as u64,
+            "case {case}: scan and timeline disagree"
+        );
+        assert_eq!(
+            f.crash_tick(),
+            f.timeline.last().unwrap().tick,
+            "case {case}: crash tick is not the last durable frame"
+        );
+
+        // 3. No phantom events: post-prefix frames name only rounds the
+        //    crashed run actually staged, and the pre-crash timeline
+        //    cannot contain recovery events.
+        for fr in &f.timeline[durable.len()..] {
+            if fr.code == code::CORE_INGEST {
+                assert!(
+                    (8..=last_attempted).contains(&fr.args[1]),
+                    "case {case}: phantom ingest day {} in timeline",
+                    fr.args[1]
+                );
+            }
+            assert_ne!(
+                fr.code,
+                code::RECOVERY_REOPEN,
+                "case {case}: pre-crash timeline contains a recovery event"
+            );
+        }
+
+        // 4. The recovered ring keeps stamping past the crash: the
+        //    reopen itself is now the newest frame.
+        let post = rec.blackbox().frames();
+        let reopened = post.last().unwrap();
+        assert_eq!(reopened.code, code::RECOVERY_REOPEN, "case {case}");
+        assert!(reopened.tick > f.crash_tick(), "case {case}");
+        assert!(
+            pds_obs::counter("blackbox.frames_recovered").get() > 0,
+            "case {case}: recovery counters dead"
+        );
+    }
+}
+
+#[test]
+fn a_crash_digest_is_folded_exactly_once_across_a_power_cycle_mid_mail() {
+    use pds::fleet::{
+        mail_forensics, BusConfig, Collector, HealthEngine, MailboxBus, TelemetryConfig,
+    };
+
+    for case in 0..4u64 {
+        let seed = 0xD16_E57 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pds = Pds::for_tests(5, "hana").unwrap();
+        for day in 0..6 {
+            ingest_day(&mut pds, day).unwrap();
+            pds.commit().unwrap();
+        }
+        pds.sync().unwrap();
+        let cut_after = rng.gen_range(1u64..60);
+        pds.token()
+            .flash()
+            .inject_faults(FaultPlan::new(seed).power_loss_after(cut_after));
+        let mut day = 6u64;
+        loop {
+            assert!(day < 200, "case {case}: cut never fired");
+            let r = ingest_day(&mut pds, day)
+                .and_then(|()| pds.commit().map(|_| ()))
+                .and_then(|()| pds.sync());
+            if r.is_err() {
+                break;
+            }
+            day += 1;
+        }
+        let (rec, _) = pds.reopen().unwrap();
+
+        // Mail the digest over a duplicating bus, then lose power again
+        // *before the token learns whether it landed*: nothing new was
+        // synced, so the second recovery replays the same durable ring
+        // and re-derives the same crash tick. The token re-mails.
+        let mut bus = MailboxBus::new(BusConfig {
+            dup_rate: 0.3,
+            ..BusConfig::reliable(seed)
+        });
+        let mut collector = Collector::new(TelemetryConfig::default());
+        assert!(mail_forensics(&rec, 0, &mut bus), "case {case}: first mail");
+        let (rec2, _) = rec.reopen().unwrap();
+        assert!(mail_forensics(&rec2, 0, &mut bus), "case {case}: re-mail");
+        bus.run_until_quiet(100_000);
+        collector.drain_bus(&mut bus);
+
+        // Exactly once: one crash folded, the re-mail (and any bus
+        // duplicate) dropped by the (token, crash_tick) gate.
+        let stats = collector.stats();
+        assert_eq!(
+            stats.digests_folded, 1,
+            "case {case}: crash not exactly-once"
+        );
+        assert!(
+            stats.digests_deduped >= 1,
+            "case {case}: re-mail not deduped"
+        );
+        assert_eq!(stats.decode_errors, 0, "case {case}");
+        assert_eq!(
+            collector.total().counter("forensics.crashes"),
+            1,
+            "case {case}: crash counted twice"
+        );
+        assert!(
+            collector.crash_summary().contains("1 token(s) crashed"),
+            "case {case}: triage line wrong: {}",
+            collector.crash_summary()
+        );
+        let health = collector.health(&HealthEngine::standard());
+        assert!(
+            health
+                .verdicts
+                .iter()
+                .any(|v| v.rule == "forensics.crashes == 0" && !v.pass),
+            "case {case}: the storm is invisible to fleet status"
+        );
+    }
+}
